@@ -1,0 +1,152 @@
+"""Ablation benches for RABID's design choices (beyond the paper's tables).
+
+Four ablations, each isolating one mechanism the paper argues for:
+
+* **p(v) term of Eq. (2)** — without the usage-probability reservation,
+  early (high-delay) nets grab contested tiles and later nets fail or
+  crowd; with it, buffer usage spreads.
+* **Prim-Dijkstra trade-off** — c = 0 (pure MST) minimizes wire, c = 1
+  (pure SPT) minimizes radius; the paper's c = 0.4 sits between.
+* **Stage-2 iteration count** — one pass versus the paper's three.
+* **Stage 4 on/off** — the post-processing pass that trims fails,
+  buffers, and wirelength.
+"""
+
+import pytest
+
+from conftest import SEED, record_table
+from repro.benchmarks import load_benchmark
+from repro.core import RabidConfig, RabidPlanner
+from repro.experiments.formatting import render_table
+
+CIRCUIT = "apte"
+
+
+def _run(**overrides):
+    bench = load_benchmark(CIRCUIT, seed=SEED)
+    defaults = dict(
+        length_limit=bench.spec.length_limit,
+        window_margin=10,
+        stage4_iterations=1,
+    )
+    defaults.update(overrides)
+    planner = RabidPlanner(bench.graph, bench.netlist, RabidConfig(**defaults))
+    result = planner.run()
+    return result.final_metrics, result
+
+
+def test_ablation_probability_term(benchmark):
+    def body():
+        with_p, _ = _run(use_probability=True)
+        without_p, _ = _run(use_probability=False)
+        return with_p, without_p
+
+    with_p, without_p = benchmark.pedantic(body, rounds=1, iterations=1)
+    record_table(
+        "Ablation: p(v) term",
+        render_table(
+            ["variant", "buf max", "buf avg", "#bufs", "#fails"],
+            [
+                ["with p(v)", f"{with_p.buffer_density_max:.2f}",
+                 f"{with_p.buffer_density_avg:.2f}",
+                 str(with_p.num_buffers), str(with_p.num_fails)],
+                ["without", f"{without_p.buffer_density_max:.2f}",
+                 f"{without_p.buffer_density_avg:.2f}",
+                 str(without_p.num_buffers), str(without_p.num_fails)],
+            ],
+        ),
+    )
+    # Both must stay within capacity; the p(v) run must not be worse on
+    # failures by more than noise.
+    assert with_p.buffer_density_max <= 1.0
+    assert without_p.buffer_density_max <= 1.0
+    assert with_p.num_fails <= without_p.num_fails + 3
+
+
+def test_ablation_pd_tradeoff(benchmark):
+    def body():
+        return {c: _run(pd_tradeoff=c)[0] for c in (0.0, 0.4, 1.0)}
+
+    metrics = benchmark.pedantic(body, rounds=1, iterations=1)
+    record_table(
+        "Ablation: Prim-Dijkstra c",
+        render_table(
+            ["c", "wirelength(mm)", "delay avg(ps)", "delay max(ps)"],
+            [
+                [f"{c:.1f}", f"{m.wirelength_mm:.0f}",
+                 f"{m.avg_delay_ps:.0f}", f"{m.max_delay_ps:.0f}"]
+                for c, m in sorted(metrics.items())
+            ],
+        ),
+    )
+    # MST start must not use more wire than SPT start (tree property that
+    # survives the congestion-aware rerouting within tolerance).
+    assert metrics[0.0].wirelength_mm <= metrics[1.0].wirelength_mm * 1.10
+
+
+def test_ablation_stage2_iterations(benchmark):
+    def body():
+        one, _ = _run(stage2_iterations=1)
+        three, _ = _run(stage2_iterations=3)
+        return one, three
+
+    one, three = benchmark.pedantic(body, rounds=1, iterations=1)
+    record_table(
+        "Ablation: Stage-2 passes",
+        render_table(
+            ["passes", "wire max", "overflows"],
+            [
+                ["1", f"{one.wire_congestion_max:.2f}", str(one.overflows)],
+                ["3", f"{three.wire_congestion_max:.2f}", str(three.overflows)],
+            ],
+        ),
+    )
+    assert three.overflows == 0
+    assert three.wire_congestion_max <= max(one.wire_congestion_max, 1.0)
+
+
+def test_ablation_rescue_pass(benchmark):
+    def body():
+        with_rescue, _ = _run(rescue_failing=True)
+        without, _ = _run(rescue_failing=False)
+        return with_rescue, without
+
+    with_rescue, without = benchmark.pedantic(body, rounds=1, iterations=1)
+    record_table(
+        "Ablation: whole-net rescue",
+        render_table(
+            ["variant", "#fails", "#bufs", "wirelength(mm)"],
+            [
+                ["with rescue", str(with_rescue.num_fails),
+                 str(with_rescue.num_buffers),
+                 f"{with_rescue.wirelength_mm:.0f}"],
+                ["without", str(without.num_fails),
+                 str(without.num_buffers), f"{without.wirelength_mm:.0f}"],
+            ],
+        ),
+    )
+    assert with_rescue.num_fails <= without.num_fails
+    assert with_rescue.overflows == 0
+
+
+def test_ablation_stage4(benchmark):
+    def body():
+        off, result_off = _run(stage4_iterations=0)
+        on, result_on = _run(stage4_iterations=2)
+        return off, on
+
+    off, on = benchmark.pedantic(body, rounds=1, iterations=1)
+    record_table(
+        "Ablation: Stage 4",
+        render_table(
+            ["variant", "#fails", "#bufs", "wirelength(mm)"],
+            [
+                ["stages 1-3", str(off.num_fails), str(off.num_buffers),
+                 f"{off.wirelength_mm:.0f}"],
+                ["stages 1-4", str(on.num_fails), str(on.num_buffers),
+                 f"{on.wirelength_mm:.0f}"],
+            ],
+        ),
+    )
+    # The paper's Table II observation: Stage 4 cuts failures.
+    assert on.num_fails <= off.num_fails

@@ -1,0 +1,32 @@
+"""Regenerate Table I: benchmark statistics and parameters.
+
+Fast: only synthesis, no planning. Checks the realized statistics against
+the published ones while timing the generators.
+"""
+
+import pytest
+
+from conftest import SEED, record_table
+from repro.benchmarks import BENCHMARK_SPECS, load_benchmark
+from repro.experiments import format_table1, run_table1
+from repro.experiments.table1 import row_for_instance
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARK_SPECS))
+def test_generate_circuit(benchmark, name):
+    """Time the synthesis of one benchmark instance."""
+    bench = benchmark.pedantic(
+        lambda: load_benchmark(name, seed=SEED), rounds=1, iterations=1
+    )
+    row = row_for_instance(bench)
+    spec = BENCHMARK_SPECS[name]
+    assert row.nets == spec.nets
+    assert row.sinks == spec.sinks
+    assert row.buffer_sites == spec.buffer_sites
+
+
+def test_table1_report(benchmark):
+    """Produce the full Table I."""
+    rows = benchmark.pedantic(lambda: run_table1(seed=SEED), rounds=1, iterations=1)
+    record_table("Table I", format_table1(rows))
+    assert len(rows) == 10

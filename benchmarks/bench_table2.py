@@ -1,0 +1,52 @@
+"""Regenerate Table II: stage-by-stage RABID results.
+
+Quick mode runs three CBL circuits; ``REPRO_FULL=1`` runs the six CBL
+circuits stage-by-stage plus the four random circuits' final rows, exactly
+as the paper's table is organized.
+"""
+
+import pytest
+
+from conftest import (
+    FULL,
+    FULL_TABLE2_CBL,
+    FULL_TABLE2_RANDOM,
+    QUICK_TABLE2,
+    experiment_config,
+    record_table,
+)
+from repro.experiments import format_table2, run_table2_circuit
+
+CIRCUITS = FULL_TABLE2_CBL if FULL else QUICK_TABLE2
+RANDOMS = FULL_TABLE2_RANDOM if FULL else ["ac3"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_stage_by_stage(benchmark, name):
+    rows = benchmark.pedantic(
+        lambda: run_table2_circuit(name, experiment_config()),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Table II", format_table2(rows))
+    s1, s2, s3, s4 = (r.metrics for r in rows)
+    # The paper's headline observations must hold for every circuit.
+    assert s2.overflows == 0, "stage 2 must clear wire overflow"
+    assert s4.overflows == 0
+    assert s3.num_buffers > 0
+    assert s3.avg_delay_ps < s2.avg_delay_ps, "buffers must cut delay"
+    assert s4.num_fails <= s3.num_fails
+    assert max(s3.buffer_density_max, s4.buffer_density_max) <= 1.0
+
+
+@pytest.mark.parametrize("name", RANDOMS)
+def test_random_circuit_final(benchmark, name):
+    rows = benchmark.pedantic(
+        lambda: run_table2_circuit(name, experiment_config(), final_only=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Table II", format_table2(rows))
+    final = rows[0].metrics
+    assert final.overflows == 0
+    assert final.buffer_density_max <= 1.0

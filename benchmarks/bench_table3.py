@@ -1,0 +1,29 @@
+"""Regenerate Table III: sensitivity to the buffer-site budget.
+
+Each circuit runs with the paper's small/medium/large site counts. The
+asserted shape: scarcer sites mean more length-rule failures and higher
+buffer density.
+"""
+
+import pytest
+
+from conftest import FULL, FULL_TABLE3, QUICK_TABLE3, experiment_config, record_table
+from repro.experiments import format_table3, run_table3_circuit
+
+CIRCUITS = FULL_TABLE3 if FULL else QUICK_TABLE3
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_site_budget_sweep(benchmark, name):
+    rows = benchmark.pedantic(
+        lambda: run_table3_circuit(name, experiment_config()),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Table III", format_table3(rows))
+    small, medium, large = (r.metrics for r in rows)
+    assert small.num_fails >= large.num_fails, "fewer sites -> more fails"
+    assert small.buffer_density_avg >= large.buffer_density_avg
+    for m in (small, medium, large):
+        assert m.overflows == 0
+        assert m.buffer_density_max <= 1.0

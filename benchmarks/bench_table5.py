@@ -1,0 +1,31 @@
+"""Regenerate Table V: RABID versus buffer-block planning (BBP/FR).
+
+The asserted shape is the paper's headline: RABID meets wire-congestion
+constraints where BBP/FR overflows, spreads buffers (MTAP far below
+BBP/FR's), inserts more buffers, uses somewhat more wire, and delivers
+comparable delays.
+"""
+
+import pytest
+
+from conftest import FULL, FULL_TABLE5, QUICK_TABLE5, experiment_config, record_table
+from repro.experiments import format_table5, run_table5_circuit
+
+CIRCUITS = FULL_TABLE5 if FULL else QUICK_TABLE5
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_rabid_vs_bbp(benchmark, name):
+    rows = benchmark.pedantic(
+        lambda: run_table5_circuit(name, experiment_config()),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Table V", format_table5(rows))
+    bbp, rabid = rows
+    assert rabid.overflows == 0, "RABID always meets congestion constraints"
+    assert rabid.wire_congestion_max <= 1.0
+    assert rabid.mtap_pct <= bbp.mtap_pct + 1e-9, "RABID spreads buffers"
+    assert rabid.num_buffers >= bbp.num_buffers * 0.8
+    # Comparable delays: within a factor of two either way.
+    assert rabid.avg_delay_ps < 2.0 * bbp.avg_delay_ps

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The semi-custom data-path scenario (paper Section I-B).
+
+A data path routes regular signal buses straight across its elements; the
+bus region is so dense that detours are unaffordable. If the bus nets
+need buffering and the buffers must live *outside* the region, the wires
+detour to reach them and timing suffers. With buffer sites designed into
+the data-path layout, buffers drop in late "while maintaining straight
+wiring of the data bus nets".
+
+This example builds that situation twice on a 24x8-tile data-path strip
+with a 16-bit bus crossing it:
+
+* **sites-inside**: every tile, including the data-path strip, carries
+  buffer sites;
+* **sites-outside**: the strip has none, so each bus bit must leave the
+  strip to reach a repeater.
+
+It then compares bus straightness (detour tiles beyond the Manhattan
+distance) and delay.
+
+Run:  python examples/datapath_bus.py
+"""
+
+from repro import RabidConfig, RabidPlanner
+from repro.experiments.formatting import render_table
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.tilegraph import CapacityModel, TileGraph
+
+STRIP_Y = range(8, 16)  # the data-path strip occupies rows 8..15
+WIDTH, HEIGHT = 24, 24
+BUS_BITS = 16
+
+
+def build_instance(sites_inside_strip: bool) -> "tuple[TileGraph, Netlist]":
+    die = Rect(0, 0, float(WIDTH), float(HEIGHT))
+    graph = TileGraph(die, WIDTH, HEIGHT, CapacityModel.uniform(6))
+    for tile in graph.tiles():
+        in_strip = tile[1] in STRIP_Y
+        if in_strip and not sites_inside_strip:
+            continue
+        graph.set_sites(tile, 2)
+    nets = []
+    for bit in range(BUS_BITS):
+        y = 8.25 + bit * 0.48  # spread across the strip rows
+        nets.append(
+            Net(
+                name=f"bus{bit}",
+                source=Pin(f"bus{bit}.s", Point(0.5, y)),
+                sinks=[Pin(f"bus{bit}.t", Point(WIDTH - 0.5, y))],
+            )
+        )
+    return graph, Netlist(nets=nets)
+
+
+def measure(sites_inside_strip: bool):
+    graph, netlist = build_instance(sites_inside_strip)
+    config = RabidConfig(length_limit=5, window_margin=12, stage4_iterations=2)
+    result = RabidPlanner(graph, netlist, config).run()
+    detour_tiles = 0
+    for net in netlist:
+        tree = result.routes[net.name]
+        src = graph.tile_of(net.source.location)
+        dst = graph.tile_of(net.sinks[0].location)
+        manhattan = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        detour_tiles += tree.wirelength_tiles() - manhattan
+    final = result.final_metrics
+    return {
+        "detour": detour_tiles,
+        "fails": final.num_fails,
+        "bufs": final.num_buffers,
+        "avg_delay": final.avg_delay_ps,
+        "max_delay": final.max_delay_ps,
+    }
+
+
+def main():
+    inside = measure(sites_inside_strip=True)
+    outside = measure(sites_inside_strip=False)
+    print("16-bit bus across a 24-tile data-path strip (L = 5 tiles):\n")
+    print(render_table(
+        ["buffer sites", "detour tiles", "#fails", "#bufs",
+         "avg delay(ps)", "max delay(ps)"],
+        [
+            ["inside the strip", str(inside["detour"]), str(inside["fails"]),
+             str(inside["bufs"]), f"{inside['avg_delay']:.0f}",
+             f"{inside['max_delay']:.0f}"],
+            ["outside only", str(outside["detour"]), str(outside["fails"]),
+             str(outside["bufs"]), f"{outside['avg_delay']:.0f}",
+             f"{outside['max_delay']:.0f}"],
+        ],
+    ))
+    print(
+        "\nWith sites inside the strip the bus routes stay straight "
+        f"({inside['detour']} detour tiles); forced outside, the bits "
+        f"detour ({outside['detour']} tiles) or fail their length rule "
+        f"({outside['fails']} fails) - the paper's argument for designing "
+        "buffer sites into data-path layouts."
+    )
+
+
+if __name__ == "__main__":
+    main()

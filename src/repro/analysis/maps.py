@@ -1,0 +1,83 @@
+"""ASCII heat maps over the tile grid.
+
+Terminal-friendly views of the planning state: wire congestion per tile
+(the max over its boundary edges), buffer-site usage, and the raw site
+distribution (the paper's Fig. 2(b) as text). Rows print top-down so the
+map matches the usual die orientation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.tilegraph.graph import Tile, TileGraph
+
+#: Density ramp from empty to full.
+_RAMP = " .:-=+*#%@"
+
+
+def _render(
+    graph: TileGraph,
+    value_of: Callable[[Tile], float],
+    marker_of: "Callable[[Tile], str | None] | None" = None,
+) -> str:
+    lines: List[str] = []
+    for y in range(graph.ny - 1, -1, -1):
+        row = []
+        for x in range(graph.nx):
+            tile = (x, y)
+            if marker_of is not None:
+                marker = marker_of(tile)
+                if marker is not None:
+                    row.append(marker)
+                    continue
+            level = value_of(tile)
+            level = min(1.0, max(0.0, level))
+            row.append(_RAMP[min(len(_RAMP) - 1, int(level * len(_RAMP)))])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def wire_congestion_map(graph: TileGraph) -> str:
+    """Per-tile map of the worst boundary-edge congestion.
+
+    ``!`` marks tiles touching an overflowing edge.
+    """
+
+    def worst(tile: Tile) -> float:
+        ratios = []
+        for nbr in graph.neighbors(tile):
+            cap = graph.wire_capacity(tile, nbr)
+            use = graph.wire_usage(tile, nbr)
+            ratios.append(use / cap if cap else (1.5 if use else 0.0))
+        return max(ratios) if ratios else 0.0
+
+    def marker(tile: Tile) -> "str | None":
+        return "!" if worst(tile) > 1.0 else None
+
+    return _render(graph, worst, marker)
+
+
+def buffer_usage_map(graph: TileGraph) -> str:
+    """Per-tile map of ``b(v)/B(v)``; ``X`` marks zero-site tiles."""
+
+    def density(tile: Tile) -> float:
+        sites = graph.site_count(tile)
+        return graph.used_site_count(tile) / sites if sites else 0.0
+
+    def marker(tile: Tile) -> "str | None":
+        return "X" if graph.site_count(tile) == 0 else None
+
+    return _render(graph, density, marker)
+
+
+def site_distribution_map(graph: TileGraph) -> str:
+    """Per-tile map of ``B(v)`` relative to the densest tile (Fig. 2(b))."""
+    peak = max(1, int(graph.sites.max()))
+
+    def density(tile: Tile) -> float:
+        return graph.site_count(tile) / peak
+
+    return _render(graph, density)

@@ -1,0 +1,100 @@
+"""Structured per-net and design-level reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.length_rule import length_violations
+from repro.routing.tree import RouteTree
+from repro.technology import Technology
+from repro.tilegraph.congestion import buffer_density_stats, wire_congestion_stats
+from repro.tilegraph.graph import TileGraph
+from repro.timing.elmore import net_delay
+
+
+@dataclass(frozen=True)
+class NetReport:
+    """One net's planning outcome."""
+
+    name: str
+    wirelength_mm: float
+    wirelength_tiles: int
+    num_sinks: int
+    num_buffers: int
+    max_delay_ps: float
+    avg_delay_ps: float
+    length_violations: int
+
+
+@dataclass(frozen=True)
+class DesignReport:
+    """Whole-design planning outcome (the Table II final-row figures)."""
+
+    nets: List[NetReport]
+    total_wirelength_mm: float
+    total_buffers: int
+    failed_nets: List[str]
+    wire_congestion_max: float
+    wire_congestion_avg: float
+    wire_overflow: int
+    buffer_density_max: float
+    buffer_density_avg: float
+    max_delay_ps: float
+    avg_delay_ps: float
+
+    def worst_nets(self, count: int = 10) -> List[NetReport]:
+        """The nets with the highest max sink delay."""
+        return sorted(self.nets, key=lambda n: -n.max_delay_ps)[:count]
+
+
+def design_report(
+    routes: Dict[str, RouteTree],
+    graph: TileGraph,
+    tech: Technology,
+    length_limit: int,
+) -> DesignReport:
+    """Measure everything the experiment tables need, per net and overall."""
+    nets: List[NetReport] = []
+    failed: List[str] = []
+    delay_total = 0.0
+    delay_count = 0
+    delay_worst = 0.0
+    for name in sorted(routes):
+        tree = routes[name]
+        report = net_delay(tree, graph, tech)
+        violations = length_violations(tree, length_limit)
+        if violations:
+            failed.append(name)
+        nets.append(
+            NetReport(
+                name=name,
+                wirelength_mm=tree.wirelength_mm(graph),
+                wirelength_tiles=tree.wirelength_tiles(),
+                num_sinks=len(tree.sink_tiles),
+                num_buffers=tree.buffer_count(),
+                max_delay_ps=report.max_delay * 1e12,
+                avg_delay_ps=report.avg_delay * 1e12,
+                length_violations=violations,
+            )
+        )
+        for value in report.sink_delays.values():
+            delay_total += value
+            delay_count += 1
+        delay_worst = max(delay_worst, report.max_delay)
+
+    wire = wire_congestion_stats(graph)
+    buffers = buffer_density_stats(graph)
+    return DesignReport(
+        nets=nets,
+        total_wirelength_mm=sum(n.wirelength_mm for n in nets),
+        total_buffers=sum(n.num_buffers for n in nets),
+        failed_nets=failed,
+        wire_congestion_max=wire.maximum,
+        wire_congestion_avg=wire.average,
+        wire_overflow=wire.overflow,
+        buffer_density_max=buffers.maximum,
+        buffer_density_avg=buffers.average,
+        max_delay_ps=delay_worst * 1e12,
+        avg_delay_ps=(delay_total / delay_count * 1e12) if delay_count else 0.0,
+    )

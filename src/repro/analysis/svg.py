@@ -1,0 +1,158 @@
+"""SVG rendering of floorplans, routes, and buffer placements.
+
+Pure-stdlib string assembly: produces standalone ``.svg`` documents for
+Fig.-1-style pictures (floorplan + buffer locations) and planning-state
+views (tile grid, blocked region, per-tile buffer usage). No display
+dependencies; files open in any browser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.floorplan import Floorplan
+from repro.geometry import Point, Rect
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+
+_HEADER = (
+    '<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" '
+    'viewBox="{vx} {vy} {vw} {vh}">'
+)
+
+
+class SvgCanvas:
+    """Minimal SVG document builder in chip (mm) coordinates.
+
+    The y axis is flipped so the die's lower-left corner renders at the
+    bottom-left, matching the ASCII maps and the paper's figures.
+    """
+
+    def __init__(self, die: Rect, pixels_per_mm: float = 30.0):
+        self.die = die
+        self.scale = pixels_per_mm
+        self._body: List[str] = []
+
+    def _x(self, x: float) -> float:
+        return (x - self.die.x0) * self.scale
+
+    def _y(self, y: float) -> float:
+        return (self.die.y1 - y) * self.scale
+
+    def rect(
+        self,
+        r: Rect,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+        title: Optional[str] = None,
+    ) -> None:
+        inner = f"<title>{title}</title>" if title else ""
+        self._body.append(
+            f'<rect x="{self._x(r.x0):.1f}" y="{self._y(r.y1):.1f}" '
+            f'width="{r.width * self.scale:.1f}" '
+            f'height="{r.height * self.scale:.1f}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'opacity="{opacity}">{inner}</rect>'
+        )
+
+    def line(
+        self, a: Point, b: Point, stroke: str = "black", stroke_width: float = 1.0
+    ) -> None:
+        self._body.append(
+            f'<line x1="{self._x(a.x):.1f}" y1="{self._y(a.y):.1f}" '
+            f'x2="{self._x(b.x):.1f}" y2="{self._y(b.y):.1f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"/>'
+        )
+
+    def circle(
+        self, c: Point, radius_px: float = 2.0, fill: str = "red"
+    ) -> None:
+        self._body.append(
+            f'<circle cx="{self._x(c.x):.1f}" cy="{self._y(c.y):.1f}" '
+            f'r="{radius_px:.1f}" fill="{fill}"/>'
+        )
+
+    def text(self, at: Point, content: str, size_px: float = 10.0) -> None:
+        self._body.append(
+            f'<text x="{self._x(at.x):.1f}" y="{self._y(at.y):.1f}" '
+            f'font-size="{size_px:.0f}">{content}</text>'
+        )
+
+    def render(self) -> str:
+        w = self.die.width * self.scale
+        h = self.die.height * self.scale
+        header = _HEADER.format(w=f"{w:.0f}", h=f"{h:.0f}", vx=0, vy=0,
+                                vw=f"{w:.0f}", vh=f"{h:.0f}")
+        return "\n".join([header, *self._body, "</svg>"])
+
+
+def floorplan_svg(
+    floorplan: Floorplan,
+    buffer_points: "Sequence[Point] | None" = None,
+    pixels_per_mm: float = 30.0,
+) -> str:
+    """A Fig.-1-style picture: die, blocks, and buffer dots."""
+    canvas = SvgCanvas(floorplan.die, pixels_per_mm)
+    canvas.rect(floorplan.die, fill="white", stroke="black", stroke_width=2)
+    for block in floorplan.blocks:
+        fill = "#d0d7e4" if block.allows_buffer_sites else "#b0b0b0"
+        canvas.rect(block.rect(), fill=fill, stroke="#445",
+                    title=block.name)
+        canvas.text(
+            Point(block.rect().x0 + 0.1, block.rect().y1 - 0.1),
+            block.name,
+            size_px=max(6.0, pixels_per_mm / 4),
+        )
+    for p in buffer_points or ():
+        canvas.circle(p, radius_px=max(1.5, pixels_per_mm / 12), fill="#c22")
+    return canvas.render()
+
+
+def planning_svg(
+    graph: TileGraph,
+    floorplan: "Floorplan | None" = None,
+    routes: "Dict[str, RouteTree] | None" = None,
+    blocked: "Iterable[Tile] | None" = None,
+    pixels_per_mm: float = 30.0,
+    max_routes: int = 50,
+) -> str:
+    """Planning-state picture: tiles shaded by buffer usage, wires drawn
+    tile-center to tile-center, blocked region hatched gray."""
+    canvas = SvgCanvas(graph.die, pixels_per_mm)
+    canvas.rect(graph.die, fill="white", stroke="black", stroke_width=2)
+    if floorplan is not None:
+        for block in floorplan.blocks:
+            canvas.rect(block.rect(), fill="#eef0f5", stroke="#99a")
+    for tile in graph.tiles():
+        sites = graph.site_count(tile)
+        used = graph.used_site_count(tile)
+        if sites == 0:
+            continue
+        if used:
+            level = min(1.0, used / sites)
+            shade = int(255 - 160 * level)
+            canvas.rect(
+                graph.tile_rect(tile),
+                fill=f"rgb(255,{shade},{shade})",
+                stroke="none",
+                opacity=0.8,
+                title=f"{tile}: {used}/{sites} sites",
+            )
+    for tile in blocked or ():
+        canvas.rect(graph.tile_rect(tile), fill="#999", stroke="none",
+                    opacity=0.6)
+    if routes:
+        for i, name in enumerate(sorted(routes)):
+            if i >= max_routes:
+                break
+            tree = routes[name]
+            for u, v in tree.edges():
+                canvas.line(
+                    graph.tile_center(u),
+                    graph.tile_center(v),
+                    stroke="#36c",
+                    stroke_width=0.8,
+                )
+    return canvas.render()

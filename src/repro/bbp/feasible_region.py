@@ -1,0 +1,72 @@
+"""Feasible regions for two-pin-net buffer insertion (after Cong et al.).
+
+Cong, Kong and Pan derive, per buffer of a two-pin net, the largest region
+in which the buffer can sit while the net still meets its delay target.
+Their key empirical point (which the paper under reproduction leans on) is
+that feasible regions are *wide*: a buffer may move a considerable distance
+from its ideal split point at small delay cost. We model the region as a
+box centered on the ideal point whose half-width scales with the slack
+parameter ``alpha`` and the buffer spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point, Rect
+
+
+@dataclass(frozen=True)
+class FeasibleRegion:
+    """The region in which one buffer of a net may be placed."""
+
+    ideal: Point
+    box: Rect
+
+    def contains(self, p: Point) -> bool:
+        return self.box.contains(p)
+
+
+def ideal_buffer_points(source: Point, sink: Point, count: int) -> List[Point]:
+    """Even split points along the source-sink Manhattan route.
+
+    The route is taken as the straight (diagonal) parameterization — split
+    points of an L-shaped route differ only within the same bounding box,
+    and the feasible-region box absorbs the difference.
+    """
+    if count < 0:
+        raise ConfigurationError("buffer count must be >= 0")
+    out: List[Point] = []
+    for i in range(1, count + 1):
+        t = i / (count + 1)
+        out.append(
+            Point(
+                source.x + t * (sink.x - source.x),
+                source.y + t * (sink.y - source.y),
+            )
+        )
+    return out
+
+
+def feasible_region_for(
+    ideal: Point,
+    spacing_mm: float,
+    die: Rect,
+    alpha: float = 0.5,
+) -> FeasibleRegion:
+    """A feasible-region box of half-width ``alpha * spacing`` around
+    ``ideal``, clipped to the die."""
+    if spacing_mm <= 0:
+        raise ConfigurationError("buffer spacing must be positive")
+    if alpha < 0:
+        raise ConfigurationError("alpha must be >= 0")
+    half = alpha * spacing_mm
+    box = Rect(
+        max(die.x0, ideal.x - half),
+        max(die.y0, ideal.y - half),
+        min(die.x1, ideal.x + half),
+        min(die.y1, ideal.y + half),
+    )
+    return FeasibleRegion(ideal=ideal, box=box)

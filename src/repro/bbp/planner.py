@@ -1,0 +1,218 @@
+"""The BBP/FR baseline planner and its measurement helpers."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bbp.feasible_region import feasible_region_for, ideal_buffer_points
+from repro.errors import ConfigurationError
+from repro.floorplan import Floorplan
+from repro.geometry import Point
+from repro.netlist import Net, Netlist, decompose_to_two_pin
+from repro.routing.embed import l_shaped_between_tiles
+from repro.routing.tree import BufferSpec, RouteTree
+from repro.technology import TECH_180NM, Technology
+from repro.tilegraph.congestion import wire_congestion_stats
+from repro.tilegraph.graph import Tile, TileGraph
+from repro.timing.elmore import delay_summary
+
+
+@dataclass
+class BbpConfig:
+    """BBP/FR parameters.
+
+    Attributes:
+        length_limit: the same distance rule RABID uses (tile units); one
+            buffer every ``length_limit`` tiles of source-sink distance.
+        alpha: feasible-region half-width as a fraction of buffer spacing.
+        technology: for the delay model and buffer area (MTAP).
+        sample_step_mm: grid pitch for free-space candidate sampling.
+        postprocess: apply the equal-length congestion cleanup (the paper
+            applies it to both BBP/FR and RABID in Table V, and notes it
+            dominates BBP/FR's reported CPU time).
+    """
+
+    length_limit: int = 5
+    alpha: float = 0.5
+    technology: Technology = TECH_180NM
+    sample_step_mm: float = 0.25
+    postprocess: bool = True
+
+
+@dataclass
+class BbpResult:
+    """BBP/FR output with the Table V statistics."""
+
+    routes: Dict[str, RouteTree]
+    buffer_points: List[Point]
+    buffers_per_tile: np.ndarray
+    num_buffers: int
+    wirelength_mm: float
+    wire_congestion_max: float
+    wire_congestion_avg: float
+    overflows: int
+    mtap_pct: float
+    max_delay_ps: float
+    avg_delay_ps: float
+    cpu_seconds: float
+    unplaceable: int = 0
+
+
+def max_tile_area_pct(
+    buffers_per_tile: np.ndarray, graph: TileGraph, tech: Technology
+) -> float:
+    """MTAP: the worst tile's buffer-area share, in percent."""
+    if buffers_per_tile.size == 0:
+        return 0.0
+    worst = float(buffers_per_tile.max())
+    return 100.0 * worst * tech.buffer_area_mm2 / graph.tile_area_mm2
+
+
+class BbpPlanner:
+    """Feasible-region buffer-block planning over a floorplan."""
+
+    def __init__(
+        self,
+        graph: TileGraph,
+        floorplan: Floorplan,
+        netlist: Netlist,
+        config: "BbpConfig | None" = None,
+    ) -> None:
+        self.graph = graph
+        self.floorplan = floorplan
+        self.netlist = decompose_to_two_pin(netlist)
+        self.config = config or BbpConfig()
+        if self.config.length_limit < 1:
+            raise ConfigurationError("length limit must be >= 1")
+
+    # ------------------------------------------------------------------ #
+
+    def buffers_needed(self, net: Net) -> int:
+        """Distance-rule buffer count for a two-pin net."""
+        tile_pitch = (self.graph.tile_w + self.graph.tile_h) / 2
+        dist_tiles = net.source.location.manhattan_to(net.sinks[0].location) / tile_pitch
+        return max(0, math.ceil(dist_tiles / self.config.length_limit) - 1)
+
+    def _nearest_free_point(self, ideal: Point, spacing_mm: float) -> Optional[Point]:
+        """Free-space point nearest ``ideal``: feasible region first, then
+        expanding rings (this overflow into shared channels is what builds
+        the buffer blocks)."""
+        if self.floorplan.free_space(ideal):
+            return ideal
+        region = feasible_region_for(
+            ideal, spacing_mm, self.floorplan.die, self.config.alpha
+        )
+        step = self.config.sample_step_mm
+        best: Optional[Tuple[float, Point]] = None
+        box = region.box
+        nx = max(1, int(box.width / step))
+        ny = max(1, int(box.height / step))
+        for i in range(nx + 1):
+            for j in range(ny + 1):
+                p = Point(box.x0 + i * step, box.y0 + j * step)
+                if not box.contains(p) or not self.floorplan.free_space(p):
+                    continue
+                d = ideal.manhattan_to(p)
+                if best is None or d < best[0]:
+                    best = (d, p)
+        if best is not None:
+            return best[1]
+        # Region fully blocked: expand rings around the ideal point.
+        die = self.floorplan.die
+        max_radius = die.width + die.height
+        radius = step
+        while radius <= max_radius:
+            samples = max(8, int(2 * math.pi * radius / step))
+            for k in range(samples):
+                angle = 2 * math.pi * k / samples
+                p = Point(
+                    min(max(ideal.x + radius * math.cos(angle), die.x0), die.x1),
+                    min(max(ideal.y + radius * math.sin(angle), die.y0), die.y1),
+                )
+                if self.floorplan.free_space(p):
+                    return p
+            radius += step
+        return None
+
+    def _route_through(self, net: Net, buffer_points: List[Point]) -> RouteTree:
+        """L-shaped legs source -> buffers -> sink on the tile grid."""
+        stops = [net.source.location] + buffer_points + [net.sinks[0].location]
+        tiles = [self.graph.tile_of(p) for p in stops]
+        paths = [
+            l_shaped_between_tiles(a, b) for a, b in zip(tiles, tiles[1:]) if a != b
+        ]
+        source_tile = tiles[0]
+        sink_tile = tiles[-1]
+        if not paths:
+            tree = RouteTree.from_paths(source_tile, [], [sink_tile], net_name=net.name)
+        else:
+            tree = RouteTree.from_paths(
+                source_tile, paths, [sink_tile], net_name=net.name
+            )
+        specs = [
+            BufferSpec(t, None)
+            for t in dict.fromkeys(tiles[1:-1])
+            if t in tree.nodes and t not in (source_tile,)
+        ]
+        tree.apply_buffers(specs)
+        return tree
+
+    def run(self) -> BbpResult:
+        """Plan buffers and routes for every (two-pin) net."""
+        start = time.perf_counter()
+        tile_pitch = (self.graph.tile_w + self.graph.tile_h) / 2
+        spacing_mm = self.config.length_limit * tile_pitch
+        routes: Dict[str, RouteTree] = {}
+        all_points: List[Point] = []
+        buffers_per_tile = np.zeros((self.graph.nx, self.graph.ny), dtype=np.int64)
+        unplaceable = 0
+
+        for net in self.netlist:
+            count = self.buffers_needed(net)
+            placed: List[Point] = []
+            for ideal in ideal_buffer_points(
+                net.source.location, net.sinks[0].location, count
+            ):
+                p = self._nearest_free_point(ideal, spacing_mm)
+                if p is None:
+                    unplaceable += 1
+                    continue
+                placed.append(p)
+                all_points.append(p)
+                buffers_per_tile[self.graph.tile_of(p)] += 1
+            tree = self._route_through(net, placed)
+            tree.add_usage(self.graph)
+            routes[net.name] = tree
+
+        if self.config.postprocess:
+            from repro.routing.monotone import reduce_congestion
+
+            reduce_congestion(self.graph, routes)
+
+        wire = wire_congestion_stats(self.graph)
+        max_delay, avg_delay, _ = delay_summary(
+            routes, self.graph, self.config.technology
+        )
+        wirelength = sum(t.wirelength_mm(self.graph) for t in routes.values())
+        return BbpResult(
+            routes=routes,
+            buffer_points=all_points,
+            buffers_per_tile=buffers_per_tile,
+            num_buffers=len(all_points),
+            wirelength_mm=wirelength,
+            wire_congestion_max=wire.maximum,
+            wire_congestion_avg=wire.average,
+            overflows=wire.overflow,
+            mtap_pct=max_tile_area_pct(
+                buffers_per_tile, self.graph, self.config.technology
+            ),
+            max_delay_ps=max_delay * 1e12,
+            avg_delay_ps=avg_delay * 1e12,
+            cpu_seconds=time.perf_counter() - start,
+            unplaceable=unplaceable,
+        )

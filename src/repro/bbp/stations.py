@@ -1,0 +1,215 @@
+"""Global buffering against an existing buffer-block plan (Dragan et al.).
+
+The related work the paper contrasts with includes Dragan/Kahng/Mandoiu/
+Muddu's flow-based approach: *given* a buffer-block plan (capacitated
+buffer stations), assign two-pin nets to chains of stations. This module
+reimplements that problem's practical core:
+
+* :func:`stations_from_points` / :func:`stations_from_bbp` — cluster
+  concrete buffer locations into capacitated :class:`BufferStation`s
+  (the "buffer blocks");
+* :class:`StationAssigner` — assign each net the station chain that
+  minimizes detour plus a congestion-style station cost
+  ``(used + 1) / (capacity - used)`` (the same shape as Eq. (2)), so
+  popular blocks fill gracefully;
+* nets whose required chain cannot be completed (stations exhausted or
+  too far apart for the distance rule) are reported as unassignable —
+  exactly the failure mode the buffer-site methodology dissolves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point, manhattan
+from repro.netlist import Net
+from repro.utils.union_find import UnionFind
+
+INF = float("inf")
+
+
+@dataclass
+class BufferStation:
+    """A capacitated buffer block."""
+
+    location: Point
+    capacity: int
+    used: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("station capacity must be >= 1")
+
+    @property
+    def full(self) -> bool:
+        return self.used >= self.capacity
+
+    def cost(self) -> float:
+        """Eq. (2)-shaped congestion cost of taking one slot."""
+        if self.full:
+            return INF
+        return (self.used + 1) / (self.capacity - self.used)
+
+
+def stations_from_points(
+    points: Sequence[Point],
+    merge_radius_mm: float,
+    capacity_per_point: int = 1,
+) -> List[BufferStation]:
+    """Cluster buffer locations into stations by single-linkage.
+
+    Points within ``merge_radius_mm`` (Manhattan, transitively) form one
+    station at their centroid with the summed capacity.
+    """
+    if merge_radius_mm < 0:
+        raise ConfigurationError("merge radius must be >= 0")
+    uf = UnionFind()
+    pts = list(points)
+    for i in range(len(pts)):
+        uf.find(i)
+        for j in range(i + 1, len(pts)):
+            if manhattan(pts[i], pts[j]) <= merge_radius_mm:
+                uf.union(i, j)
+    clusters: Dict[int, List[int]] = {}
+    for i in range(len(pts)):
+        clusters.setdefault(uf.find(i), []).append(i)
+    stations = []
+    for members in clusters.values():
+        cx = sum(pts[i].x for i in members) / len(members)
+        cy = sum(pts[i].y for i in members) / len(members)
+        stations.append(
+            BufferStation(
+                location=Point(cx, cy),
+                capacity=capacity_per_point * len(members),
+            )
+        )
+    stations.sort(key=lambda s: s.location)
+    return stations
+
+
+def stations_from_bbp(bbp_result, merge_radius_mm: float = 1.0, headroom: int = 1):
+    """Stations from a :class:`repro.bbp.planner.BbpResult`'s buffer points."""
+    return stations_from_points(
+        bbp_result.buffer_points, merge_radius_mm, capacity_per_point=headroom
+    )
+
+
+@dataclass
+class StationAssignment:
+    """One net's outcome: the chosen chain, or None if unassignable."""
+
+    net_name: str
+    chain: Optional[List[BufferStation]]
+    detour_mm: float = 0.0
+
+    @property
+    def assigned(self) -> bool:
+        return self.chain is not None
+
+
+class StationAssigner:
+    """Greedy chain assignment of two-pin nets onto buffer stations."""
+
+    def __init__(
+        self,
+        stations: Sequence[BufferStation],
+        spacing_mm: float,
+        detour_weight: float = 1.0,
+        slack: float = 1.0,
+    ) -> None:
+        """
+        Args:
+            stations: the buffer-block plan.
+            spacing_mm: nominal gate-to-gate distance (the distance rule
+                in mm; e.g. ``L * tile_pitch``); sets the buffer count.
+            detour_weight: relative weight of detour (mm) versus station
+                congestion cost when scoring candidates.
+            slack: hop-length tolerance — hops up to ``slack * spacing``
+                are accepted (Dragan et al. bound hops in an [L, U]
+                window; slack > 1 models the U side).
+        """
+        if spacing_mm <= 0:
+            raise ConfigurationError("spacing must be positive")
+        if slack < 1.0:
+            raise ConfigurationError("slack must be >= 1")
+        self.stations = list(stations)
+        self.spacing_mm = spacing_mm
+        self.detour_weight = detour_weight
+        self.slack = slack
+
+    def buffers_needed(self, net: Net) -> int:
+        dist = net.source.location.manhattan_to(net.sinks[0].location)
+        return max(0, math.ceil(dist / self.spacing_mm) - 1)
+
+    def _best_station(
+        self, prev: Point, sink: Point, remaining: int
+    ) -> Optional[BufferStation]:
+        """The cheapest feasible next station.
+
+        Feasible: within ``spacing`` of ``prev`` and close enough that the
+        remaining chain can still reach the sink
+        (``dist(st, sink) <= (remaining) * spacing``).
+        """
+        reach = self.spacing_mm * self.slack
+        best: Optional[Tuple[float, BufferStation]] = None
+        for st in self.stations:
+            if st.full:
+                continue
+            hop = manhattan(prev, st.location)
+            if hop > reach:
+                continue
+            if manhattan(st.location, sink) > remaining * reach:
+                continue
+            direct = manhattan(prev, sink)
+            detour = hop + manhattan(st.location, sink) - direct
+            score = self.detour_weight * detour + st.cost()
+            if best is None or score < best[0]:
+                best = (score, st)
+        return best[1] if best else None
+
+    def assign_net(self, net: Net) -> StationAssignment:
+        """Choose a station chain for one two-pin net (books capacity)."""
+        if net.num_sinks != 1:
+            raise ConfigurationError("station assignment expects two-pin nets")
+        count = self.buffers_needed(net)
+        if count == 0:
+            return StationAssignment(net.name, chain=[])
+        source = net.source.location
+        sink = net.sinks[0].location
+        chain: List[BufferStation] = []
+        prev = source
+        for i in range(count):
+            remaining = count - i  # stations left to place, incl. this one
+            st = self._best_station(prev, sink, remaining)
+            if st is None:
+                # Roll back reservations; the net is unassignable.
+                for taken in chain:
+                    taken.used -= 1
+                return StationAssignment(net.name, chain=None)
+            st.used += 1
+            chain.append(st)
+            prev = st.location
+        direct = manhattan(source, sink)
+        routed = (
+            manhattan(source, chain[0].location)
+            + sum(
+                manhattan(a.location, b.location)
+                for a, b in zip(chain, chain[1:])
+            )
+            + manhattan(chain[-1].location, sink)
+        )
+        return StationAssignment(net.name, chain=chain, detour_mm=routed - direct)
+
+    def assign_all(self, nets: Sequence[Net]) -> List[StationAssignment]:
+        """Assign every net, longest (most constrained) first."""
+        order = sorted(
+            nets,
+            key=lambda n: (
+                -n.source.location.manhattan_to(n.sinks[0].location),
+                n.name,
+            ),
+        )
+        return [self.assign_net(net) for net in order]

@@ -1,0 +1,23 @@
+"""Synthetic versions of the paper's ten benchmarks (Table I).
+
+The original MCNC/CBL floorplan files and Cong et al.'s four random
+circuits are not distributable; these generators synthesize circuits that
+match every published Table I statistic — block count, net count, pad
+count, sink count, grid size, tile area (hence die size), length limit and
+buffer-site budget — with deterministic seeds. See DESIGN.md §2 for why
+this substitution preserves the evaluation's behaviour.
+"""
+
+from repro.benchmarks.spec import BenchmarkSpec, BENCHMARK_SPECS, CBL_CIRCUITS, RANDOM_CIRCUITS
+from repro.benchmarks.generator import BenchmarkInstance, generate_benchmark
+from repro.benchmarks.loader import load_benchmark
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARK_SPECS",
+    "CBL_CIRCUITS",
+    "RANDOM_CIRCUITS",
+    "BenchmarkInstance",
+    "generate_benchmark",
+    "load_benchmark",
+]

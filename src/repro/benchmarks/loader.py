@@ -1,0 +1,38 @@
+"""Convenience loading of named benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.benchmarks.generator import BenchmarkInstance, generate_benchmark
+from repro.benchmarks.spec import BENCHMARK_SPECS
+from repro.errors import ConfigurationError
+
+
+def load_benchmark(
+    name: str,
+    seed: int = 0,
+    grid: Optional[Tuple[int, int]] = None,
+    total_sites: Optional[int] = None,
+    wire_capacity: Optional[int] = None,
+    blocked_size: int = 9,
+) -> BenchmarkInstance:
+    """Load one of the paper's ten benchmarks by name.
+
+    ``load_benchmark("apte")`` reproduces the Table I configuration;
+    ``grid`` and ``total_sites`` override for the Table III/IV sweeps.
+
+    Raises:
+        ConfigurationError: for an unknown benchmark name.
+    """
+    if name not in BENCHMARK_SPECS:
+        known = ", ".join(sorted(BENCHMARK_SPECS))
+        raise ConfigurationError(f"unknown benchmark {name!r}; known: {known}")
+    return generate_benchmark(
+        BENCHMARK_SPECS[name],
+        seed=seed,
+        grid=grid,
+        total_sites=total_sites,
+        wire_capacity=wire_capacity,
+        blocked_size=blocked_size,
+    )

@@ -1,0 +1,122 @@
+"""Benchmark statistics — the paper's Table I, verbatim.
+
+``grid`` is written exactly as the paper prints it (``nx x ny``); the paper
+chose 30 tiles on the chip's shorter side and derived the longer side so
+tiles are roughly square. Die dimensions follow from grid size and tile
+area. ``default_wire_capacity`` is our calibration (see DESIGN.md §2): the
+paper never reports ``W(e)``, so capacities were chosen to land Stage-1
+average congestion near the paper's reported values.
+
+``site_variants`` are the small/medium/large buffer-site budgets of
+Table III; ``grid_variants`` the tilings of Table IV.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Published statistics of one benchmark circuit."""
+
+    name: str
+    cells: int
+    nets: int
+    pads: int
+    sinks: int
+    grid: Tuple[int, int]
+    tile_area_mm2: float
+    length_limit: int
+    buffer_sites: int
+    chip_area_pct: float
+    is_random: bool = False
+    default_wire_capacity: int = 10
+    site_variants: Tuple[int, ...] = ()
+    grid_variants: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def tile_side_mm(self) -> float:
+        return math.sqrt(self.tile_area_mm2)
+
+    @property
+    def die_width_mm(self) -> float:
+        return self.grid[0] * self.tile_side_mm
+
+    @property
+    def die_height_mm(self) -> float:
+        return self.grid[1] * self.tile_side_mm
+
+    def scaled_wire_capacity(self, grid: Tuple[int, int]) -> int:
+        """Capacity for a non-default tiling, preserving tracks per mm.
+
+        Halving the tile size halves each boundary's track count; capacity
+        scales with the tile side, i.e., inversely with the tile count.
+        """
+        scale = ((self.grid[0] / grid[0]) + (self.grid[1] / grid[1])) / 2
+        return max(1, round(self.default_wire_capacity * scale))
+
+
+def _spec(*args, **kwargs) -> BenchmarkSpec:
+    return BenchmarkSpec(*args, **kwargs)
+
+
+#: The six CBL (MCNC) circuits of Table I.
+CBL_CIRCUITS: List[str] = ["apte", "xerox", "hp", "ami33", "ami49", "playout"]
+
+#: The four randomly generated circuits of Table I.
+RANDOM_CIRCUITS: List[str] = ["ac3", "xc5", "hc7", "a9c3"]
+
+BENCHMARK_SPECS: Dict[str, BenchmarkSpec] = {
+    "apte": _spec(
+        "apte", 9, 77, 73, 141, (30, 33), 0.36, 6, 1200, 0.13,
+        default_wire_capacity=8,
+        site_variants=(280, 700, 3200),
+        grid_variants=((10, 11), (20, 22), (30, 33), (40, 44), (50, 55)),
+    ),
+    "xerox": _spec(
+        "xerox", 10, 171, 2, 390, (30, 30), 0.35, 5, 3000, 0.38,
+        default_wire_capacity=17,
+        site_variants=(600, 1300, 3000),
+    ),
+    "hp": _spec(
+        "hp", 11, 68, 45, 187, (30, 30), 0.42, 6, 2350, 0.25,
+        default_wire_capacity=4,
+        site_variants=(300, 600, 2350),
+    ),
+    "ami33": _spec(
+        "ami33", 33, 112, 43, 324, (33, 30), 0.46, 5, 2750, 0.24,
+        default_wire_capacity=7,
+        site_variants=(500, 850, 2750),
+    ),
+    "ami49": _spec(
+        "ami49", 49, 368, 22, 493, (30, 30), 0.67, 5, 11450, 0.75,
+        default_wire_capacity=11,
+        site_variants=(850, 1650, 11450),
+        grid_variants=((10, 10), (20, 20), (30, 30), (40, 40), (50, 50)),
+    ),
+    "playout": _spec(
+        "playout", 62, 1294, 192, 1663, (33, 30), 0.75, 6, 27550, 1.47,
+        default_wire_capacity=58,
+        site_variants=(3250, 6250, 27550),
+        grid_variants=((11, 10), (22, 20), (33, 30), (44, 40), (55, 50)),
+    ),
+    "ac3": _spec(
+        "ac3", 27, 200, 75, 409, (30, 30), 0.49, 6, 3550, 0.32,
+        is_random=True, default_wire_capacity=12,
+    ),
+    "xc5": _spec(
+        "xc5", 50, 975, 2, 2149, (30, 30), 0.54, 6, 13550, 1.11,
+        is_random=True, default_wire_capacity=48,
+    ),
+    "hc7": _spec(
+        "hc7", 77, 430, 51, 1318, (30, 30), 1.04, 5, 7780, 0.33,
+        is_random=True, default_wire_capacity=23,
+    ),
+    "a9c3": _spec(
+        "a9c3", 147, 1148, 22, 1526, (30, 30), 1.08, 5, 12780, 0.52,
+        is_random=True, default_wire_capacity=32,
+    ),
+}

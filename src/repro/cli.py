@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run <circuit>`` — run RABID on one benchmark, print the stage table
+  and (optionally) ASCII maps.
+* ``table1`` — print the realized Table I.
+* ``table2|table3|table4 <circuit>`` — regenerate one circuit's rows.
+* ``table5 <circuit>`` — RABID-vs-BBP comparison rows.
+* ``list`` — list available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import buffer_usage_map, wire_congestion_map
+from repro.benchmarks import BENCHMARK_SPECS, load_benchmark
+from repro.core import RabidConfig, RabidPlanner
+from repro.experiments import (
+    ExperimentConfig,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    run_table1,
+    run_table2_circuit,
+    run_table3_circuit,
+    run_table4_circuit,
+    run_table5_circuit,
+)
+from repro.experiments.formatting import render_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RABID buffer/wire resource allocation (DAC 2001 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="benchmark seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run RABID on one benchmark")
+    run.add_argument("circuit", choices=sorted(BENCHMARK_SPECS))
+    run.add_argument("--maps", action="store_true", help="print ASCII maps")
+    run.add_argument(
+        "--diagnose", action="store_true",
+        help="classify why any failing nets miss the length rule",
+    )
+    run.add_argument("--stage4-iterations", type=int, default=2)
+
+    sub.add_parser("table1", help="print Table I")
+    for name in ("table2", "table3", "table4", "table5"):
+        p = sub.add_parser(name, help=f"regenerate {name} for one circuit")
+        p.add_argument("circuit", choices=sorted(BENCHMARK_SPECS))
+
+    sub.add_parser("list", help="list benchmarks")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    bench = load_benchmark(args.circuit, seed=args.seed)
+    config = RabidConfig(
+        length_limit=bench.spec.length_limit,
+        window_margin=10,
+        stage4_iterations=args.stage4_iterations,
+    )
+    planner = RabidPlanner(bench.graph, bench.netlist, config)
+    result = planner.run()
+    headers = [
+        "stage", "wire max", "wire avg", "overflows", "buf max", "buf avg",
+        "#bufs", "#fails", "wirelength", "delay max", "delay avg", "CPU(s)",
+    ]
+    print(render_table(headers, [m.as_row() for m in result.stage_metrics]))
+    if args.maps:
+        print("\nwire congestion (per-tile worst edge):")
+        print(wire_congestion_map(bench.graph))
+        print("\nbuffer usage (X = no sites):")
+        print(buffer_usage_map(bench.graph))
+    if args.diagnose and result.failed_nets:
+        from repro.analysis import diagnose_failures, failure_summary
+
+        diags = diagnose_failures(
+            result.routes,
+            result.failed_nets,
+            bench.graph,
+            {n: config.limit_for(n) for n in result.routes},
+            blocked=bench.blocked_tiles,
+        )
+        print("\nfailure diagnosis:")
+        for d in diags:
+            print(
+                f"  {d.net_name}: {d.cause.value} "
+                f"({d.violations} gate(s) over-driven, "
+                f"{d.tiles_in_blocked_region} tiles in the blocked region)"
+            )
+        print("  summary:", failure_summary(diags))
+    return 0
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    experiment = ExperimentConfig(seed=args.seed)
+    if args.command == "list":
+        for name, spec in sorted(BENCHMARK_SPECS.items()):
+            kind = "random" if spec.is_random else "CBL"
+            print(f"{name:8s} {kind:6s} {spec.nets:5d} nets {spec.sinks:5d} sinks")
+        return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table1":
+        print(format_table1(run_table1(seed=args.seed)))
+        return 0
+    if args.command == "table2":
+        print(format_table2(run_table2_circuit(args.circuit, experiment)))
+        return 0
+    if args.command == "table3":
+        print(format_table3(run_table3_circuit(args.circuit, experiment)))
+        return 0
+    if args.command == "table4":
+        print(format_table4(run_table4_circuit(args.circuit, experiment)))
+        return 0
+    if args.command == "table5":
+        print(format_table5(run_table5_circuit(args.circuit, experiment)))
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

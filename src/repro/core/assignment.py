@@ -1,0 +1,116 @@
+"""Stage 3: buffer assignment over all nets (paper Section III-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.costs import buffer_site_cost
+from repro.core.fallback import greedy_buffering
+from repro.core.length_rule import net_meets_length_rule
+from repro.core.multi_sink import insert_buffers_multi_sink
+from repro.core.probability import UsageProbability
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import TileGraph
+
+
+def _oversubscribes(graph: TileGraph, specs) -> bool:
+    """True when applying ``specs`` would push some tile past ``B(v)``."""
+    per_tile: Dict = {}
+    for spec in specs:
+        per_tile[spec.tile] = per_tile.get(spec.tile, 0) + 1
+    return any(count > graph.free_sites(tile) for tile, count in per_tile.items())
+
+
+@dataclass
+class AssignmentResult:
+    """Summary of a Stage-3 run."""
+
+    buffers_inserted: int = 0
+    failed_nets: List[str] = field(default_factory=list)
+    dp_infeasible_nets: List[str] = field(default_factory=list)
+    total_cost: float = 0.0
+
+    @property
+    def num_fails(self) -> int:
+        return len(self.failed_nets)
+
+
+def assign_buffers_to_net(
+    graph: TileGraph,
+    tree: RouteTree,
+    length_limit: int,
+    probability: "UsageProbability | None" = None,
+) -> "tuple[bool, bool, float]":
+    """Buffer one net: DP first, greedy fallback when infeasible.
+
+    Applies the chosen buffers to the tree annotations and the graph's
+    ``b(v)`` counters.
+
+    Returns:
+        ``(meets_rule, dp_was_feasible, cost)``.
+    """
+    def q_of(tile):
+        p = probability.value(tile) if probability is not None else 0.0
+        return buffer_site_cost(graph, tile, p)
+
+    result = insert_buffers_multi_sink(tree, q_of, length_limit)
+    if result.feasible and not _oversubscribes(graph, result.buffers):
+        specs = result.buffers
+        cost = result.cost
+    else:
+        # Either no length-legal solution exists, or the optimal one stacks
+        # more buffers into a tile than it has free sites (the DP prices
+        # each buffer at the same pre-net q(v)); the greedy fallback always
+        # respects free-site counts.
+        specs = greedy_buffering(tree, graph, length_limit)
+        cost = float("inf")
+    tree.apply_buffers(specs)
+    for spec in specs:
+        graph.use_site(spec.tile, 1)
+    return net_meets_length_rule(tree, length_limit), result.feasible, cost
+
+
+def assign_buffers_stage3(
+    graph: TileGraph,
+    routes: Dict[str, RouteTree],
+    length_limits: Dict[str, int],
+    order: Sequence[str],
+    use_probability: bool = True,
+) -> AssignmentResult:
+    """Assign buffer sites to every net, highest-delay nets first.
+
+    Args:
+        graph: tile graph with wire usage already recorded (Stage 2 done)
+            and ``b(v)`` counters at their pre-Stage-3 state.
+        routes: net name -> route tree (annotations are overwritten).
+        length_limits: per-net ``L_i``.
+        order: processing order (paper: descending delay).
+        use_probability: include the ``p(v)`` term of Eq. (2).
+
+    Returns:
+        An :class:`AssignmentResult`; the trees and graph are updated in
+        place.
+    """
+    probability = None
+    if use_probability:
+        probability = UsageProbability(graph)
+        for name in order:
+            probability.add_net(routes[name], length_limits[name])
+
+    out = AssignmentResult()
+    for name in order:
+        tree = routes[name]
+        if probability is not None:
+            probability.remove_net(tree)
+        meets, dp_ok, cost = assign_buffers_to_net(
+            graph, tree, length_limits[name], probability
+        )
+        out.buffers_inserted += tree.buffer_count()
+        if cost != float("inf"):
+            out.total_cost += cost
+        if not dp_ok:
+            out.dp_infeasible_nets.append(name)
+        if not meets:
+            out.failed_nets.append(name)
+    return out

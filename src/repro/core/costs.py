@@ -1,0 +1,42 @@
+"""Buffer-site usage cost — the paper's Eq. (2).
+
+    q(v) = (b(v) + p(v) + 1) / (B(v) - b(v))   when b(v)/B(v) < 1
+           infinity                            otherwise
+
+Analogous to the wire cost of Eq. (1): the penalty grows sharply as a
+tile's sites fill, and the probability term reserves capacity for the
+still-unprocessed nets expected to pass through the tile.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.tilegraph.graph import Tile, TileGraph
+
+
+def buffer_site_cost(graph: TileGraph, tile: Tile, probability: float = 0.0) -> float:
+    """Eq. (2) cost of taking one buffer site in ``tile``.
+
+    Args:
+        graph: tile graph carrying ``B(v)`` and ``b(v)``.
+        tile: the tile in question.
+        probability: ``p(v)``, expected future demand from unprocessed nets.
+
+    Returns:
+        Finite cost while sites remain, else ``inf`` (including ``B(v)=0``).
+    """
+    sites = graph.site_count(tile)
+    used = graph.used_site_count(tile)
+    if sites <= 0 or used >= sites:
+        return float("inf")
+    return (used + probability + 1.0) / (sites - used)
+
+
+def make_cost_fn(
+    graph: TileGraph, probability_of: "Callable[[Tile], float] | None" = None
+) -> Callable[[Tile], float]:
+    """A ``q(v)`` closure over the graph and a probability source."""
+    if probability_of is None:
+        return lambda tile: buffer_site_cost(graph, tile, 0.0)
+    return lambda tile: buffer_site_cost(graph, tile, probability_of(tile))

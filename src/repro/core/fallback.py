@@ -1,0 +1,74 @@
+"""Greedy best-effort buffering for DP-infeasible nets.
+
+A net can defeat the optimal DP when its route crosses stretches with no
+free buffer sites longer than ``L_i`` (the experiments plant a 9x9 region
+with zero sites precisely to cause this). The planner still wants a
+sensible buffering for such nets; this greedy pass walks the tree bottom-up
+and buffers as soon as the accumulated downstream length reaches the
+budget, wherever sites exist, leaving genuine violations in place to be
+counted as failures.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.routing.tree import BufferSpec, RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+
+
+def greedy_buffering(
+    tree: RouteTree,
+    graph: TileGraph,
+    length_limit: int,
+) -> List[BufferSpec]:
+    """Best-effort buffer placement respecting site availability.
+
+    Bottom-up: when a node's combined downstream unbuffered length reaches
+    ``length_limit`` (so its parent would over-drive), branches are
+    decoupled largest-first with buffers at the node while free sites
+    remain; each such buffer drives at most ``length_limit`` units when the
+    subtree below was itself legal. Branches that are over-long on their
+    own, or nodes in site-starved areas, are left violating;
+    :func:`repro.core.length_rule.length_violations` counts them.
+
+    Returns:
+        Buffer specs that never oversubscribe any tile's free sites.
+    """
+    planned: Counter = Counter()
+    specs: List[BufferSpec] = []
+    below: Dict[Tile, int] = {}
+
+    def site_free(tile: Tile) -> bool:
+        return graph.free_sites(tile) - planned[tile] > 0
+
+    for node in tree.postorder():
+        branches = sorted(
+            ((1 + below[child.tile], child.tile) for child in node.children),
+            reverse=True,
+        )
+        total = sum(length for length, _ in branches)
+        if node is not tree.root:
+            # Decouple until the parent edge can be added without the next
+            # gate up over-driving. The root's driver adds no parent edge,
+            # so it only needs total <= L.
+            for length, child_tile in branches:
+                if total < length_limit:
+                    break
+                if not site_free(node.tile):
+                    break
+                planned[node.tile] += 1
+                specs.append(BufferSpec(node.tile, child_tile))
+                total -= length
+        elif total > length_limit:
+            for length, child_tile in branches:
+                if total <= length_limit:
+                    break
+                if not site_free(node.tile):
+                    break
+                planned[node.tile] += 1
+                specs.append(BufferSpec(node.tile, child_tile))
+                total -= length
+        below[node.tile] = total
+    return specs

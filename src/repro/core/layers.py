@@ -1,0 +1,106 @@
+"""Layer-aware length limits (paper Section II, footnote 4).
+
+"If some nets can be routed on higher metal layers while others cannot,
+different nets can have different L_i values depending on their layer."
+This module assigns global nets to routing layers and derives the per-net
+``length_limits`` dict that :class:`RabidConfig` consumes:
+
+* a :class:`LayerSpec` gives each layer a length limit (thick top metal
+  has lower RC per mm, hence a larger L) and a capacity share;
+* :func:`assign_layers` hands the longest nets the thickest layers until
+  each layer's share of nets is exhausted — the usual promotion policy
+  for timing-critical global wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One routing layer-pair available to global nets.
+
+    Attributes:
+        name: e.g. ``"M7M8"``.
+        length_limit: the L (tile units) a gate may drive on this layer.
+        share: fraction of the net count this layer can absorb.
+    """
+
+    name: str
+    length_limit: int
+    share: float
+
+    def __post_init__(self) -> None:
+        if self.length_limit < 1:
+            raise ConfigurationError(f"layer {self.name}: L must be >= 1")
+        if not 0 < self.share <= 1:
+            raise ConfigurationError(f"layer {self.name}: share must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class LayerAssignment:
+    """The result: per-net layer names and length limits."""
+
+    layer_of: Dict[str, str]
+    length_limits: Dict[str, int]
+
+    def nets_on(self, layer_name: str) -> List[str]:
+        return sorted(n for n, l in self.layer_of.items() if l == layer_name)
+
+
+def default_layer_stack(base_limit: int) -> List[LayerSpec]:
+    """A typical three-tier stack around a base (thin-metal) limit.
+
+    Thick top metal roughly halves wire RC, doubling the drivable length;
+    a semi-thick middle tier sits between.
+    """
+    return [
+        LayerSpec("THICK", length_limit=base_limit * 2, share=0.10),
+        LayerSpec("SEMI", length_limit=max(1, int(base_limit * 1.5)), share=0.20),
+        LayerSpec("THIN", length_limit=base_limit, share=1.0),
+    ]
+
+
+def assign_layers(
+    netlist: Netlist,
+    layers: Sequence[LayerSpec],
+) -> LayerAssignment:
+    """Longest-nets-first promotion onto the layer stack.
+
+    Layers are consumed in the given order (thickest first by
+    convention); each takes up to ``share * len(netlist)`` nets. The last
+    layer must be able to absorb the remainder (share 1.0 is typical).
+
+    Raises:
+        ConfigurationError: when the stack is empty or cannot absorb all
+            nets.
+    """
+    if not layers:
+        raise ConfigurationError("empty layer stack")
+    order = sorted(
+        netlist,
+        key=lambda n: (-n.half_perimeter_wirelength(), n.name),
+    )
+    total = len(order)
+    layer_of: Dict[str, str] = {}
+    limits: Dict[str, int] = {}
+    cursor = 0
+    for layer in layers:
+        quota = total if layer.share >= 1.0 else int(layer.share * total)
+        for net in order[cursor : min(cursor + quota, total)]:
+            layer_of[net.name] = layer.name
+            limits[net.name] = layer.length_limit
+        cursor = min(cursor + quota, total)
+        if cursor >= total:
+            break
+    if cursor < total:
+        raise ConfigurationError(
+            f"layer stack absorbs only {cursor} of {total} nets; "
+            "give the last layer share=1.0"
+        )
+    return LayerAssignment(layer_of=layer_of, length_limits=limits)

@@ -1,0 +1,83 @@
+"""Driven-length accounting for the length-based buffering rule.
+
+The paper (Fig. 3) requires the *total* downstream interconnect driven by
+any gate — the net's driver or any inserted buffer — to be at most ``L_i``
+tile units. Summing over all branches (not just the longest path) prevents
+the 7-sink star of Fig. 3 from passing with 11 driven units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile
+
+
+@dataclass(frozen=True)
+class GateLoad:
+    """One gate and the tile-length of wire it drives.
+
+    ``gate_tile`` is where the gate sits; ``drives_child`` distinguishes a
+    decoupling buffer (branch scope) from the driver / a trunk buffer
+    (``None`` scope).
+    """
+
+    gate_tile: Tile
+    drives_child: Optional[Tile]
+    driven_length: int
+    is_driver: bool = False
+
+
+def _unbuffered_below(tree: RouteTree) -> Dict[Tile, int]:
+    """Unbuffered downstream tile-length looking into each node."""
+    below: Dict[Tile, int] = {}
+    for node in tree.postorder():
+        if node.trunk_buffer:
+            below[node.tile] = 0
+            continue
+        total = 0
+        for child in node.children:
+            if child.tile in node.decoupled_children:
+                continue
+            total += 1 + below[child.tile]
+        below[node.tile] = total
+    return below
+
+
+def driven_lengths(tree: RouteTree) -> List[GateLoad]:
+    """The wire load of every gate on the net (driver first)."""
+    below = _unbuffered_below(tree)
+    out: List[GateLoad] = []
+
+    def contents_length(node) -> int:
+        total = 0
+        for child in node.children:
+            if child.tile in node.decoupled_children:
+                continue
+            total += 1 + below[child.tile]
+        return total
+
+    root = tree.root
+    if root.trunk_buffer:
+        out.append(GateLoad(root.tile, None, 0, is_driver=True))
+    else:
+        out.append(GateLoad(root.tile, None, contents_length(root), is_driver=True))
+
+    for node in tree.preorder():
+        if node.trunk_buffer:
+            out.append(GateLoad(node.tile, None, contents_length(node)))
+        for child in sorted(node.decoupled_children):
+            out.append(GateLoad(node.tile, child, 1 + below[child]))
+    return out
+
+
+def length_violations(tree: RouteTree, length_limit: int) -> int:
+    """Number of gates driving more than ``length_limit`` tile units."""
+    return sum(1 for g in driven_lengths(tree) if g.driven_length > length_limit)
+
+
+def net_meets_length_rule(tree: RouteTree, length_limit: int) -> bool:
+    """True when no gate of the net over-drives (the paper's per-net pass/fail)."""
+    return length_violations(tree, length_limit) == 0

@@ -1,0 +1,238 @@
+"""Multi-sink buffer insertion DP — the paper's Fig. 9 algorithm.
+
+Bottom-up over the route tree. Each node ``v`` keeps ``C_v[0..L-1]`` where
+index ``j`` bounds the total unbuffered downstream wirelength below ``v``
+(summed over branches, per the Fig. 3 interpretation). Per child ``w``:
+
+* AdvanceTile: ``K_w[j] = C_w[j-1]`` — the edge ``v -> w`` adds one unit;
+* BufferTile:  ``K_w[0] = q(v) + min_j C_w[j]`` — a decoupling buffer at
+  ``v`` drives ``1 + j <= L`` units of the branch.
+
+JoinChildren convolves the ``K`` arrays (index = summed unbuffered length;
+kept up to ``L`` for the benefit of the next case). BufferMultiChildren
+allows a trunk buffer at ``v`` driving all branches:
+``C_v[0] <- min(C_v[0], q(v) + min_{j<=L} joined[j])``.
+
+The root (driver tile) additionally admits a total driven length of exactly
+``L`` (the driver sits in the tile, so no edge is added above it).
+
+Complexity ``O(m L^2 + n L)`` for ``m`` sinks and ``n`` tiles, as analyzed
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.routing.tree import BufferSpec, RouteNode, RouteTree
+from repro.tilegraph.graph import Tile
+
+INF = float("inf")
+
+
+@dataclass
+class DPResult:
+    """Outcome of the multi-sink DP."""
+
+    cost: float
+    buffers: List[BufferSpec]
+    feasible: bool
+
+
+class _NodeTable:
+    """Cost arrays and traceback pointers for one tree node."""
+
+    __slots__ = ("c", "c_choice", "k", "k_choice", "splits", "joined_ext", "children")
+
+    def __init__(self) -> None:
+        self.c: List[float] = []
+        # c_choice[j]: ("join", idx) or ("trunk", joined_idx) or ("k", idx)
+        self.c_choice: List[Optional[Tuple[str, int]]] = []
+        self.k: List[List[float]] = []
+        # k_choice[i][j]: for j>=1 always advance (child index j-1);
+        # for j==0 the argmin child index used under the decoupling buffer.
+        self.k_choice: List[List[int]] = []
+        # splits[i][j] = (a, b): joined_i[j] = joined_{i-1}[a] + K_i[b]
+        self.splits: List[List[Optional[Tuple[int, int]]]] = []
+        self.joined_ext: List[float] = []
+        self.children: List[RouteNode] = []
+
+
+def _build_k(
+    child_c: List[float], q_v: float, L: int
+) -> Tuple[List[float], List[int]]:
+    """Per-child intermediate array, indexed 0..L (length L+1).
+
+    Index ``j`` = unbuffered length of this branch measured at ``v``
+    (including the v->w edge). Index ``L`` is kept because a run of
+    exactly ``L`` is consumable by a trunk buffer at ``v`` itself or by
+    the driver when ``v`` is the root; parents cannot use it (the next
+    edge would make it ``L+1``), so ``C_v`` stores only 0..L-1.
+    """
+    k = [INF] * (L + 1)
+    k_choice = [-1] * (L + 1)
+    for j in range(1, L + 1):
+        k[j] = child_c[j - 1]
+    best = min(range(L), key=lambda jj: child_c[jj])
+    if q_v != INF and child_c[best] != INF:
+        k[0] = q_v + child_c[best]
+        k_choice[0] = best
+    return k, k_choice
+
+
+def _join(
+    acc: List[float], k: List[float], L: int
+) -> Tuple[List[float], List[Optional[Tuple[int, int]]]]:
+    """Convolve two arrays; result indexed 0..L (length L+1)."""
+    out = [INF] * (L + 1)
+    splits: List[Optional[Tuple[int, int]]] = [None] * (L + 1)
+    for a, ca in enumerate(acc):
+        if ca == INF:
+            continue
+        for b, cb in enumerate(k):
+            if cb == INF:
+                continue
+            j = a + b
+            if j > L:
+                continue
+            total = ca + cb
+            if total < out[j]:
+                out[j] = total
+                splits[j] = (a, b)
+    return out, splits
+
+
+def insert_buffers_multi_sink(
+    tree: RouteTree,
+    cost_of: Callable[[Tile], float],
+    length_limit: int,
+) -> DPResult:
+    """Optimal length-legal buffering of a multi-sink route tree.
+
+    Args:
+        tree: the net's route; existing buffer annotations are ignored.
+        cost_of: the ``q(v)`` site cost per tile.
+        length_limit: ``L_i`` in tile units (>= 1).
+
+    Returns:
+        :class:`DPResult`; when infeasible the buffer list is empty.
+    """
+    if length_limit < 1:
+        raise ConfigurationError("length limit must be >= 1")
+    L = length_limit
+    if len(tree.nodes) == 1:
+        return DPResult(0.0, [], True)
+
+    tables: Dict[Tile, _NodeTable] = {}
+
+    for node in tree.postorder():
+        table = _NodeTable()
+        tables[node.tile] = table
+        table.children = list(node.children)
+        if not node.children:
+            table.c = [0.0] * L
+            table.c_choice = [None] * L
+            continue
+        q_v = cost_of(node.tile)
+        for child in node.children:
+            k, k_choice = _build_k(tables[child.tile].c, q_v, L)
+            table.k.append(k)
+            table.k_choice.append(k_choice)
+
+        if len(node.children) == 1:
+            k0 = table.k[0]
+            table.c = list(k0[:L])
+            table.c_choice = [("k", j) for j in range(L)]
+            table.joined_ext = list(k0)
+            table.splits = []
+        else:
+            joined = list(table.k[0])
+            all_splits: List[List[Optional[Tuple[int, int]]]] = []
+            for i in range(1, len(table.k)):
+                joined, splits = _join(joined, table.k[i], L)
+                all_splits.append(splits)
+            table.splits = all_splits
+            table.joined_ext = joined
+            table.c = list(joined[:L])
+            table.c_choice = [("join", j) for j in range(L)]
+            best_ext = min(range(L + 1), key=lambda jj: joined[jj])
+            if q_v != INF and joined[best_ext] != INF:
+                trunk_cost = q_v + joined[best_ext]
+                if trunk_cost < table.c[0]:
+                    table.c[0] = trunk_cost
+                    table.c_choice[0] = ("trunk", best_ext)
+
+    root_table = tables[tree.root.tile]
+    best_cost = INF
+    best_entry: Optional[Tuple[str, int]] = None
+    for j in range(L):
+        if root_table.c[j] < best_cost:
+            best_cost = root_table.c[j]
+            best_entry = ("C", j)
+    if root_table.joined_ext and root_table.joined_ext[L] < best_cost:
+        best_cost = root_table.joined_ext[L]
+        best_entry = ("ext", L)
+    if best_entry is None or best_cost == INF:
+        return DPResult(INF, [], False)
+
+    buffers: List[BufferSpec] = []
+    _traceback(tree.root, tables, best_entry, L, buffers)
+    buffers.sort(key=lambda s: (s.tile, s.drives_child or (-1, -1)))
+    return DPResult(best_cost, buffers, True)
+
+
+def _traceback(
+    root: RouteNode,
+    tables: Dict[Tile, _NodeTable],
+    entry: Tuple[str, int],
+    L: int,
+    out: List[BufferSpec],
+) -> None:
+    """Recover buffer placements from the DP tables (iterative)."""
+    # Work items: ("C", node, j) resolve C_node[j];
+    #             ("ext", node, j) resolve joined_ext[j] (root only);
+    #             ("K", node, child_pos, j) resolve K array entry.
+    kind, idx = entry
+    stack: List[Tuple[str, RouteNode, int, int]] = [(kind, root, 0, idx)]
+    while stack:
+        what, node, child_pos, j = stack.pop()
+        table = tables[node.tile]
+        if what == "C":
+            if not table.children:
+                continue
+            choice = table.c_choice[j]
+            assert choice is not None, "traceback hit an unexplained C entry"
+            tag, ref = choice
+            if tag == "k":
+                stack.append(("K", node, 0, ref))
+            elif tag == "join":
+                stack.append(("J", node, 0, ref))
+            else:  # trunk buffer at this node
+                out.append(BufferSpec(node.tile, None))
+                stack.append(("J", node, 0, ref))
+        elif what == "ext":
+            stack.append(("J", node, 0, j))
+        elif what == "J":
+            if len(table.children) == 1:
+                stack.append(("K", node, 0, j))
+                continue
+            # Unravel pairwise joins from the last child backwards.
+            e = j
+            for i in range(len(table.children) - 1, 0, -1):
+                split = table.splits[i - 1][e]
+                assert split is not None, "traceback hit an unexplained join entry"
+                a, b = split
+                stack.append(("K", node, i, b))
+                e = a
+            stack.append(("K", node, 0, e))
+        else:  # "K"
+            child = table.children[child_pos]
+            if j == 0:
+                best = table.k_choice[child_pos][0]
+                assert best >= 0, "traceback hit an unexplained K[0] entry"
+                out.append(BufferSpec(node.tile, child.tile))
+                stack.append(("C", child, 0, best))
+            else:
+                stack.append(("C", child, 0, j - 1))

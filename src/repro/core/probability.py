@@ -1,0 +1,52 @@
+"""The usage-probability field ``p(v)`` (paper Section III-C).
+
+For a net ``n_i`` passing through tile ``v``, the probability of a buffer
+from ``v`` landing on ``n_i`` is modeled as ``1 / L_i``. ``p(v)`` sums this
+over all *unprocessed* nets; Stage 3 removes each net's own contribution
+just before optimizing it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+
+
+class UsageProbability:
+    """Tracks ``p(v)`` over the tile grid as nets are processed."""
+
+    def __init__(self, graph: TileGraph):
+        self._field = np.zeros((graph.nx, graph.ny), dtype=np.float64)
+        self._contributions: Dict[str, float] = {}
+
+    def add_net(self, tree: RouteTree, length_limit: int) -> None:
+        """Register an unprocessed net's expected demand."""
+        if length_limit <= 0:
+            raise ConfigurationError("length limit must be positive")
+        if tree.net_name in self._contributions:
+            raise ConfigurationError(f"net {tree.net_name!r} already registered")
+        weight = 1.0 / length_limit
+        for tile in tree.nodes:
+            self._field[tile] += weight
+        self._contributions[tree.net_name] = weight
+
+    def remove_net(self, tree: RouteTree) -> None:
+        """Drop a net's contribution (called when Stage 3 reaches it)."""
+        weight = self._contributions.pop(tree.net_name, None)
+        if weight is None:
+            return
+        for tile in tree.nodes:
+            self._field[tile] = max(0.0, self._field[tile] - weight)
+
+    def value(self, tile: Tile) -> float:
+        """Current ``p(v)``."""
+        return float(self._field[tile])
+
+    @property
+    def pending_nets(self) -> int:
+        return len(self._contributions)

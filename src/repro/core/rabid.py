@@ -1,0 +1,291 @@
+"""The four-stage RABID planner (paper Section III).
+
+Usage::
+
+    planner = RabidPlanner(graph, netlist, RabidConfig(length_limit=5))
+    result = planner.run()
+    for metrics in result.stage_metrics:
+        print(metrics)
+
+Stages can also be run one at a time (``stage1()`` .. ``stage4()``) for
+inspection; ``run`` simply chains them and snapshots metrics in between.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.assignment import AssignmentResult, assign_buffers_stage3, assign_buffers_to_net
+from repro.core.costs import buffer_site_cost
+from repro.core.length_rule import net_meets_length_rule
+from repro.core.two_path import optimize_two_paths
+from repro.errors import ConfigurationError
+from repro.netlist import Net, Netlist
+from repro.routing.embed import embed_tree
+from repro.routing.prim_dijkstra import prim_dijkstra_tree
+from repro.routing.ripup import RipupOptions, reroute_order_by_delay, ripup_and_reroute
+from repro.routing.steiner import remove_overlaps
+from repro.routing.tree import RouteTree
+from repro.technology import TECH_180NM, Technology
+from repro.tilegraph.congestion import buffer_density_stats, wire_congestion_stats
+from repro.tilegraph.graph import TileGraph
+from repro.timing.elmore import delay_summary
+
+
+@dataclass
+class RabidConfig:
+    """Planner parameters.
+
+    Attributes:
+        length_limit: default ``L_i`` (tile units) for every net.
+        length_limits: optional per-net overrides (net name -> L).
+        pd_tradeoff: Prim-Dijkstra ``c`` for Stage 1 (paper: 0.4).
+        stage2_iterations: max full rip-up passes in Stage 2 (paper: 3).
+        stage4_iterations: full passes of Stage 4.
+        window_margin: maze-search window margin (tiles).
+        technology: electrical parameters for the delay model.
+        use_probability: include the ``p(v)`` term in Eq. (2).
+        router: Stage-1 routing engine: ``"pd"`` (Prim-Dijkstra + overlap
+            removal, the paper's default) or ``"mcf"`` (the approximate
+            multicommodity-flow router the paper cites as an alternative).
+        rescue_failing: after the Stage-4 iterations, attempt a whole-net
+            bufferable re-route for nets still violating the length rule
+            (an extension of Stage 4's goal; see repro.core.rescue).
+    """
+
+    length_limit: int = 5
+    length_limits: Dict[str, int] = field(default_factory=dict)
+    pd_tradeoff: float = 0.4
+    stage2_iterations: int = 3
+    stage4_iterations: int = 2
+    window_margin: int = 6
+    technology: Technology = TECH_180NM
+    use_probability: bool = True
+    router: str = "pd"
+    rescue_failing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.router not in ("pd", "mcf"):
+            raise ConfigurationError(f"unknown router {self.router!r}")
+
+    def limit_for(self, net_name: str) -> int:
+        return self.length_limits.get(net_name, self.length_limit)
+
+
+@dataclass(frozen=True)
+class StageMetrics:
+    """One row of the paper's Table II."""
+
+    stage: int
+    wire_congestion_max: float
+    wire_congestion_avg: float
+    overflows: int
+    buffer_density_max: float
+    buffer_density_avg: float
+    num_buffers: int
+    num_fails: int
+    wirelength_mm: float
+    max_delay_ps: float
+    avg_delay_ps: float
+    cpu_seconds: float
+
+    def as_row(self) -> List[str]:
+        """Formatted cells in the paper's column order."""
+        return [
+            str(self.stage),
+            f"{self.wire_congestion_max:.2f}",
+            f"{self.wire_congestion_avg:.2f}",
+            str(self.overflows),
+            f"{self.buffer_density_max:.2f}",
+            f"{self.buffer_density_avg:.2f}",
+            str(self.num_buffers),
+            str(self.num_fails),
+            f"{self.wirelength_mm:.0f}",
+            f"{self.max_delay_ps:.0f}",
+            f"{self.avg_delay_ps:.0f}",
+            f"{self.cpu_seconds:.1f}",
+        ]
+
+
+@dataclass
+class RabidResult:
+    """Full planner output."""
+
+    routes: Dict[str, RouteTree]
+    stage_metrics: List[StageMetrics]
+    failed_nets: List[str]
+    assignment: Optional[AssignmentResult] = None
+
+    @property
+    def final_metrics(self) -> StageMetrics:
+        if not self.stage_metrics:
+            raise ConfigurationError("planner has not run")
+        return self.stage_metrics[-1]
+
+
+class RabidPlanner:
+    """Resource Allocation for Buffer and Interconnect Distribution."""
+
+    def __init__(
+        self,
+        graph: TileGraph,
+        netlist: Netlist,
+        config: "RabidConfig | None" = None,
+    ) -> None:
+        if len(netlist) == 0:
+            raise ConfigurationError("netlist is empty")
+        self.graph = graph
+        self.netlist = netlist
+        self.config = config or RabidConfig()
+        self.routes: Dict[str, RouteTree] = {}
+        self.stage_metrics: List[StageMetrics] = []
+        self.failed_nets: List[str] = []
+        self.assignment: Optional[AssignmentResult] = None
+
+    # ------------------------------------------------------------------ #
+    # Stages                                                             #
+    # ------------------------------------------------------------------ #
+
+    def stage1(self) -> None:
+        """Initial routing: Prim-Dijkstra Steiner trees (default) or the
+        MCF alternative router."""
+        start = time.perf_counter()
+        if self.config.router == "mcf":
+            from repro.routing.mcf import mcf_initial_routes
+
+            self.routes = mcf_initial_routes(self.graph, self.netlist)
+        else:
+            for net in self.netlist:
+                self.routes[net.name] = self._initial_route(net)
+                self.routes[net.name].add_usage(self.graph)
+        self._snapshot(1, time.perf_counter() - start)
+
+    def stage2(self) -> None:
+        """Wire-congestion reduction by full rip-up and reroute."""
+        start = time.perf_counter()
+        delays = self._net_delays()
+        order = reroute_order_by_delay(delays, ascending=True)
+        options = RipupOptions(
+            max_iterations=self.config.stage2_iterations,
+            radius_weight=self.config.pd_tradeoff,
+            window_margin=self.config.window_margin,
+        )
+        ripup_and_reroute(self.graph, self.routes, order, options)
+        self._snapshot(2, time.perf_counter() - start)
+
+    def stage3(self) -> None:
+        """Buffer assignment, highest-delay nets first."""
+        start = time.perf_counter()
+        delays = self._net_delays()
+        order = reroute_order_by_delay(delays, ascending=False)
+        limits = {name: self.config.limit_for(name) for name in self.routes}
+        self.assignment = assign_buffers_stage3(
+            self.graph,
+            self.routes,
+            limits,
+            order,
+            use_probability=self.config.use_probability,
+        )
+        self.failed_nets = list(self.assignment.failed_nets)
+        self._snapshot(3, time.perf_counter() - start)
+
+    def stage4(self) -> None:
+        """Two-path rip-up/reroute with buffer reinsertion."""
+        start = time.perf_counter()
+        for _ in range(self.config.stage4_iterations):
+            delays = self._net_delays()
+            order = reroute_order_by_delay(delays, ascending=True)
+            failed: List[str] = []
+            for name in order:
+                tree = self.routes[name]
+                limit = self.config.limit_for(name)
+                # Rip out this net's buffers before rerouting its paths.
+                for node in tree.nodes.values():
+                    count = node.buffer_count()
+                    if count:
+                        self.graph.use_site(node.tile, -count)
+                q_of = lambda tile: buffer_site_cost(self.graph, tile)
+                optimize_two_paths(
+                    self.graph, tree, q_of, limit, self.config.window_margin
+                )
+                meets, _, _ = assign_buffers_to_net(self.graph, tree, limit, None)
+                if not meets:
+                    failed.append(name)
+            self.failed_nets = failed
+        if self.config.rescue_failing and self.failed_nets:
+            from repro.core.rescue import rescue_failing_nets
+
+            limits = {name: self.config.limit_for(name) for name in self.routes}
+            self.failed_nets = rescue_failing_nets(
+                self.graph,
+                self.routes,
+                self.failed_nets,
+                limits,
+                lambda tile: buffer_site_cost(self.graph, tile),
+                window_margin=self.config.window_margin,
+            )
+        self._snapshot(4, time.perf_counter() - start)
+
+    def run(self) -> RabidResult:
+        """Execute all four stages and return the collected result."""
+        self.stage1()
+        self.stage2()
+        self.stage3()
+        self.stage4()
+        return RabidResult(
+            routes=self.routes,
+            stage_metrics=self.stage_metrics,
+            failed_nets=self.failed_nets,
+            assignment=self.assignment,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _initial_route(self, net: Net) -> RouteTree:
+        pins = [p.location for p in net.pins]
+        tree = prim_dijkstra_tree(pins, c=self.config.pd_tradeoff, source_index=0)
+        remove_overlaps(tree)
+        return embed_tree(self.graph, tree, net.sink_locations(), net_name=net.name)
+
+    def _net_delays(self) -> Dict[str, float]:
+        _, _, reports = delay_summary(
+            self.routes, self.graph, self.config.technology
+        )
+        return {name: report.max_delay for name, report in reports.items()}
+
+    def _count_fails(self) -> int:
+        fails = 0
+        for name, tree in self.routes.items():
+            if not net_meets_length_rule(tree, self.config.limit_for(name)):
+                fails += 1
+        return fails
+
+    def _snapshot(self, stage: int, cpu_seconds: float) -> None:
+        wire = wire_congestion_stats(self.graph)
+        buffers = buffer_density_stats(self.graph)
+        max_delay, avg_delay, _ = delay_summary(
+            self.routes, self.graph, self.config.technology
+        )
+        wirelength = sum(
+            tree.wirelength_mm(self.graph) for tree in self.routes.values()
+        )
+        self.stage_metrics.append(
+            StageMetrics(
+                stage=stage,
+                wire_congestion_max=wire.maximum,
+                wire_congestion_avg=wire.average,
+                overflows=wire.overflow,
+                buffer_density_max=buffers.maximum,
+                buffer_density_avg=buffers.average,
+                num_buffers=self.graph.total_used_sites,
+                num_fails=self._count_fails(),
+                wirelength_mm=wirelength,
+                max_delay_ps=max_delay * 1e12,
+                avg_delay_ps=avg_delay * 1e12,
+                cpu_seconds=cpu_seconds,
+            )
+        )

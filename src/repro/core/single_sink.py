@@ -1,0 +1,90 @@
+"""Single-sink buffer insertion DP — the paper's Fig. 6 algorithm.
+
+For a two-pin net routed as a tile path ``s = v0, v1, ..., vk = t``, each
+node keeps a cost array ``C_v`` indexed ``0 .. L-1`` by the distance
+downstream to the last inserted buffer. Initialization sets the sink's
+whole array to zero (exactly as the paper does; entries at indices larger
+than the true downstream length are conservative and can never admit a
+solution that over-drives a gate). The recurrence:
+
+    C_par(v)[j] = C_v[j - 1]                      (advance one tile)
+    C_par(v)[0] = q(par(v)) + min_j C_v[j]        (buffer at par(v))
+
+and the answer is ``min_j C_v1[j]`` at the node adjacent to the source,
+so the driver drives ``1 + j <= L`` tile units. Optimal in ``O(n L)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.routing.tree import BufferSpec
+from repro.tilegraph.graph import Tile
+
+INF = float("inf")
+
+
+def insert_buffers_single_sink(
+    path: Sequence[Tile],
+    cost_of: Callable[[Tile], float],
+    length_limit: int,
+) -> Tuple[float, List[BufferSpec], bool]:
+    """Optimal length-legal buffering of a source-to-sink tile path.
+
+    Args:
+        path: tiles from source (index 0) to sink (last); consecutive tiles
+            must be the route's order (adjacency is not re-checked here).
+        cost_of: the ``q(v)`` cost of using one buffer site in a tile.
+        length_limit: ``L_i`` in tile units (>= 1).
+
+    Returns:
+        ``(cost, buffers, feasible)``. When infeasible, cost is ``inf`` and
+        the buffer list is empty. Buffers are trunk buffers (each drives
+        the remainder of the path).
+    """
+    if length_limit < 1:
+        raise ConfigurationError("length limit must be >= 1")
+    k = len(path) - 1
+    if k <= 0:
+        return 0.0, [], True
+    L = length_limit
+
+    # cost[i][j] for node v_i; choices[i][j] = j' of C_{v_{i+1}} that
+    # produced it via a buffer at v_i (only meaningful at j == 0), or -1
+    # for a plain advance.
+    cost_rows: List[List[float]] = [[INF] * L for _ in range(k + 1)]
+    choice_rows: List[List[int]] = [[-1] * L for _ in range(k + 1)]
+    cost_rows[k] = [0.0] * L
+
+    for i in range(k - 1, 0, -1):
+        below = cost_rows[i + 1]
+        row = cost_rows[i]
+        for j in range(1, L):
+            row[j] = below[j - 1]
+        q = cost_of(path[i])
+        best_j = min(range(L), key=lambda jj: below[jj])
+        if q != INF and below[best_j] != INF:
+            row[0] = q + below[best_j]
+            choice_rows[i][0] = best_j
+        # A cheaper advance into index 0 cannot exist (index 0 always means
+        # "buffer here"); nothing else to consider.
+
+    if k == 1:
+        # Source adjacent to sink: driver drives one tile unit.
+        return 0.0, [], L >= 1
+
+    first = cost_rows[1]
+    best = min(range(L), key=lambda jj: first[jj])
+    if first[best] == INF:
+        return INF, [], False
+
+    buffers: List[BufferSpec] = []
+    j = best
+    for i in range(1, k):
+        if j == 0:
+            buffers.append(BufferSpec(path[i], None))
+            j = choice_rows[i][0]
+        else:
+            j -= 1
+    return first[best], buffers, True

@@ -1,0 +1,250 @@
+"""Stage 4: two-path rip-up and reroute (paper Section III-D).
+
+Each net is taken apart one *two-path* at a time (a maximal tree path whose
+interior is degree-2 and contains no sink/Steiner node). The two endpoints
+are reconnected by the minimum-cost path under the combined wire (Eq. 1)
+and buffer (Eq. 2) congestion costs, found by a wavefront expansion over
+labels ``(tile, distance since the last buffer)`` — the buffer-aware maze
+labels of Hur/Lillis and Zhou et al. that the paper cites. Afterwards the
+caller rips out and reinserts the whole net's buffers via the Stage-3 DP.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.routing.maze import congestion_cost, soft_congestion_cost
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+
+INF = float("inf")
+
+
+def best_buffered_path(
+    graph: TileGraph,
+    start: Tile,
+    goal: "Tile | Set[Tile]",
+    q_of: Callable[[Tile], float],
+    length_limit: int,
+    forbidden: Set[Tile],
+    window: Tuple[int, int, int, int],
+    wire_cost: Callable[[TileGraph, Tile, Tile], float] = congestion_cost,
+) -> Optional[List[Tile]]:
+    """Min-cost start-to-goal path under wire + buffer congestion costs.
+
+    States are ``(tile, j)`` with ``j`` the tile distance since the last
+    buffer (the start counts as buffered, ``j = 0``). Moving to a neighbor
+    costs Eq. (1) and increments ``j``; taking a buffer site costs Eq. (2)
+    and resets ``j``. Paths whose ``j`` would reach ``length_limit`` must
+    buffer first, so any returned path can be legally buffered.
+
+    ``goal`` may be a single tile or a set of tiles (the path ends at the
+    cheapest reachable member — used by the Stage-4 rescue pass to attach
+    a sink to an existing tree).
+
+    Returns the tile path (start first) or ``None`` when no legal path
+    exists within the window.
+    """
+    L = length_limit
+    goals: Set[Tile] = {goal} if isinstance(goal, tuple) else set(goal)
+    if start in goals:
+        return [start]
+    x0, y0, x1, y1 = window
+    dist: Dict[Tuple[Tile, int], float] = {(start, 0): 0.0}
+    pred: Dict[Tuple[Tile, int], Tuple[Tile, int]] = {}
+    heap: List[Tuple[float, Tile, int]] = [(0.0, start, 0)]
+    settled: Set[Tuple[Tile, int]] = set()
+    goal_state: Optional[Tuple[Tile, int]] = None
+    while heap:
+        d, tile, j = heapq.heappop(heap)
+        state = (tile, j)
+        if state in settled:
+            continue
+        settled.add(state)
+        if tile in goals:
+            goal_state = state
+            break
+        # Buffer here (resets j); only from unbuffered states.
+        if j > 0:
+            q = q_of(tile)
+            if q != INF:
+                nd = d + q
+                nstate = (tile, 0)
+                if nd < dist.get(nstate, INF):
+                    dist[nstate] = nd
+                    pred[nstate] = state
+                    heapq.heappush(heap, (nd, tile, 0))
+        # Step to a neighbor. A run of exactly L between gates is legal
+        # (a gate may drive L units), so j may reach L.
+        if j + 1 <= L:
+            for nbr in graph.neighbors(tile):
+                if not (x0 <= nbr[0] <= x1 and y0 <= nbr[1] <= y1):
+                    continue
+                if nbr in forbidden and nbr not in goals:
+                    continue
+                step = wire_cost(graph, tile, nbr)
+                if step == INF:
+                    continue
+                nd = d + step
+                nstate = (nbr, j + 1)
+                if nd < dist.get(nstate, INF):
+                    dist[nstate] = nd
+                    pred[nstate] = state
+                    heapq.heappush(heap, (nd, nbr, j + 1))
+    if goal_state is None:
+        return None
+    # Trace back, dropping the buffer self-transitions.
+    path: List[Tile] = []
+    state = goal_state
+    while True:
+        tile = state[0]
+        if not path or path[-1] != tile:
+            path.append(tile)
+        if state not in pred:
+            break
+        state = pred[state]
+    path.reverse()
+    return _remove_loops(path)
+
+
+def _remove_loops(path: List[Tile]) -> List[Tile]:
+    """Excise revisit loops so the path is simple over tiles.
+
+    The (tile, j) state space legitimately revisits a tile (e.g., a detour
+    to a buffer site and back), but a route tree needs simple tile paths;
+    re-insertion of buffers afterwards restores legality where possible.
+    """
+    first_seen: Dict[Tile, int] = {}
+    out: List[Tile] = []
+    for tile in path:
+        if tile in first_seen:
+            del_from = first_seen[tile] + 1
+            for dropped in out[del_from:]:
+                del first_seen[dropped]
+            del out[del_from:]
+        else:
+            first_seen[tile] = len(out)
+            out.append(tile)
+    return out
+
+
+def _plain_path(
+    graph: TileGraph,
+    start: Tile,
+    goal: Tile,
+    forbidden: Set[Tile],
+    window: Tuple[int, int, int, int],
+    wire_cost: Callable[[TileGraph, Tile, Tile], float],
+) -> Optional[List[Tile]]:
+    """Wire-cost-only Dijkstra (used when no bufferable path exists)."""
+    x0, y0, x1, y1 = window
+    dist: Dict[Tile, float] = {start: 0.0}
+    pred: Dict[Tile, Tile] = {}
+    heap: List[Tuple[float, Tile]] = [(0.0, start)]
+    settled: Set[Tile] = set()
+    while heap:
+        d, tile = heapq.heappop(heap)
+        if tile in settled:
+            continue
+        settled.add(tile)
+        if tile == goal:
+            path = [tile]
+            while path[-1] in pred:
+                path.append(pred[path[-1]])
+            path.reverse()
+            return path
+        for nbr in graph.neighbors(tile):
+            if not (x0 <= nbr[0] <= x1 and y0 <= nbr[1] <= y1):
+                continue
+            if nbr in forbidden and nbr != goal:
+                continue
+            step = wire_cost(graph, tile, nbr)
+            if step == INF:
+                continue
+            nd = d + step
+            if nd < dist.get(nbr, INF):
+                dist[nbr] = nd
+                pred[nbr] = tile
+                heapq.heappush(heap, (nd, nbr))
+    return None
+
+
+def optimize_two_paths(
+    graph: TileGraph,
+    tree: RouteTree,
+    q_of: Callable[[Tile], float],
+    length_limit: int,
+    window_margin: int = 6,
+) -> int:
+    """Reroute every two-path of ``tree`` at minimum combined cost.
+
+    Preconditions: the tree's *wire* usage is recorded on ``graph``; its
+    *buffer* usage has already been released (Stage 4 rips a net's buffers
+    before rerouting it). The tree's buffer annotations are cleared here.
+
+    Returns:
+        The number of two-paths whose route changed.
+    """
+    tree.clear_buffers()
+    changed = 0
+    for old_path in tree.two_paths():
+        head, tail = old_path[0], old_path[-1]
+        for a, b in zip(old_path, old_path[1:]):
+            graph.add_wire(a, b, -1)
+        forbidden = (set(tree.nodes) - set(old_path[1:-1])) - {head, tail}
+        window = _window_for(graph, head, tail, window_margin)
+        new_path = best_buffered_path(
+            graph, tail, head, q_of, length_limit, forbidden, window
+        )
+        if new_path is None:
+            # No bufferable path within capacity; try any within-capacity
+            # path (the net's buffering may still be fixed elsewhere).
+            new_path = _plain_path(
+                graph, tail, head, forbidden, window, congestion_cost
+            )
+        if new_path is None and not _path_fits(graph, old_path):
+            # Only when even the old route overflows do we accept paying
+            # overflow penalties for a (hopefully better) soft-cost route;
+            # otherwise keeping the old route preserves the Stage-2
+            # capacity guarantee.
+            new_path = best_buffered_path(
+                graph,
+                tail,
+                head,
+                q_of,
+                length_limit,
+                forbidden,
+                window,
+                wire_cost=soft_congestion_cost,
+            ) or _plain_path(
+                graph, tail, head, forbidden, window, soft_congestion_cost
+            )
+        if new_path is None:
+            new_path = list(reversed(old_path))  # keep the old route
+        new_path = list(reversed(new_path))  # head first, as two_paths yields
+        if new_path != old_path:
+            changed += 1
+        tree.replace_two_path(old_path, new_path)
+        for a, b in zip(new_path, new_path[1:]):
+            graph.add_wire(a, b, 1)
+    return changed
+
+
+def _path_fits(graph: TileGraph, path: List[Tile]) -> bool:
+    """True when re-adding this (currently ripped) path stays in capacity."""
+    return all(
+        graph.wire_usage(a, b) < graph.wire_capacity(a, b)
+        for a, b in zip(path, path[1:])
+    )
+
+
+def _window_for(
+    graph: TileGraph, a: Tile, b: Tile, margin: int
+) -> Tuple[int, int, int, int]:
+    return (
+        max(0, min(a[0], b[0]) - margin),
+        max(0, min(a[1], b[1]) - margin),
+        min(graph.nx - 1, max(a[0], b[0]) + margin),
+        min(graph.ny - 1, max(a[1], b[1]) + margin),
+    )

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. Subclasses separate user errors (bad configuration,
+malformed inputs) from algorithmic infeasibility (a net that cannot satisfy
+its length rule with the available buffer sites).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class NetlistError(ReproError):
+    """A netlist is structurally invalid (e.g., a net without a driver)."""
+
+
+class FloorplanError(ReproError):
+    """A floorplan is invalid (overlapping blocks, block outside the die)."""
+
+
+class RoutingError(ReproError):
+    """A route could not be produced (e.g., disconnected tile graph)."""
+
+
+class InfeasibleError(ReproError):
+    """No solution satisfies the stated constraints.
+
+    Raised only by APIs documented to be strict; the RABID planner itself
+    prefers best-effort fallbacks and counts failures instead of raising.
+    """

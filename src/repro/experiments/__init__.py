@@ -1,0 +1,38 @@
+"""Experiment harnesses regenerating every table of the paper's evaluation.
+
+Each ``tableN`` module exposes a ``run_*`` function returning structured
+rows plus a ``format_*`` function printing the same columns as the paper.
+The pytest-benchmark drivers in ``benchmarks/`` call these.
+"""
+
+from repro.experiments.config import ExperimentConfig, planner_config_for
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.table2 import Table2Row, run_table2_circuit, format_table2
+from repro.experiments.table3 import Table3Row, run_table3_circuit, format_table3
+from repro.experiments.table4 import Table4Row, run_table4_circuit, format_table4
+from repro.experiments.table5 import Table5Row, run_table5_circuit, format_table5
+from repro.experiments.figures import figure1_svg, figure2_ascii
+from repro.experiments.runner import render_report, run_all_tables
+
+__all__ = [
+    "run_all_tables",
+    "render_report",
+    "figure1_svg",
+    "figure2_ascii",
+    "ExperimentConfig",
+    "planner_config_for",
+    "run_table1",
+    "format_table1",
+    "Table2Row",
+    "run_table2_circuit",
+    "format_table2",
+    "Table3Row",
+    "run_table3_circuit",
+    "format_table3",
+    "Table4Row",
+    "run_table4_circuit",
+    "format_table4",
+    "Table5Row",
+    "run_table5_circuit",
+    "format_table5",
+]

@@ -1,0 +1,46 @@
+"""Shared experiment configuration.
+
+The per-benchmark wire capacities live in
+:mod:`repro.benchmarks.spec` (``default_wire_capacity``); this module holds
+the planner-side knobs and the master seed policy so every table uses the
+same instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmarks import BenchmarkInstance
+from repro.core import RabidConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all table harnesses.
+
+    Attributes:
+        seed: master seed for benchmark synthesis.
+        window_margin: maze/two-path search window margin (tiles). 10 is
+            wide enough to skirt the 9x9 blocked region.
+        stage2_iterations: paper value 3.
+        stage4_iterations: full Stage-4 passes (2 keeps big circuits fast;
+            3 squeezes out a few more fail recoveries).
+    """
+
+    seed: int = 0
+    window_margin: int = 10
+    stage2_iterations: int = 3
+    stage4_iterations: int = 2
+
+
+def planner_config_for(
+    bench: BenchmarkInstance, experiment: "ExperimentConfig | None" = None
+) -> RabidConfig:
+    """The RabidConfig used for a benchmark instance in the experiments."""
+    experiment = experiment or ExperimentConfig()
+    return RabidConfig(
+        length_limit=bench.spec.length_limit,
+        stage2_iterations=experiment.stage2_iterations,
+        stage4_iterations=experiment.stage4_iterations,
+        window_margin=experiment.window_margin,
+    )

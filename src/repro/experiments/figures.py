@@ -1,0 +1,49 @@
+"""Regenerators for the paper's figures.
+
+The evaluation figures are illustrations rather than data plots; each has
+a regenerator here (or a dedicated test, for the worked examples):
+
+* **Fig. 1** (buffer-block plan on xerox): :func:`figure1_svg` — runs the
+  BBP/FR baseline on xerox and renders the floorplan with the buffer
+  locations clustered between blocks.
+* **Fig. 2** (buffer sites -> tile abstraction): :func:`figure2_ascii` —
+  the per-tile site-count matrix view of a distribution.
+* **Fig. 3** (total-driven-length rule): reproduced by
+  ``tests/core/test_length_rule.py::TestFigure3Interpretation``.
+* **Fig. 4** (overlap removal): ``tests/routing/test_steiner.py``.
+* **Fig. 5/7** (single-sink DP example, optimum 1.5):
+  ``tests/core/test_single_sink.py::TestPaperExample``.
+* **Fig. 6/9** (pseudocode): the implementations in
+  :mod:`repro.core.single_sink` / :mod:`repro.core.multi_sink`.
+* **Fig. 8** (two-child buffering cases):
+  ``tests/core/test_multi_sink.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.svg import floorplan_svg
+from repro.analysis.maps import site_distribution_map
+from repro.bbp import BbpConfig, BbpPlanner
+from repro.benchmarks import BenchmarkInstance, load_benchmark
+
+
+def figure1_svg(bench: "BenchmarkInstance | None" = None, seed: int = 0) -> str:
+    """Fig. 1: a buffer-block plan — BBP/FR's buffers drawn on the
+    floorplan, visibly packed into the space between macros."""
+    if bench is None:
+        bench = load_benchmark("xerox", seed=seed)
+    planner = BbpPlanner(
+        bench.graph,
+        bench.floorplan,
+        bench.netlist,
+        BbpConfig(length_limit=bench.spec.length_limit, postprocess=False),
+    )
+    result = planner.run()
+    return floorplan_svg(bench.floorplan, buffer_points=result.buffer_points)
+
+
+def figure2_ascii(bench: "BenchmarkInstance | None" = None, seed: int = 0) -> str:
+    """Fig. 2(b): the tile abstraction of a buffer-site distribution."""
+    if bench is None:
+        bench = load_benchmark("apte", seed=seed)
+    return site_distribution_map(bench.graph)

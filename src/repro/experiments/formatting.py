@@ -1,0 +1,23 @@
+"""Plain-text table rendering shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width table with a header separator, matching paper layout."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines: List[str] = [fmt(headers), "-" * (sum(widths) + 2 * (columns - 1))]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

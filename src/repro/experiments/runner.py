@@ -1,0 +1,80 @@
+"""One-call reproduction: render every table programmatically.
+
+``run_all_tables(quick=True)`` returns the rendered text of Tables I-V
+(quick mode runs representative circuit subsets; full mode the paper's
+complete sweeps). The pytest-benchmark drivers in ``benchmarks/`` remain
+the canonical timed harness; this entry point serves notebooks, CI
+smoke-checks, and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2_circuit
+from repro.experiments.table3 import format_table3, run_table3_circuit
+from repro.experiments.table4 import format_table4, run_table4_circuit
+from repro.experiments.table5 import format_table5, run_table5_circuit
+
+QUICK_TABLE2 = ["apte", "hp"]
+FULL_TABLE2 = ["apte", "xerox", "hp", "ami33", "ami49", "playout"]
+FULL_TABLE2_FINAL = ["ac3", "xc5", "hc7", "a9c3"]
+QUICK_TABLE3 = ["apte"]
+FULL_TABLE3 = FULL_TABLE2
+QUICK_TABLE4 = {"apte": [(10, 11), (30, 33)]}
+FULL_TABLE4 = {"apte": None, "ami49": None, "playout": None}
+QUICK_TABLE5 = ["apte"]
+FULL_TABLE5 = FULL_TABLE2 + FULL_TABLE2_FINAL
+
+
+def run_all_tables(
+    quick: bool = True,
+    experiment: Optional[ExperimentConfig] = None,
+) -> Dict[str, str]:
+    """Regenerate every table; returns {'Table I': text, ...}.
+
+    Quick mode finishes in a few minutes; full mode is the paper's
+    complete sweep (tens of minutes).
+    """
+    experiment = experiment or ExperimentConfig(
+        stage4_iterations=1 if quick else 2
+    )
+    out: Dict[str, str] = {}
+    out["Table I"] = format_table1(run_table1(seed=experiment.seed))
+
+    rows2 = []
+    for name in QUICK_TABLE2 if quick else FULL_TABLE2:
+        rows2.extend(run_table2_circuit(name, experiment))
+    if not quick:
+        for name in FULL_TABLE2_FINAL:
+            rows2.extend(run_table2_circuit(name, experiment, final_only=True))
+    out["Table II"] = format_table2(rows2)
+
+    rows3 = []
+    for name in QUICK_TABLE3 if quick else FULL_TABLE3:
+        rows3.extend(run_table3_circuit(name, experiment))
+    out["Table III"] = format_table3(rows3)
+
+    rows4 = []
+    sweeps = QUICK_TABLE4 if quick else FULL_TABLE4
+    for name, grids in sweeps.items():
+        rows4.extend(run_table4_circuit(name, experiment, grids=grids))
+    out["Table IV"] = format_table4(rows4)
+
+    rows5 = []
+    for name in QUICK_TABLE5 if quick else FULL_TABLE5:
+        rows5.extend(run_table5_circuit(name, experiment))
+    out["Table V"] = format_table5(rows5)
+    return out
+
+
+def render_report(tables: Dict[str, str]) -> str:
+    """Join rendered tables into one report document."""
+    sections: List[str] = []
+    for title in sorted(tables):
+        sections.append(f"== {title} ==")
+        sections.append(tables[title])
+        sections.append("")
+    return "\n".join(sections)

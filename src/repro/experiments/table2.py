@@ -1,0 +1,70 @@
+"""Table II: stage-by-stage RABID results.
+
+For the six CBL circuits the paper prints one row per stage; for the four
+random circuits only the final (stage 1-4 cumulative) row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.benchmarks import load_benchmark
+from repro.core import RabidPlanner, StageMetrics
+from repro.experiments.config import ExperimentConfig, planner_config_for
+from repro.experiments.formatting import render_table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (circuit, stage) row of Table II."""
+
+    circuit: str
+    stage: str
+    metrics: StageMetrics
+
+
+def run_table2_circuit(
+    name: str,
+    experiment: Optional[ExperimentConfig] = None,
+    final_only: bool = False,
+) -> List[Table2Row]:
+    """Run RABID on one benchmark, returning per-stage (or final) rows."""
+    experiment = experiment or ExperimentConfig()
+    bench = load_benchmark(name, seed=experiment.seed)
+    planner = RabidPlanner(bench.graph, bench.netlist, planner_config_for(bench, experiment))
+    result = planner.run()
+    if final_only:
+        return [Table2Row(name, "1-4", result.final_metrics)]
+    return [
+        Table2Row(name, str(m.stage), m) for m in result.stage_metrics
+    ]
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    headers = [
+        "circuit", "stage", "wire max", "wire avg", "overflows",
+        "buf max", "buf avg", "#bufs", "#fails", "wirelength",
+        "delay max", "delay avg", "CPU(s)",
+    ]
+    cells = []
+    for r in rows:
+        m = r.metrics
+        cells.append(
+            [
+                r.circuit,
+                r.stage,
+                f"{m.wire_congestion_max:.2f}",
+                f"{m.wire_congestion_avg:.2f}",
+                str(m.overflows),
+                f"{m.buffer_density_max:.2f}",
+                f"{m.buffer_density_avg:.2f}",
+                str(m.num_buffers),
+                str(m.num_fails),
+                f"{m.wirelength_mm:.0f}",
+                f"{m.max_delay_ps:.0f}",
+                f"{m.avg_delay_ps:.0f}",
+                f"{m.cpu_seconds:.1f}",
+            ]
+        )
+    return render_table(headers, cells)

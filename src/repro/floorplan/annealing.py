@@ -1,0 +1,193 @@
+"""Simulated-annealing floorplanner over sequence pairs.
+
+Stands in for the Monte-Carlo annealing floorplanner inside the BBP code the
+paper used. Given blocks and a target die, it searches sequence pairs (plus
+per-block rotations) minimizing packed area overflow beyond the die plus a
+wirelength proxy (sum of distances between centers of connected blocks).
+The result is scaled/centred placements inside the die.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FloorplanError
+from repro.floorplan.block import Block
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.sequence_pair import SequencePair
+from repro.geometry import Rect
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class AnnealingOptions:
+    """Knobs for :func:`anneal_floorplan`.
+
+    Attributes:
+        iterations: total proposed moves.
+        initial_temperature: in cost units; cooled geometrically.
+        cooling: multiplicative cooling factor applied every
+            ``moves_per_temperature`` moves.
+        moves_per_temperature: plateau length.
+        wirelength_weight: weight of the connectivity proxy term relative
+            to packed-area overflow.
+        allow_rotation: propose width/height swaps.
+    """
+
+    iterations: int = 4000
+    initial_temperature: float = 1.0
+    cooling: float = 0.95
+    moves_per_temperature: int = 50
+    wirelength_weight: float = 0.1
+    allow_rotation: bool = True
+
+
+def _cost(
+    sp: SequencePair,
+    widths: List[float],
+    heights: List[float],
+    die: Rect,
+    adjacency: Sequence[Tuple[int, int]],
+    wl_weight: float,
+) -> Tuple[float, List[float], List[float], float, float]:
+    xs, ys, total_w, total_h = sp.pack(widths, heights)
+    overflow_w = max(0.0, total_w - die.width)
+    overflow_h = max(0.0, total_h - die.height)
+    area_cost = (total_w * total_h) / die.area + 4.0 * (
+        overflow_w / die.width + overflow_h / die.height
+    )
+    wl = 0.0
+    if adjacency and wl_weight > 0:
+        half_perim = die.width + die.height
+        for a, b in adjacency:
+            ax = xs[a] + widths[a] / 2
+            ay = ys[a] + heights[a] / 2
+            bx = xs[b] + widths[b] / 2
+            by = ys[b] + heights[b] / 2
+            wl += (abs(ax - bx) + abs(ay - by)) / half_perim
+        wl /= max(1, len(adjacency))
+    return area_cost + wl_weight * wl, xs, ys, total_w, total_h
+
+
+def anneal_floorplan(
+    blocks: Sequence[Block],
+    die: Rect,
+    adjacency: "Sequence[Tuple[int, int]] | None" = None,
+    options: "AnnealingOptions | None" = None,
+    seed: "int | np.random.Generator | None" = 0,
+) -> Floorplan:
+    """Place ``blocks`` inside ``die`` by sequence-pair annealing.
+
+    Args:
+        blocks: macros to place; total area must fit the die.
+        die: fixed outline.
+        adjacency: optional block-index pairs used as a wirelength proxy.
+        options: annealing schedule; defaults are adequate for <=150 blocks.
+        seed: RNG seed or generator for reproducibility.
+
+    Returns:
+        A validated :class:`Floorplan` with placements spread across the die.
+
+    Raises:
+        FloorplanError: when blocks cannot fit even at full packing.
+    """
+    options = options or AnnealingOptions()
+    rng = make_rng(seed)
+    n = len(blocks)
+    if n == 0:
+        return Floorplan(die=die, blocks=[])
+    total_area = sum(b.area for b in blocks)
+    if total_area > die.area:
+        raise FloorplanError(
+            f"blocks area {total_area:.3f} exceeds die area {die.area:.3f}"
+        )
+    adjacency = adjacency or []
+
+    widths = [b.width for b in blocks]
+    heights = [b.height for b in blocks]
+    sp = SequencePair.random(n, rng)
+    cost, xs, ys, tw, th = _cost(
+        sp, widths, heights, die, adjacency, options.wirelength_weight
+    )
+    best = (cost, sp.copy(), list(widths), list(heights), xs, ys, tw, th)
+
+    temperature = options.initial_temperature
+    for it in range(options.iterations):
+        move = rng.integers(0, 3 if options.allow_rotation else 2)
+        trial = sp.copy()
+        trial_w, trial_h = list(widths), list(heights)
+        if move == 0:
+            i, j = rng.integers(0, n, size=2)
+            trial.swap_in_plus(int(i), int(j))
+        elif move == 1:
+            i, j = rng.integers(0, n, size=2)
+            trial.swap_in_minus(int(i), int(j))
+        else:
+            k = int(rng.integers(0, n))
+            trial_w[k], trial_h[k] = trial_h[k], trial_w[k]
+        new_cost, nxs, nys, ntw, nth = _cost(
+            trial, trial_w, trial_h, die, adjacency, options.wirelength_weight
+        )
+        accept = new_cost <= cost or rng.random() < math.exp(
+            -(new_cost - cost) / max(temperature, 1e-9)
+        )
+        if accept:
+            sp, widths, heights = trial, trial_w, trial_h
+            cost, xs, ys, tw, th = new_cost, nxs, nys, ntw, nth
+            if cost < best[0]:
+                best = (cost, sp.copy(), list(widths), list(heights), xs, ys, tw, th)
+        if (it + 1) % options.moves_per_temperature == 0:
+            temperature *= options.cooling
+
+    _, bsp, bw, bh, xs, ys, tw, th = best
+    return _realize(blocks, die, bw, bh, xs, ys, tw, th)
+
+
+def _realize(
+    blocks: Sequence[Block],
+    die: Rect,
+    widths: List[float],
+    heights: List[float],
+    xs: List[float],
+    ys: List[float],
+    total_w: float,
+    total_h: float,
+) -> Floorplan:
+    """Scale a packed layout into the die and spread the slack evenly."""
+    n = len(blocks)
+    # Uniform shrink if the pack overflows the die (annealer should avoid
+    # this, but a guaranteed-legal result is worth the distortion).
+    scale = min(
+        1.0,
+        die.width / total_w if total_w > 0 else 1.0,
+        die.height / total_h if total_h > 0 else 1.0,
+    )
+    placed: List[Block] = []
+    # Spread remaining slack proportionally so blocks are not glued to the
+    # lower-left corner: stretch block origins (not sizes) across the die.
+    stretch_x = (die.width - total_w * scale) / max(total_w * scale, 1e-12)
+    stretch_y = (die.height - total_h * scale) / max(total_h * scale, 1e-12)
+    for i in range(n):
+        w = widths[i] * scale
+        h = heights[i] * scale
+        x0 = die.x0 + xs[i] * scale * (1.0 + stretch_x)
+        y0 = die.y0 + ys[i] * scale * (1.0 + stretch_y)
+        x0 = min(x0, die.x1 - w)
+        y0 = min(y0, die.y1 - h)
+        placed.append(
+            Block(
+                name=blocks[i].name,
+                width=w,
+                height=h,
+                x=x0,
+                y=y0,
+                allows_buffer_sites=blocks[i].allows_buffer_sites,
+            )
+        )
+    plan = Floorplan(die=die, blocks=placed)
+    plan.validate()
+    return plan

@@ -1,0 +1,11 @@
+"""Planar geometry primitives used throughout the library.
+
+Everything is Manhattan (rectilinear): distances are L1, shapes are
+axis-aligned rectangles. Coordinates are in millimetres unless a caller
+documents otherwise.
+"""
+
+from repro.geometry.point import Point, manhattan
+from repro.geometry.rect import Rect, bounding_box
+
+__all__ = ["Point", "Rect", "manhattan", "bounding_box"]

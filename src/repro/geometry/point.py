@@ -1,0 +1,46 @@
+"""2-D points with Manhattan metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point.
+
+    Points are hashable and totally ordered (lexicographically by ``x`` then
+    ``y``), which lets them key dictionaries and sort deterministically.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """L1 distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def median_with(self, a: "Point", b: "Point") -> "Point":
+        """Component-wise median of ``self``, ``a`` and ``b``.
+
+        The median point is the Steiner point that maximally merges the
+        rectilinear routes from a common node toward two targets; it is the
+        merge point used by greedy overlap removal (paper Fig. 4).
+        """
+        xs = sorted((self.x, a.x, b.x))
+        ys = sorted((self.y, a.y, b.y))
+        return Point(xs[1], ys[1])
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """L1 distance between two points."""
+    return abs(a.x - b.x) + abs(a.y - b.y)

@@ -1,0 +1,92 @@
+"""Axis-aligned rectangles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[x0, x1] x [y0, y1]``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ConfigurationError(
+                f"degenerate rectangle: ({self.x0}, {self.y0}) .. ({self.x1}, {self.y1})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary."""
+        return self.x0 <= p.x <= self.x1 and self.y0 <= p.y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely within this rectangle."""
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the rectangles share interior area (touching edges do not count)."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or None when the interiors are disjoint."""
+        x0 = max(self.x0, other.x0)
+        y0 = max(self.y0, other.y0)
+        x1 = min(self.x1, other.x1)
+        y1 = min(self.y1, other.y1)
+        if x1 <= x0 or y1 <= y0:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+
+def bounding_box(points: Iterable[Point]) -> Rect:
+    """Smallest rectangle containing every point.
+
+    Raises :class:`ConfigurationError` when ``points`` is empty.
+    """
+    pts = list(points)
+    if not pts:
+        raise ConfigurationError("bounding_box of an empty point set")
+    return Rect(
+        min(p.x for p in pts),
+        min(p.y for p in pts),
+        max(p.x for p in pts),
+        max(p.y for p in pts),
+    )

@@ -1,0 +1,21 @@
+"""Serialization of planning inputs and results (JSON)."""
+
+from repro.io.serialize import (
+    instance_to_dict,
+    load_instance_json,
+    netlist_from_dict,
+    netlist_to_dict,
+    routes_from_dict,
+    routes_to_dict,
+    save_instance_json,
+)
+
+__all__ = [
+    "netlist_to_dict",
+    "netlist_from_dict",
+    "routes_to_dict",
+    "routes_from_dict",
+    "instance_to_dict",
+    "save_instance_json",
+    "load_instance_json",
+]

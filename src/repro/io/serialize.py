@@ -1,0 +1,199 @@
+"""JSON serialization for netlists, tile graphs, and planning results.
+
+The paper's flow hands results between tools (floorplanner -> planner ->
+timing); this module provides the interchange layer: a versioned JSON
+schema covering the benchmark instance (die, blocks, pins, sites,
+capacities) and the planning result (per-net tile trees plus buffer
+annotations), with exact round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.floorplan import Block, Floorplan
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.routing.tree import BufferSpec, RouteTree
+from repro.tilegraph import CapacityModel, TileGraph
+
+SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Netlists                                                              #
+# --------------------------------------------------------------------- #
+
+def _pin_to_dict(pin: Pin) -> Dict[str, Any]:
+    return {
+        "name": pin.name,
+        "x": pin.location.x,
+        "y": pin.location.y,
+        "owner": pin.owner,
+    }
+
+
+def _pin_from_dict(d: Dict[str, Any]) -> Pin:
+    return Pin(name=d["name"], location=Point(d["x"], d["y"]), owner=d["owner"])
+
+
+def netlist_to_dict(netlist: Netlist) -> Dict[str, Any]:
+    return {
+        "version": SCHEMA_VERSION,
+        "nets": [
+            {
+                "name": net.name,
+                "source": _pin_to_dict(net.source),
+                "sinks": [_pin_to_dict(s) for s in net.sinks],
+            }
+            for net in netlist
+        ],
+    }
+
+
+def netlist_from_dict(d: Dict[str, Any]) -> Netlist:
+    if d.get("version") != SCHEMA_VERSION:
+        raise ConfigurationError(f"unsupported netlist schema {d.get('version')!r}")
+    out = Netlist()
+    for nd in d["nets"]:
+        out.add(
+            Net(
+                name=nd["name"],
+                source=_pin_from_dict(nd["source"]),
+                sinks=[_pin_from_dict(s) for s in nd["sinks"]],
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Routes                                                                #
+# --------------------------------------------------------------------- #
+
+def routes_to_dict(routes: Dict[str, RouteTree]) -> Dict[str, Any]:
+    """Serialize per-net routes: parent edges, sinks, buffers."""
+    payload = {}
+    for name in sorted(routes):
+        tree = routes[name]
+        payload[name] = {
+            "source": list(tree.source),
+            "edges": [
+                [list(parent), list(child)] for parent, child in tree.edges()
+            ],
+            "sinks": [list(t) for t in tree.sink_tiles],
+            "buffers": [
+                {
+                    "tile": list(spec.tile),
+                    "drives_child": list(spec.drives_child)
+                    if spec.drives_child
+                    else None,
+                }
+                for spec in tree.buffer_specs()
+            ],
+        }
+    return {"version": SCHEMA_VERSION, "routes": payload}
+
+
+def routes_from_dict(d: Dict[str, Any]) -> Dict[str, RouteTree]:
+    if d.get("version") != SCHEMA_VERSION:
+        raise ConfigurationError(f"unsupported routes schema {d.get('version')!r}")
+    out: Dict[str, RouteTree] = {}
+    for name, rd in d["routes"].items():
+        source: Tuple[int, int] = tuple(rd["source"])  # type: ignore[assignment]
+        parent = {tuple(child): tuple(par) for par, child in rd["edges"]}
+        sinks = [tuple(t) for t in rd["sinks"]]
+        tree = RouteTree.from_parent_map(source, parent, sinks, net_name=name)
+        tree.apply_buffers(
+            [
+                BufferSpec(
+                    tuple(bd["tile"]),
+                    tuple(bd["drives_child"]) if bd["drives_child"] else None,
+                )
+                for bd in rd["buffers"]
+            ]
+        )
+        out[name] = tree
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Whole instances                                                       #
+# --------------------------------------------------------------------- #
+
+def instance_to_dict(
+    die: Rect,
+    floorplan: Floorplan,
+    netlist: Netlist,
+    graph: TileGraph,
+) -> Dict[str, Any]:
+    return {
+        "version": SCHEMA_VERSION,
+        "die": [die.x0, die.y0, die.x1, die.y1],
+        "blocks": [
+            {
+                "name": b.name,
+                "x": b.x,
+                "y": b.y,
+                "width": b.width,
+                "height": b.height,
+                "allows_buffer_sites": b.allows_buffer_sites,
+            }
+            for b in floorplan.blocks
+        ],
+        "netlist": netlist_to_dict(netlist),
+        "grid": [graph.nx, graph.ny],
+        "sites": graph.sites.tolist(),
+        "h_capacity": graph.h_capacity.tolist(),
+        "v_capacity": graph.v_capacity.tolist(),
+    }
+
+
+def _instance_from_dict(d: Dict[str, Any]):
+    if d.get("version") != SCHEMA_VERSION:
+        raise ConfigurationError(f"unsupported instance schema {d.get('version')!r}")
+    die = Rect(*d["die"])
+    blocks = [
+        Block(
+            name=bd["name"],
+            width=bd["width"],
+            height=bd["height"],
+            x=bd["x"],
+            y=bd["y"],
+            allows_buffer_sites=bd["allows_buffer_sites"],
+        )
+        for bd in d["blocks"]
+    ]
+    floorplan = Floorplan(die=die, blocks=blocks)
+    netlist = netlist_from_dict(d["netlist"])
+    nx, ny = d["grid"]
+    graph = TileGraph(die, nx, ny, CapacityModel.uniform(0))
+    import numpy as np
+
+    graph.sites[:] = np.asarray(d["sites"], dtype=np.int64)
+    graph.h_capacity[:] = np.asarray(d["h_capacity"], dtype=np.int64)
+    graph.v_capacity[:] = np.asarray(d["v_capacity"], dtype=np.int64)
+    return die, floorplan, netlist, graph
+
+
+def save_instance_json(
+    path: "str | Path",
+    die: Rect,
+    floorplan: Floorplan,
+    netlist: Netlist,
+    graph: TileGraph,
+) -> None:
+    """Write a complete planning instance to a JSON file."""
+    Path(path).write_text(
+        json.dumps(instance_to_dict(die, floorplan, netlist, graph))
+    )
+
+
+def load_instance_json(path: "str | Path"):
+    """Read an instance written by :func:`save_instance_json`.
+
+    Returns ``(die, floorplan, netlist, graph)``.
+    """
+    return _instance_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,6 @@
+"""Netlist data model: pins, nets, and whole-design netlists."""
+
+from repro.netlist.net import Pin, Net
+from repro.netlist.netlist import Netlist, decompose_to_two_pin
+
+__all__ = ["Pin", "Net", "Netlist", "decompose_to_two_pin"]

@@ -1,0 +1,85 @@
+"""Pins and nets.
+
+A :class:`Net` is a driver pin plus one or more sink pins. Pins carry a
+geometric location and a reference to their owner (a block name or ``"PAD"``)
+so floorplan moves can relocate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import NetlistError
+from repro.geometry import Point, Rect, bounding_box
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A net terminal.
+
+    Attributes:
+        name: unique name within its net (e.g. ``"blk3.p7"``).
+        location: placement of the pin in chip coordinates (mm).
+        owner: name of the block the pin belongs to, or ``"PAD"`` for an
+            I/O pad on the die boundary.
+    """
+
+    name: str
+    location: Point
+    owner: str = "PAD"
+
+
+@dataclass
+class Net:
+    """A signal net: one driver (source) and ``>= 1`` sinks.
+
+    Nets are mutable only in their bookkeeping (nothing here); topology is
+    fixed at construction. Routing and buffering results live outside the
+    netlist, keyed by net name.
+    """
+
+    name: str
+    source: Pin
+    sinks: List[Pin] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.sinks:
+            raise NetlistError(f"net {self.name!r} has no sinks")
+        names = [self.source.name] + [s.name for s in self.sinks]
+        if len(set(names)) != len(names):
+            raise NetlistError(f"net {self.name!r} has duplicate pin names")
+
+    @property
+    def pins(self) -> List[Pin]:
+        """All pins, source first."""
+        return [self.source] + list(self.sinks)
+
+    @property
+    def degree(self) -> int:
+        """Number of pins."""
+        return 1 + len(self.sinks)
+
+    @property
+    def num_sinks(self) -> int:
+        return len(self.sinks)
+
+    def bbox(self) -> Rect:
+        """Bounding box of all pins."""
+        return bounding_box(p.location for p in self.pins)
+
+    def half_perimeter_wirelength(self) -> float:
+        """HPWL lower bound on the net's routed wirelength (mm)."""
+        box = self.bbox()
+        return box.width + box.height
+
+    def sink_locations(self) -> List[Point]:
+        return [s.location for s in self.sinks]
+
+    def as_two_pin(self) -> List[Tuple[Pin, Pin]]:
+        """Star decomposition: one (source, sink) pair per sink.
+
+        Used for the BBP/FR comparison (Table V), which, following Cong et
+        al., decomposes multipin nets into two-pin nets.
+        """
+        return [(self.source, sink) for sink in self.sinks]

@@ -1,0 +1,75 @@
+"""Whole-design netlists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.errors import NetlistError
+from repro.netlist.net import Net, Pin
+
+
+@dataclass
+class Netlist:
+    """An ordered collection of uniquely named nets."""
+
+    nets: List[Net] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name: Dict[str, Net] = {}
+        for net in self.nets:
+            if net.name in self._by_name:
+                raise NetlistError(f"duplicate net name {net.name!r}")
+            self._by_name[net.name] = net
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self) -> Iterator[Net]:
+        return iter(self.nets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Net:
+        if name not in self._by_name:
+            raise NetlistError(f"no net named {name!r}")
+        return self._by_name[name]
+
+    def add(self, net: Net) -> None:
+        """Append a net; names must remain unique."""
+        if net.name in self._by_name:
+            raise NetlistError(f"duplicate net name {net.name!r}")
+        self.nets.append(net)
+        self._by_name[net.name] = net
+
+    @property
+    def total_sinks(self) -> int:
+        return sum(n.num_sinks for n in self.nets)
+
+    @property
+    def total_pins(self) -> int:
+        return sum(n.degree for n in self.nets)
+
+    def total_hpwl(self) -> float:
+        """Sum of per-net half-perimeter wirelengths (mm)."""
+        return sum(n.half_perimeter_wirelength() for n in self.nets)
+
+
+def decompose_to_two_pin(netlist: Netlist) -> Netlist:
+    """Star-decompose every multipin net into two-pin nets.
+
+    Net ``n`` with sinks ``s1..sk`` becomes nets ``n#0 .. n#(k-1)``, each
+    driven by a copy of ``n``'s source. Two-pin nets pass through with
+    their names unchanged. Matches the protocol of the paper's Table V
+    comparison against BBP/FR.
+    """
+    out = Netlist()
+    for net in netlist:
+        if net.num_sinks == 1:
+            out.add(net)
+            continue
+        for i, sink in enumerate(net.sinks):
+            src = Pin(f"{net.source.name}#{i}", net.source.location, net.source.owner)
+            out.add(Net(name=f"{net.name}#{i}", source=src, sinks=[sink]))
+    return out

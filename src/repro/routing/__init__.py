@@ -1,0 +1,38 @@
+"""Routing substrate: tree topologies and routers.
+
+* :mod:`repro.routing.prim_dijkstra` — geometric Prim-Dijkstra spanning
+  trees (Stage 1 backbone, radius/length trade-off).
+* :mod:`repro.routing.steiner` — greedy edge-overlap removal that turns a
+  spanning tree into a Steiner tree (paper Fig. 4).
+* :mod:`repro.routing.tree` — :class:`RouteTree`, a net's route embedded in
+  the tile graph, plus buffer-annotation storage.
+* :mod:`repro.routing.embed` — embedding geometric trees onto the tile grid.
+* :mod:`repro.routing.maze` — congestion-cost wavefront (maze) routing on
+  the tile graph (Stage 2 rerouting, Eq. 1).
+* :mod:`repro.routing.ripup` — the Nair-style rip-up-and-reroute driver.
+"""
+
+from repro.routing.tree import BufferSpec, RouteNode, RouteTree
+from repro.routing.prim_dijkstra import prim_dijkstra_tree, GeometricTree
+from repro.routing.steiner import remove_overlaps
+from repro.routing.embed import embed_tree
+from repro.routing.maze import route_net_on_tiles, congestion_cost
+from repro.routing.ripup import RipupOptions, ripup_and_reroute
+from repro.routing.monotone import best_monotone_path, is_monotone, reduce_congestion
+
+__all__ = [
+    "best_monotone_path",
+    "is_monotone",
+    "reduce_congestion",
+    "BufferSpec",
+    "RouteNode",
+    "RouteTree",
+    "prim_dijkstra_tree",
+    "GeometricTree",
+    "remove_overlaps",
+    "embed_tree",
+    "route_net_on_tiles",
+    "congestion_cost",
+    "RipupOptions",
+    "ripup_and_reroute",
+]

@@ -1,0 +1,68 @@
+"""Embedding geometric Steiner trees onto the tile grid.
+
+Each geometric tree edge becomes an L-shaped tile path (horizontal leg
+first, then vertical — a fixed convention keeps results deterministic).
+The union of the paths is reduced to a tile tree by BFS from the source
+tile (:meth:`RouteTree.from_paths`), so crossing legs merge rather than
+duplicate wire.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry import Point
+from repro.routing.prim_dijkstra import GeometricTree
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+
+
+def l_shaped_tile_path(graph: TileGraph, a: Point, b: Point) -> List[Tile]:
+    """Tile path from ``a``'s tile to ``b``'s tile: x-leg then y-leg."""
+    ta = graph.tile_of(a)
+    tb = graph.tile_of(b)
+    return l_shaped_between_tiles(ta, tb)
+
+
+def l_shaped_between_tiles(ta: Tile, tb: Tile) -> List[Tile]:
+    """Tile path from ``ta`` to ``tb``: horizontal leg then vertical leg."""
+    path = [ta]
+    x, y = ta
+    step_x = 1 if tb[0] > x else -1
+    while x != tb[0]:
+        x += step_x
+        path.append((x, y))
+    step_y = 1 if tb[1] > y else -1
+    while y != tb[1]:
+        y += step_y
+        path.append((x, y))
+    return path
+
+
+def embed_tree(
+    graph: TileGraph,
+    tree: GeometricTree,
+    sink_points: Sequence[Point],
+    net_name: str = "",
+) -> RouteTree:
+    """Embed a geometric tree as a :class:`RouteTree` on ``graph``.
+
+    Args:
+        graph: the tile graph defining the grid.
+        tree: geometric Steiner tree rooted at the net's driver.
+        sink_points: the net's sink pin locations (subset of tree points,
+            but passed separately because Steiner points are not sinks).
+        net_name: carried through for diagnostics.
+
+    Returns:
+        A route tree whose root is the driver's tile and whose sink flags
+        mark every tile containing a sink pin.
+    """
+    source_tile = graph.tile_of(tree.points[tree.root])
+    paths: List[List[Tile]] = []
+    for i, j in tree.edges():
+        paths.append(l_shaped_tile_path(graph, tree.points[i], tree.points[j]))
+    sink_tiles = sorted({graph.tile_of(p) for p in sink_points})
+    # A sink sharing the source tile is trivially reached; from_paths
+    # requires reachability, which holds since source is in every path set.
+    return RouteTree.from_paths(source_tile, paths, sink_tiles, net_name=net_name)

@@ -1,0 +1,195 @@
+"""Congestion-driven maze routing on the tile graph (Stage 2, Eq. 1).
+
+``congestion_cost`` implements the paper's Eq. (1):
+
+    Cost(e) = (w(e) + 1) / (W(e) - w(e))   when w(e)/W(e) < 1
+              infinity                     otherwise
+
+The router grows a tree from the source tile by wavefront (Dijkstra)
+expansion: each unreached sink is connected to the partial tree by a
+minimum-cost path, nearest sink first; shared prefixes make the result a
+Steiner tree over tiles. An optional Prim-Dijkstra-style ``radius_weight``
+biases attachment points by their congestion-cost distance from the source,
+mirroring the Stage-1 trade-off on the tile graph.
+
+When the strict cost leaves a sink unreachable (every remaining cut is at
+capacity), the router retries with a *soft* cost that charges a large but
+finite penalty per overfull edge, guaranteeing a route exists on a
+connected grid.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RoutingError
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+
+EdgeCost = Callable[[TileGraph, Tile, Tile], float]
+
+#: Soft-mode penalty charged per unit of overflow on a saturated edge.
+OVERFLOW_PENALTY = 1_000.0
+
+
+def congestion_cost(graph: TileGraph, u: Tile, v: Tile) -> float:
+    """Paper Eq. (1): wires-crossing over wires-remaining, or infinity."""
+    usage = graph.wire_usage(u, v)
+    capacity = graph.wire_capacity(u, v)
+    if capacity <= 0 or usage >= capacity:
+        return float("inf")
+    return (usage + 1) / (capacity - usage)
+
+
+def soft_congestion_cost(graph: TileGraph, u: Tile, v: Tile) -> float:
+    """Eq. (1) with saturation mapped to a large finite penalty.
+
+    Keeps the router total: on a connected grid every sink is reachable,
+    at the price of recorded overflow (which later passes will repair).
+    """
+    usage = graph.wire_usage(u, v)
+    capacity = graph.wire_capacity(u, v)
+    if capacity <= 0:
+        return OVERFLOW_PENALTY * (usage + 1)
+    if usage >= capacity:
+        return OVERFLOW_PENALTY * (usage - capacity + 1)
+    return (usage + 1) / (capacity - usage)
+
+
+def _search_window(
+    graph: TileGraph, tiles: Sequence[Tile], margin: int
+) -> Tuple[int, int, int, int]:
+    """Bounding box of ``tiles`` expanded by ``margin``, clipped to grid."""
+    xs = [t[0] for t in tiles]
+    ys = [t[1] for t in tiles]
+    return (
+        max(0, min(xs) - margin),
+        max(0, min(ys) - margin),
+        min(graph.nx - 1, max(xs) + margin),
+        min(graph.ny - 1, max(ys) + margin),
+    )
+
+
+def _dijkstra_to_sink(
+    graph: TileGraph,
+    seeds: Dict[Tile, float],
+    targets: Set[Tile],
+    cost_fn: EdgeCost,
+    window: Tuple[int, int, int, int],
+) -> Optional[Tuple[Tile, Dict[Tile, Tile]]]:
+    """Wavefront from ``seeds`` until the cheapest target is settled.
+
+    Returns (reached target, predecessor map) or None when unreachable
+    within the window under finite costs.
+    """
+    x0, y0, x1, y1 = window
+    dist: Dict[Tile, float] = dict(seeds)
+    pred: Dict[Tile, Tile] = {}
+    heap: List[Tuple[float, Tile]] = [(c, t) for t, c in seeds.items()]
+    heapq.heapify(heap)
+    settled: Set[Tile] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u in targets:
+            return u, pred
+        for v in graph.neighbors(u):
+            if not (x0 <= v[0] <= x1 and y0 <= v[1] <= y1):
+                continue
+            if v in settled:
+                continue
+            step = cost_fn(graph, u, v)
+            if step == float("inf"):
+                continue
+            nd = d + step
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    return None
+
+
+def route_net_on_tiles(
+    graph: TileGraph,
+    source: Tile,
+    sinks: Sequence[Tile],
+    cost_fn: EdgeCost = congestion_cost,
+    radius_weight: float = 0.0,
+    net_name: str = "",
+    window_margin: int = 6,
+) -> RouteTree:
+    """Route one net on the tile graph, congestion-aware.
+
+    Args:
+        graph: tile graph carrying current usage (this net must already be
+            ripped up, i.e., its own usage removed).
+        source: driver tile.
+        sinks: sink tiles (duplicates and the source tile allowed).
+        cost_fn: per-edge cost; defaults to the strict Eq. (1) cost.
+        radius_weight: PD-style bias ``c``; attaching to a tree tile whose
+            path cost from the source is ``P`` charges ``c * P`` up front.
+        net_name: label for the returned tree.
+        window_margin: initial search-window margin in tiles; doubled, then
+            dropped (whole grid) if a sink is unreachable, before falling
+            back to the soft cost.
+
+    Returns:
+        A :class:`RouteTree` connecting the source to every sink.
+
+    Raises:
+        RoutingError: only if even the soft cost cannot connect (grid
+            disconnected), which cannot happen on a standard grid.
+    """
+    sink_set = {t for t in sinks}
+    tree_tiles: Dict[Tile, float] = {source: 0.0}  # tile -> path cost from source
+    parent: Dict[Tile, Tile] = {}
+    pending: Set[Tile] = set(sink_set) - {source}
+
+    all_pins = [source] + list(sinks)
+    margins = [window_margin, window_margin * 4, max(graph.nx, graph.ny)]
+
+    while pending:
+        found = None
+        used_cost: EdgeCost = cost_fn
+        for attempt, margin in enumerate(margins):
+            window = _search_window(graph, all_pins, margin)
+            seeds = {
+                t: radius_weight * path_cost for t, path_cost in tree_tiles.items()
+            }
+            found = _dijkstra_to_sink(graph, seeds, pending, used_cost, window)
+            if found is not None:
+                break
+            if attempt == len(margins) - 1 and used_cost is not soft_congestion_cost:
+                # Full-grid strict search failed: relax to the soft cost
+                # and rescan the margins.
+                used_cost = soft_congestion_cost
+                for margin2 in margins:
+                    window = _search_window(graph, all_pins, margin2)
+                    found = _dijkstra_to_sink(graph, seeds, pending, used_cost, window)
+                    if found is not None:
+                        break
+                break
+        if found is None:
+            raise RoutingError(
+                f"net {net_name!r}: sink(s) {sorted(pending)} unreachable from {source}"
+            )
+        target, pred = found
+        # Walk back to the tree, recording path costs from the source.
+        path = [target]
+        while path[-1] not in tree_tiles:
+            path.append(pred[path[-1]])
+        attach = path[-1]
+        path.reverse()  # attach ... target
+        running = tree_tiles[attach]
+        for a, b in zip(path, path[1:]):
+            running += used_cost(graph, a, b)
+            if b not in tree_tiles:
+                tree_tiles[b] = running
+                parent[b] = a
+        pending -= set(tree_tiles)
+
+    sink_tiles = sorted(sink_set)
+    return RouteTree.from_parent_map(source, parent, sink_tiles, net_name=net_name)

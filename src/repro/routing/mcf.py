@@ -1,0 +1,166 @@
+"""Approximate multicommodity-flow global routing.
+
+The paper notes RABID "could alternatively begin with the solution from
+any global router, e.g., the multicommodity flow-based approach of
+[Albrecht, ISPD 2000]". This module provides that alternative: a
+Garg-Konemann-style fractional router with exponential edge-length
+updates, followed by per-net rounding to the least-congested candidate
+tree.
+
+Algorithm sketch:
+
+1. every edge starts with length ``delta / W(e)``;
+2. for ``iterations`` rounds, each net is routed by a tree-growing
+   Dijkstra under the current lengths; the tree receives fractional flow
+   and every used edge's length is multiplied by
+   ``1 + epsilon / W(e)`` (scaled by the edge's share of capacity), so
+   popular cuts become expensive and later rounds route around them;
+3. each net keeps the distinct candidate trees seen across rounds;
+   rounding picks, net by net (most-constrained first), the candidate
+   minimizing the resulting maximum edge congestion.
+
+This is deliberately the *simple* member of the MCF family — enough to
+serve as a drop-in Stage-1/2 replacement (``RabidConfig(router="mcf")``)
+and to compare against the Prim-Dijkstra + rip-up default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.netlist import Net, Netlist
+from repro.routing.maze import route_net_on_tiles
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+
+
+@dataclass
+class McfOptions:
+    """Fractional-routing parameters.
+
+    Attributes:
+        iterations: fractional rounds; more rounds, better duals.
+        epsilon: length-update aggressiveness (0 < epsilon <= 1).
+        window_margin: Dijkstra search-window margin in tiles.
+    """
+
+    iterations: int = 6
+    epsilon: float = 0.5
+    window_margin: int = 10
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigurationError("MCF needs at least one iteration")
+        if not 0 < self.epsilon <= 1:
+            raise ConfigurationError("epsilon must be in (0, 1]")
+
+
+class McfRouter:
+    """Fractional MCF routing with greedy least-congestion rounding."""
+
+    def __init__(self, graph: TileGraph, options: "McfOptions | None" = None):
+        self.graph = graph
+        self.options = options or McfOptions()
+        # Dual edge lengths, stored sparsely over (u, v) canonical keys.
+        self._length: Dict[Tuple[Tile, Tile], float] = {}
+
+    def _key(self, u: Tile, v: Tile) -> Tuple[Tile, Tile]:
+        return (u, v) if u <= v else (v, u)
+
+    def _edge_length(self, graph: TileGraph, u: Tile, v: Tile) -> float:
+        cap = graph.wire_capacity(u, v)
+        if cap <= 0:
+            return float("inf")
+        return self._length.get(self._key(u, v), 1.0 / cap)
+
+    def _bump(self, u: Tile, v: Tile) -> None:
+        cap = self.graph.wire_capacity(u, v)
+        if cap <= 0:
+            return
+        key = self._key(u, v)
+        current = self._length.get(key, 1.0 / cap)
+        self._length[key] = current * (1.0 + self.options.epsilon / cap)
+
+    def route_all(self, netlist: Netlist) -> Dict[str, RouteTree]:
+        """Route every net; the graph's wire usage is written in place.
+
+        Returns the selected tree per net; ``graph`` usage reflects them.
+        """
+        candidates: Dict[str, List[RouteTree]] = {n.name: [] for n in netlist}
+        pins: Dict[str, Tuple[Tile, List[Tile]]] = {}
+        for net in netlist:
+            source = self.graph.tile_of(net.source.location)
+            sinks = [self.graph.tile_of(p) for p in net.sink_locations()]
+            pins[net.name] = (source, sinks)
+
+        for _ in range(self.options.iterations):
+            for net in netlist:
+                source, sinks = pins[net.name]
+                tree = route_net_on_tiles(
+                    self.graph,
+                    source,
+                    sinks,
+                    cost_fn=self._edge_length,
+                    net_name=net.name,
+                    window_margin=self.options.window_margin,
+                )
+                for u, v in tree.edges():
+                    self._bump(u, v)
+                seen = candidates[net.name]
+                signature = frozenset(
+                    (min(u, v), max(u, v)) for u, v in tree.edges()
+                )
+                if all(
+                    signature
+                    != frozenset((min(a, b), max(a, b)) for a, b in t.edges())
+                    for t in seen
+                ):
+                    seen.append(tree)
+        return self._round(netlist, candidates)
+
+    def _round(
+        self,
+        netlist: Netlist,
+        candidates: Dict[str, List[RouteTree]],
+    ) -> Dict[str, RouteTree]:
+        """Greedy rounding: most-constrained nets pick first."""
+        order = sorted(
+            (n.name for n in netlist),
+            key=lambda name: -len(candidates[name][0].nodes),
+        )
+        chosen: Dict[str, RouteTree] = {}
+        for name in order:
+            best_tree = None
+            best_cost: Tuple[float, float] = (float("inf"), float("inf"))
+            for tree in candidates[name]:
+                worst = 0.0
+                total = 0.0
+                for u, v in tree.edges():
+                    cap = self.graph.wire_capacity(u, v)
+                    use = self.graph.wire_usage(u, v) + 1
+                    ratio = use / cap if cap else float("inf")
+                    worst = max(worst, ratio)
+                    total += ratio
+                cost = (worst, total)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_tree = tree
+            assert best_tree is not None
+            best_tree.add_usage(self.graph)
+            chosen[name] = best_tree
+        return chosen
+
+
+def mcf_initial_routes(
+    graph: TileGraph,
+    netlist: Netlist,
+    options: "McfOptions | None" = None,
+) -> Dict[str, RouteTree]:
+    """Convenience wrapper: route a whole netlist MCF-style.
+
+    The graph must carry no prior usage for these nets; usage for the
+    selected trees is recorded on return.
+    """
+    return McfRouter(graph, options).route_all(netlist)

@@ -1,0 +1,162 @@
+"""Prim-Dijkstra spanning trees (Stage 1; Alpert et al., TCAD 1995).
+
+The PD construction trades off between a minimum spanning tree (Prim) and a
+shortest-path tree (Dijkstra): a node ``v`` is attached to a tree node ``u``
+minimizing ``c * pathlength(source -> u) + dist(u, v)``. ``c = 0`` gives
+Prim/MST; ``c = 1`` gives Dijkstra/SPT. The paper uses ``c = 0.4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.geometry import Point, manhattan
+
+
+@dataclass
+class GeometricTree:
+    """An undirected geometric tree over points, rooted at ``root``.
+
+    ``points`` may grow (Steiner insertion); ``adjacency[i]`` holds the
+    neighbor indices of point ``i``.
+    """
+
+    points: List[Point]
+    adjacency: List[Set[int]]
+    root: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.root < len(self.points):
+            raise RoutingError("root index out of range")
+        if len(self.adjacency) != len(self.points):
+            raise RoutingError("adjacency size mismatch")
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Undirected edges as (low index, high index) pairs."""
+        for i, nbrs in enumerate(self.adjacency):
+            for j in nbrs:
+                if i < j:
+                    yield (i, j)
+
+    def wirelength(self) -> float:
+        return sum(manhattan(self.points[i], self.points[j]) for i, j in self.edges())
+
+    def add_point(self, p: Point) -> int:
+        self.points.append(p)
+        self.adjacency.append(set())
+        return len(self.points) - 1
+
+    def connect(self, i: int, j: int) -> None:
+        if i == j:
+            raise RoutingError("self-loop in geometric tree")
+        self.adjacency[i].add(j)
+        self.adjacency[j].add(i)
+
+    def disconnect(self, i: int, j: int) -> None:
+        self.adjacency[i].discard(j)
+        self.adjacency[j].discard(i)
+
+    def parent_order(self) -> List[Tuple[int, int]]:
+        """(child, parent) pairs in BFS order from the root.
+
+        Raises when the adjacency is disconnected (not a tree reaching all
+        points).
+        """
+        parent: Dict[int, int] = {self.root: -1}
+        frontier = [self.root]
+        order: List[Tuple[int, int]] = []
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in sorted(self.adjacency[u]):
+                    if v not in parent:
+                        parent[v] = u
+                        order.append((v, u))
+                        nxt.append(v)
+            frontier = nxt
+        if len(parent) != len(self.points):
+            raise RoutingError("geometric tree is disconnected")
+        return order
+
+    def path_length_from_root(self) -> List[float]:
+        """Source-to-node path lengths (mm)."""
+        lengths = [0.0] * len(self.points)
+        for child, parent in self.parent_order():
+            lengths[child] = lengths[parent] + manhattan(
+                self.points[child], self.points[parent]
+            )
+        return lengths
+
+    def radius(self) -> float:
+        """Longest source-to-node path length (mm)."""
+        lengths = self.path_length_from_root()
+        return max(lengths) if lengths else 0.0
+
+
+def prim_dijkstra_tree(
+    pins: List[Point],
+    c: float = 0.4,
+    source_index: int = 0,
+) -> GeometricTree:
+    """Build a PD spanning tree over ``pins``.
+
+    Args:
+        pins: pin locations; ``pins[source_index]`` is the driver.
+        c: the radius/wirelength trade-off in [0, 1]; the paper uses 0.4.
+        source_index: index of the driver pin.
+
+    Returns:
+        A :class:`GeometricTree` spanning all pins, rooted at the driver.
+    """
+    if not 0 <= c <= 1:
+        raise ConfigurationError(f"PD trade-off c must be in [0, 1], got {c}")
+    n = len(pins)
+    if n == 0:
+        raise RoutingError("cannot build a tree over zero pins")
+    if not 0 <= source_index < n:
+        raise RoutingError("source index out of range")
+
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    tree = GeometricTree(points=list(pins), adjacency=adjacency, root=source_index)
+    if n == 1:
+        return tree
+
+    in_tree = [False] * n
+    in_tree[source_index] = True
+    path_len = [0.0] * n
+    # best attachment for each out-of-tree node: (cost, tree node)
+    best_cost = [float("inf")] * n
+    best_via = [-1] * n
+    for v in range(n):
+        if v != source_index:
+            best_cost[v] = manhattan(pins[source_index], pins[v])
+            best_via[v] = source_index
+
+    for _ in range(n - 1):
+        # O(n^2) scan; net degrees are small (tens of pins at most).
+        chosen = -1
+        chosen_cost = float("inf")
+        for v in range(n):
+            if not in_tree[v] and best_cost[v] < chosen_cost:
+                chosen_cost = best_cost[v]
+                chosen = v
+        if chosen < 0:
+            raise RoutingError("PD construction stalled (disconnected input?)")
+        u = best_via[chosen]
+        tree.connect(u, chosen)
+        in_tree[chosen] = True
+        path_len[chosen] = path_len[u] + manhattan(pins[u], pins[chosen])
+        for v in range(n):
+            if in_tree[v]:
+                continue
+            cost = c * path_len[chosen] + manhattan(pins[chosen], pins[v])
+            if cost < best_cost[v]:
+                best_cost[v] = cost
+                best_via[v] = chosen
+    return tree

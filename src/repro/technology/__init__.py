@@ -1,0 +1,14 @@
+"""Process technology parameters and the buffer library.
+
+The paper embeds its benchmarks in the 0.18 um technology of Cong et al.
+(BBP/FR). The exact extraction constants are unpublished; ``TECH_180NM``
+uses literature-typical values for 0.18 um global wiring and a mid-size
+repeater. Absolute delays therefore differ from the paper, but every trend
+the evaluation relies on (unbuffered delay growing ~quadratically with
+length, buffering cutting delay several-fold) is preserved.
+"""
+
+from repro.technology.tech import Technology, TECH_180NM
+from repro.technology.buffers import BufferKind, BufferLibrary
+
+__all__ = ["Technology", "TECH_180NM", "BufferKind", "BufferLibrary"]

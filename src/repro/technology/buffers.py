@@ -1,0 +1,105 @@
+"""Buffer library: the gate kinds a buffer site can realize.
+
+A buffer *site* is reserved area; only when assigned to a net does it become
+a concrete gate. The paper notes a site may realize a buffer, an inverter at
+a range of power levels, or a decoupling capacitor. The planner itself only
+needs one representative repeater (``default_buffer``); the library exists
+so downstream flows can legalize a site to a specific gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.technology.tech import Technology
+
+
+@dataclass(frozen=True)
+class BufferKind:
+    """One gate the technology can place on a buffer site.
+
+    Attributes:
+        name: library cell name (e.g. ``"BUF_X4"``).
+        inverting: True for inverters; the planner inserts non-inverting
+            repeaters, but pairs of inverters are a legal realization.
+        output_res: output (pull) resistance in ohms.
+        input_cap: input pin capacitance in farads.
+        intrinsic_delay: gate intrinsic delay in seconds.
+    """
+
+    name: str
+    inverting: bool
+    output_res: float
+    input_cap: float
+    intrinsic_delay: float
+
+    def __post_init__(self) -> None:
+        if self.output_res <= 0 or self.input_cap <= 0:
+            raise ConfigurationError(f"buffer {self.name}: RC must be positive")
+        if self.intrinsic_delay < 0:
+            raise ConfigurationError(f"buffer {self.name}: negative intrinsic delay")
+
+
+@dataclass
+class BufferLibrary:
+    """A set of buffer kinds with a designated planning default."""
+
+    kinds: List[BufferKind] = field(default_factory=list)
+    default_name: str = ""
+
+    def __post_init__(self) -> None:
+        names = [k.name for k in self.kinds]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate buffer kind names in library")
+        if self.kinds and not self.default_name:
+            self.default_name = self.kinds[0].name
+        if self.kinds and self.default_name not in names:
+            raise ConfigurationError(f"default buffer {self.default_name!r} not in library")
+        self._by_name: Dict[str, BufferKind] = {k.name: k for k in self.kinds}
+
+    @property
+    def default_buffer(self) -> BufferKind:
+        """The repeater used for planning-stage delay estimates."""
+        if not self.kinds:
+            raise ConfigurationError("empty buffer library")
+        return self._by_name[self.default_name]
+
+    def get(self, name: str) -> BufferKind:
+        if name not in self._by_name:
+            raise ConfigurationError(f"unknown buffer kind {name!r}")
+        return self._by_name[name]
+
+    def non_inverting(self) -> List[BufferKind]:
+        return [k for k in self.kinds if not k.inverting]
+
+    @classmethod
+    def from_technology(cls, tech: Technology) -> "BufferLibrary":
+        """A three-strength library derived from the technology's repeater.
+
+        Strength scaling follows the usual rule: an nx gate has output
+        resistance R/n, input capacitance n*C, and roughly constant
+        intrinsic delay. The 1x repeater is the planning default.
+        """
+        kinds = []
+        for strength in (1, 2, 4):
+            kinds.append(
+                BufferKind(
+                    name=f"BUF_X{strength}",
+                    inverting=False,
+                    output_res=tech.buffer_res / strength,
+                    input_cap=tech.buffer_cap * strength,
+                    intrinsic_delay=tech.buffer_delay,
+                )
+            )
+            kinds.append(
+                BufferKind(
+                    name=f"INV_X{strength}",
+                    inverting=True,
+                    output_res=tech.buffer_res / strength * 0.8,
+                    input_cap=tech.buffer_cap * strength * 0.6,
+                    intrinsic_delay=tech.buffer_delay * 0.6,
+                )
+            )
+        return cls(kinds=kinds, default_name="BUF_X1")

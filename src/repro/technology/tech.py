@@ -1,0 +1,82 @@
+"""Wire and device parameters for a process node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Electrical parameters used by the Elmore delay model.
+
+    Units: resistance in ohms, capacitance in farads, length in millimetres,
+    delay in seconds. Helper properties convert to the picosecond figures
+    printed by the experiment harness.
+
+    Attributes:
+        name: human-readable node label, e.g. ``"0.18um"``.
+        wire_res_per_mm: wire resistance per mm of global wiring.
+        wire_cap_per_mm: wire capacitance per mm of global wiring.
+        driver_res: output resistance of a typical net driver.
+        sink_cap: input capacitance of a typical sink pin.
+        buffer_res: output resistance of the planning repeater.
+        buffer_cap: input capacitance of the planning repeater.
+        buffer_delay: intrinsic delay of the planning repeater.
+        buffer_area_mm2: silicon area of one buffer site.
+        wire_pitch_mm: routing pitch used to derive tile-edge capacities.
+    """
+
+    name: str
+    wire_res_per_mm: float
+    wire_cap_per_mm: float
+    driver_res: float
+    sink_cap: float
+    buffer_res: float
+    buffer_cap: float
+    buffer_delay: float
+    buffer_area_mm2: float
+    wire_pitch_mm: float
+
+    def __post_init__(self) -> None:
+        positive = {
+            "wire_res_per_mm": self.wire_res_per_mm,
+            "wire_cap_per_mm": self.wire_cap_per_mm,
+            "driver_res": self.driver_res,
+            "sink_cap": self.sink_cap,
+            "buffer_res": self.buffer_res,
+            "buffer_cap": self.buffer_cap,
+            "buffer_area_mm2": self.buffer_area_mm2,
+            "wire_pitch_mm": self.wire_pitch_mm,
+        }
+        for field, value in positive.items():
+            if value <= 0:
+                raise ConfigurationError(f"Technology.{field} must be > 0, got {value}")
+        if self.buffer_delay < 0:
+            raise ConfigurationError("Technology.buffer_delay must be >= 0")
+
+    def wire_resistance(self, length_mm: float) -> float:
+        """Resistance of ``length_mm`` of wire."""
+        return self.wire_res_per_mm * length_mm
+
+    def wire_capacitance(self, length_mm: float) -> float:
+        """Capacitance of ``length_mm`` of wire."""
+        return self.wire_cap_per_mm * length_mm
+
+
+#: Literature-typical 0.18 um global-wire and repeater parameters.
+#: Wire: 0.075 ohm/um and 0.118 fF/um expressed per mm. Repeater: ~180 ohm
+#: drive, ~23 fF input, ~30 ps intrinsic; area ~50 um x 10 um.
+TECH_180NM = Technology(
+    name="0.18um",
+    wire_res_per_mm=75.0,
+    wire_cap_per_mm=118e-15,
+    driver_res=180.0,
+    sink_cap=23.4e-15,
+    buffer_res=180.0,
+    buffer_cap=23.4e-15,
+    buffer_delay=30e-12,
+    buffer_area_mm2=400e-6,  # 20 um x 20 um site
+    wire_pitch_mm=0.00066,  # 0.66 um global pitch
+)

@@ -1,0 +1,61 @@
+"""Wire-capacity models for tile-graph edges.
+
+The paper does not report its ``W(e)`` values. We support two models:
+
+* ``uniform``: the same capacity on every edge — what the experiment
+  configurations use, calibrated per benchmark so that the Stage-1 routing
+  overloads the worst edges by the ~2-3x factor the paper reports.
+* ``from_pitch``: capacity derived from the tile dimension, the routing
+  pitch, and a utilization factor — the physically grounded alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.technology import Technology
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """Produces per-edge wire capacities.
+
+    Exactly one of ``uniform_capacity`` or (``technology``, ``utilization``)
+    drives the result; the named constructors enforce this.
+    """
+
+    uniform_capacity: "int | None" = None
+    technology: "Technology | None" = None
+    utilization: float = 0.25
+
+    @classmethod
+    def uniform(cls, capacity: int) -> "CapacityModel":
+        """Same capacity on every tile-boundary edge."""
+        if capacity < 0:
+            raise ConfigurationError("capacity must be >= 0")
+        return cls(uniform_capacity=capacity)
+
+    @classmethod
+    def from_pitch(cls, technology: Technology, utilization: float = 0.25) -> "CapacityModel":
+        """Capacity = tile-side / pitch * utilization (for global wiring)."""
+        if not 0 < utilization <= 1:
+            raise ConfigurationError("utilization must be in (0, 1]")
+        return cls(technology=technology, utilization=utilization)
+
+    def horizontal_capacity(self, tile_height_mm: float) -> int:
+        """Capacity of an edge crossed by horizontal wires (a vertical
+        tile boundary of the given height)."""
+        return self._capacity(tile_height_mm)
+
+    def vertical_capacity(self, tile_width_mm: float) -> int:
+        """Capacity of an edge crossed by vertical wires."""
+        return self._capacity(tile_width_mm)
+
+    def _capacity(self, boundary_mm: float) -> int:
+        if self.uniform_capacity is not None:
+            return self.uniform_capacity
+        if self.technology is None:
+            raise ConfigurationError("CapacityModel has neither uniform nor pitch basis")
+        tracks = boundary_mm / self.technology.wire_pitch_mm
+        return max(1, int(tracks * self.utilization))

@@ -1,0 +1,64 @@
+"""Congestion statistics over a tile graph (the Table II/III/IV/V columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tilegraph.graph import TileGraph
+
+
+@dataclass(frozen=True)
+class CongestionStats:
+    """Aggregate congestion figures.
+
+    ``maximum``/``average`` are ratios (usage / capacity); ``overflow`` is
+    the summed integer excess ``max(0, w(e) - W(e))`` over all edges (for
+    wires) or tiles (for buffers).
+    """
+
+    maximum: float
+    average: float
+    overflow: int
+
+    def satisfies_capacity(self) -> bool:
+        return self.overflow == 0
+
+
+def _ratio_stats(usage: np.ndarray, capacity: np.ndarray) -> CongestionStats:
+    if usage.size == 0:
+        return CongestionStats(0.0, 0.0, 0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(
+            capacity > 0,
+            usage / np.maximum(capacity, 1),
+            np.where(usage > 0, np.inf, 0.0),
+        )
+    overflow = int(np.maximum(usage - capacity, 0).sum())
+    return CongestionStats(float(ratio.max()), float(ratio.mean()), overflow)
+
+
+def wire_congestion_stats(graph: TileGraph) -> CongestionStats:
+    """Max/avg of ``w(e)/W(e)`` and total wiring overflow."""
+    usage = np.concatenate([graph.h_usage.ravel(), graph.v_usage.ravel()])
+    capacity = np.concatenate([graph.h_capacity.ravel(), graph.v_capacity.ravel()])
+    return _ratio_stats(usage, capacity)
+
+
+def buffer_density_stats(graph: TileGraph, include_empty: bool = False) -> CongestionStats:
+    """Max/avg of ``b(v)/B(v)`` and total buffer-site overflow.
+
+    Tiles with ``B(v) = 0`` and no used sites are excluded by default: the
+    paper's "buffer density" columns average over tiles that can hold
+    buffers (otherwise the blocked region would dilute the average).
+    """
+    usage = graph.used_sites.ravel()
+    capacity = graph.sites.ravel()
+    if not include_empty:
+        mask = (capacity > 0) | (usage > 0)
+        if not mask.any():
+            return CongestionStats(0.0, 0.0, 0)
+        usage = usage[mask]
+        capacity = capacity[mask]
+    return _ratio_stats(usage, capacity)

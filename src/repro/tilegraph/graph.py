@@ -1,0 +1,231 @@
+"""The tile graph: grid, buffer sites, wire capacities and usages."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point, Rect
+from repro.tilegraph.capacity import CapacityModel
+
+#: A tile is addressed by integer grid coordinates ``(x, y)`` with the
+#: origin tile (0, 0) at the lower-left corner of the die.
+Tile = Tuple[int, int]
+
+
+class TileGraph:
+    """A grid tiling of the die with buffer-site and wire-capacity state.
+
+    The graph owns all mutable planning state:
+
+    * ``B(v)`` — buffer sites per tile (``sites`` array),
+    * ``b(v)`` — used buffer sites per tile (``used_sites`` array),
+    * ``W(e)`` — wire capacity per tile-boundary edge,
+    * ``w(e)`` — wire usage per tile-boundary edge.
+
+    Edges are undirected. A *horizontal* edge ``((x, y), (x+1, y))`` is
+    crossed by horizontally running wires; a *vertical* edge
+    ``((x, y), (x, y+1))`` by vertically running ones.
+    """
+
+    def __init__(
+        self,
+        die: Rect,
+        nx: int,
+        ny: int,
+        capacity_model: "CapacityModel | None" = None,
+    ) -> None:
+        """Create an ``nx`` x ``ny`` tiling of ``die``.
+
+        Args:
+            die: the chip outline in mm.
+            nx, ny: tile counts in x and y; both must be >= 1.
+            capacity_model: source of ``W(e)``; defaults to uniform 10.
+        """
+        if nx < 1 or ny < 1:
+            raise ConfigurationError(f"grid must be at least 1x1, got {nx}x{ny}")
+        self.die = die
+        self.nx = nx
+        self.ny = ny
+        self.tile_w = die.width / nx
+        self.tile_h = die.height / ny
+        model = capacity_model or CapacityModel.uniform(10)
+        h_cap = model.horizontal_capacity(self.tile_h)
+        v_cap = model.vertical_capacity(self.tile_w)
+        # Edge arrays: h_* indexed [x, y] for edge (x,y)-(x+1,y);
+        #              v_* indexed [x, y] for edge (x,y)-(x,y+1).
+        self.h_capacity = np.full((max(nx - 1, 0), ny), h_cap, dtype=np.int64)
+        self.v_capacity = np.full((nx, max(ny - 1, 0)), v_cap, dtype=np.int64)
+        self.h_usage = np.zeros_like(self.h_capacity)
+        self.v_usage = np.zeros_like(self.v_capacity)
+        self.sites = np.zeros((nx, ny), dtype=np.int64)
+        self.used_sites = np.zeros((nx, ny), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Geometry                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_tiles(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def tile_area_mm2(self) -> float:
+        return self.tile_w * self.tile_h
+
+    def tiles(self) -> Iterator[Tile]:
+        """All tiles in column-major order."""
+        for x in range(self.nx):
+            for y in range(self.ny):
+                yield (x, y)
+
+    def in_bounds(self, tile: Tile) -> bool:
+        x, y = tile
+        return 0 <= x < self.nx and 0 <= y < self.ny
+
+    def tile_of(self, p: Point) -> Tile:
+        """The tile containing point ``p``, clamped onto the die."""
+        fx = (p.x - self.die.x0) / self.tile_w if self.tile_w > 0 else 0.0
+        fy = (p.y - self.die.y0) / self.tile_h if self.tile_h > 0 else 0.0
+        x = min(self.nx - 1, max(0, int(math.floor(fx))))
+        y = min(self.ny - 1, max(0, int(math.floor(fy))))
+        return (x, y)
+
+    def tile_center(self, tile: Tile) -> Point:
+        x, y = tile
+        return Point(
+            self.die.x0 + (x + 0.5) * self.tile_w,
+            self.die.y0 + (y + 0.5) * self.tile_h,
+        )
+
+    def tile_rect(self, tile: Tile) -> Rect:
+        x, y = tile
+        return Rect(
+            self.die.x0 + x * self.tile_w,
+            self.die.y0 + y * self.tile_h,
+            self.die.x0 + (x + 1) * self.tile_w,
+            self.die.y0 + (y + 1) * self.tile_h,
+        )
+
+    def neighbors(self, tile: Tile) -> List[Tile]:
+        """4-neighborhood, in deterministic E/W/N/S order."""
+        x, y = tile
+        out: List[Tile] = []
+        if x + 1 < self.nx:
+            out.append((x + 1, y))
+        if x - 1 >= 0:
+            out.append((x - 1, y))
+        if y + 1 < self.ny:
+            out.append((x, y + 1))
+        if y - 1 >= 0:
+            out.append((x, y - 1))
+        return out
+
+    def edge_length_mm(self, u: Tile, v: Tile) -> float:
+        """Center-to-center distance of adjacent tiles."""
+        if u[0] != v[0]:
+            return self.tile_w
+        return self.tile_h
+
+    # ------------------------------------------------------------------ #
+    # Wire usage / capacity                                              #
+    # ------------------------------------------------------------------ #
+
+    def _edge_index(self, u: Tile, v: Tile) -> Tuple[bool, int, int]:
+        """(is_horizontal, x, y) of the edge array slot for ``(u, v)``."""
+        (ux, uy), (vx, vy) = u, v
+        if abs(ux - vx) + abs(uy - vy) != 1:
+            raise ConfigurationError(f"tiles {u} and {v} are not adjacent")
+        if uy == vy:
+            return True, min(ux, vx), uy
+        return False, ux, min(uy, vy)
+
+    def wire_capacity(self, u: Tile, v: Tile) -> int:
+        horizontal, x, y = self._edge_index(u, v)
+        return int(self.h_capacity[x, y] if horizontal else self.v_capacity[x, y])
+
+    def wire_usage(self, u: Tile, v: Tile) -> int:
+        horizontal, x, y = self._edge_index(u, v)
+        return int(self.h_usage[x, y] if horizontal else self.v_usage[x, y])
+
+    def add_wire(self, u: Tile, v: Tile, count: int = 1) -> None:
+        """Record ``count`` wires crossing edge ``(u, v)`` (negative to remove)."""
+        horizontal, x, y = self._edge_index(u, v)
+        array = self.h_usage if horizontal else self.v_usage
+        if array[x, y] + count < 0:
+            raise ConfigurationError(f"wire usage on {u}-{v} would go negative")
+        array[x, y] += count
+
+    def edges(self) -> Iterator[Tuple[Tile, Tile]]:
+        """All undirected edges, horizontal first, deterministic order."""
+        for x in range(self.nx - 1):
+            for y in range(self.ny):
+                yield ((x, y), (x + 1, y))
+        for x in range(self.nx):
+            for y in range(self.ny - 1):
+                yield ((x, y), (x, y + 1))
+
+    @property
+    def num_edges(self) -> int:
+        return self.h_usage.size + self.v_usage.size
+
+    # ------------------------------------------------------------------ #
+    # Buffer sites                                                       #
+    # ------------------------------------------------------------------ #
+
+    def site_count(self, tile: Tile) -> int:
+        """``B(v)``."""
+        return int(self.sites[tile])
+
+    def used_site_count(self, tile: Tile) -> int:
+        """``b(v)``."""
+        return int(self.used_sites[tile])
+
+    def free_sites(self, tile: Tile) -> int:
+        return int(self.sites[tile] - self.used_sites[tile])
+
+    def set_sites(self, tile: Tile, count: int) -> None:
+        if count < 0:
+            raise ConfigurationError("site count must be >= 0")
+        if count < self.used_sites[tile]:
+            raise ConfigurationError("cannot set sites below current usage")
+        self.sites[tile] = count
+
+    def use_site(self, tile: Tile, count: int = 1) -> None:
+        """Consume ``count`` buffer sites in ``tile`` (negative to release).
+
+        Over-subscription is allowed (best-effort fallback paths may exceed
+        ``B(v)``); constraint checks read the arrays directly.
+        """
+        if self.used_sites[tile] + count < 0:
+            raise ConfigurationError(f"used sites in {tile} would go negative")
+        self.used_sites[tile] += count
+
+    @property
+    def total_sites(self) -> int:
+        return int(self.sites.sum())
+
+    @property
+    def total_used_sites(self) -> int:
+        return int(self.used_sites.sum())
+
+    def reset_usage(self) -> None:
+        """Clear all wire and buffer usage (capacities and sites kept)."""
+        self.h_usage[:] = 0
+        self.v_usage[:] = 0
+        self.used_sites[:] = 0
+
+    def snapshot_usage(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Copies of (h_usage, v_usage, used_sites) for save/restore."""
+        return self.h_usage.copy(), self.v_usage.copy(), self.used_sites.copy()
+
+    def restore_usage(
+        self, snapshot: Tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> None:
+        h, v, b = snapshot
+        self.h_usage[:] = h
+        self.v_usage[:] = v
+        self.used_sites[:] = b

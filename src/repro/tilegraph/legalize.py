@@ -1,0 +1,108 @@
+"""Buffer-site legalization: tile-level assignments -> concrete sites.
+
+The tile graph deliberately abstracts individual buffer sites to per-tile
+counts (paper Fig. 2); "after a buffer is assigned to a particular tile,
+an actual buffer site can be allocated as a postprocessing step". This
+module performs that step: it materializes concrete site coordinates for
+every tile and maps each net's buffer annotations onto distinct physical
+sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class PlacedBuffer:
+    """One legalized buffer: which net, where, and what it drives."""
+
+    net_name: str
+    tile: Tile
+    location: Point
+    drives_child: "Tile | None"
+
+
+class SitePlacement:
+    """Concrete coordinates for every buffer site in a tile graph.
+
+    Sites are scattered uniformly inside their tile (matching the paper's
+    "sprinkled" sites); the scatter is seeded so legalization is
+    reproducible.
+    """
+
+    def __init__(self, graph: TileGraph, seed: int = 0):
+        rng = make_rng(seed)
+        self.graph = graph
+        self._points: Dict[Tile, List[Point]] = {}
+        for tile in graph.tiles():
+            count = graph.site_count(tile)
+            if count == 0:
+                continue
+            rect = graph.tile_rect(tile)
+            xs = rng.uniform(rect.x0, rect.x1, size=count)
+            ys = rng.uniform(rect.y0, rect.y1, size=count)
+            self._points[tile] = [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+    def sites_in(self, tile: Tile) -> List[Point]:
+        """All site coordinates in a tile (empty when it has none)."""
+        return list(self._points.get(tile, ()))
+
+    @property
+    def total_sites(self) -> int:
+        return sum(len(v) for v in self._points.values())
+
+
+def legalize_buffers(
+    routes: Dict[str, RouteTree],
+    placement: SitePlacement,
+) -> List[PlacedBuffer]:
+    """Assign every buffer annotation a distinct physical site.
+
+    Buffers are processed tile by tile in deterministic order; within a
+    tile, sites are handed out nearest-to-tile-center first (any unused
+    site is equally legal — the paper's point 1 in Section II).
+
+    Returns:
+        One :class:`PlacedBuffer` per buffer annotation.
+
+    Raises:
+        ConfigurationError: when some tile holds more buffers than sites
+            (the planner's `b(v) <= B(v)` invariant was violated upstream).
+    """
+    graph = placement.graph
+    demand: Dict[Tile, List[Tuple[str, "Tile | None"]]] = {}
+    for name in sorted(routes):
+        for spec in routes[name].buffer_specs():
+            demand.setdefault(spec.tile, []).append((name, spec.drives_child))
+
+    out: List[PlacedBuffer] = []
+    for tile in sorted(demand):
+        wants = demand[tile]
+        sites = placement.sites_in(tile)
+        if len(wants) > len(sites):
+            raise ConfigurationError(
+                f"tile {tile} has {len(wants)} buffers but only "
+                f"{len(sites)} sites"
+            )
+        center = graph.tile_center(tile)
+        sites.sort(key=lambda p: (p.manhattan_to(center), p))
+        for (net_name, child), site in zip(wants, sites):
+            out.append(
+                PlacedBuffer(
+                    net_name=net_name,
+                    tile=tile,
+                    location=site,
+                    drives_child=child,
+                )
+            )
+    return out

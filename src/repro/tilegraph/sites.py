@@ -1,0 +1,105 @@
+"""Buffer-site distributions (paper Fig. 2 and Section IV setup).
+
+The experiments distribute a fixed total number of sites randomly over the
+tiles, excluding a blocked region (a random 9x9 tile block standing in for
+a cache-like macro that can host no buffer sites) and, optionally, tiles
+covered by blocks flagged ``allows_buffer_sites=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.floorplan import Floorplan
+from repro.tilegraph.graph import Tile, TileGraph
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class SiteDistribution:
+    """A reproducible site-distribution recipe.
+
+    Attributes:
+        total_sites: number of buffer sites to scatter.
+        blocked_size: side (in tiles) of the square blocked region; 0
+            disables it. The paper uses 9.
+        seed: RNG seed for both the blocked-region placement and the
+            scattering.
+    """
+
+    total_sites: int
+    blocked_size: int = 9
+    seed: int = 0
+
+    def apply(self, graph: TileGraph) -> FrozenSet[Tile]:
+        """Fill ``graph.sites`` in place; returns the blocked tiles."""
+        rng = make_rng(self.seed)
+        blocked = blocked_region_tiles(graph, self.blocked_size, rng)
+        distribute_sites_randomly(graph, self.total_sites, rng, blocked)
+        return blocked
+
+
+def blocked_region_tiles(
+    graph: TileGraph,
+    size: int,
+    rng: "int | np.random.Generator | None" = None,
+) -> FrozenSet[Tile]:
+    """A random ``size`` x ``size`` block of tiles to receive zero sites.
+
+    The block is clipped to the grid when the grid is smaller than ``size``
+    in either dimension (matching small-grid Table IV runs).
+    """
+    if size <= 0:
+        return frozenset()
+    rng = make_rng(rng)
+    span_x = min(size, graph.nx)
+    span_y = min(size, graph.ny)
+    x0 = int(rng.integers(0, graph.nx - span_x + 1))
+    y0 = int(rng.integers(0, graph.ny - span_y + 1))
+    return frozenset(
+        (x, y) for x in range(x0, x0 + span_x) for y in range(y0, y0 + span_y)
+    )
+
+
+def distribute_sites_randomly(
+    graph: TileGraph,
+    total_sites: int,
+    rng: "int | np.random.Generator | None" = None,
+    blocked: "FrozenSet[Tile] | Set[Tile] | None" = None,
+    floorplan: "Floorplan | None" = None,
+) -> None:
+    """Scatter ``total_sites`` buffer sites uniformly over eligible tiles.
+
+    Eligible tiles are those not in ``blocked`` and, when a floorplan is
+    given, not covered by a block with ``allows_buffer_sites=False``.
+
+    Raises:
+        ConfigurationError: when no tile is eligible but sites > 0.
+    """
+    if total_sites < 0:
+        raise ConfigurationError("total_sites must be >= 0")
+    rng = make_rng(rng)
+    blocked = blocked or frozenset()
+    eligible: List[Tile] = []
+    for tile in graph.tiles():
+        if tile in blocked:
+            continue
+        if floorplan is not None:
+            block = floorplan.block_at(graph.tile_center(tile))
+            if block is not None and not block.allows_buffer_sites:
+                continue
+        eligible.append(tile)
+    graph.sites[:] = 0
+    if total_sites == 0:
+        return
+    if not eligible:
+        raise ConfigurationError("no eligible tiles for buffer sites")
+    # Multinomial scatter: identical in distribution to dropping sites one
+    # by one into uniformly random eligible tiles, but O(#tiles).
+    counts = rng.multinomial(total_sites, [1.0 / len(eligible)] * len(eligible))
+    for tile, count in zip(eligible, counts):
+        graph.sites[tile] = int(count)

@@ -1,0 +1,199 @@
+"""Elmore delay of buffered route trees.
+
+Electrical model:
+
+* every route-tree edge (adjacent tiles) is a wire segment of length equal
+  to the tile pitch in that direction, with resistance ``R_w = r * len`` and
+  capacitance ``C_w = c * len`` (pi model: half the capacitance at each
+  end);
+* the net's driver has output resistance ``tech.driver_res``; every sink
+  pin loads its tile with ``tech.sink_cap`` (one per sink pin tile — the
+  tile abstraction merges co-located sinks);
+* a *trunk* buffer at node ``v`` is inserted at the top of ``v``: it
+  presents ``tech.buffer_cap`` upstream and drives everything at and below
+  ``v`` (its tile's sink load, decoupling buffers, child branches);
+* a *decoupling* buffer at ``v`` toward child ``w`` presents
+  ``tech.buffer_cap`` to the gate driving ``v``'s contents and drives the
+  branch ``v -> w`` downward;
+* buffers add ``tech.buffer_delay`` intrinsic delay.
+
+Within one stage (gate to the next gates/sinks), delay follows Elmore:
+``R_gate * C_stage_total + sum over path edges of R_e * (C_e / 2 + C_below)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.routing.tree import RouteNode, RouteTree
+from repro.technology import Technology
+from repro.tilegraph.graph import Tile, TileGraph
+
+
+@dataclass(frozen=True)
+class DelayReport:
+    """Per-net delay summary (seconds)."""
+
+    max_delay: float
+    avg_delay: float
+    sink_delays: Dict[Tile, float]
+
+
+def _edge_rc(graph: TileGraph, tech: Technology, u: Tile, v: Tile) -> Tuple[float, float]:
+    length = graph.edge_length_mm(u, v)
+    return tech.wire_resistance(length), tech.wire_capacitance(length)
+
+
+def _load_into(
+    tree: RouteTree, graph: TileGraph, tech: Technology
+) -> Dict[Tile, float]:
+    """Capacitance seen looking into each node from its parent edge.
+
+    A trunk buffer hides everything below the node behind its input cap.
+    """
+    load: Dict[Tile, float] = {}
+    for node in tree.postorder():
+        if node.trunk_buffer:
+            load[node.tile] = tech.buffer_cap
+            continue
+        total = tech.sink_cap if node.is_sink else 0.0
+        for child in node.children:
+            if child.tile in node.decoupled_children:
+                total += tech.buffer_cap
+            else:
+                _, c_wire = _edge_rc(graph, tech, node.tile, child.tile)
+                total += c_wire + load[child.tile]
+        load[node.tile] = total
+    return load
+
+
+def _contents_load(
+    node: RouteNode,
+    load: Dict[Tile, float],
+    graph: TileGraph,
+    tech: Technology,
+) -> float:
+    """Capacitance of a node's *contents*: its sink load, decoupling-buffer
+    inputs, and non-decoupled child branches (excluding any trunk buffer)."""
+    total = tech.sink_cap if node.is_sink else 0.0
+    for child in node.children:
+        if child.tile in node.decoupled_children:
+            total += tech.buffer_cap
+        else:
+            _, c_wire = _edge_rc(graph, tech, node.tile, child.tile)
+            total += c_wire + load[child.tile]
+    return total
+
+
+def elmore_sink_delays(
+    tree: RouteTree,
+    graph: TileGraph,
+    tech: Technology,
+) -> Dict[Tile, float]:
+    """Elmore arrival time at every sink tile of ``tree``.
+
+    Works for unbuffered trees (one stage driven by the driver) and for any
+    trunk/decoupling buffer annotation produced by Stages 3/4.
+    """
+    load = _load_into(tree, graph, tech)
+    sink_delays: Dict[Tile, float] = {}
+
+    # A stage: (gate resistance, arrival at gate input, intrinsic, start
+    # node, scope child or None). Scope None = the start node's contents;
+    # scope child = only the branch toward that child.
+    StageKey = Tuple[float, float, RouteNode, Optional[RouteNode]]
+    stages: List[StageKey] = []
+
+    def stage_total_cap(start: RouteNode, scope: Optional[RouteNode]) -> float:
+        if scope is None:
+            return _contents_load(start, load, graph, tech)
+        _, c_wire = _edge_rc(graph, tech, start.tile, scope.tile)
+        return c_wire + load[scope.tile]
+
+    root = tree.root
+    if root.trunk_buffer:
+        # Driver sees only the trunk buffer's input; buffer then drives the
+        # root's contents.
+        arrival_at_buffer = tech.driver_res * tech.buffer_cap
+        stages.append((tech.buffer_res, arrival_at_buffer + tech.buffer_delay, root, None))
+    else:
+        stages.append((tech.driver_res, 0.0, root, None))
+
+    while stages:
+        gate_res, start_time, start, scope = stages.pop()
+        total_cap = stage_total_cap(start, scope)
+        out_time = start_time + gate_res * total_cap
+
+        # In-stage DFS carrying the accumulated Elmore delay.
+        # Each stack entry: (node, arrival at the TOP of node).
+        stack: List[Tuple[RouteNode, float]] = []
+
+        def enter_contents(node: RouteNode, at_time: float) -> None:
+            """Spawn work for a node's contents at the given arrival."""
+            if node.is_sink:
+                prev = sink_delays.get(node.tile)
+                sink_delays[node.tile] = max(prev, at_time) if prev is not None else at_time
+            for child in node.children:
+                if child.tile in node.decoupled_children:
+                    stages.append(
+                        (tech.buffer_res, at_time + tech.buffer_delay, node, child)
+                    )
+                else:
+                    r_wire, c_wire = _edge_rc(graph, tech, node.tile, child.tile)
+                    arrival = at_time + r_wire * (c_wire / 2 + load[child.tile])
+                    stack.append((child, arrival))
+
+        if scope is None:
+            enter_contents(start, out_time)
+        else:
+            r_wire, c_wire = _edge_rc(graph, tech, start.tile, scope.tile)
+            arrival = out_time + r_wire * (c_wire / 2 + load[scope.tile])
+            stack.append((scope, arrival))
+
+        while stack:
+            node, at_time = stack.pop()
+            if node.trunk_buffer:
+                stages.append(
+                    (tech.buffer_res, at_time + tech.buffer_delay, node, None)
+                )
+                continue
+            enter_contents(node, at_time)
+
+    # A sink co-located with the source and never traversed (single-tile
+    # net): driver drives just its tile contents.
+    if root.is_sink and root.tile not in sink_delays:
+        sink_delays[root.tile] = tech.driver_res * load[root.tile]
+    return sink_delays
+
+
+def net_delay(tree: RouteTree, graph: TileGraph, tech: Technology) -> DelayReport:
+    """Max/avg Elmore delay over the net's sink tiles."""
+    delays = elmore_sink_delays(tree, graph, tech)
+    if not delays:
+        return DelayReport(0.0, 0.0, {})
+    values = list(delays.values())
+    return DelayReport(max(values), sum(values) / len(values), delays)
+
+
+def delay_summary(
+    trees: Dict[str, RouteTree], graph: TileGraph, tech: Technology
+) -> Tuple[float, float, Dict[str, DelayReport]]:
+    """(max over sinks, average over sinks, per-net reports) for a design.
+
+    The average weights every *sink* equally (the paper reports delay "to
+    each sink"), not every net.
+    """
+    reports: Dict[str, DelayReport] = {}
+    total = 0.0
+    count = 0
+    worst = 0.0
+    for name, tree in trees.items():
+        report = net_delay(tree, graph, tech)
+        reports[name] = report
+        for value in report.sink_delays.values():
+            total += value
+            count += 1
+        if report.sink_delays:
+            worst = max(worst, report.max_delay)
+    return worst, (total / count if count else 0.0), reports

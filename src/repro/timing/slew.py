@@ -1,0 +1,90 @@
+"""Slew estimation and the slew-derived length rule.
+
+The paper's length rule is a stand-in for a slew constraint: "repeaters
+are required at intervals of at most 4500 um" in 0.25 um technology so
+that "the slew rate is sufficiently sharp at the input to all gates".
+This module closes that loop:
+
+* :func:`stage_slew` estimates the slew at a gate input from the Elmore
+  delay of its driving stage (the PERI/Bakoglu approximation
+  ``slew ~ ln(9) * elmore`` for a 10-90% ramp);
+* :func:`max_driven_length_mm` inverts the estimate: the longest wire a
+  repeater may drive before the sink slew exceeds a limit;
+* :func:`length_limit_for_slew` converts that into the tile-count ``L``
+  that :class:`RabidConfig` consumes — so an experiment can *derive* the
+  paper's L values from an electrical constraint rather than assume them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.technology import Technology
+
+#: 10-90% ramp factor for a single-pole response.
+LN9 = math.log(9.0)
+
+
+def stage_elmore(tech: Technology, length_mm: float, load_cap: float) -> float:
+    """Elmore delay of one repeater stage driving ``length_mm`` of wire
+    terminated by ``load_cap``."""
+    if length_mm < 0:
+        raise ConfigurationError("wire length must be >= 0")
+    r_wire = tech.wire_resistance(length_mm)
+    c_wire = tech.wire_capacitance(length_mm)
+    return (
+        tech.buffer_res * (c_wire + load_cap)
+        + r_wire * (c_wire / 2 + load_cap)
+    )
+
+
+def stage_slew(tech: Technology, length_mm: float, load_cap: "float | None" = None) -> float:
+    """Approximate 10-90% slew (seconds) at the end of a repeater stage."""
+    if load_cap is None:
+        load_cap = tech.buffer_cap
+    return LN9 * stage_elmore(tech, length_mm, load_cap)
+
+
+def max_driven_length_mm(
+    tech: Technology,
+    max_slew: float,
+    load_cap: "float | None" = None,
+) -> float:
+    """Longest wire one repeater may drive while meeting ``max_slew``.
+
+    Solves ``stage_slew(length) = max_slew`` for length; the stage Elmore
+    is quadratic in length, so the positive root is closed-form.
+    """
+    if max_slew <= 0:
+        raise ConfigurationError("max_slew must be positive")
+    if load_cap is None:
+        load_cap = tech.buffer_cap
+    # slew = LN9 * (a*len^2 + b*len + c)
+    a = tech.wire_res_per_mm * tech.wire_cap_per_mm / 2
+    b = (
+        tech.buffer_res * tech.wire_cap_per_mm
+        + tech.wire_res_per_mm * load_cap
+    )
+    c = tech.buffer_res * load_cap
+    target = max_slew / LN9
+    if target <= c:
+        return 0.0
+    disc = b * b + 4 * a * (target - c)
+    return (-b + math.sqrt(disc)) / (2 * a)
+
+
+def length_limit_for_slew(
+    tech: Technology,
+    tile_pitch_mm: float,
+    max_slew: float,
+) -> int:
+    """The tile-count length rule ``L`` implied by a slew limit.
+
+    Floors the slew-derived distance to whole tiles; at least 1 (a rule of
+    zero tiles would make every net infeasible).
+    """
+    if tile_pitch_mm <= 0:
+        raise ConfigurationError("tile pitch must be positive")
+    distance = max_driven_length_mm(tech, max_slew)
+    return max(1, int(distance / tile_pitch_mm))

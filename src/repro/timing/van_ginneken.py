@@ -1,0 +1,220 @@
+"""Timing-driven buffer insertion (van Ginneken's algorithm).
+
+The paper's Stage 3 is deliberately *length-based* because floorplan-stage
+timing constraints are meaningless; it notes that "later in the design
+flow, when more accurate timing information is available, one can rip up
+the buffering solution for a given net and recompute a potentially better
+solution via a timing-driven buffering algorithm". This module provides
+that algorithm: classic van Ginneken dynamic programming over a routed
+tree, minimizing the maximum Elmore source-to-sink delay, with candidate
+buffer locations restricted to tiles that still have free buffer sites.
+
+Candidates are (downstream capacitance, required-delay) pairs pruned to
+the Pareto frontier; buffers may decouple a single branch at its top tile
+or drive the whole subtree (the same two shapes the length-based DP uses),
+so results drop directly into :class:`RouteTree` annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.routing.tree import BufferSpec, RouteNode, RouteTree
+from repro.technology import Technology
+from repro.tilegraph.graph import Tile, TileGraph
+
+INF = float("inf")
+
+
+@dataclass
+class _Candidate:
+    """One Pareto point: downstream cap + worst downstream delay.
+
+    ``trace`` encodes how it was built:
+      ("sink",)                       — a sink leaf
+      ("wire", child_cand)            — advanced up an edge, no buffer
+      ("buf", node_tile, child_tile_or_None, below_cand) — buffer inserted
+      ("merge", cand_a, cand_b)       — two branches joined
+    """
+
+    cap: float
+    delay: float
+    trace: tuple
+    buffers: int = 0
+
+
+def _prune(cands: List[_Candidate]) -> List[_Candidate]:
+    """Keep the Pareto frontier: increasing cap must decrease delay."""
+    cands.sort(key=lambda c: (c.cap, c.delay))
+    out: List[_Candidate] = []
+    best_delay = INF
+    for c in cands:
+        if c.delay < best_delay - 1e-18:
+            out.append(c)
+            best_delay = c.delay
+    return out
+
+
+def timing_driven_buffering(
+    tree: RouteTree,
+    graph: TileGraph,
+    tech: Technology,
+    site_available: "Callable[[Tile], bool] | None" = None,
+    max_candidates: int = 64,
+) -> Tuple[float, List[BufferSpec]]:
+    """Minimize the net's worst Elmore sink delay by buffer insertion.
+
+    Args:
+        tree: the routed net (existing annotations are ignored).
+        graph: tile graph (for edge lengths and, by default, free sites).
+        tech: electrical parameters; buffers are the planning repeater.
+        site_available: predicate for usable buffer tiles; defaults to
+            ``graph.free_sites(tile) > 0``.
+        max_candidates: cap on the per-node Pareto list (keeps the lowest-
+            delay candidates when exceeded).
+
+    Returns:
+        ``(delay_seconds, buffer_specs)`` for the best solution found;
+        ``buffer_specs`` is empty when the unbuffered net is already best
+        or no sites are available.
+    """
+    if site_available is None:
+        site_available = lambda t: graph.free_sites(t) > 0
+
+    lists: Dict[Tile, List[_Candidate]] = {}
+
+    for node in tree.postorder():
+        merged: Optional[List[_Candidate]] = None
+        for child in node.children:
+            r_wire = tech.wire_resistance(graph.edge_length_mm(node.tile, child.tile))
+            c_wire = tech.wire_capacitance(graph.edge_length_mm(node.tile, child.tile))
+            branch: List[_Candidate] = []
+            for cand in lists[child.tile]:
+                cap = cand.cap + c_wire
+                delay = cand.delay + r_wire * (c_wire / 2 + cand.cap)
+                advanced = _Candidate(cap, delay, ("wire", cand), cand.buffers)
+                branch.append(advanced)
+                if site_available(node.tile):
+                    branch.append(
+                        _Candidate(
+                            tech.buffer_cap,
+                            delay
+                            + tech.buffer_delay
+                            + tech.buffer_res * cap,
+                            ("buf", node.tile, child.tile, advanced),
+                            cand.buffers + 1,
+                        )
+                    )
+            branch = _prune(branch)[:max_candidates]
+            if merged is None:
+                merged = branch
+            else:
+                combined = [
+                    _Candidate(
+                        a.cap + b.cap,
+                        max(a.delay, b.delay),
+                        ("merge", a, b),
+                        a.buffers + b.buffers,
+                    )
+                    for a in merged
+                    for b in branch
+                ]
+                merged = _prune(combined)[:max_candidates]
+
+        if merged is None:  # leaf (sink)
+            merged = [_Candidate(tech.sink_cap, 0.0, ("sink",))]
+        elif node.is_sink:
+            merged = _prune(
+                [
+                    _Candidate(c.cap + tech.sink_cap, c.delay, c.trace, c.buffers)
+                    for c in merged
+                ]
+            )
+        # Trunk buffer at this node (drives the merged contents).
+        if node.children and site_available(node.tile):
+            merged = _prune(
+                merged
+                + [
+                    _Candidate(
+                        tech.buffer_cap,
+                        c.delay + tech.buffer_delay + tech.buffer_res * c.cap,
+                        ("buf", node.tile, None, c),
+                        c.buffers + 1,
+                    )
+                    for c in merged
+                ]
+            )[:max_candidates]
+        lists[node.tile] = merged
+
+    root_cands = lists[tree.root.tile]
+    if not root_cands:
+        raise ConfigurationError("no candidates at the root (empty tree?)")
+    best = min(root_cands, key=lambda c: c.delay + tech.driver_res * c.cap)
+    specs: List[BufferSpec] = []
+    _trace_buffers(best, specs)
+    return best.delay + tech.driver_res * best.cap, specs
+
+
+def _trace_buffers(cand: _Candidate, out: List[BufferSpec]) -> None:
+    stack = [cand]
+    while stack:
+        c = stack.pop()
+        kind = c.trace[0]
+        if kind == "sink":
+            continue
+        if kind == "wire":
+            stack.append(c.trace[1])
+        elif kind == "buf":
+            _, tile, child, below = c.trace
+            out.append(BufferSpec(tile, child))
+            stack.append(below)
+        else:  # merge
+            stack.append(c.trace[1])
+            stack.append(c.trace[2])
+
+
+def _oversubscribes(graph: TileGraph, specs: List[BufferSpec]) -> bool:
+    per_tile: Dict[Tile, int] = {}
+    for spec in specs:
+        per_tile[spec.tile] = per_tile.get(spec.tile, 0) + 1
+    return any(
+        count > graph.free_sites(tile) for tile, count in per_tile.items()
+    )
+
+
+def rebuffer_net_timing_driven(
+    tree: RouteTree,
+    graph: TileGraph,
+    tech: Technology,
+    max_candidates: int = 64,
+) -> float:
+    """Rip up a net's buffers and reinsert them delay-optimally.
+
+    Releases the net's current sites, runs :func:`timing_driven_buffering`
+    against the freed availability, applies the result to the tree, and
+    re-books the sites. The DP prices site *availability* per tile but can
+    stack several buffers into one tile; when that oversubscribes ``B(v)``
+    (or when the new solution is slower), the previous buffering is kept.
+
+    Returns the achieved worst sink delay (seconds).
+    """
+    from repro.timing.elmore import net_delay  # local: avoid import cycle
+
+    old_specs = tree.buffer_specs()
+    old_delay = net_delay(tree, graph, tech).max_delay
+    for node in tree.nodes.values():
+        count = node.buffer_count()
+        if count:
+            graph.use_site(node.tile, -count)
+    tree.clear_buffers()
+    delay, specs = timing_driven_buffering(
+        tree, graph, tech, max_candidates=max_candidates
+    )
+    if _oversubscribes(graph, specs) or delay > old_delay:
+        specs, delay = old_specs, old_delay
+    tree.apply_buffers(specs)
+    for spec in specs:
+        graph.use_site(spec.tile, 1)
+    return delay

@@ -1,0 +1,6 @@
+"""Small generic utilities: deterministic RNG handling, union-find."""
+
+from repro.utils.rng import make_rng
+from repro.utils.union_find import UnionFind
+
+__all__ = ["make_rng", "UnionFind"]

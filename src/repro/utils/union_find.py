@@ -1,0 +1,51 @@
+"""Disjoint-set forest with path compression and union by size."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Classic union-find over arbitrary hashable items.
+
+    Items are added lazily on first use; ``find`` of an unseen item creates
+    a singleton set for it.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+
+    def find(self, item: T) -> T:
+        """Representative of ``item``'s set."""
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._size[item] = 1
+            return item
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root  # type: ignore[return-value]
+
+    def union(self, a: T, b: T) -> bool:
+        """Merge the sets of ``a`` and ``b``; False when already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def connected(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def set_size(self, item: T) -> int:
+        """Number of items in ``item``'s set."""
+        return self._size[self.find(item)]

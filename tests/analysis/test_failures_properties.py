@@ -1,0 +1,62 @@
+"""Property tests: failure diagnosis is total and consistent."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.failures import FailureCause, diagnose_failure
+from repro.geometry import Rect
+from repro.routing.tree import RouteTree
+from repro.tilegraph import CapacityModel, TileGraph
+
+SIZE = 10
+
+
+@st.composite
+def diagnosis_instances(draw):
+    g = TileGraph(Rect(0, 0, SIZE, SIZE), SIZE, SIZE, CapacityModel.uniform(6))
+    # Random per-tile sites (possibly zero) and random prior usage.
+    for tile in g.tiles():
+        sites = draw(st.integers(0, 2))
+        if sites:
+            g.set_sites(tile, sites)
+            g.use_site(tile, draw(st.integers(0, sites)))
+    y = draw(st.integers(0, SIZE - 1))
+    n = draw(st.integers(2, SIZE))
+    tiles = [(i, y) for i in range(n)]
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    tree = RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]], net_name="n")
+    L = draw(st.integers(1, 5))
+    blocked = frozenset(
+        t for t in g.tiles() if g.site_count(t) == 0 and draw(st.booleans())
+    )
+    return g, tree, L, blocked
+
+
+class TestDiagnosisProperties:
+    @given(diagnosis_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_always_classifies(self, instance):
+        g, tree, L, blocked = instance
+        d = diagnose_failure(tree, g, L, blocked)
+        assert isinstance(d.cause, FailureCause)
+        assert d.violations >= 0
+        assert 0 <= d.tiles_in_blocked_region <= len(tree.nodes)
+
+    @given(diagnosis_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_blocked_region_cause_requires_touching_region(self, instance):
+        g, tree, L, blocked = instance
+        d = diagnose_failure(tree, g, L, blocked)
+        if d.cause is FailureCause.BLOCKED_REGION:
+            assert d.tiles_in_blocked_region > 0
+
+    @given(diagnosis_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_exhaustion_implies_free_sites_would_fix(self, instance):
+        from repro.core.multi_sink import insert_buffers_multi_sink
+
+        g, tree, L, blocked = instance
+        d = diagnose_failure(tree, g, L, blocked)
+        if d.cause is FailureCause.SITE_EXHAUSTION:
+            q = lambda t: 1.0 if g.site_count(t) > 0 else float("inf")
+            assert insert_buffers_multi_sink(tree, q, L).feasible

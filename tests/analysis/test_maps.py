@@ -1,0 +1,57 @@
+"""ASCII map rendering."""
+
+from repro.analysis import (
+    buffer_usage_map,
+    site_distribution_map,
+    wire_congestion_map,
+)
+
+
+class TestWireMap:
+    def test_dimensions(self, graph10):
+        out = wire_congestion_map(graph10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 10 for line in lines)
+
+    def test_empty_graph_blank(self, graph10):
+        out = wire_congestion_map(graph10)
+        assert set(out) <= {" ", "\n"}
+
+    def test_overflow_marked(self, graph10):
+        graph10.add_wire((0, 0), (1, 0), 15)
+        out = wire_congestion_map(graph10)
+        assert "!" in out
+
+    def test_loaded_edge_visible(self, graph10):
+        graph10.add_wire((5, 5), (5, 6), 8)
+        out = wire_congestion_map(graph10)
+        assert set(out) - {" ", "\n"}
+
+    def test_top_row_first(self, graph10):
+        # Load an edge on the top row; the mark must appear in line 0.
+        graph10.add_wire((0, 9), (1, 9), 15)
+        lines = wire_congestion_map(graph10).splitlines()
+        assert "!" in lines[0]
+        assert "!" not in lines[-1]
+
+
+class TestBufferMap:
+    def test_zero_site_tiles_marked(self, graph10):
+        out = buffer_usage_map(graph10)
+        assert set(out.replace("\n", "")) == {"X"}
+
+    def test_usage_levels(self, graph10_sites):
+        graph10_sites.use_site((0, 0), 3)  # full tile
+        out = buffer_usage_map(graph10_sites)
+        assert "@" in out
+
+
+class TestSiteMap:
+    def test_relative_density(self, graph10):
+        graph10.set_sites((0, 0), 10)
+        graph10.set_sites((9, 9), 5)
+        out = site_distribution_map(graph10)
+        lines = out.splitlines()
+        assert lines[-1][0] == "@"  # densest tile saturates the ramp
+        assert lines[0][9] != " "

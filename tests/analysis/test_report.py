@@ -1,0 +1,54 @@
+"""Design reports."""
+
+import pytest
+
+from repro.analysis import design_report
+from repro.routing.tree import BufferSpec, RouteTree
+
+
+def _path_tree(tiles, name):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]], net_name=name)
+
+
+@pytest.fixture
+def routes(graph10_sites):
+    a = _path_tree([(i, 0) for i in range(8)], "a")
+    a.apply_buffers([BufferSpec((3, 0), None)])
+    b = _path_tree([(0, 5), (1, 5)], "b")
+    for t in (a, b):
+        t.add_usage(graph10_sites)
+    return {"a": a, "b": b}
+
+
+class TestDesignReport:
+    def test_per_net_rows(self, routes, graph10_sites, tech):
+        report = design_report(routes, graph10_sites, tech, length_limit=4)
+        assert [n.name for n in report.nets] == ["a", "b"]
+        net_a = report.nets[0]
+        assert net_a.wirelength_tiles == 7
+        assert net_a.num_buffers == 1
+        assert net_a.num_sinks == 1
+        assert net_a.max_delay_ps > 0
+
+    def test_totals(self, routes, graph10_sites, tech):
+        report = design_report(routes, graph10_sites, tech, length_limit=4)
+        assert report.total_buffers == 1
+        assert report.total_wirelength_mm == pytest.approx(8.0)
+        assert report.wire_overflow == 0
+
+    def test_fails_detected(self, routes, graph10_sites, tech):
+        # L=2: net "a" has a 3-then-4 split -> violations.
+        report = design_report(routes, graph10_sites, tech, length_limit=2)
+        assert "a" in report.failed_nets
+        assert "b" not in report.failed_nets
+
+    def test_worst_nets_ordering(self, routes, graph10_sites, tech):
+        report = design_report(routes, graph10_sites, tech, length_limit=4)
+        worst = report.worst_nets(1)
+        assert worst[0].name == "a"  # the long one
+
+    def test_avg_weighted_by_sinks(self, routes, graph10_sites, tech):
+        report = design_report(routes, graph10_sites, tech, length_limit=4)
+        per_sink = [n.max_delay_ps for n in report.nets]  # 1 sink each
+        assert report.avg_delay_ps == pytest.approx(sum(per_sink) / 2, rel=1e-6)

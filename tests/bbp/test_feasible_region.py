@@ -1,0 +1,56 @@
+"""Feasible regions and ideal buffer points."""
+
+import pytest
+
+from repro.bbp import feasible_region_for, ideal_buffer_points
+from repro.errors import ConfigurationError
+from repro.geometry import Point, Rect
+
+
+class TestIdealPoints:
+    def test_even_split(self):
+        pts = ideal_buffer_points(Point(0, 0), Point(9, 0), 2)
+        assert pts == [Point(3, 0), Point(6, 0)]
+
+    def test_zero_buffers(self):
+        assert ideal_buffer_points(Point(0, 0), Point(9, 0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ideal_buffer_points(Point(0, 0), Point(1, 1), -1)
+
+    def test_diagonal(self):
+        pts = ideal_buffer_points(Point(0, 0), Point(4, 8), 1)
+        assert pts == [Point(2, 4)]
+
+    def test_points_between_endpoints(self):
+        pts = ideal_buffer_points(Point(1, 2), Point(7, 9), 5)
+        for p in pts:
+            assert 1 <= p.x <= 7 and 2 <= p.y <= 9
+
+
+class TestFeasibleRegion:
+    def test_box_centered(self):
+        die = Rect(0, 0, 10, 10)
+        fr = feasible_region_for(Point(5, 5), spacing_mm=2.0, die=die, alpha=0.5)
+        assert fr.box == Rect(4, 4, 6, 6)
+        assert fr.contains(Point(5, 5))
+
+    def test_clipped_to_die(self):
+        die = Rect(0, 0, 10, 10)
+        fr = feasible_region_for(Point(0.5, 0.5), spacing_mm=4.0, die=die, alpha=0.5)
+        assert fr.box.x0 == 0 and fr.box.y0 == 0
+
+    def test_bad_spacing(self):
+        with pytest.raises(ConfigurationError):
+            feasible_region_for(Point(0, 0), 0.0, Rect(0, 0, 1, 1))
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            feasible_region_for(Point(0, 0), 1.0, Rect(0, 0, 1, 1), alpha=-1)
+
+    def test_wider_alpha_wider_box(self):
+        die = Rect(0, 0, 10, 10)
+        narrow = feasible_region_for(Point(5, 5), 2.0, die, alpha=0.25)
+        wide = feasible_region_for(Point(5, 5), 2.0, die, alpha=1.0)
+        assert wide.box.contains_rect(narrow.box)

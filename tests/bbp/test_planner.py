@@ -1,0 +1,142 @@
+"""BBP/FR baseline planner."""
+
+import pytest
+
+from repro.bbp import BbpConfig, BbpPlanner, max_tile_area_pct
+from repro.floorplan import Block, Floorplan
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.technology import TECH_180NM
+from repro.tilegraph import CapacityModel, TileGraph
+
+
+def _setup(block_specs=(), nets=(), capacity=10, size=12):
+    die = Rect(0, 0, float(size), float(size))
+    graph = TileGraph(die, size, size, CapacityModel.uniform(capacity))
+    blocks = [
+        Block(name=f"b{i}", width=w, height=h, x=x, y=y)
+        for i, (x, y, w, h) in enumerate(block_specs)
+    ]
+    plan = Floorplan(die=die, blocks=blocks)
+    plan.validate()
+    netlist = Netlist(
+        nets=[
+            Net(
+                name=f"n{i}",
+                source=Pin(f"n{i}.s", Point(*src)),
+                sinks=[Pin(f"n{i}.t", Point(*dst))],
+            )
+            for i, (src, dst) in enumerate(nets)
+        ]
+    )
+    return graph, plan, netlist
+
+
+class TestBufferCount:
+    def test_short_net_none(self):
+        graph, plan, netlist = _setup(nets=[((0.5, 0.5), (2.5, 0.5))])
+        planner = BbpPlanner(graph, plan, netlist, BbpConfig(length_limit=5))
+        assert planner.buffers_needed(netlist.get("n0")) == 0
+
+    def test_distance_rule(self):
+        graph, plan, netlist = _setup(nets=[((0.5, 0.5), (10.5, 0.5))])
+        planner = BbpPlanner(graph, plan, netlist, BbpConfig(length_limit=5))
+        # 10 tiles / L=5 -> 1 buffer.
+        assert planner.buffers_needed(netlist.get("n0")) == 1
+
+
+class TestRun:
+    def test_free_ideal_positions_used(self):
+        graph, plan, netlist = _setup(nets=[((0.5, 6.0), (11.5, 6.0))])
+        planner = BbpPlanner(graph, plan, netlist, BbpConfig(length_limit=4))
+        result = planner.run()
+        assert result.num_buffers == 2
+        assert result.unplaceable == 0
+        # No blocks: buffers at their ideal split points.
+        for p in result.buffer_points:
+            assert p.y == pytest.approx(6.0)
+
+    def test_buffers_pushed_out_of_blocks(self):
+        # A big block covers the middle; ideal points fall inside it.
+        graph, plan, netlist = _setup(
+            block_specs=[(3, 3, 6, 6)],
+            nets=[((0.5, 6.0), (11.5, 6.0))],
+        )
+        planner = BbpPlanner(graph, plan, netlist, BbpConfig(length_limit=4))
+        result = planner.run()
+        assert result.num_buffers == 2
+        for p in result.buffer_points:
+            assert plan.free_space(p), p
+
+    def test_multipin_decomposed(self):
+        graph, plan, _ = _setup()
+        netlist = Netlist(
+            nets=[
+                Net(
+                    name="m",
+                    source=Pin("m.s", Point(0.5, 0.5)),
+                    sinks=[
+                        Pin("m.a", Point(11.5, 0.5)),
+                        Pin("m.b", Point(0.5, 11.5)),
+                    ],
+                )
+            ]
+        )
+        planner = BbpPlanner(graph, plan, netlist)
+        assert len(planner.netlist) == 2
+        result = planner.run()
+        assert set(result.routes) == {"m#0", "m#1"}
+
+    def test_routes_cover_all_nets(self):
+        graph, plan, netlist = _setup(
+            nets=[((0.5, 0.5), (11.5, 11.5)), ((0.5, 11.5), (11.5, 0.5))]
+        )
+        result = BbpPlanner(graph, plan, netlist).run()
+        assert len(result.routes) == 2
+        for tree in result.routes.values():
+            tree.validate()
+
+    def test_wire_usage_recorded(self):
+        graph, plan, netlist = _setup(nets=[((0.5, 0.5), (11.5, 0.5))])
+        result = BbpPlanner(graph, plan, netlist).run()
+        assert result.wire_congestion_max > 0
+        assert result.wirelength_mm > 0
+
+    def test_delays_positive(self):
+        graph, plan, netlist = _setup(nets=[((0.5, 0.5), (11.5, 0.5))])
+        result = BbpPlanner(graph, plan, netlist).run()
+        assert result.max_delay_ps > 0
+        assert result.avg_delay_ps > 0
+
+
+class TestMtap:
+    def test_zero_when_empty(self, graph10):
+        import numpy as np
+
+        assert max_tile_area_pct(
+            np.zeros((10, 10), dtype=np.int64), graph10, TECH_180NM
+        ) == 0.0
+
+    def test_scales_with_worst_tile(self, graph10):
+        import numpy as np
+
+        counts = np.zeros((10, 10), dtype=np.int64)
+        counts[3, 3] = 50
+        pct = max_tile_area_pct(counts, graph10, TECH_180NM)
+        expected = 100.0 * 50 * TECH_180NM.buffer_area_mm2 / 1.0
+        assert pct == pytest.approx(expected)
+
+    def test_clustering_raises_mtap(self):
+        # Blocked middle forces both nets' buffers into the same channel.
+        graph, plan, netlist = _setup(
+            block_specs=[(2, 0, 8, 5.8), (2, 6.2, 8, 5.8)],
+            nets=[
+                ((0.5, 6.0), (11.5, 6.0)),
+                ((0.5, 6.1), (11.5, 6.1)),
+            ],
+        )
+        result = BbpPlanner(graph, plan, netlist, BbpConfig(length_limit=3)).run()
+        assert result.num_buffers >= 4
+        # All buffers in the one channel row.
+        rows = {graph.tile_of(p)[1] for p in result.buffer_points}
+        assert rows <= {5, 6}

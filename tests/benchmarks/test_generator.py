@@ -1,0 +1,89 @@
+"""Benchmark synthesis honors the specs and is deterministic."""
+
+import pytest
+
+from repro.benchmarks import BENCHMARK_SPECS, generate_benchmark, load_benchmark
+from repro.errors import ConfigurationError
+
+
+class TestLoad:
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            load_benchmark("nonesuch")
+
+    @pytest.mark.parametrize("name", ["apte", "xerox", "ami33"])
+    def test_counts_match_spec(self, name):
+        bench = load_benchmark(name)
+        spec = BENCHMARK_SPECS[name]
+        assert len(bench.netlist) == spec.nets
+        assert bench.netlist.total_sinks == spec.sinks
+        assert len(bench.floorplan.blocks) == spec.cells
+        assert bench.graph.total_sites == spec.buffer_sites
+        assert (bench.graph.nx, bench.graph.ny) == spec.grid
+
+    def test_deterministic_same_seed(self):
+        a = load_benchmark("apte", seed=3)
+        b = load_benchmark("apte", seed=3)
+        assert (a.graph.sites == b.graph.sites).all()
+        for na, nb in zip(a.netlist, b.netlist):
+            assert na.source.location == nb.source.location
+            assert [s.location for s in na.sinks] == [s.location for s in nb.sinks]
+        for ba, bb in zip(a.floorplan.blocks, b.floorplan.blocks):
+            assert ba.rect() == bb.rect()
+
+    def test_different_seeds_differ(self):
+        a = load_benchmark("apte", seed=0)
+        b = load_benchmark("apte", seed=1)
+        assert (a.graph.sites != b.graph.sites).any()
+
+    def test_floorplan_legal(self):
+        bench = load_benchmark("ami49")
+        bench.floorplan.validate()
+
+    def test_pins_inside_die(self):
+        bench = load_benchmark("hp")
+        for net in bench.netlist:
+            for pin in net.pins:
+                assert bench.die.contains(pin.location)
+
+    def test_blocked_region_has_no_sites(self):
+        bench = load_benchmark("apte")
+        assert len(bench.blocked_tiles) == 81
+        for t in bench.blocked_tiles:
+            assert bench.graph.site_count(t) == 0
+
+
+class TestOverrides:
+    def test_site_budget_override(self):
+        bench = load_benchmark("apte", total_sites=280)
+        assert bench.graph.total_sites == 280
+
+    def test_grid_override_scales_capacity(self):
+        coarse = load_benchmark("apte", grid=(10, 11))
+        default = load_benchmark("apte")
+        assert (coarse.graph.nx, coarse.graph.ny) == (10, 11)
+        assert coarse.graph.wire_capacity((0, 0), (1, 0)) > default.graph.wire_capacity(
+            (0, 0), (1, 0)
+        )
+
+    def test_explicit_capacity_override(self):
+        bench = load_benchmark("apte", wire_capacity=99)
+        assert bench.graph.wire_capacity((0, 0), (1, 0)) == 99
+
+    def test_blocked_size_override(self):
+        bench = load_benchmark("apte", blocked_size=0)
+        assert bench.blocked_tiles == frozenset()
+
+    def test_netlist_geometry_independent_of_grid(self):
+        a = load_benchmark("apte", grid=(10, 11))
+        b = load_benchmark("apte")
+        for na, nb in zip(a.netlist, b.netlist):
+            assert na.source.location == nb.source.location
+
+
+class TestAllSpecsGenerate:
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_SPECS))
+    def test_generates(self, name):
+        bench = generate_benchmark(BENCHMARK_SPECS[name], seed=0)
+        assert len(bench.netlist) == BENCHMARK_SPECS[name].nets
+        bench.floorplan.validate()

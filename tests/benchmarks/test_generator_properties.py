@@ -1,0 +1,50 @@
+"""Property-based tests: benchmark synthesis honors its spec for any seed."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks import BENCHMARK_SPECS, generate_benchmark
+
+APTE = BENCHMARK_SPECS["apte"]
+HP = BENCHMARK_SPECS["hp"]
+
+
+class TestGeneratorProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_counts_for_any_seed(self, seed):
+        bench = generate_benchmark(APTE, seed=seed)
+        assert len(bench.netlist) == APTE.nets
+        assert bench.netlist.total_sinks == APTE.sinks
+        assert bench.graph.total_sites == APTE.buffer_sites
+        assert len(bench.floorplan.blocks) == APTE.cells
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_floorplan_always_legal(self, seed):
+        bench = generate_benchmark(HP, seed=seed)
+        bench.floorplan.validate()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_pad_pin_count_matches_spec(self, seed):
+        bench = generate_benchmark(HP, seed=seed)
+        pad_pins = sum(
+            1 for net in bench.netlist for pin in net.pins if pin.owner == "PAD"
+        )
+        assert pad_pins == HP.pads
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_pins_on_die(self, seed):
+        bench = generate_benchmark(HP, seed=seed)
+        for net in bench.netlist:
+            for pin in net.pins:
+                assert bench.die.contains(pin.location)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_blocked_region_always_siteless(self, seed):
+        bench = generate_benchmark(HP, seed=seed)
+        for tile in bench.blocked_tiles:
+            assert bench.graph.site_count(tile) == 0

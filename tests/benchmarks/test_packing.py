@@ -1,0 +1,86 @@
+"""Shelf packing internals of the benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.generator import _shelf_pack, _synthesize_blocks
+from repro.benchmarks.spec import BENCHMARK_SPECS
+from repro.errors import ConfigurationError
+from repro.floorplan import Block
+from repro.geometry import Rect
+
+
+class TestShelfPack:
+    def test_legal_for_synthesized_blocks(self):
+        rng = np.random.default_rng(0)
+        die = Rect(0, 0, 20, 20)
+        blocks = _synthesize_blocks(BENCHMARK_SPECS["ami33"], die, rng)
+        # Shrink until packable, like the generator does.
+        for _ in range(20):
+            try:
+                plan = _shelf_pack(blocks, die, rng)
+                break
+            except ConfigurationError:
+                blocks = [
+                    Block(name=b.name, width=b.width * 0.93, height=b.height * 0.93)
+                    for b in blocks
+                ]
+        plan.validate()
+        assert len(plan.blocks) == 33
+
+    def test_uneven_gaps(self):
+        # Dirichlet gap splitting: gaps differ from each other.
+        rng = np.random.default_rng(1)
+        die = Rect(0, 0, 30, 10)
+        blocks = [Block(name=f"b{i}", width=3, height=3) for i in range(5)]
+        plan = _shelf_pack(blocks, die, rng)
+        plan.validate()
+        xs = sorted(b.rect().x0 for b in plan.blocks)
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert len(set(round(g, 6) for g in gaps)) > 1
+
+    def test_overflow_raises(self):
+        rng = np.random.default_rng(2)
+        die = Rect(0, 0, 4, 4)
+        blocks = [Block(name=f"b{i}", width=3, height=3) for i in range(4)]
+        with pytest.raises(ConfigurationError):
+            _shelf_pack(blocks, die, rng)
+
+    def test_blocks_keep_dimensions(self):
+        rng = np.random.default_rng(3)
+        die = Rect(0, 0, 20, 20)
+        blocks = [Block(name="a", width=4, height=2), Block(name="b", width=2, height=5)]
+        plan = _shelf_pack(blocks, die, rng)
+        assert plan.get("a").width == 4 and plan.get("a").height == 2
+        assert plan.get("b").width == 2 and plan.get("b").height == 5
+
+    def test_site_flag_preserved(self):
+        rng = np.random.default_rng(4)
+        die = Rect(0, 0, 10, 10)
+        blocks = [
+            Block(name="cache", width=3, height=3, allows_buffer_sites=False)
+        ]
+        plan = _shelf_pack(blocks, die, rng)
+        assert not plan.get("cache").allows_buffer_sites
+
+
+class TestBlockSynthesis:
+    def test_areas_bounded_by_die(self):
+        rng = np.random.default_rng(5)
+        die = Rect(0, 0, 15, 15)
+        blocks = _synthesize_blocks(BENCHMARK_SPECS["apte"], die, rng)
+        assert len(blocks) == 9
+        for b in blocks:
+            assert b.width <= die.width * 0.6 + 1e-9
+            assert b.height <= die.height * 0.6 + 1e-9
+
+    def test_total_area_near_utilization(self):
+        from repro.benchmarks.generator import _BLOCK_UTILIZATION
+
+        rng = np.random.default_rng(6)
+        die = Rect(0, 0, 15, 15)
+        blocks = _synthesize_blocks(BENCHMARK_SPECS["ami49"], die, rng)
+        total = sum(b.area for b in blocks)
+        # Clamping of extreme aspect blocks can only shrink total area.
+        assert total <= _BLOCK_UTILIZATION * die.area + 1e-6
+        assert total >= 0.5 * _BLOCK_UTILIZATION * die.area

@@ -1,0 +1,92 @@
+"""Table I specs must match the paper exactly."""
+
+import math
+
+import pytest
+
+from repro.benchmarks import BENCHMARK_SPECS, CBL_CIRCUITS, RANDOM_CIRCUITS
+
+# (cells, nets, pads, sinks, grid, tile_area, L, sites, pct) from Table I.
+PAPER_TABLE1 = {
+    "apte": (9, 77, 73, 141, (30, 33), 0.36, 6, 1200, 0.13),
+    "xerox": (10, 171, 2, 390, (30, 30), 0.35, 5, 3000, 0.38),
+    "hp": (11, 68, 45, 187, (30, 30), 0.42, 6, 2350, 0.25),
+    "ami33": (33, 112, 43, 324, (33, 30), 0.46, 5, 2750, 0.24),
+    "ami49": (49, 368, 22, 493, (30, 30), 0.67, 5, 11450, 0.75),
+    "playout": (62, 1294, 192, 1663, (33, 30), 0.75, 6, 27550, 1.47),
+    "ac3": (27, 200, 75, 409, (30, 30), 0.49, 6, 3550, 0.32),
+    "xc5": (50, 975, 2, 2149, (30, 30), 0.54, 6, 13550, 1.11),
+    "hc7": (77, 430, 51, 1318, (30, 30), 1.04, 5, 7780, 0.33),
+    "a9c3": (147, 1148, 22, 1526, (30, 30), 1.08, 5, 12780, 0.52),
+}
+
+
+class TestSpecsMatchPaper:
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE1))
+    def test_row(self, name):
+        spec = BENCHMARK_SPECS[name]
+        cells, nets, pads, sinks, grid, area, L, sites, pct = PAPER_TABLE1[name]
+        assert spec.cells == cells
+        assert spec.nets == nets
+        assert spec.pads == pads
+        assert spec.sinks == sinks
+        assert spec.grid == grid
+        assert spec.tile_area_mm2 == pytest.approx(area)
+        assert spec.length_limit == L
+        assert spec.buffer_sites == sites
+        assert spec.chip_area_pct == pytest.approx(pct)
+
+    def test_all_ten_present(self):
+        assert set(BENCHMARK_SPECS) == set(PAPER_TABLE1)
+        assert set(CBL_CIRCUITS) | set(RANDOM_CIRCUITS) == set(PAPER_TABLE1)
+
+    def test_random_flags(self):
+        for name in RANDOM_CIRCUITS:
+            assert BENCHMARK_SPECS[name].is_random
+        for name in CBL_CIRCUITS:
+            assert not BENCHMARK_SPECS[name].is_random
+
+
+class TestDerivedGeometry:
+    def test_tile_side(self):
+        spec = BENCHMARK_SPECS["apte"]
+        assert spec.tile_side_mm == pytest.approx(math.sqrt(0.36))
+
+    def test_die_dimensions(self):
+        spec = BENCHMARK_SPECS["apte"]
+        assert spec.die_width_mm == pytest.approx(30 * 0.6)
+        assert spec.die_height_mm == pytest.approx(33 * 0.6)
+
+    def test_short_side_is_30(self):
+        for spec in BENCHMARK_SPECS.values():
+            assert min(spec.grid) == 30
+
+    def test_capacity_scaling(self):
+        spec = BENCHMARK_SPECS["apte"]
+        # Coarser grid (1/3 the tiles per side) -> 3x capacity.
+        scaled = spec.scaled_wire_capacity((10, 11))
+        assert scaled == 3 * spec.default_wire_capacity
+        # Finer grid -> reduced capacity, at least 1.
+        assert 1 <= spec.scaled_wire_capacity((60, 66)) < spec.default_wire_capacity
+
+
+class TestVariants:
+    def test_table3_site_variants(self):
+        # The paper's Table III budgets, largest equals Table I.
+        expected = {
+            "apte": (280, 700, 3200),
+            "xerox": (600, 1300, 3000),
+            "hp": (300, 600, 2350),
+            "ami33": (500, 850, 2750),
+            "ami49": (850, 1650, 11450),
+            "playout": (3250, 6250, 27550),
+        }
+        for name, budgets in expected.items():
+            assert BENCHMARK_SPECS[name].site_variants == budgets
+
+    def test_table4_grid_variants(self):
+        assert BENCHMARK_SPECS["apte"].grid_variants[0] == (10, 11)
+        assert BENCHMARK_SPECS["ami49"].grid_variants[-1] == (50, 50)
+        assert BENCHMARK_SPECS["playout"].grid_variants == (
+            (11, 10), (22, 20), (33, 30), (44, 40), (55, 50),
+        )

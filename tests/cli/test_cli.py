@@ -1,0 +1,48 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "apte" in out and "playout" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "circuit" in out and "27550" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "apte", "--stage4-iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+        assert out.count("\n") >= 5
+
+    def test_run_with_maps(self, capsys):
+        assert main(["run", "apte", "--stage4-iterations", "1", "--maps"]) == 0
+        out = capsys.readouterr().out
+        assert "wire congestion" in out
+        assert "buffer usage" in out
+
+    def test_run_with_diagnose(self, capsys):
+        assert main(["run", "apte", "--stage4-iterations", "0", "--diagnose"]) == 0
+        out = capsys.readouterr().out
+        # Stage 4 disabled leaves failures to diagnose.
+        assert "failure diagnosis" in out
+        assert "summary:" in out
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonesuch"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "3", "table1"]) == 0
+        assert "apte" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""CLI table commands, with the heavy harnesses stubbed out."""
+
+import pytest
+
+import repro.cli as cli
+from repro.core import StageMetrics
+
+
+def _metrics(stage=4):
+    return StageMetrics(
+        stage=stage,
+        wire_congestion_max=0.5,
+        wire_congestion_avg=0.2,
+        overflows=0,
+        buffer_density_max=0.9,
+        buffer_density_avg=0.3,
+        num_buffers=123,
+        num_fails=2,
+        wirelength_mm=1000.0,
+        max_delay_ps=2000.0,
+        avg_delay_ps=900.0,
+        cpu_seconds=1.5,
+    )
+
+
+class TestTableCommands:
+    def test_table2_uses_harness(self, monkeypatch, capsys):
+        from repro.experiments.table2 import Table2Row
+
+        def fake(name, experiment):
+            assert name == "apte"
+            return [Table2Row("apte", "1-4", _metrics())]
+
+        monkeypatch.setattr(cli, "run_table2_circuit", fake)
+        assert cli.main(["table2", "apte"]) == 0
+        out = capsys.readouterr().out
+        assert "apte" in out and "123" in out
+
+    def test_table3(self, monkeypatch, capsys):
+        from repro.experiments.table3 import Table3Row
+
+        monkeypatch.setattr(
+            cli,
+            "run_table3_circuit",
+            lambda name, experiment: [Table3Row(name, 700, _metrics())],
+        )
+        assert cli.main(["table3", "apte"]) == 0
+        assert "700" in capsys.readouterr().out
+
+    def test_table4(self, monkeypatch, capsys):
+        from repro.experiments.table4 import Table4Row
+
+        monkeypatch.setattr(
+            cli,
+            "run_table4_circuit",
+            lambda name, experiment: [Table4Row(name, (10, 11), _metrics())],
+        )
+        assert cli.main(["table4", "apte"]) == 0
+        assert "10x11" in capsys.readouterr().out
+
+    def test_table5(self, monkeypatch, capsys):
+        from repro.experiments.table5 import Table5Row
+
+        def row(alg):
+            return Table5Row(
+                circuit="apte", algorithm=alg, wire_congestion_max=1.0,
+                wire_congestion_avg=0.2, overflows=0, num_buffers=10,
+                mtap_pct=1.0, wirelength_mm=100.0, max_delay_ps=1.0,
+                avg_delay_ps=1.0, cpu_seconds=0.1,
+            )
+
+        monkeypatch.setattr(
+            cli,
+            "run_table5_circuit",
+            lambda name, experiment: [row("BBP/FR"), row("RABID")],
+        )
+        assert cli.main(["table5", "apte"]) == 0
+        out = capsys.readouterr().out
+        assert "BBP/FR" in out and "RABID" in out
+
+    def test_seed_threaded_to_experiment(self, monkeypatch):
+        seen = {}
+
+        def fake(name, experiment):
+            seen["seed"] = experiment.seed
+            from repro.experiments.table2 import Table2Row
+
+            return [Table2Row(name, "1-4", _metrics())]
+
+        monkeypatch.setattr(cli, "run_table2_circuit", fake)
+        cli.main(["--seed", "17", "table2", "apte"])
+        assert seen["seed"] == 17

@@ -1,0 +1,37 @@
+"""`python -m repro` entry point, exercised as a real subprocess."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestMainModule:
+    def test_list(self):
+        proc = _run("list")
+        assert proc.returncode == 0
+        assert "apte" in proc.stdout
+        assert "playout" in proc.stdout
+
+    def test_help(self):
+        proc = _run("--help")
+        assert proc.returncode == 0
+        assert "table5" in proc.stdout
+
+    def test_bad_command_exits_nonzero(self):
+        proc = _run("frobnicate")
+        assert proc.returncode != 0
+
+    def test_table1(self):
+        proc = _run("table1")
+        assert proc.returncode == 0
+        assert "27550" in proc.stdout

@@ -1,0 +1,74 @@
+"""Shared fixtures: small tile graphs, simple nets, and route trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.routing.tree import RouteTree
+from repro.technology import TECH_180NM
+from repro.tilegraph import CapacityModel, TileGraph
+
+
+@pytest.fixture
+def die10() -> Rect:
+    """A 10mm x 10mm die."""
+    return Rect(0.0, 0.0, 10.0, 10.0)
+
+
+@pytest.fixture
+def graph10(die10) -> TileGraph:
+    """10x10 tiles of 1mm, uniform wire capacity 10, no sites yet."""
+    return TileGraph(die10, 10, 10, CapacityModel.uniform(10))
+
+
+@pytest.fixture
+def graph10_sites(graph10) -> TileGraph:
+    """graph10 with 3 buffer sites in every tile."""
+    for tile in graph10.tiles():
+        graph10.set_sites(tile, 3)
+    return graph10
+
+
+@pytest.fixture
+def tech():
+    return TECH_180NM
+
+
+def make_path_tree(tiles, net_name="n"):
+    """A RouteTree that is a simple path; last tile is the sink."""
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]], net_name=net_name)
+
+
+@pytest.fixture
+def path_tree_factory():
+    return make_path_tree
+
+
+@pytest.fixture
+def two_pin_net() -> Net:
+    return Net(
+        name="n0",
+        source=Pin("n0.s", Point(0.5, 0.5)),
+        sinks=[Pin("n0.t", Point(8.5, 6.5))],
+    )
+
+
+@pytest.fixture
+def multi_pin_net() -> Net:
+    return Net(
+        name="n1",
+        source=Pin("n1.s", Point(1.5, 1.5)),
+        sinks=[
+            Pin("n1.a", Point(8.5, 1.5)),
+            Pin("n1.b", Point(1.5, 8.5)),
+            Pin("n1.c", Point(8.5, 8.5)),
+        ],
+    )
+
+
+@pytest.fixture
+def small_netlist(two_pin_net, multi_pin_net) -> Netlist:
+    return Netlist(nets=[two_pin_net, multi_pin_net])

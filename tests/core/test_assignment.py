@@ -1,0 +1,91 @@
+"""Stage-3 assignment over a design."""
+
+import pytest
+
+from repro.core import assign_buffers_stage3
+from repro.core.assignment import assign_buffers_to_net
+from repro.core.length_rule import net_meets_length_rule
+from repro.routing.tree import RouteTree
+from repro.tilegraph import buffer_density_stats
+
+
+def _path_tree(tiles, name):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]], net_name=name)
+
+
+def _routes():
+    return {
+        "long": _path_tree([(i, 0) for i in range(9)], "long"),
+        "short": _path_tree([(0, 5), (1, 5)], "short"),
+        "mid": _path_tree([(i, 9) for i in range(6)], "mid"),
+    }
+
+
+class TestAssignNet:
+    def test_updates_graph_counters(self, graph10_sites):
+        tree = _path_tree([(i, 0) for i in range(9)], "n")
+        meets, dp_ok, cost = assign_buffers_to_net(graph10_sites, tree, 3)
+        assert meets and dp_ok
+        assert graph10_sites.total_used_sites == tree.buffer_count() > 0
+
+    def test_falls_back_when_infeasible(self, graph10):
+        tree = _path_tree([(i, 0) for i in range(9)], "n")
+        graph10.set_sites((4, 0), 1)  # one site; gaps of 4 remain
+        meets, dp_ok, cost = assign_buffers_to_net(graph10, tree, 3)
+        assert not dp_ok
+        assert not meets
+        assert cost == float("inf")
+        assert graph10.total_used_sites == tree.buffer_count() == 1
+
+
+class TestStage3:
+    def test_all_nets_buffered_legally(self, graph10_sites):
+        routes = _routes()
+        result = assign_buffers_stage3(
+            graph10_sites,
+            routes,
+            {name: 3 for name in routes},
+            order=["long", "mid", "short"],
+        )
+        assert result.num_fails == 0
+        assert result.buffers_inserted == graph10_sites.total_used_sites
+        for name, tree in routes.items():
+            assert net_meets_length_rule(tree, 3), name
+
+    def test_never_violates_site_capacity(self, graph10):
+        # Scarce sites: 1 per tile on row 0 only.
+        for x in range(10):
+            graph10.set_sites((x, 0), 1)
+        routes = {
+            f"n{k}": _path_tree([(i, 0) for i in range(10)], f"n{k}")
+            for k in range(4)
+        }
+        result = assign_buffers_stage3(
+            graph10, routes, {n: 3 for n in routes}, order=sorted(routes)
+        )
+        stats = buffer_density_stats(graph10)
+        assert stats.overflow == 0
+        assert stats.maximum <= 1.0
+
+    def test_probability_spreads_usage(self, graph10_sites):
+        # With p(v), early nets avoid tiles that later nets need... at
+        # minimum the toggle must not break anything and both modes are
+        # legal.
+        for use_p in (True, False):
+            graph10_sites.reset_usage()
+            routes = _routes()
+            result = assign_buffers_stage3(
+                graph10_sites,
+                routes,
+                {n: 3 for n in routes},
+                order=["long", "mid", "short"],
+                use_probability=use_p,
+            )
+            assert result.num_fails == 0
+
+    def test_failed_nets_reported(self, graph10):
+        routes = {"n": _path_tree([(i, 0) for i in range(10)], "n")}
+        result = assign_buffers_stage3(graph10, routes, {"n": 3}, order=["n"])
+        assert result.failed_nets == ["n"]
+        assert result.dp_infeasible_nets == ["n"]

@@ -1,0 +1,54 @@
+"""Goal-set variant of the buffered-label path search."""
+
+import pytest
+
+from repro.core.two_path import best_buffered_path
+
+INF = float("inf")
+
+
+class TestGoalSet:
+    def test_reaches_cheapest_goal(self, graph10_sites):
+        window = (0, 0, 9, 9)
+        goals = {(6, 0), (2, 0)}
+        path = best_buffered_path(
+            graph10_sites, (0, 0), goals,
+            lambda t: 1.0, length_limit=4, forbidden=set(), window=window,
+        )
+        assert path is not None
+        assert path[-1] == (2, 0)  # the nearer goal
+
+    def test_start_in_goals_is_trivial(self, graph10_sites):
+        window = (0, 0, 9, 9)
+        path = best_buffered_path(
+            graph10_sites, (3, 3), {(3, 3), (9, 9)},
+            lambda t: 1.0, length_limit=4, forbidden=set(), window=window,
+        )
+        assert path == [(3, 3)]
+
+    def test_single_tile_goal_still_works(self, graph10_sites):
+        window = (0, 0, 9, 9)
+        path = best_buffered_path(
+            graph10_sites, (0, 0), (4, 0),
+            lambda t: 1.0, length_limit=4, forbidden=set(), window=window,
+        )
+        assert path is not None and path[-1] == (4, 0)
+
+    def test_forbidden_goal_member_still_reachable(self, graph10_sites):
+        # A goal inside forbidden territory is still enterable (goals win).
+        window = (0, 0, 9, 9)
+        forbidden = {(2, 0), (1, 1)}
+        path = best_buffered_path(
+            graph10_sites, (0, 0), {(2, 0)},
+            lambda t: 1.0, length_limit=4, forbidden=forbidden, window=window,
+        )
+        assert path is not None and path[-1] == (2, 0)
+
+    def test_empty_reachability_returns_none(self, graph10):
+        # No sites + goals beyond L: unreachable.
+        window = (0, 0, 9, 9)
+        path = best_buffered_path(
+            graph10, (0, 0), {(9, 9)},
+            lambda t: INF, length_limit=3, forbidden=set(), window=window,
+        )
+        assert path is None

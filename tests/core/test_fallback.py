@@ -1,0 +1,68 @@
+"""Greedy fallback buffering."""
+
+from repro.core import greedy_buffering
+from repro.core.length_rule import length_violations, net_meets_length_rule
+from repro.routing.tree import RouteTree
+
+
+def _path_tree(tiles):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]])
+
+
+class TestGreedy:
+    def test_short_net_no_buffers(self, graph10_sites):
+        tree = _path_tree([(0, 0), (1, 0), (2, 0)])
+        assert greedy_buffering(tree, graph10_sites, 5) == []
+
+    def test_long_path_legal_when_sites_everywhere(self, graph10_sites):
+        tree = _path_tree([(i, 0) for i in range(10)])
+        for L in (2, 3, 4):
+            specs = greedy_buffering(tree, graph10_sites, L)
+            tree.apply_buffers(specs)
+            assert net_meets_length_rule(tree, L), L
+            tree.clear_buffers()
+
+    def test_respects_free_sites(self, graph10):
+        # Only one site on the whole route.
+        tree = _path_tree([(i, 0) for i in range(10)])
+        graph10.set_sites((4, 0), 1)
+        specs = greedy_buffering(tree, graph10, 3)
+        assert len(specs) == 1
+        assert specs[0].tile == (4, 0)
+        tree.apply_buffers(specs)
+        assert length_violations(tree, 3) >= 1  # cannot fully fix
+
+    def test_never_oversubscribes_a_tile(self, graph10):
+        joint = (3, 0)
+        paths = [
+            [(i, 0) for i in range(4)],
+            [joint] + [(3, y) for y in range(1, 6)],
+            [joint] + [(3, -0)],
+        ]
+        tree = RouteTree.from_paths(
+            (0, 0), paths[:2], [(3, 5)]
+        )
+        graph10.set_sites(joint, 1)
+        specs = greedy_buffering(tree, graph10, 2)
+        per_tile = {}
+        for s in specs:
+            per_tile[s.tile] = per_tile.get(s.tile, 0) + 1
+        for tile, count in per_tile.items():
+            assert count <= graph10.free_sites(tile)
+
+    def test_star_decouples_branches(self, graph10_sites):
+        center = (5, 5)
+        paths = [
+            [center, (6, 5), (7, 5)],
+            [center, (4, 5), (3, 5)],
+            [center, (5, 6), (5, 7)],
+        ]
+        tree = RouteTree.from_paths(center, paths, [(7, 5), (3, 5), (5, 7)])
+        specs = greedy_buffering(tree, graph10_sites, 3)
+        tree.apply_buffers(specs)
+        assert net_meets_length_rule(tree, 3)
+
+    def test_single_node_tree(self, graph10_sites):
+        tree = RouteTree.from_paths((0, 0), [], [(0, 0)])
+        assert greedy_buffering(tree, graph10_sites, 3) == []

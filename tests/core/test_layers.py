@@ -1,0 +1,98 @@
+"""Layer-aware length limits (footnote 4)."""
+
+import pytest
+
+from repro.core.layers import (
+    LayerAssignment,
+    LayerSpec,
+    assign_layers,
+    default_layer_stack,
+)
+from repro.errors import ConfigurationError
+from repro.geometry import Point
+from repro.netlist import Net, Netlist, Pin
+
+
+def _netlist(lengths):
+    nets = []
+    for i, span in enumerate(lengths):
+        nets.append(
+            Net(
+                name=f"n{i}",
+                source=Pin(f"n{i}.s", Point(0, 0)),
+                sinks=[Pin(f"n{i}.t", Point(float(span), 0))],
+            )
+        )
+    return Netlist(nets=nets)
+
+
+class TestLayerSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LayerSpec("L", length_limit=0, share=0.5)
+        with pytest.raises(ConfigurationError):
+            LayerSpec("L", length_limit=3, share=0.0)
+        with pytest.raises(ConfigurationError):
+            LayerSpec("L", length_limit=3, share=1.2)
+
+
+class TestDefaultStack:
+    def test_three_tiers(self):
+        stack = default_layer_stack(5)
+        assert [s.name for s in stack] == ["THICK", "SEMI", "THIN"]
+        assert stack[0].length_limit == 10
+        assert stack[1].length_limit == 7
+        assert stack[2].length_limit == 5
+        assert stack[-1].share == 1.0
+
+
+class TestAssignment:
+    def test_longest_nets_promoted(self):
+        netlist = _netlist([10, 2, 8, 1, 9, 3, 7, 4, 6, 5])
+        stack = default_layer_stack(5)
+        assignment = assign_layers(netlist, stack)
+        # 10% of 10 nets -> exactly the longest net on THICK.
+        assert assignment.nets_on("THICK") == ["n0"]
+        # Next 20% -> the two next-longest.
+        assert set(assignment.nets_on("SEMI")) == {"n4", "n2"}
+        assert len(assignment.nets_on("THIN")) == 7
+
+    def test_limits_match_layers(self):
+        netlist = _netlist([10, 2, 8, 1])
+        assignment = assign_layers(netlist, default_layer_stack(4))
+        for name, layer in assignment.layer_of.items():
+            expected = {"THICK": 8, "SEMI": 6, "THIN": 4}[layer]
+            assert assignment.length_limits[name] == expected
+
+    def test_every_net_assigned(self):
+        netlist = _netlist(range(1, 24))
+        assignment = assign_layers(netlist, default_layer_stack(5))
+        assert set(assignment.length_limits) == {n.name for n in netlist}
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assign_layers(_netlist([1]), [])
+
+    def test_insufficient_stack_rejected(self):
+        layers = [LayerSpec("ONLY", 5, share=0.5), LayerSpec("ALSO", 5, share=0.1)]
+        with pytest.raises(ConfigurationError):
+            assign_layers(_netlist([1, 2, 3, 4]), layers)
+
+    def test_planner_integration(self):
+        # The derived limits feed RabidConfig and change buffering.
+        from repro.core import RabidConfig, RabidPlanner
+        from repro.geometry import Rect
+        from repro.tilegraph import CapacityModel, TileGraph
+
+        graph = TileGraph(Rect(0, 0, 14, 14), 14, 14, CapacityModel.uniform(8))
+        for tile in graph.tiles():
+            graph.set_sites(tile, 3)
+        netlist = _netlist([13.0, 13.0])
+        limits = {"n0": 12, "n1": 3}
+        result = RabidPlanner(
+            graph,
+            netlist,
+            RabidConfig(length_limit=3, length_limits={"n0": 12},
+                        stage4_iterations=1),
+        ).run()
+        assert result.routes["n0"].buffer_count() < result.routes["n1"].buffer_count()

@@ -1,0 +1,184 @@
+"""Multi-sink DP (paper Fig. 8/9): joins, decoupling, trunk buffers."""
+
+import numpy as np
+import pytest
+
+from repro.core import insert_buffers_multi_sink, insert_buffers_single_sink
+from repro.core.length_rule import net_meets_length_rule
+from repro.errors import ConfigurationError
+from repro.routing.tree import RouteTree
+
+INF = float("inf")
+
+
+def _path_tree(tiles):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]])
+
+
+def _y_tree(stem=2, arms=3):
+    """Source at origin, a stem along x, then two arms up and down."""
+    joint = (stem, 0)
+    paths = [
+        [(i, 0) for i in range(stem + 1)],
+        [joint] + [(stem, y) for y in range(1, arms + 1)],
+        [joint] + [(stem, -y) for y in range(1, arms + 1)],
+    ]
+    sinks = [(stem, arms), (stem, -arms)]
+    return RouteTree.from_paths((0, 0), paths, sinks)
+
+
+class TestAgreementWithSingleSink:
+    def test_path_nets_match(self):
+        rng = np.random.default_rng(2)
+        for _ in range(25):
+            n = int(rng.integers(2, 12))
+            L = int(rng.integers(1, 6))
+            qs = {
+                (i, 0): (INF if rng.random() < 0.2 else float(rng.uniform(0.1, 4)))
+                for i in range(n)
+            }
+            path = [(i, 0) for i in range(n)]
+            c1, b1, f1 = insert_buffers_single_sink(path, qs.__getitem__, L)
+            tree = _path_tree(path)
+            result = insert_buffers_multi_sink(tree, qs.__getitem__, L)
+            assert result.feasible == f1
+            if f1:
+                assert result.cost == pytest.approx(c1)
+
+
+class TestBranching:
+    def test_within_budget_no_buffers(self):
+        tree = _y_tree(stem=1, arms=1)  # total wire 3
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 3)
+        assert result.feasible and result.cost == 0.0 and result.buffers == []
+
+    def test_total_rule_forces_buffers(self):
+        # Total wire = 8 > L = 5 even though each path is only 5.
+        tree = _y_tree(stem=2, arms=3)
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 5)
+        assert result.feasible
+        assert len(result.buffers) >= 1
+
+    def test_solution_is_length_legal(self):
+        tree = _y_tree(stem=3, arms=4)
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 4)
+        assert result.feasible
+        tree.apply_buffers(result.buffers)
+        assert net_meets_length_rule(tree, 4)
+
+    def test_decoupling_cheaper_than_two_buffers(self):
+        # One expensive region: decoupling at the joint (one buffer)
+        # should beat buffering both arms separately.
+        tree = _y_tree(stem=1, arms=2)  # total 5
+        q = lambda t: 1.0
+        result = insert_buffers_multi_sink(tree, q, 4)
+        assert result.feasible
+        tree.apply_buffers(result.buffers)
+        assert net_meets_length_rule(tree, 4)
+        assert result.cost <= 1.0 + 1e-9  # a single buffer suffices
+
+    def test_infeasible_when_no_sites(self):
+        tree = _y_tree(stem=2, arms=3)
+        result = insert_buffers_multi_sink(tree, lambda t: INF, 5)
+        assert not result.feasible
+        assert result.buffers == []
+
+    def test_multiple_buffers_same_tile_allowed(self):
+        # Sites only at the joint; both arms need decoupling there.
+        joint = (1, 0)
+        tree = _y_tree(stem=1, arms=3)  # arms of 3, stem 1: total 7
+        q = lambda t: 0.5 if t == joint else INF
+        result = insert_buffers_multi_sink(tree, q, 4)
+        assert result.feasible
+        tiles = [b.tile for b in result.buffers]
+        assert tiles.count(joint) >= 1
+        tree.apply_buffers(result.buffers)
+        assert net_meets_length_rule(tree, 4)
+
+
+class TestExhaustive:
+    def _brute_force(self, tree, q_of, L):
+        """Enumerate all buffer placements on small trees."""
+        from itertools import product
+
+        # Candidate buffer slots: trunk at any non-leaf non-root-with...
+        nodes = [n for n in tree.preorder()]
+        slots = []
+        for n in nodes:
+            slots.append((n.tile, None))
+            for c in n.children:
+                slots.append((n.tile, c.tile))
+        best = INF
+        for mask in product([0, 1], repeat=len(slots)):
+            from repro.routing.tree import BufferSpec
+
+            specs = [
+                BufferSpec(tile, child)
+                for bit, (tile, child) in zip(mask, slots)
+                if bit
+            ]
+            cost = sum(q_of(s.tile) for s in specs)
+            if cost == INF:
+                continue
+            tree.apply_buffers(specs)
+            if net_meets_length_rule(tree, L):
+                best = min(best, cost)
+        tree.clear_buffers()
+        return best
+
+    def test_against_brute_force_small_trees(self):
+        rng = np.random.default_rng(5)
+        for trial in range(12):
+            stem = int(rng.integers(1, 3))
+            arms = int(rng.integers(1, 3))
+            tree = _y_tree(stem=stem, arms=arms)
+            L = int(rng.integers(2, 5))
+            q_table = {
+                n.tile: (INF if rng.random() < 0.2 else float(rng.uniform(0.1, 3)))
+                for n in tree.preorder()
+            }
+            q_of = q_table.__getitem__
+            expected = self._brute_force(tree, q_of, L)
+            result = insert_buffers_multi_sink(tree, q_of, L)
+            if expected == INF:
+                assert not result.feasible, (trial, L, q_table)
+            else:
+                assert result.feasible, (trial, L, q_table)
+                assert result.cost == pytest.approx(expected), (trial, L, q_table)
+
+
+class TestEdgeCases:
+    def test_single_node(self):
+        tree = RouteTree.from_paths((0, 0), [], [(0, 0)])
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 3)
+        assert result.feasible and result.cost == 0.0
+
+    def test_bad_limit(self):
+        tree = _path_tree([(0, 0), (1, 0)])
+        with pytest.raises(ConfigurationError):
+            insert_buffers_multi_sink(tree, lambda t: 1.0, 0)
+
+    def test_internal_sink(self):
+        # Sink in the middle of a path adds no wire but must be reachable.
+        tiles = [(i, 0) for i in range(8)]
+        parent = {b: a for a, b in zip(tiles, tiles[1:])}
+        tree = RouteTree.from_parent_map(
+            (0, 0), parent, [(3, 0), (7, 0)]
+        )
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 4)
+        assert result.feasible
+        tree.apply_buffers(result.buffers)
+        assert net_meets_length_rule(tree, 4)
+
+    def test_driver_drives_exactly_L(self):
+        # Root with two arms of 2 each: total 4 == L -> no buffers.
+        joint = (0, 0)
+        paths = [
+            [joint, (1, 0), (2, 0)],
+            [joint, (0, 1), (0, 2)],
+        ]
+        tree = RouteTree.from_paths(joint, paths, [(2, 0), (0, 2)])
+        result = insert_buffers_multi_sink(tree, lambda t: 100.0, 4)
+        assert result.feasible
+        assert result.cost == 0.0

@@ -1,0 +1,59 @@
+"""Per-net length limits (paper footnote 4: layer-dependent L_i)."""
+
+import pytest
+
+from repro.core import RabidConfig, RabidPlanner
+from repro.core.length_rule import driven_lengths, net_meets_length_rule
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.tilegraph import CapacityModel, TileGraph
+
+
+def _design():
+    die = Rect(0, 0, 16, 16)
+    graph = TileGraph(die, 16, 16, CapacityModel.uniform(8))
+    for tile in graph.tiles():
+        graph.set_sites(tile, 3)
+    nets = [
+        Net(
+            name="thick_metal",  # routed high: relaxed L
+            source=Pin("t.s", Point(0.5, 2.5)),
+            sinks=[Pin("t.t", Point(15.5, 2.5))],
+        ),
+        Net(
+            name="thin_metal",  # routed low: tight L
+            source=Pin("n.s", Point(0.5, 8.5)),
+            sinks=[Pin("n.t", Point(15.5, 8.5))],
+        ),
+    ]
+    return graph, Netlist(nets=nets)
+
+
+class TestPerNetLimits:
+    def test_limits_applied_individually(self):
+        graph, netlist = _design()
+        config = RabidConfig(
+            length_limit=3,
+            length_limits={"thick_metal": 8},
+            stage4_iterations=1,
+        )
+        result = RabidPlanner(graph, netlist, config).run()
+        thick = result.routes["thick_metal"]
+        thin = result.routes["thin_metal"]
+        assert net_meets_length_rule(thick, 8)
+        assert net_meets_length_rule(thin, 3)
+        # The relaxed net needs fewer buffers for the same span.
+        assert thick.buffer_count() < thin.buffer_count()
+
+    def test_gate_loads_respect_own_limit(self):
+        graph, netlist = _design()
+        config = RabidConfig(
+            length_limit=3,
+            length_limits={"thick_metal": 8},
+            stage4_iterations=1,
+        )
+        result = RabidPlanner(graph, netlist, config).run()
+        for gate in driven_lengths(result.routes["thin_metal"]):
+            assert gate.driven_length <= 3
+        for gate in driven_lengths(result.routes["thick_metal"]):
+            assert gate.driven_length <= 8

@@ -1,0 +1,62 @@
+"""Usage-probability field p(v)."""
+
+import pytest
+
+from repro.core import UsageProbability
+from repro.errors import ConfigurationError
+from repro.routing.tree import RouteTree
+
+
+def _path_tree(tiles, name):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]], net_name=name)
+
+
+class TestUsageProbability:
+    def test_add_contributes_inverse_L(self, graph10):
+        p = UsageProbability(graph10)
+        tree = _path_tree([(0, 0), (1, 0), (2, 0)], "a")
+        p.add_net(tree, 4)
+        assert p.value((1, 0)) == pytest.approx(0.25)
+        assert p.value((5, 5)) == 0.0
+
+    def test_sums_over_nets(self, graph10):
+        p = UsageProbability(graph10)
+        p.add_net(_path_tree([(0, 0), (1, 0)], "a"), 2)
+        p.add_net(_path_tree([(1, 0), (1, 1)], "b"), 4)
+        assert p.value((1, 0)) == pytest.approx(0.5 + 0.25)
+        assert p.pending_nets == 2
+
+    def test_remove_restores(self, graph10):
+        p = UsageProbability(graph10)
+        ta = _path_tree([(0, 0), (1, 0)], "a")
+        tb = _path_tree([(1, 0), (1, 1)], "b")
+        p.add_net(ta, 2)
+        p.add_net(tb, 2)
+        p.remove_net(ta)
+        assert p.value((1, 0)) == pytest.approx(0.5)
+        assert p.pending_nets == 1
+
+    def test_remove_unknown_is_noop(self, graph10):
+        p = UsageProbability(graph10)
+        p.remove_net(_path_tree([(0, 0), (1, 0)], "ghost"))
+        assert p.pending_nets == 0
+
+    def test_double_add_rejected(self, graph10):
+        p = UsageProbability(graph10)
+        tree = _path_tree([(0, 0), (1, 0)], "a")
+        p.add_net(tree, 2)
+        with pytest.raises(ConfigurationError):
+            p.add_net(tree, 2)
+
+    def test_bad_limit_rejected(self, graph10):
+        p = UsageProbability(graph10)
+        with pytest.raises(ConfigurationError):
+            p.add_net(_path_tree([(0, 0), (1, 0)], "a"), 0)
+
+    def test_never_negative(self, graph10):
+        p = UsageProbability(graph10)
+        tree = _path_tree([(0, 0), (1, 0)], "a")
+        p.add_net(tree, 3)
+        p.remove_net(tree)
+        assert p.value((0, 0)) == 0.0

@@ -1,0 +1,181 @@
+"""Single-sink DP (paper Fig. 6), including the exact Fig. 5/7 instance."""
+
+import pytest
+
+from repro.core import insert_buffers_single_sink
+from repro.errors import ConfigurationError
+
+INF = float("inf")
+
+
+def _cost_map(values):
+    table = {(i, 0): v for i, v in enumerate(values)}
+    return lambda tile: table[tile]
+
+
+def _path(n):
+    return [(i, 0) for i in range(n)]
+
+
+class TestPaperExample:
+    # Fig. 5/7: source, six tiles with q = 1.3, 8.6, 0.5, inf, 1.0, inf,
+    # then the sink; L = 3. Optimum: buffers in the 3rd and 5th tiles,
+    # cost 0.5 + 1.0 = 1.5.
+    Q = [0.0, 1.3, 8.6, 0.5, INF, 1.0, INF, 0.0]  # source and sink unused
+
+    def test_cost_is_1_5(self):
+        cost, buffers, feasible = insert_buffers_single_sink(
+            _path(8), _cost_map(self.Q), 3
+        )
+        assert feasible
+        assert cost == pytest.approx(1.5)
+
+    def test_buffer_positions(self):
+        _, buffers, _ = insert_buffers_single_sink(_path(8), _cost_map(self.Q), 3)
+        assert [b.tile for b in buffers] == [(3, 0), (5, 0)]
+        assert all(b.drives_child is None for b in buffers)
+
+
+class TestBasics:
+    def test_trivial_same_tile(self):
+        cost, buffers, feasible = insert_buffers_single_sink(
+            [(0, 0)], lambda t: 1.0, 3
+        )
+        assert (cost, buffers, feasible) == (0.0, [], True)
+
+    def test_adjacent_needs_no_buffer(self):
+        cost, buffers, feasible = insert_buffers_single_sink(
+            _path(2), lambda t: 1.0, 3
+        )
+        assert feasible and cost == 0.0 and buffers == []
+
+    def test_short_path_within_limit(self):
+        cost, buffers, feasible = insert_buffers_single_sink(
+            _path(4), lambda t: 1.0, 3
+        )
+        assert feasible and cost == 0.0 and buffers == []
+
+    def test_exact_limit_no_buffer(self):
+        # Driver drives exactly L units.
+        cost, buffers, feasible = insert_buffers_single_sink(
+            _path(4), lambda t: 100.0, 3
+        )
+        assert feasible and buffers == []
+
+    def test_one_over_limit_needs_buffer(self):
+        cost, buffers, feasible = insert_buffers_single_sink(
+            _path(5), lambda t: 1.0, 3
+        )
+        assert feasible and len(buffers) == 1
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            insert_buffers_single_sink(_path(3), lambda t: 1.0, 0)
+
+
+class TestOptimality:
+    def test_picks_cheapest_site(self):
+        q = _cost_map([INF, 5.0, 0.1, 7.0, INF])
+        cost, buffers, feasible = insert_buffers_single_sink(_path(5), q, 3)
+        assert feasible
+        assert cost == pytest.approx(0.1)
+        assert buffers[0].tile == (2, 0)
+
+    def test_exhaustive_against_brute_force(self):
+        # Compare with brute force over all buffer subsets on small paths.
+        from itertools import combinations
+
+        def brute(qs, L):
+            n = len(qs)
+            interior = list(range(1, n - 1))
+            best = INF
+            for k in range(len(interior) + 1):
+                for combo in combinations(interior, k):
+                    gates = [0] + list(combo)
+                    segments = []
+                    for a, b in zip(gates, gates[1:]):
+                        segments.append(b - a)
+                    segments.append(n - 1 - gates[-1])
+                    if any(s > L for s in segments):
+                        continue
+                    c = sum(qs[i] for i in combo)
+                    if c != c or c < best:
+                        best = min(best, c)
+            return best
+
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for trial in range(30):
+            n = int(rng.integers(2, 9))
+            L = int(rng.integers(1, 5))
+            qs = [float(x) for x in rng.uniform(0.1, 5.0, size=n)]
+            # Sprinkle some infinities.
+            for i in range(n):
+                if rng.random() < 0.25:
+                    qs[i] = INF
+            cost, buffers, feasible = insert_buffers_single_sink(
+                _path(n), _cost_map(qs), L
+            )
+            expected = brute(qs, L)
+            if expected == INF:
+                assert not feasible, (trial, qs, L)
+            else:
+                assert feasible, (trial, qs, L)
+                assert cost == pytest.approx(expected), (trial, qs, L)
+
+    def test_solution_respects_length_rule(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            n = int(rng.integers(3, 15))
+            L = int(rng.integers(2, 6))
+            qs = [float(x) for x in rng.uniform(0.1, 3.0, size=n)]
+            cost, buffers, feasible = insert_buffers_single_sink(
+                _path(n), _cost_map(qs), L
+            )
+            assert feasible
+            gates = [0] + sorted(b.tile[0] for b in buffers) + [n - 1]
+            for a, b in zip(gates, gates[1:]):
+                assert b - a <= L
+
+
+class TestSinkInitSoundness:
+    def test_sink_init_soundness(self):
+        """The paper's all-zero sink initialization (C_t[j] = 0 for all j)
+        never admits a solution that over-drives a gate.
+
+        Entries at indices larger than the true downstream length claim
+        *more* unbuffered wire than exists, which only tightens upstream
+        choices; this test drives the point with instances where a naive
+        reading might expect trouble (path length just above L, buffers
+        scarce near the sink).
+        """
+        for n in range(2, 14):
+            for L in range(1, 7):
+                # Only one usable site, right before the sink.
+                q = {(i, 0): INF for i in range(n)}
+                if n >= 3:
+                    q[(n - 2, 0)] = 1.0
+                cost, buffers, feasible = insert_buffers_single_sink(
+                    [(i, 0) for i in range(n)], q.__getitem__, L
+                )
+                if feasible:
+                    gates = [0] + sorted(b.tile[0] for b in buffers) + [n - 1]
+                    for a, b in zip(gates, gates[1:]):
+                        assert b - a <= L, (n, L)
+
+
+class TestInfeasibility:
+    def test_all_infinite_long_path(self):
+        cost, buffers, feasible = insert_buffers_single_sink(
+            _path(6), lambda t: INF, 3
+        )
+        assert not feasible and cost == INF and buffers == []
+
+    def test_gap_longer_than_limit(self):
+        # Free sites only at the ends; middle gap of 4 > L=3.
+        q = _cost_map([INF, 1.0, INF, INF, INF, INF, 1.0, INF])
+        cost, buffers, feasible = insert_buffers_single_sink(_path(8), q, 3)
+        assert not feasible

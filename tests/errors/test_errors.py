@@ -1,0 +1,39 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    FloorplanError,
+    InfeasibleError,
+    NetlistError,
+    ReproError,
+    RoutingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigurationError, NetlistError, FloorplanError, RoutingError, InfeasibleError],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_base_catchable(self):
+        with pytest.raises(ReproError):
+            raise RoutingError("x")
+
+    def test_distinct_categories(self):
+        assert not issubclass(RoutingError, NetlistError)
+        assert not issubclass(ConfigurationError, FloorplanError)
+
+    def test_library_raises_its_own_types(self, graph10):
+        from repro.netlist import Net, Pin
+        from repro.geometry import Point
+
+        with pytest.raises(NetlistError):
+            Net(name="n", source=Pin("s", Point(0, 0)), sinks=[])
+        with pytest.raises(ConfigurationError):
+            graph10.add_wire((0, 0), (5, 5))

@@ -1,0 +1,26 @@
+"""Experiment configuration plumbing."""
+
+from repro.benchmarks import load_benchmark
+from repro.experiments import ExperimentConfig, planner_config_for
+
+
+class TestPlannerConfigFor:
+    def test_uses_spec_length_limit(self):
+        bench = load_benchmark("apte")
+        config = planner_config_for(bench)
+        assert config.length_limit == 6
+
+    def test_experiment_overrides(self):
+        bench = load_benchmark("xerox")
+        config = planner_config_for(
+            bench, ExperimentConfig(stage2_iterations=5, stage4_iterations=0)
+        )
+        assert config.stage2_iterations == 5
+        assert config.stage4_iterations == 0
+        assert config.length_limit == 5
+
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.seed == 0
+        assert cfg.stage2_iterations == 3
+        assert cfg.window_margin >= 9  # must skirt the 9x9 blocked region

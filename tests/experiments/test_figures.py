@@ -1,0 +1,45 @@
+"""Figure regenerators."""
+
+import pytest
+
+from repro.experiments.figures import figure1_svg, figure2_ascii
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def svg(self):
+        return figure1_svg()
+
+    def test_is_svg(self, svg):
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_blocks_and_buffers_present(self, svg):
+        assert svg.count("<rect") >= 11  # die + 10 xerox blocks
+        assert svg.count("<circle") > 50  # hundreds of buffers
+
+    def test_buffers_cluster_outside_blocks(self):
+        # Fig. 1's point: every buffer dot lies in inter-block space.
+        from repro.bbp import BbpConfig, BbpPlanner
+        from repro.benchmarks import load_benchmark
+
+        bench = load_benchmark("xerox", seed=0)
+        result = BbpPlanner(
+            bench.graph, bench.floorplan, bench.netlist,
+            BbpConfig(length_limit=5, postprocess=False),
+        ).run()
+        for p in result.buffer_points:
+            assert bench.floorplan.free_space(p)
+
+
+class TestFigure2:
+    def test_matrix_dimensions(self):
+        out = figure2_ascii()
+        lines = out.splitlines()
+        assert len(lines) == 33  # apte grid is 30x33
+        assert all(len(line) == 30 for line in lines)
+
+    def test_blocked_region_visible(self):
+        # 81 blocked tiles render as the lowest ramp level (space).
+        out = figure2_ascii()
+        assert out.count(" ") >= 81

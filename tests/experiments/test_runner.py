@@ -1,0 +1,49 @@
+"""The one-call reproduction runner (quick mode, smallest subsets)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import render_report, run_all_tables
+
+
+@pytest.fixture(scope="module")
+def tables():
+    # Trim even quick mode for the unit-test suite.
+    import repro.experiments.runner as runner
+
+    original = (
+        runner.QUICK_TABLE2, runner.QUICK_TABLE3,
+        runner.QUICK_TABLE4, runner.QUICK_TABLE5,
+    )
+    runner.QUICK_TABLE2 = ["apte"]
+    runner.QUICK_TABLE3 = ["apte"]
+    runner.QUICK_TABLE4 = {"apte": [(10, 11)]}
+    runner.QUICK_TABLE5 = ["apte"]
+    try:
+        yield run_all_tables(quick=True, experiment=ExperimentConfig(stage4_iterations=1))
+    finally:
+        (
+            runner.QUICK_TABLE2, runner.QUICK_TABLE3,
+            runner.QUICK_TABLE4, runner.QUICK_TABLE5,
+        ) = original
+
+
+class TestRunner:
+    def test_all_five_tables(self, tables):
+        assert set(tables) == {
+            "Table I", "Table II", "Table III", "Table IV", "Table V",
+        }
+
+    def test_tables_are_rendered_text(self, tables):
+        for text in tables.values():
+            assert "circuit" in text
+            assert len(text.splitlines()) >= 3
+
+    def test_table2_has_four_stages(self, tables):
+        assert " 1 " in tables["Table II"] or "  1  " in tables["Table II"]
+        assert "apte" in tables["Table II"]
+
+    def test_report_rendering(self, tables):
+        report = render_report(tables)
+        for title in tables:
+            assert f"== {title} ==" in report

@@ -1,0 +1,135 @@
+"""Experiment harnesses produce well-formed tables with the paper's shape.
+
+These run the *smallest* circuits to keep the suite fast; the full sweeps
+live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_table5,
+    run_table1,
+    run_table2_circuit,
+    run_table3_circuit,
+    run_table4_circuit,
+    run_table5_circuit,
+)
+from repro.experiments.formatting import render_table
+
+FAST = ExperimentConfig(seed=0, stage4_iterations=1)
+
+
+class TestFormatting:
+    def test_render_basic(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_render_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+
+class TestTable1:
+    def test_rows_match_specs(self):
+        rows = run_table1()
+        assert len(rows) == 10
+        by_name = {r.circuit: r for r in rows}
+        assert by_name["apte"].nets == 77
+        assert by_name["playout"].sinks == 1663
+        assert by_name["apte"].chip_area_pct == pytest.approx(0.13, abs=0.02)
+        out = format_table1(rows)
+        assert "playout" in out and "27550" in out
+
+
+@pytest.fixture(scope="module")
+def apte_table2():
+    return run_table2_circuit("apte", FAST)
+
+
+class TestTable2:
+    def test_four_stages(self, apte_table2):
+        assert [r.stage for r in apte_table2] == ["1", "2", "3", "4"]
+
+    def test_paper_shape(self, apte_table2):
+        s1, s2, s3, s4 = [r.metrics for r in apte_table2]
+        # Stage 1 ignores congestion: overloaded max and many overflows.
+        assert s1.wire_congestion_max > 1.0
+        assert s1.overflows > 0
+        # Stage 2 clears all overflow.
+        assert s2.overflows == 0
+        assert s2.wire_congestion_max <= 1.0
+        # Stage 3 inserts buffers and slashes delay.
+        assert s3.num_buffers > 0
+        assert s3.avg_delay_ps < 0.6 * s2.avg_delay_ps
+        # Buffer capacity never violated.
+        assert s3.buffer_density_max <= 1.0
+        assert s4.buffer_density_max <= 1.0
+        # Fails fall from 3 to 4; congestion stays clean.
+        assert s4.num_fails <= s3.num_fails
+        assert s4.overflows == 0
+
+    def test_final_only_mode(self):
+        rows = run_table2_circuit("apte", FAST, final_only=True)
+        assert len(rows) == 1 and rows[0].stage == "1-4"
+
+    def test_format(self, apte_table2):
+        out = format_table2(apte_table2)
+        assert "apte" in out and "CPU(s)" in out
+
+
+class TestTable3:
+    def test_site_budget_trend(self):
+        rows = run_table3_circuit("apte", FAST, site_budgets=[280, 3200])
+        small, large = rows[0].metrics, rows[1].metrics
+        # Fewer sites -> more failures (paper's key Table III observation).
+        assert small.num_fails > large.num_fails
+        # Scarce sites run at much higher density.
+        assert small.buffer_density_avg > large.buffer_density_avg
+
+    def test_unknown_circuit(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_table3_circuit("nonesuch", FAST)
+
+    def test_format(self):
+        rows = run_table3_circuit("apte", FAST, site_budgets=[700])
+        assert "700" in format_table3(rows)
+
+
+class TestTable4:
+    def test_grid_sweep(self):
+        rows = run_table4_circuit("apte", FAST, grids=[(10, 11), (30, 33)])
+        coarse, fine = rows[0].metrics, rows[1].metrics
+        # Finer tiling -> equal-or-higher max wire congestion (paper).
+        assert fine.wire_congestion_max >= coarse.wire_congestion_max - 0.15
+        out = format_table4(rows)
+        assert "10x11" in out and "30x33" in out
+
+    def test_no_variants_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_table4_circuit("xerox", FAST)  # xerox has no grid variants
+
+
+class TestTable5:
+    def test_rabid_beats_bbp_on_congestion(self):
+        rows = run_table5_circuit("apte", FAST)
+        bbp, rabid = rows
+        assert bbp.algorithm == "BBP/FR" and rabid.algorithm == "RABID"
+        # The paper's headline contrasts.
+        assert rabid.overflows == 0
+        assert rabid.wire_congestion_max <= 1.0
+        assert bbp.wire_congestion_max >= rabid.wire_congestion_max
+        assert rabid.mtap_pct <= bbp.mtap_pct
+        assert rabid.num_buffers >= bbp.num_buffers
+        out = format_table5(rows)
+        assert "BBP/FR" in out and "RABID" in out

@@ -1,0 +1,87 @@
+"""Floorplan validation and queries."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import Block, Floorplan
+from repro.geometry import Point, Rect
+
+
+def _plan(blocks):
+    return Floorplan(die=Rect(0, 0, 10, 10), blocks=blocks)
+
+
+class TestValidation:
+    def test_valid_plan(self):
+        plan = _plan([
+            Block(name="a", width=2, height=2, x=1, y=1),
+            Block(name="b", width=2, height=2, x=5, y=5),
+        ])
+        plan.validate()
+
+    def test_duplicate_names(self):
+        with pytest.raises(FloorplanError):
+            _plan([
+                Block(name="a", width=1, height=1, x=0, y=0),
+                Block(name="a", width=1, height=1, x=5, y=5),
+            ])
+
+    def test_unplaced_block(self):
+        with pytest.raises(FloorplanError):
+            _plan([Block(name="a", width=1, height=1)]).validate()
+
+    def test_block_outside_die(self):
+        with pytest.raises(FloorplanError):
+            _plan([Block(name="a", width=3, height=3, x=9, y=9)]).validate()
+
+    def test_overlapping_blocks(self):
+        with pytest.raises(FloorplanError):
+            _plan([
+                Block(name="a", width=4, height=4, x=0, y=0),
+                Block(name="b", width=4, height=4, x=2, y=2),
+            ]).validate()
+
+    def test_abutting_blocks_legal(self):
+        _plan([
+            Block(name="a", width=2, height=2, x=0, y=0),
+            Block(name="b", width=2, height=2, x=2, y=0),
+        ]).validate()
+
+
+class TestQueries:
+    def test_utilization(self):
+        plan = _plan([Block(name="a", width=5, height=4, x=0, y=0)])
+        assert plan.utilization == pytest.approx(0.2)
+
+    def test_free_space(self):
+        plan = _plan([Block(name="a", width=2, height=2, x=4, y=4)])
+        assert plan.free_space(Point(1, 1))
+        assert not plan.free_space(Point(5, 5))
+        assert not plan.free_space(Point(11, 1))  # off die
+
+    def test_block_at(self):
+        a = Block(name="a", width=2, height=2, x=4, y=4)
+        plan = _plan([a])
+        assert plan.block_at(Point(5, 5)) is a
+        assert plan.block_at(Point(0, 0)) is None
+
+    def test_get(self):
+        a = Block(name="a", width=1, height=1, x=0, y=0)
+        plan = _plan([a])
+        assert plan.get("a") is a
+        with pytest.raises(FloorplanError):
+            plan.get("z")
+
+    def test_pad_location_walks_perimeter(self):
+        plan = _plan([])
+        assert plan.pad_location(0.0) == Point(0, 0)
+        assert plan.pad_location(0.25) == Point(10, 0)
+        assert plan.pad_location(0.5) == Point(10, 10)
+        assert plan.pad_location(0.75) == Point(0, 10)
+
+    def test_pad_location_on_boundary(self):
+        plan = _plan([])
+        for i in range(20):
+            p = plan.pad_location(i / 20)
+            on_edge = p.x in (0, 10) or p.y in (0, 10)
+            assert on_edge

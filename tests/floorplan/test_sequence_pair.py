@@ -1,0 +1,85 @@
+"""Sequence-pair packing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import SequencePair
+from repro.geometry import Rect
+
+
+def _rects(sp, widths, heights):
+    xs, ys, w, h = sp.pack(widths, heights)
+    return [
+        Rect(xs[i], ys[i], xs[i] + widths[i], ys[i] + heights[i])
+        for i in range(len(widths))
+    ], w, h
+
+
+class TestValidation:
+    def test_non_permutation_rejected(self):
+        with pytest.raises(FloorplanError):
+            SequencePair([0, 0], [0, 1])
+
+    def test_size_mismatch_rejected(self):
+        sp = SequencePair.identity(2)
+        with pytest.raises(FloorplanError):
+            sp.pack([1.0], [1.0, 1.0])
+
+
+class TestPacking:
+    def test_identity_packs_in_a_row(self):
+        # Same order in both sequences: all left-of relations -> a row.
+        sp = SequencePair.identity(3)
+        rects, w, h = _rects(sp, [1, 2, 3], [1, 1, 1])
+        assert w == 6 and h == 1
+        assert rects[0].x0 == 0 and rects[1].x0 == 1 and rects[2].x0 == 3
+
+    def test_reversed_plus_stacks_vertically(self):
+        # a after b in plus, before in minus -> a below b: a column.
+        sp = SequencePair([2, 1, 0], [0, 1, 2])
+        rects, w, h = _rects(sp, [1, 1, 1], [1, 2, 3])
+        assert w == 1 and h == 6
+        assert rects[0].y0 == 0
+        assert rects[1].y0 == 1
+        assert rects[2].y0 == 3
+
+    def test_no_overlaps_random(self):
+        rng = np.random.default_rng(3)
+        for trial in range(20):
+            n = int(rng.integers(2, 9))
+            sp = SequencePair.random(n, rng)
+            widths = rng.uniform(1, 5, size=n).tolist()
+            heights = rng.uniform(1, 5, size=n).tolist()
+            rects, w, h = _rects(sp, widths, heights)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    assert not rects[i].overlaps(rects[j]), (trial, i, j)
+
+    def test_bounding_dims_cover_all(self):
+        rng = np.random.default_rng(5)
+        sp = SequencePair.random(6, rng)
+        widths = [1.0] * 6
+        heights = [2.0] * 6
+        rects, w, h = _rects(sp, widths, heights)
+        assert max(r.x1 for r in rects) == pytest.approx(w)
+        assert max(r.y1 for r in rects) == pytest.approx(h)
+
+    def test_empty(self):
+        sp = SequencePair([], [])
+        xs, ys, w, h = sp.pack([], [])
+        assert (xs, ys, w, h) == ([], [], 0.0, 0.0)
+
+
+class TestMoves:
+    def test_swap_in_both(self):
+        sp = SequencePair([0, 1, 2], [2, 1, 0])
+        sp.swap_in_both(0, 2)
+        assert sp.plus == [2, 1, 0]
+        assert sp.minus == [0, 1, 2]
+
+    def test_copy_is_independent(self):
+        sp = SequencePair.identity(3)
+        cp = sp.copy()
+        cp.swap_in_plus(0, 1)
+        assert sp.plus == [0, 1, 2]

@@ -1,0 +1,51 @@
+"""Point and Manhattan-metric behaviour."""
+
+import pytest
+
+from repro.geometry import Point, manhattan
+
+
+class TestPoint:
+    def test_iter_unpacks(self):
+        x, y = Point(1.5, 2.5)
+        assert (x, y) == (1.5, 2.5)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_hashable_and_equal(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_manhattan_to(self):
+        assert Point(0, 0).manhattan_to(Point(3, 4)) == 7
+
+    def test_manhattan_symmetric(self):
+        a, b = Point(-2, 5), Point(4, -1)
+        assert manhattan(a, b) == manhattan(b, a) == 12
+
+
+class TestMedian:
+    def test_median_of_collinear_points(self):
+        m = Point(0, 0).median_with(Point(5, 0), Point(10, 0))
+        assert m == Point(5, 0)
+
+    def test_median_is_componentwise(self):
+        m = Point(0, 0).median_with(Point(4, 6), Point(2, 8))
+        assert m == Point(2, 6)
+
+    def test_median_on_shortest_paths(self):
+        # The Manhattan median lies on a shortest path between every pair.
+        u, a, b = Point(0, 0), Point(4, 6), Point(2, 8)
+        m = u.median_with(a, b)
+        for p, q in [(u, a), (u, b), (a, b)]:
+            assert p.manhattan_to(m) + m.manhattan_to(q) == pytest.approx(
+                p.manhattan_to(q)
+            )
+
+    def test_median_with_self(self):
+        assert Point(1, 1).median_with(Point(1, 1), Point(9, 9)) == Point(1, 1)

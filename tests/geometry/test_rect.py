@@ -1,0 +1,64 @@
+"""Rect behaviour and validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point, Rect, bounding_box
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width == 3
+        assert r.height == 6
+        assert r.area == 18
+        assert r.center == Point(2.5, 5)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ConfigurationError):
+            Rect(2, 0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            Rect(0, 2, 1, 1)
+
+    def test_zero_area_allowed(self):
+        assert Rect(1, 1, 1, 1).area == 0
+
+    def test_contains_boundary_inclusive(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(2, 2))
+        assert not r.contains(Point(2.001, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+
+    def test_overlaps_interior_only(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 3, 3))
+        assert not a.overlaps(Rect(2, 0, 4, 2))  # shared edge
+        assert not a.overlaps(Rect(3, 3, 4, 4))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        assert a.intersection(b) == Rect(2, 2, 4, 4)
+        assert a.intersection(Rect(4, 0, 6, 4)) is None
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = bounding_box([Point(1, 5), Point(3, 2), Point(2, 9)])
+        assert box == Rect(1, 2, 3, 9)
+
+    def test_single_point(self):
+        assert bounding_box([Point(4, 4)]) == Rect(4, 4, 4, 4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            bounding_box([])

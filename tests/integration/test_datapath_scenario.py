@@ -1,0 +1,83 @@
+"""The paper's Section I-B data-path scenario, as a regression test.
+
+Buffer sites inside a dense bus region keep bus wiring straighter and
+faster than sites outside it — the motivating claim for the buffer-site
+methodology in semi-custom designs.
+"""
+
+import pytest
+
+from repro.core import RabidConfig, RabidPlanner
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.tilegraph import CapacityModel, TileGraph
+
+STRIP_ROWS = range(5, 11)
+SIZE = 16
+BITS = 8
+
+
+def _instance(sites_inside):
+    die = Rect(0, 0, float(SIZE), float(SIZE))
+    graph = TileGraph(die, SIZE, SIZE, CapacityModel.uniform(5))
+    for tile in graph.tiles():
+        if tile[1] in STRIP_ROWS and not sites_inside:
+            continue
+        graph.set_sites(tile, 2)
+    nets = []
+    for bit in range(BITS):
+        y = 5.3 + bit * 0.7
+        nets.append(
+            Net(
+                name=f"bus{bit}",
+                source=Pin(f"b{bit}.s", Point(0.5, y)),
+                sinks=[Pin(f"b{bit}.t", Point(SIZE - 0.5, y))],
+            )
+        )
+    return graph, Netlist(nets=nets)
+
+
+def _measure(sites_inside):
+    graph, netlist = _instance(sites_inside)
+    result = RabidPlanner(
+        graph,
+        netlist,
+        RabidConfig(length_limit=4, window_margin=10, stage4_iterations=2),
+    ).run()
+    detour = 0
+    for net in netlist:
+        tree = result.routes[net.name]
+        src = graph.tile_of(net.source.location)
+        dst = graph.tile_of(net.sinks[0].location)
+        detour += tree.wirelength_tiles() - (
+            abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        )
+    return detour, result.final_metrics
+
+
+class TestDatapathScenario:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {
+            "inside": _measure(sites_inside=True),
+            "outside": _measure(sites_inside=False),
+        }
+
+    def test_inside_sites_keep_bus_straighter(self, runs):
+        detour_in, _ = runs["inside"]
+        detour_out, _ = runs["outside"]
+        assert detour_in < detour_out
+
+    def test_inside_sites_meet_length_rule(self, runs):
+        _, metrics_in = runs["inside"]
+        assert metrics_in.num_fails == 0
+
+    def test_inside_sites_faster_on_average(self, runs):
+        _, metrics_in = runs["inside"]
+        _, metrics_out = runs["outside"]
+        assert metrics_in.avg_delay_ps <= metrics_out.avg_delay_ps
+
+    def test_both_respect_capacity(self, runs):
+        for detour, metrics in runs.values():
+            assert metrics.overflows == 0
+            assert metrics.buffer_density_max <= 1.0

@@ -1,0 +1,100 @@
+"""End-to-end integration: generated benchmark -> RABID -> invariants."""
+
+import pytest
+
+from repro import (
+    TECH_180NM,
+    RabidConfig,
+    RabidPlanner,
+    buffer_density_stats,
+    load_benchmark,
+    wire_congestion_stats,
+)
+from repro.core.length_rule import net_meets_length_rule
+from repro.timing import delay_summary
+
+
+@pytest.fixture(scope="module")
+def apte_run():
+    bench = load_benchmark("apte", seed=0)
+    config = RabidConfig(
+        length_limit=bench.spec.length_limit,
+        stage4_iterations=1,
+        window_margin=10,
+    )
+    planner = RabidPlanner(bench.graph, bench.netlist, config)
+    result = planner.run()
+    return bench, config, result
+
+
+class TestApteEndToEnd:
+    def test_all_nets_routed_and_valid(self, apte_run):
+        bench, _, result = apte_run
+        assert len(result.routes) == 77
+        for net in bench.netlist:
+            tree = result.routes[net.name]
+            tree.validate()
+            assert tree.source == bench.graph.tile_of(net.source.location)
+
+    def test_wire_constraint_satisfied(self, apte_run):
+        bench, _, _ = apte_run
+        assert wire_congestion_stats(bench.graph).overflow == 0
+
+    def test_buffer_constraint_satisfied(self, apte_run):
+        bench, _, _ = apte_run
+        stats = buffer_density_stats(bench.graph)
+        assert stats.overflow == 0
+        assert stats.maximum <= 1.0
+
+    def test_blocked_region_untouched(self, apte_run):
+        bench, _, _ = apte_run
+        for tile in bench.blocked_tiles:
+            assert bench.graph.used_site_count(tile) == 0
+
+    def test_fails_only_where_infeasible(self, apte_run):
+        bench, config, result = apte_run
+        for name, tree in result.routes.items():
+            meets = net_meets_length_rule(tree, config.length_limit)
+            assert meets == (name not in result.failed_nets), name
+
+    def test_fail_rate_reasonable(self, apte_run):
+        _, _, result = apte_run
+        # Failures come from the blocked region; the bulk of nets succeed.
+        assert len(result.failed_nets) < 0.25 * len(result.routes)
+
+    def test_buffered_delays_sane(self, apte_run):
+        bench, _, result = apte_run
+        worst, avg, _ = delay_summary(result.routes, bench.graph, TECH_180NM)
+        # Buffered global nets in 0.18um land in the 0.1-10ns decade.
+        assert 10e-12 < avg < 10e-9
+        assert worst < 30e-9
+
+    def test_sites_used_within_budget(self, apte_run):
+        bench, _, _ = apte_run
+        assert 0 < bench.graph.total_used_sites <= bench.graph.total_sites
+
+    def test_stage_metrics_monotonicity(self, apte_run):
+        _, _, result = apte_run
+        s1, s2, s3, s4 = result.stage_metrics
+        assert s1.overflows > s2.overflows == 0
+        assert s3.num_fails < s1.num_fails
+        assert s4.num_fails <= s3.num_fails
+        assert s3.avg_delay_ps < s2.avg_delay_ps
+
+
+class TestReproducibility:
+    def test_same_seed_same_result(self):
+        finals = []
+        for _ in range(2):
+            bench = load_benchmark("apte", seed=7)
+            planner = RabidPlanner(
+                bench.graph,
+                bench.netlist,
+                RabidConfig(length_limit=6, stage4_iterations=1),
+            )
+            result = planner.run()
+            m = result.final_metrics
+            finals.append(
+                (m.num_buffers, m.num_fails, m.wirelength_mm, m.overflows)
+            )
+        assert finals[0] == finals[1]

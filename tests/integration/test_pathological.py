@@ -1,0 +1,188 @@
+"""Failure injection and pathological instances.
+
+The planner must degrade gracefully — count failures, never corrupt its
+bookkeeping — on inputs far outside the benchmarks' comfort zone: no
+buffer sites at all, capacity-1 graphs, single-tile dies, every pin in one
+tile, a blocked region covering most of the die.
+"""
+
+import pytest
+
+from repro.core import RabidConfig, RabidPlanner
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.tilegraph import (
+    CapacityModel,
+    TileGraph,
+    buffer_density_stats,
+    wire_congestion_stats,
+)
+
+
+def _graph(size, capacity, sites):
+    g = TileGraph(Rect(0, 0, float(size), float(size)), size, size,
+                  CapacityModel.uniform(capacity))
+    for tile in g.tiles():
+        g.set_sites(tile, sites)
+    return g
+
+
+def _line_nets(n, size):
+    nets = []
+    for i in range(n):
+        y = 0.5 + (i % size)
+        nets.append(
+            Net(
+                name=f"n{i}",
+                source=Pin(f"n{i}.s", Point(0.5, y)),
+                sinks=[Pin(f"n{i}.t", Point(size - 0.5, y))],
+            )
+        )
+    return Netlist(nets=nets)
+
+
+class TestNoSitesAnywhere:
+    def test_all_long_nets_fail_but_run_completes(self):
+        graph = _graph(10, 8, sites=0)
+        netlist = _line_nets(4, 10)
+        config = RabidConfig(length_limit=3, stage4_iterations=1)
+        result = RabidPlanner(graph, netlist, config).run()
+        # Every net spans 9 tiles > L=3 with no possible buffer.
+        assert sorted(result.failed_nets) == sorted(n.name for n in netlist)
+        assert graph.total_used_sites == 0
+        assert result.final_metrics.num_buffers == 0
+
+    def test_short_nets_still_pass(self):
+        graph = _graph(10, 8, sites=0)
+        netlist = Netlist(
+            nets=[
+                Net(
+                    name="short",
+                    source=Pin("s", Point(0.5, 0.5)),
+                    sinks=[Pin("t", Point(2.5, 0.5))],
+                )
+            ]
+        )
+        result = RabidPlanner(
+            graph, netlist, RabidConfig(length_limit=3, stage4_iterations=1)
+        ).run()
+        assert result.failed_nets == []
+
+
+class TestTinyGraphs:
+    def test_single_tile_die(self):
+        graph = _graph(1, 5, sites=2)
+        netlist = Netlist(
+            nets=[
+                Net(
+                    name="n",
+                    source=Pin("s", Point(0.2, 0.2)),
+                    sinks=[Pin("t", Point(0.8, 0.8))],
+                )
+            ]
+        )
+        result = RabidPlanner(
+            graph, netlist, RabidConfig(length_limit=1, stage4_iterations=1)
+        ).run()
+        assert result.failed_nets == []
+        assert result.final_metrics.wirelength_mm == 0.0
+
+    def test_two_tile_die(self):
+        graph = TileGraph(Rect(0, 0, 2, 1), 2, 1, CapacityModel.uniform(3))
+        graph.set_sites((0, 0), 1)
+        graph.set_sites((1, 0), 1)
+        netlist = Netlist(
+            nets=[
+                Net(
+                    name="n",
+                    source=Pin("s", Point(0.5, 0.5)),
+                    sinks=[Pin("t", Point(1.5, 0.5))],
+                )
+            ]
+        )
+        result = RabidPlanner(
+            graph, netlist, RabidConfig(length_limit=1, stage4_iterations=1)
+        ).run()
+        assert result.failed_nets == []
+
+
+class TestCapacityOne:
+    def test_structural_overflow_reported_not_crashed(self):
+        # Three nets must leave one tile with 2 edges of capacity 1.
+        graph = _graph(6, 1, sites=2)
+        netlist = Netlist(
+            nets=[
+                Net(
+                    name=f"n{i}",
+                    source=Pin(f"n{i}.s", Point(0.5, 0.5)),
+                    sinks=[Pin(f"n{i}.t", Point(5.5, 0.5 + i))],
+                )
+                for i in range(3)
+            ]
+        )
+        result = RabidPlanner(
+            graph, netlist, RabidConfig(length_limit=3, stage4_iterations=1)
+        ).run()
+        stats = wire_congestion_stats(graph)
+        # 3 nets, 2 escape edges of capacity 1: at least one overflow unit
+        # is unavoidable; the planner reports rather than hangs.
+        assert stats.overflow >= 1
+        assert len(result.routes) == 3
+
+    def test_usage_bookkeeping_survives(self):
+        graph = _graph(6, 1, sites=2)
+        netlist = _line_nets(3, 6)
+        result = RabidPlanner(
+            graph, netlist, RabidConfig(length_limit=3, stage4_iterations=1)
+        ).run()
+        h, v = graph.h_usage.copy(), graph.v_usage.copy()
+        used = graph.used_sites.copy()
+        graph.h_usage[:] = 0
+        graph.v_usage[:] = 0
+        graph.used_sites[:] = 0
+        for tree in result.routes.values():
+            tree.add_usage(graph)
+        assert (graph.h_usage == h).all()
+        assert (graph.v_usage == v).all()
+        assert (graph.used_sites == used).all()
+
+
+class TestAllPinsOneTile:
+    def test_degenerate_netlist(self):
+        graph = _graph(8, 4, sites=1)
+        nets = [
+            Net(
+                name=f"n{i}",
+                source=Pin(f"n{i}.s", Point(3.2, 3.2)),
+                sinks=[
+                    Pin(f"n{i}.a", Point(3.7, 3.7)),
+                    Pin(f"n{i}.b", Point(3.4, 3.6)),
+                ],
+            )
+            for i in range(5)
+        ]
+        result = RabidPlanner(
+            graph, Netlist(nets=nets), RabidConfig(length_limit=2, stage4_iterations=1)
+        ).run()
+        assert result.failed_nets == []
+        assert result.final_metrics.wirelength_mm == 0.0
+        assert wire_congestion_stats(graph).overflow == 0
+
+
+class TestMostlyBlockedDie:
+    def test_sites_only_in_one_corner(self):
+        graph = _graph(12, 8, sites=0)
+        for x in range(3):
+            for y in range(3):
+                graph.set_sites((x, y), 5)
+        netlist = _line_nets(3, 12)
+        result = RabidPlanner(
+            graph, netlist, RabidConfig(length_limit=4, stage4_iterations=2,
+                                        window_margin=12)
+        ).run()
+        # Stage 4 pulls what routes it can toward the corner; whatever
+        # still fails is reported, bookkeeping intact.
+        stats = buffer_density_stats(graph)
+        assert stats.overflow == 0
+        for name, tree in result.routes.items():
+            tree.validate()

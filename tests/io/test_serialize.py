@@ -1,0 +1,102 @@
+"""JSON round-tripping of netlists, routes, and whole instances."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io import (
+    load_instance_json,
+    netlist_from_dict,
+    netlist_to_dict,
+    routes_from_dict,
+    routes_to_dict,
+    save_instance_json,
+)
+from repro.routing.tree import BufferSpec, RouteTree
+
+
+class TestNetlistRoundtrip:
+    def test_roundtrip(self, small_netlist):
+        d = netlist_to_dict(small_netlist)
+        back = netlist_from_dict(d)
+        assert len(back) == len(small_netlist)
+        for a, b in zip(small_netlist, back):
+            assert a.name == b.name
+            assert a.source.location == b.source.location
+            assert [s.location for s in a.sinks] == [s.location for s in b.sinks]
+            assert [s.owner for s in a.sinks] == [s.owner for s in b.sinks]
+
+    def test_bad_version_rejected(self, small_netlist):
+        d = netlist_to_dict(small_netlist)
+        d["version"] = 999
+        with pytest.raises(ConfigurationError):
+            netlist_from_dict(d)
+
+    def test_json_serializable(self, small_netlist):
+        import json
+
+        json.dumps(netlist_to_dict(small_netlist))
+
+
+class TestRoutesRoundtrip:
+    def _routes(self):
+        paths = [
+            [(0, 0), (1, 0), (2, 0), (3, 0)],
+            [(2, 0), (2, 1), (2, 2)],
+        ]
+        tree = RouteTree.from_paths((0, 0), paths, [(3, 0), (2, 2)], net_name="a")
+        tree.apply_buffers(
+            [BufferSpec((1, 0), None), BufferSpec((2, 0), (2, 1))]
+        )
+        return {"a": tree}
+
+    def test_roundtrip_topology(self):
+        routes = self._routes()
+        back = routes_from_dict(routes_to_dict(routes))
+        tree, orig = back["a"], routes["a"]
+        tree.validate()
+        assert tree.source == orig.source
+        assert tree.sink_tiles == orig.sink_tiles
+        assert sorted(tree.edges()) == sorted(orig.edges())
+
+    def test_roundtrip_buffers(self):
+        routes = self._routes()
+        back = routes_from_dict(routes_to_dict(routes))
+        assert back["a"].buffer_specs() == routes["a"].buffer_specs()
+
+    def test_bad_version(self):
+        d = routes_to_dict(self._routes())
+        d["version"] = 0
+        with pytest.raises(ConfigurationError):
+            routes_from_dict(d)
+
+
+class TestInstanceRoundtrip:
+    def test_full_roundtrip(self, tmp_path):
+        from repro import load_benchmark
+
+        bench = load_benchmark("apte", seed=0)
+        path = tmp_path / "apte.json"
+        save_instance_json(path, bench.die, bench.floorplan, bench.netlist, bench.graph)
+        die, floorplan, netlist, graph = load_instance_json(path)
+        assert die == bench.die
+        assert len(floorplan.blocks) == len(bench.floorplan.blocks)
+        floorplan.validate()
+        assert len(netlist) == len(bench.netlist)
+        assert (graph.sites == bench.graph.sites).all()
+        assert (graph.h_capacity == bench.graph.h_capacity).all()
+        assert graph.total_sites == bench.graph.total_sites
+
+    def test_loaded_instance_plannable(self, tmp_path):
+        from repro import RabidConfig, RabidPlanner, load_benchmark
+
+        bench = load_benchmark("apte", seed=0)
+        path = tmp_path / "apte.json"
+        save_instance_json(path, bench.die, bench.floorplan, bench.netlist, bench.graph)
+        _, _, netlist, graph = load_instance_json(path)
+        planner = RabidPlanner(
+            graph, netlist, RabidConfig(length_limit=6, stage4_iterations=0)
+        )
+        planner.stage1()
+        planner.stage2()
+        planner.stage3()
+        assert graph.total_used_sites > 0

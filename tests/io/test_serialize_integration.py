@@ -1,0 +1,55 @@
+"""Serialization of a full planning result round-trips losslessly."""
+
+import pytest
+
+from repro import RabidConfig, RabidPlanner, TECH_180NM, load_benchmark
+from repro.io import routes_from_dict, routes_to_dict
+from repro.timing import delay_summary
+
+
+@pytest.fixture(scope="module")
+def planned():
+    bench = load_benchmark("apte", seed=0)
+    result = RabidPlanner(
+        bench.graph,
+        bench.netlist,
+        RabidConfig(length_limit=6, window_margin=10, stage4_iterations=1),
+    ).run()
+    return bench, result
+
+
+class TestPlannedRoutesRoundtrip:
+    def test_all_nets_roundtrip(self, planned):
+        bench, result = planned
+        restored = routes_from_dict(routes_to_dict(result.routes))
+        assert set(restored) == set(result.routes)
+
+    def test_topology_identical(self, planned):
+        bench, result = planned
+        restored = routes_from_dict(routes_to_dict(result.routes))
+        for name, tree in result.routes.items():
+            back = restored[name]
+            back.validate()
+            assert sorted(back.edges()) == sorted(tree.edges())
+            assert back.sink_tiles == tree.sink_tiles
+
+    def test_buffers_identical(self, planned):
+        bench, result = planned
+        restored = routes_from_dict(routes_to_dict(result.routes))
+        for name, tree in result.routes.items():
+            assert restored[name].buffer_specs() == tree.buffer_specs()
+
+    def test_delays_identical(self, planned):
+        bench, result = planned
+        restored = routes_from_dict(routes_to_dict(result.routes))
+        worst_a, avg_a, _ = delay_summary(result.routes, bench.graph, TECH_180NM)
+        worst_b, avg_b, _ = delay_summary(restored, bench.graph, TECH_180NM)
+        assert worst_b == pytest.approx(worst_a)
+        assert avg_b == pytest.approx(avg_a)
+
+    def test_json_dumps_cleanly(self, planned):
+        import json
+
+        _, result = planned
+        text = json.dumps(routes_to_dict(result.routes))
+        assert len(text) > 1000

@@ -1,0 +1,55 @@
+"""Pin and Net behaviour."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.geometry import Point
+from repro.netlist import Net, Pin
+
+
+def _net(sink_points, name="n"):
+    return Net(
+        name=name,
+        source=Pin(f"{name}.s", Point(0, 0)),
+        sinks=[Pin(f"{name}.t{i}", p) for i, p in enumerate(sink_points)],
+    )
+
+
+class TestNet:
+    def test_requires_sinks(self):
+        with pytest.raises(NetlistError):
+            Net(name="n", source=Pin("s", Point(0, 0)), sinks=[])
+
+    def test_duplicate_pin_names_rejected(self):
+        with pytest.raises(NetlistError):
+            Net(
+                name="n",
+                source=Pin("p", Point(0, 0)),
+                sinks=[Pin("p", Point(1, 1))],
+            )
+
+    def test_pins_source_first(self):
+        net = _net([Point(1, 1), Point(2, 2)])
+        assert net.pins[0] is net.source
+        assert net.degree == 3
+        assert net.num_sinks == 2
+
+    def test_bbox_and_hpwl(self):
+        net = _net([Point(3, 1), Point(1, 4)])
+        box = net.bbox()
+        assert (box.x0, box.y0, box.x1, box.y1) == (0, 0, 3, 4)
+        assert net.half_perimeter_wirelength() == 7
+
+    def test_two_pin_decomposition_pairs(self):
+        net = _net([Point(1, 0), Point(0, 1), Point(1, 1)])
+        pairs = net.as_two_pin()
+        assert len(pairs) == 3
+        assert all(src is net.source for src, _ in pairs)
+        assert [snk.name for _, snk in pairs] == ["n.t0", "n.t1", "n.t2"]
+
+    def test_sink_locations(self):
+        net = _net([Point(5, 5)])
+        assert net.sink_locations() == [Point(5, 5)]
+
+    def test_pin_default_owner_is_pad(self):
+        assert Pin("x", Point(0, 0)).owner == "PAD"

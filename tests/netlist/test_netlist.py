@@ -1,0 +1,70 @@
+"""Netlist container and two-pin decomposition."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.geometry import Point
+from repro.netlist import Net, Netlist, Pin, decompose_to_two_pin
+
+
+def _net(name, n_sinks):
+    return Net(
+        name=name,
+        source=Pin(f"{name}.s", Point(0, 0)),
+        sinks=[Pin(f"{name}.t{i}", Point(i + 1.0, 1.0)) for i in range(n_sinks)],
+    )
+
+
+class TestNetlist:
+    def test_len_iter_contains(self):
+        nl = Netlist(nets=[_net("a", 1), _net("b", 2)])
+        assert len(nl) == 2
+        assert [n.name for n in nl] == ["a", "b"]
+        assert "a" in nl and "z" not in nl
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist(nets=[_net("a", 1), _net("a", 1)])
+
+    def test_add_enforces_uniqueness(self):
+        nl = Netlist(nets=[_net("a", 1)])
+        with pytest.raises(NetlistError):
+            nl.add(_net("a", 2))
+        nl.add(_net("b", 1))
+        assert len(nl) == 2
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NetlistError):
+            Netlist().get("nope")
+
+    def test_totals(self):
+        nl = Netlist(nets=[_net("a", 1), _net("b", 3)])
+        assert nl.total_sinks == 4
+        assert nl.total_pins == 6
+
+    def test_total_hpwl(self):
+        nl = Netlist(nets=[_net("a", 1)])  # source (0,0), sink (1,1)
+        assert nl.total_hpwl() == pytest.approx(2.0)
+
+
+class TestDecomposition:
+    def test_two_pin_pass_through(self):
+        nl = Netlist(nets=[_net("a", 1)])
+        out = decompose_to_two_pin(nl)
+        assert len(out) == 1
+        assert out.get("a").num_sinks == 1
+
+    def test_multipin_star(self):
+        nl = Netlist(nets=[_net("a", 3)])
+        out = decompose_to_two_pin(nl)
+        assert len(out) == 3
+        assert {n.name for n in out} == {"a#0", "a#1", "a#2"}
+        for n in out:
+            assert n.num_sinks == 1
+            assert n.source.location == Point(0, 0)
+
+    def test_total_sinks_preserved(self):
+        nl = Netlist(nets=[_net("a", 3), _net("b", 1), _net("c", 5)])
+        out = decompose_to_two_pin(nl)
+        assert out.total_sinks == nl.total_sinks
+        assert len(out) == nl.total_sinks

@@ -1,0 +1,84 @@
+"""Property-based tests: BBP/FR planner invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bbp import BbpConfig, BbpPlanner
+from repro.floorplan import Block, Floorplan
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.tilegraph import CapacityModel, TileGraph
+
+SIZE = 12
+
+coords = st.floats(min_value=0.3, max_value=SIZE - 0.3, allow_nan=False)
+
+
+@st.composite
+def bbp_instances(draw):
+    die = Rect(0, 0, float(SIZE), float(SIZE))
+    graph = TileGraph(die, SIZE, SIZE, CapacityModel.uniform(10))
+    # 0-2 blocks on a coarse grid so they never overlap.
+    blocks = []
+    slots = [(1.0, 1.0), (7.0, 1.0), (1.0, 7.0), (7.0, 7.0)]
+    n_blocks = draw(st.integers(0, 2))
+    for i in range(n_blocks):
+        x, y = slots[draw(st.integers(0, 3))]
+        if any(b.x == x and b.y == y for b in blocks):
+            continue
+        blocks.append(Block(name=f"b{i}", width=4.0, height=4.0, x=x, y=y))
+    plan = Floorplan(die=die, blocks=blocks)
+    plan.validate()
+    n_nets = draw(st.integers(1, 5))
+    nets = []
+    for i in range(n_nets):
+        src = Point(draw(coords), draw(coords))
+        dst = Point(draw(coords), draw(coords))
+        nets.append(
+            Net(name=f"n{i}", source=Pin(f"n{i}.s", src), sinks=[Pin(f"n{i}.t", dst)])
+        )
+    L = draw(st.integers(2, 6))
+    return graph, plan, Netlist(nets=nets), L
+
+
+class TestBbpProperties:
+    @given(bbp_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_buffers_always_in_free_space(self, instance):
+        graph, plan, netlist, L = instance
+        result = BbpPlanner(
+            graph, plan, netlist, BbpConfig(length_limit=L, postprocess=False)
+        ).run()
+        for p in result.buffer_points:
+            assert plan.free_space(p)
+
+    @given(bbp_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_buffer_count_matches_demand(self, instance):
+        graph, plan, netlist, L = instance
+        planner = BbpPlanner(
+            graph, plan, netlist, BbpConfig(length_limit=L, postprocess=False)
+        )
+        expected = sum(planner.buffers_needed(n) for n in planner.netlist)
+        result = planner.run()
+        assert result.num_buffers + result.unplaceable == expected
+
+    @given(bbp_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_all_routes_valid_and_reach_sinks(self, instance):
+        graph, plan, netlist, L = instance
+        planner = BbpPlanner(graph, plan, netlist, BbpConfig(length_limit=L))
+        result = planner.run()
+        assert len(result.routes) == len(planner.netlist)
+        for net in planner.netlist:
+            tree = result.routes[net.name]
+            tree.validate()
+            assert tree.source == graph.tile_of(net.source.location)
+            assert graph.tile_of(net.sinks[0].location) in tree.sink_tiles
+
+    @given(bbp_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_mtap_nonnegative_and_bounded(self, instance):
+        graph, plan, netlist, L = instance
+        result = BbpPlanner(graph, plan, netlist, BbpConfig(length_limit=L)).run()
+        assert 0.0 <= result.mtap_pct < 100.0

@@ -1,0 +1,151 @@
+"""Property-based tests of the buffer-insertion DPs.
+
+Invariants checked on random paths and random trees:
+
+* DP solutions always satisfy the length rule (when feasible);
+* DP cost equals the sum of the q(v) of its chosen tiles;
+* the multi-sink DP on a path agrees with the single-sink DP;
+* infeasibility is reported exactly when no legal placement exists
+  (checked against the greedy upper bound and gap structure on paths).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    insert_buffers_multi_sink,
+    insert_buffers_single_sink,
+    net_meets_length_rule,
+)
+from repro.routing.tree import RouteTree
+
+INF = float("inf")
+
+
+def _path_tiles(n):
+    return [(i, 0) for i in range(n)]
+
+
+def _path_tree(tiles):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]])
+
+
+q_values = st.one_of(
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    st.just(INF),
+)
+
+
+@st.composite
+def path_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    L = draw(st.integers(min_value=1, max_value=7))
+    qs = draw(st.lists(q_values, min_size=n, max_size=n))
+    return n, L, qs
+
+
+class TestSingleSinkProperties:
+    @given(path_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_feasible_iff_no_long_gap(self, instance):
+        n, L, qs = instance
+        path = _path_tiles(n)
+        table = {t: q for t, q in zip(path, qs)}
+        cost, buffers, feasible = insert_buffers_single_sink(
+            path, table.__getitem__, L
+        )
+        # Gap structure: positions 1..n-2 are usable iff finite.
+        usable = [0] + [i for i in range(1, n - 1) if qs[i] != INF] + [n - 1]
+        max_gap = max(b - a for a, b in zip(usable, usable[1:]))
+        assert feasible == (max_gap <= L)
+
+    @given(path_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_cost_is_sum_of_chosen_sites(self, instance):
+        n, L, qs = instance
+        path = _path_tiles(n)
+        table = {t: q for t, q in zip(path, qs)}
+        cost, buffers, feasible = insert_buffers_single_sink(
+            path, table.__getitem__, L
+        )
+        if feasible:
+            expected = sum(table[b.tile] for b in buffers)
+            assert abs(cost - expected) <= 1e-9 * max(1.0, expected)
+
+    @given(path_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_solution_respects_length_rule(self, instance):
+        n, L, qs = instance
+        path = _path_tiles(n)
+        table = {t: q for t, q in zip(path, qs)}
+        cost, buffers, feasible = insert_buffers_single_sink(
+            path, table.__getitem__, L
+        )
+        if feasible:
+            tree = _path_tree(path)
+            tree.apply_buffers(buffers)
+            assert net_meets_length_rule(tree, L)
+
+
+@st.composite
+def tree_instances(draw):
+    """A random caterpillar tree: a trunk with vertical branches."""
+    trunk = draw(st.integers(min_value=1, max_value=8))
+    L = draw(st.integers(min_value=1, max_value=6))
+    branches = {}
+    for x in range(1, trunk + 1):
+        if draw(st.booleans()):
+            branches[x] = draw(st.integers(min_value=1, max_value=4))
+    paths = [[(i, 0) for i in range(trunk + 1)]]
+    sinks = [(trunk, 0)]
+    for x, blen in branches.items():
+        paths.append([(x, 0)] + [(x, y) for y in range(1, blen + 1)])
+        sinks.append((x, branches[x]))
+    tree = RouteTree.from_paths((0, 0), paths, sinks)
+    q_map = {}
+    for node in tree.preorder():
+        q_map[node.tile] = draw(q_values)
+    return tree, q_map, L
+
+
+class TestMultiSinkProperties:
+    @given(tree_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_feasible_solutions_are_legal(self, instance):
+        tree, q_map, L = instance
+        result = insert_buffers_multi_sink(tree, q_map.__getitem__, L)
+        if result.feasible:
+            tree.apply_buffers(result.buffers)
+            assert net_meets_length_rule(tree, L)
+
+    @given(tree_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_cost_matches_placements(self, instance):
+        tree, q_map, L = instance
+        result = insert_buffers_multi_sink(tree, q_map.__getitem__, L)
+        if result.feasible:
+            expected = sum(q_map[b.tile] for b in result.buffers)
+            assert abs(result.cost - expected) <= 1e-9 * max(1.0, expected)
+
+    @given(tree_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_free_sites_imply_feasible(self, instance):
+        tree, q_map, L = instance
+        # With every site cheap and available, any tree is bufferable.
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, L)
+        assert result.feasible
+
+    @given(path_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_path_agrees_with_single_sink(self, instance):
+        n, L, qs = instance
+        path = _path_tiles(n)
+        table = {t: q for t, q in zip(path, qs)}
+        c1, b1, f1 = insert_buffers_single_sink(path, table.__getitem__, L)
+        result = insert_buffers_multi_sink(
+            _path_tree(path), table.__getitem__, L
+        )
+        assert result.feasible == f1
+        if f1:
+            assert abs(result.cost - c1) < 1e-9

@@ -1,0 +1,72 @@
+"""Property-based tests: Elmore delay invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import insert_buffers_multi_sink
+from repro.routing.maze import route_net_on_tiles
+from repro.routing.tree import RouteTree
+from repro.technology import TECH_180NM
+from repro.tilegraph import CapacityModel, TileGraph
+from repro.timing import net_delay
+from repro.timing.elmore import elmore_sink_delays
+from repro.geometry import Rect
+
+grid_coords = st.integers(min_value=0, max_value=7)
+tiles = st.tuples(grid_coords, grid_coords)
+
+
+def _graph():
+    return TileGraph(Rect(0, 0, 8, 8), 8, 8, CapacityModel.uniform(10))
+
+
+class TestElmoreProperties:
+    @given(tiles, st.lists(tiles, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_delays_positive_and_reported_for_all_sinks(self, source, sinks):
+        graph = _graph()
+        rt = route_net_on_tiles(graph, source, sinks)
+        delays = elmore_sink_delays(rt, graph, TECH_180NM)
+        assert set(delays) == set(rt.sink_tiles)
+        for d in delays.values():
+            assert d > 0
+
+    @given(tiles, st.lists(tiles, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_max_at_least_avg(self, source, sinks):
+        graph = _graph()
+        rt = route_net_on_tiles(graph, source, sinks)
+        report = net_delay(rt, graph, TECH_180NM)
+        assert report.max_delay >= report.avg_delay
+
+    @given(st.integers(min_value=5, max_value=7), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_buffering_never_hurts_long_lines(self, n, L):
+        # For sufficiently long unbuffered lines, the DP-chosen buffering
+        # reduces the worst sink delay.
+        graph = _graph()
+        path = [(i, 0) for i in range(n + 1)]
+        parent = {b: a for a, b in zip(path, path[1:])}
+        rt = RouteTree.from_parent_map(path[0], parent, [path[-1]])
+        before = net_delay(rt, graph, TECH_180NM).max_delay
+        result = insert_buffers_multi_sink(rt, lambda t: 1.0, L)
+        assert result.feasible
+        rt.apply_buffers(result.buffers)
+        after = net_delay(rt, graph, TECH_180NM).max_delay
+        # Tile pitch is 1mm: stages of <= 4mm; buffered delay should not
+        # be dramatically worse and usually better; allow intrinsic slack.
+        assert after < before + len(result.buffers) * 2 * TECH_180NM.buffer_delay
+
+    @given(tiles, tiles)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_distance(self, source, sink):
+        graph = _graph()
+        rt = route_net_on_tiles(graph, source, [sink])
+        d = net_delay(rt, graph, TECH_180NM).max_delay
+        dist = rt.wirelength_tiles()
+        # Compare against a strictly longer straight line from the corner.
+        far = [(i, 0) for i in range(dist + 2)]
+        parent = {b: a for a, b in zip(far, far[1:])}
+        rt2 = RouteTree.from_parent_map(far[0], parent, [far[-1]])
+        d2 = net_delay(rt2, graph, TECH_180NM).max_delay
+        assert d2 > d - 1e-18

@@ -1,0 +1,58 @@
+"""Property-based tests: Manhattan geometry invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, bounding_box, manhattan
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestManhattanMetric:
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert manhattan(a, b) == manhattan(b, a)
+
+    @given(points, points)
+    def test_non_negative_and_identity(self, a, b):
+        assert manhattan(a, b) >= 0
+        assert manhattan(a, a) == 0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c) + 1e-6
+
+
+class TestMedian:
+    @given(points, points, points)
+    def test_median_on_all_shortest_paths(self, u, a, b):
+        m = u.median_with(a, b)
+        for p, q in [(u, a), (u, b), (a, b)]:
+            direct = manhattan(p, q)
+            via = manhattan(p, m) + manhattan(m, q)
+            assert abs(via - direct) <= 1e-6 * max(1.0, direct)
+
+    @given(points, points, points)
+    def test_median_within_bbox(self, u, a, b):
+        m = u.median_with(a, b)
+        box = bounding_box([u, a, b])
+        assert box.contains(m)
+
+
+class TestBoundingBox:
+    @given(st.lists(points, min_size=1, max_size=20))
+    def test_contains_all(self, pts):
+        box = bounding_box(pts)
+        for p in pts:
+            assert box.contains(p)
+
+    @given(st.lists(points, min_size=1, max_size=20))
+    def test_minimal(self, pts):
+        box = bounding_box(pts)
+        assert any(p.x == box.x0 for p in pts)
+        assert any(p.x == box.x1 for p in pts)
+        assert any(p.y == box.y0 for p in pts)
+        assert any(p.y == box.y1 for p in pts)

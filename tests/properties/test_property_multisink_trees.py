@@ -1,0 +1,110 @@
+"""Property tests: multi-sink DP on *general* random trees.
+
+The caterpillar instances in test_property_dp.py cover chains with
+branches; these generate arbitrary random subtrees of the grid (random
+BFS-tree samples), with random sink subsets, internal sinks, and random
+site costs — then check optimality via a bounded brute force and legality
+always.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import insert_buffers_multi_sink
+from repro.core.length_rule import net_meets_length_rule
+from repro.routing.tree import BufferSpec, RouteTree
+
+INF = float("inf")
+
+
+@st.composite
+def random_trees(draw):
+    """A random tile tree grown from (0, 0) over an 8x8 grid."""
+    n_nodes = draw(st.integers(min_value=2, max_value=9))
+    nodes = [(0, 0)]
+    parent = {}
+    for _ in range(n_nodes - 1):
+        base = nodes[draw(st.integers(0, len(nodes) - 1))]
+        candidates = [
+            (base[0] + dx, base[1] + dy)
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+            if 0 <= base[0] + dx < 8
+            and 0 <= base[1] + dy < 8
+            and (base[0] + dx, base[1] + dy) not in parent
+            and (base[0] + dx, base[1] + dy) != (0, 0)
+        ]
+        if not candidates:
+            continue
+        child = candidates[draw(st.integers(0, len(candidates) - 1))]
+        parent[child] = base
+        nodes.append(child)
+    assume(len(nodes) >= 2)
+    leaves = [t for t in nodes if t not in set(parent.values()) and t != (0, 0)]
+    assume(leaves)
+    # Sinks: all leaves plus a random subset of internal nodes.
+    sinks = set(leaves)
+    for t in nodes[1:]:
+        if draw(st.booleans()) and draw(st.booleans()):
+            sinks.add(t)
+    tree = RouteTree.from_parent_map((0, 0), parent, sorted(sinks))
+    q = {}
+    for t in tree.nodes:
+        q[t] = draw(
+            st.one_of(
+                st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+                st.just(INF),
+            )
+        )
+    L = draw(st.integers(min_value=1, max_value=5))
+    return tree, q, L
+
+
+def _brute_force(tree, q, L, slot_cap=14):
+    from itertools import product
+
+    slots = []
+    for node in tree.preorder():
+        if q[node.tile] == INF:
+            continue
+        slots.append((node.tile, None))
+        for child in node.children:
+            slots.append((node.tile, child.tile))
+    if len(slots) > slot_cap:
+        return None  # too big to enumerate; skip optimality check
+    best = INF
+    for mask in product([0, 1], repeat=len(slots)):
+        specs = [
+            BufferSpec(tile, child)
+            for bit, (tile, child) in zip(mask, slots)
+            if bit
+        ]
+        tree.apply_buffers(specs)
+        if net_meets_length_rule(tree, L):
+            best = min(best, sum(q[s.tile] for s in specs))
+    tree.clear_buffers()
+    return best
+
+
+class TestGeneralTrees:
+    @given(random_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_legality(self, instance):
+        tree, q, L = instance
+        result = insert_buffers_multi_sink(tree, q.__getitem__, L)
+        if result.feasible:
+            tree.apply_buffers(result.buffers)
+            assert net_meets_length_rule(tree, L)
+
+    @given(random_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_optimality_vs_brute_force(self, instance):
+        tree, q, L = instance
+        expected = _brute_force(tree, q, L)
+        if expected is None:
+            return
+        result = insert_buffers_multi_sink(tree, q.__getitem__, L)
+        if expected == INF:
+            assert not result.feasible
+        else:
+            assert result.feasible
+            assert abs(result.cost - expected) <= 1e-9 * max(1.0, expected)

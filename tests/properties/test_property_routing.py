@@ -1,0 +1,89 @@
+"""Property-based tests: routing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.routing import embed_tree, prim_dijkstra_tree, remove_overlaps
+from repro.routing.maze import route_net_on_tiles
+from repro.tilegraph import CapacityModel, TileGraph
+
+grid_coords = st.integers(min_value=0, max_value=7)
+tiles = st.tuples(grid_coords, grid_coords)
+
+
+def _graph():
+    return TileGraph(Rect(0, 0, 8, 8), 8, 8, CapacityModel.uniform(10))
+
+
+pin_coords = st.floats(min_value=0.01, max_value=7.99, allow_nan=False)
+pins = st.builds(Point, pin_coords, pin_coords)
+
+
+class TestPrimDijkstra:
+    @given(st.lists(pins, min_size=1, max_size=10), st.floats(0, 1))
+    @settings(max_examples=80, deadline=None)
+    def test_spans_all_pins(self, pts, c):
+        tree = prim_dijkstra_tree(pts, c=c)
+        assert tree.num_points == len(pts)
+        tree.parent_order()  # connected
+
+    @given(st.lists(pins, min_size=2, max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_radius_between_spt_and_mst(self, pts):
+        spt_radius = prim_dijkstra_tree(pts, c=1.0).radius()
+        pd_radius = prim_dijkstra_tree(pts, c=0.4).radius()
+        # SPT radius is the minimum possible; PD can't beat it.
+        assert pd_radius >= spt_radius - 1e-9
+
+
+class TestOverlapRemoval:
+    @given(st.lists(pins, min_size=2, max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_never_longer_and_still_connected(self, pts):
+        tree = prim_dijkstra_tree(pts, c=0.4)
+        before = tree.wirelength()
+        remove_overlaps(tree)
+        assert tree.wirelength() <= before + 1e-9
+        tree.parent_order()
+
+
+class TestEmbed:
+    @given(st.lists(pins, min_size=2, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_route_tree(self, pts):
+        graph = _graph()
+        gtree = remove_overlaps(prim_dijkstra_tree(pts, c=0.4))
+        rt = embed_tree(graph, gtree, pts[1:])
+        rt.validate()
+        expected = sorted({graph.tile_of(p) for p in pts[1:]})
+        assert rt.sink_tiles == expected
+
+
+class TestMaze:
+    @given(tiles, st.lists(tiles, min_size=1, max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_route_connects_everything(self, source, sinks):
+        graph = _graph()
+        rt = route_net_on_tiles(graph, source, sinks)
+        rt.validate()
+        assert rt.source == source
+        assert set(rt.sink_tiles) == set(sinks)
+
+    @given(tiles, tiles)
+    @settings(max_examples=80, deadline=None)
+    def test_uncongested_route_is_shortest(self, source, sink):
+        graph = _graph()
+        rt = route_net_on_tiles(graph, source, [sink])
+        dist = abs(source[0] - sink[0]) + abs(source[1] - sink[1])
+        assert rt.wirelength_tiles() == dist
+
+    @given(tiles, st.lists(tiles, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_usage_roundtrip(self, source, sinks):
+        graph = _graph()
+        rt = route_net_on_tiles(graph, source, sinks)
+        rt.add_usage(graph)
+        rt.remove_usage(graph)
+        assert graph.h_usage.sum() == 0
+        assert graph.v_usage.sum() == 0

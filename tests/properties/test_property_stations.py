@@ -1,0 +1,77 @@
+"""Property-based tests: station assignment invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bbp.stations import BufferStation, StationAssigner
+from repro.geometry import Point, manhattan
+from repro.netlist import Net, Pin
+
+coords = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+@st.composite
+def assignment_instances(draw):
+    stations = [
+        BufferStation(location=draw(points), capacity=draw(st.integers(1, 3)))
+        for _ in range(draw(st.integers(1, 8)))
+    ]
+    nets = []
+    for i in range(draw(st.integers(1, 6))):
+        nets.append(
+            Net(
+                name=f"n{i}",
+                source=Pin(f"n{i}.s", draw(points)),
+                sinks=[Pin(f"n{i}.t", draw(points))],
+            )
+        )
+    spacing = draw(st.floats(min_value=2.0, max_value=10.0))
+    return stations, nets, spacing
+
+
+class TestStationProperties:
+    @given(assignment_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_capacity_never_exceeded(self, instance):
+        stations, nets, spacing = instance
+        assigner = StationAssigner(stations, spacing_mm=spacing, slack=1.3)
+        assigner.assign_all(nets)
+        for st_ in stations:
+            assert 0 <= st_.used <= st_.capacity
+
+    @given(assignment_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_usage_equals_assigned_chain_lengths(self, instance):
+        stations, nets, spacing = instance
+        assigner = StationAssigner(stations, spacing_mm=spacing, slack=1.3)
+        results = assigner.assign_all(nets)
+        total_chain = sum(len(r.chain) for r in results if r.assigned)
+        assert total_chain == sum(s.used for s in stations)
+
+    @given(assignment_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_hops_within_slackened_spacing(self, instance):
+        stations, nets, spacing = instance
+        slack = 1.3
+        assigner = StationAssigner(stations, spacing_mm=spacing, slack=slack)
+        results = {r.net_name: r for r in assigner.assign_all(nets)}
+        for net in nets:
+            r = results[net.name]
+            if not r.assigned or not r.chain:
+                continue
+            stops = (
+                [net.source.location]
+                + [s.location for s in r.chain]
+                + [net.sinks[0].location]
+            )
+            for a, b in zip(stops, stops[1:]):
+                assert manhattan(a, b) <= spacing * slack + 1e-9
+
+    @given(assignment_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_detour_nonnegative(self, instance):
+        stations, nets, spacing = instance
+        assigner = StationAssigner(stations, spacing_mm=spacing, slack=1.3)
+        for r in assigner.assign_all(nets):
+            assert r.detour_mm >= -1e-9

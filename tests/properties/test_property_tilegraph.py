@@ -1,0 +1,121 @@
+"""Property-based tests: tile-graph bookkeeping and monotone paths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.routing.monotone import best_monotone_path, is_monotone
+from repro.tilegraph import CapacityModel, TileGraph
+from repro.tilegraph.congestion import wire_congestion_stats
+
+tiles8 = st.tuples(
+    st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+)
+
+
+def _graph(capacity=5):
+    return TileGraph(Rect(0, 0, 8, 8), 8, 8, CapacityModel.uniform(capacity))
+
+
+@st.composite
+def edge_ops(draw):
+    """A sequence of add/remove operations that never goes negative."""
+    ops = []
+    balance = {}
+    for _ in range(draw(st.integers(0, 30))):
+        a = draw(tiles8)
+        nbrs = []
+        x, y = a
+        if x + 1 < 8:
+            nbrs.append((x + 1, y))
+        if y + 1 < 8:
+            nbrs.append((x, y + 1))
+        if not nbrs:
+            continue
+        b = draw(st.sampled_from(nbrs))
+        key = (a, b)
+        if draw(st.booleans()) or balance.get(key, 0) == 0:
+            ops.append((a, b, 1))
+            balance[key] = balance.get(key, 0) + 1
+        else:
+            ops.append((a, b, -1))
+            balance[key] -= 1
+    return ops
+
+
+class TestUsageBookkeeping:
+    @given(edge_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_total_usage_equals_op_balance(self, ops):
+        graph = _graph()
+        for a, b, delta in ops:
+            graph.add_wire(a, b, delta)
+        expected = sum(d for _, _, d in ops)
+        assert int(graph.h_usage.sum() + graph.v_usage.sum()) == expected
+
+    @given(edge_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_overflow_consistent_with_max(self, ops):
+        graph = _graph(capacity=2)
+        for a, b, delta in ops:
+            graph.add_wire(a, b, delta)
+        stats = wire_congestion_stats(graph)
+        assert (stats.overflow > 0) == (stats.maximum > 1.0)
+
+    @given(edge_ops())
+    @settings(max_examples=50, deadline=None)
+    def test_snapshot_restore_roundtrip(self, ops):
+        graph = _graph()
+        for a, b, delta in ops[: len(ops) // 2]:
+            graph.add_wire(a, b, delta)
+        snap = graph.snapshot_usage()
+        for a, b, delta in ops[len(ops) // 2 :]:
+            graph.add_wire(a, b, delta)
+        h_mid = graph.h_usage.copy()
+        graph.restore_usage(snap)
+        assert (graph.h_usage == snap[0]).all()
+        assert (graph.v_usage == snap[1]).all()
+
+
+class TestMonotonePathProperties:
+    @given(tiles8, tiles8)
+    @settings(max_examples=100, deadline=None)
+    def test_path_is_monotone_and_minimal(self, a, b):
+        graph = _graph()
+        path = best_monotone_path(graph, a, b)
+        assert path is not None
+        assert path[0] == a and path[-1] == b
+        assert is_monotone(path)
+        assert len(path) - 1 == abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    @given(tiles8, tiles8, st.lists(tiles8, max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_forbidden_tiles_avoided(self, a, b, forbidden):
+        graph = _graph()
+        fset = set(forbidden) - {a, b}
+        path = best_monotone_path(graph, a, b, forbidden=fset)
+        if path is not None:
+            assert not (set(path[1:-1]) & fset)
+
+    @given(tiles8, tiles8)
+    @settings(max_examples=60, deadline=None)
+    def test_cost_optimality_against_l_shapes(self, a, b):
+        # The DP result costs no more than either L-shape.
+        from repro.routing.embed import l_shaped_between_tiles
+        from repro.routing.maze import soft_congestion_cost
+
+        graph = _graph(capacity=3)
+        # Load a few edges to create cost structure.
+        graph.add_wire((3, 3), (4, 3), 2)
+        graph.add_wire((3, 3), (3, 4), 2)
+
+        def cost_of(path):
+            return sum(
+                soft_congestion_cost(graph, u, v)
+                for u, v in zip(path, path[1:])
+            )
+
+        best = best_monotone_path(graph, a, b)
+        assert best is not None
+        l1 = l_shaped_between_tiles(a, b)
+        assert cost_of(best) <= cost_of(l1) + 1e-9

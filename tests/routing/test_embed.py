@@ -1,0 +1,68 @@
+"""Embedding geometric trees onto the tile grid."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.routing import embed_tree, prim_dijkstra_tree, remove_overlaps
+from repro.routing.embed import l_shaped_between_tiles, l_shaped_tile_path
+
+
+class TestLShape:
+    def test_horizontal_then_vertical(self):
+        assert l_shaped_between_tiles((0, 0), (2, 2)) == [
+            (0, 0), (1, 0), (2, 0), (2, 1), (2, 2),
+        ]
+
+    def test_negative_directions(self):
+        assert l_shaped_between_tiles((2, 2), (0, 0)) == [
+            (2, 2), (1, 2), (0, 2), (0, 1), (0, 0),
+        ]
+
+    def test_same_tile(self):
+        assert l_shaped_between_tiles((3, 3), (3, 3)) == [(3, 3)]
+
+    def test_straight_line(self):
+        assert l_shaped_between_tiles((0, 0), (0, 3)) == [
+            (0, 0), (0, 1), (0, 2), (0, 3),
+        ]
+
+    def test_from_points(self, graph10):
+        path = l_shaped_tile_path(graph10, Point(0.5, 0.5), Point(2.5, 0.5))
+        assert path == [(0, 0), (1, 0), (2, 0)]
+
+
+class TestEmbedTree:
+    def test_two_pin(self, graph10, two_pin_net):
+        pins = [p.location for p in two_pin_net.pins]
+        gtree = prim_dijkstra_tree(pins)
+        rt = embed_tree(graph10, gtree, two_pin_net.sink_locations())
+        rt.validate()
+        assert rt.source == graph10.tile_of(two_pin_net.source.location)
+        assert rt.sink_tiles == [graph10.tile_of(two_pin_net.sinks[0].location)]
+
+    def test_multi_pin_reaches_all_sinks(self, graph10, multi_pin_net):
+        pins = [p.location for p in multi_pin_net.pins]
+        gtree = remove_overlaps(prim_dijkstra_tree(pins))
+        rt = embed_tree(graph10, gtree, multi_pin_net.sink_locations())
+        rt.validate()
+        expected = sorted(
+            {graph10.tile_of(p) for p in multi_pin_net.sink_locations()}
+        )
+        assert rt.sink_tiles == expected
+
+    def test_colocated_pins(self, graph10):
+        gtree = prim_dijkstra_tree([Point(1.2, 1.2), Point(1.4, 1.4)])
+        rt = embed_tree(graph10, gtree, [Point(1.4, 1.4)])
+        assert rt.num_edges() == 0
+        assert rt.root.is_sink
+
+    def test_wirelength_at_least_bbox(self, graph10, multi_pin_net):
+        pins = [p.location for p in multi_pin_net.pins]
+        gtree = remove_overlaps(prim_dijkstra_tree(pins))
+        rt = embed_tree(graph10, gtree, multi_pin_net.sink_locations())
+        tiles = [graph10.tile_of(p) for p in pins]
+        span = (
+            max(t[0] for t in tiles) - min(t[0] for t in tiles)
+            + max(t[1] for t in tiles) - min(t[1] for t in tiles)
+        )
+        assert rt.wirelength_tiles() >= span

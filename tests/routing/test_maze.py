@@ -1,0 +1,108 @@
+"""Congestion-cost maze routing (Eq. 1)."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.routing.maze import (
+    congestion_cost,
+    route_net_on_tiles,
+    soft_congestion_cost,
+)
+from repro.tilegraph import CapacityModel, TileGraph
+
+
+class TestCongestionCost:
+    def test_empty_edge(self, graph10):
+        # (0 + 1) / (10 - 0)
+        assert congestion_cost(graph10, (0, 0), (1, 0)) == pytest.approx(0.1)
+
+    def test_rises_with_usage(self, graph10):
+        costs = []
+        for usage in range(0, 10):
+            g = graph10
+            # emulate usage levels on a fresh edge each time
+            g.add_wire((2, 2), (3, 2), 1) if usage else None
+            costs.append(congestion_cost(g, (2, 2), (3, 2)))
+        assert costs == sorted(costs)
+
+    def test_full_edge_infinite(self, graph10):
+        graph10.add_wire((0, 0), (1, 0), 10)
+        assert congestion_cost(graph10, (0, 0), (1, 0)) == float("inf")
+
+    def test_matches_paper_formula(self, graph10):
+        graph10.add_wire((0, 0), (1, 0), 7)
+        assert congestion_cost(graph10, (0, 0), (1, 0)) == pytest.approx(8 / 3)
+
+    def test_soft_cost_finite_when_full(self, graph10):
+        graph10.add_wire((0, 0), (1, 0), 12)
+        cost = soft_congestion_cost(graph10, (0, 0), (1, 0))
+        assert cost != float("inf")
+        assert cost > 1000
+
+    def test_soft_matches_strict_below_capacity(self, graph10):
+        graph10.add_wire((0, 0), (1, 0), 4)
+        assert soft_congestion_cost(graph10, (0, 0), (1, 0)) == pytest.approx(
+            congestion_cost(graph10, (0, 0), (1, 0))
+        )
+
+
+class TestRouting:
+    def test_straight_route(self, graph10):
+        rt = route_net_on_tiles(graph10, (0, 0), [(5, 0)])
+        rt.validate()
+        assert rt.wirelength_tiles() == 5
+
+    def test_multi_sink_steiner(self, graph10):
+        rt = route_net_on_tiles(graph10, (0, 0), [(4, 0), (0, 4), (4, 4)])
+        rt.validate()
+        assert set(rt.sink_tiles) == {(4, 0), (0, 4), (4, 4)}
+        # A Steiner tree over these pins is at most the star length.
+        assert rt.wirelength_tiles() <= 16
+
+    def test_sink_equals_source(self, graph10):
+        rt = route_net_on_tiles(graph10, (3, 3), [(3, 3)])
+        assert rt.num_edges() == 0
+
+    def test_avoids_congested_corridor(self, graph10):
+        # Saturate the direct corridor; route must detour.
+        for y in range(0, 10):
+            if y != 9:
+                graph10.add_wire((4, y), (5, y), 10)
+        rt = route_net_on_tiles(graph10, (0, 0), [(9, 0)])
+        rt.validate()
+        crossings = [(u, v) for u, v in rt.edges() if {u[0], v[0]} == {4, 5}]
+        assert all(u[1] == 9 for u, _ in crossings)
+
+    def test_fully_blocked_uses_soft_fallback(self, graph10):
+        for y in range(10):
+            graph10.add_wire((4, y), (5, y), 10)
+        rt = route_net_on_tiles(graph10, (0, 0), [(9, 0)])
+        rt.validate()  # still connects, paying overflow
+
+    def test_duplicate_sinks(self, graph10):
+        rt = route_net_on_tiles(graph10, (0, 0), [(3, 3), (3, 3)])
+        assert rt.sink_tiles == [(3, 3)]
+
+    def test_radius_weight_shortens_paths(self, graph10, die10):
+        # With a high radius weight the router behaves like an SPT: the
+        # source-sink path length gets closer to the Manhattan distance.
+        g1 = TileGraph(die10, 10, 10, CapacityModel.uniform(10))
+        sinks = [(9, 1), (9, 3), (9, 5)]
+        rt = route_net_on_tiles(g1, (0, 0), sinks, radius_weight=0.0)
+        rt2 = route_net_on_tiles(g1, (0, 0), sinks, radius_weight=1.0)
+        def depth(rt, t):
+            node = rt.node(t)
+            d = 0
+            while node.parent:
+                node = node.parent
+                d += 1
+            return d
+        for s in sinks:
+            assert depth(rt2, s) <= depth(rt, s) + 4
+
+    def test_window_margin_grows_if_needed(self, graph10):
+        # Block everything inside the initial window; forces widening.
+        for y in range(10):
+            graph10.add_wire((2, y), (3, y), 10) if y < 10 else None
+        rt = route_net_on_tiles(graph10, (0, 0), [(5, 0)], window_margin=1)
+        rt.validate()

@@ -1,0 +1,120 @@
+"""Equal-length congestion cleanup (monotone staircase rerouting)."""
+
+import pytest
+
+from repro.routing.embed import l_shaped_between_tiles
+from repro.routing.monotone import best_monotone_path, is_monotone, reduce_congestion
+from repro.routing.tree import BufferSpec, RouteTree
+from repro.tilegraph import wire_congestion_stats
+
+
+def _l_route(source, sink, name="n"):
+    path = l_shaped_between_tiles(source, sink)
+    return RouteTree.from_paths(source, [path], [sink], net_name=name)
+
+
+class TestIsMonotone:
+    def test_l_shape(self):
+        assert is_monotone([(0, 0), (1, 0), (2, 0), (2, 1)])
+
+    def test_staircase(self):
+        assert is_monotone([(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)])
+
+    def test_backtrack_x(self):
+        assert not is_monotone([(0, 0), (1, 0), (0, 0)])
+
+    def test_detour(self):
+        assert not is_monotone([(0, 0), (0, 1), (1, 1), (1, 0), (2, 0)])
+
+    def test_straight(self):
+        assert is_monotone([(0, 0), (0, 1), (0, 2)])
+
+
+class TestBestMonotonePath:
+    def test_length_is_manhattan(self, graph10):
+        path = best_monotone_path(graph10, (1, 1), (5, 4))
+        assert path is not None
+        assert len(path) - 1 == 7
+        assert is_monotone(path)
+        assert path[0] == (1, 1) and path[-1] == (5, 4)
+
+    def test_negative_direction(self, graph10):
+        path = best_monotone_path(graph10, (5, 4), (1, 1))
+        assert path is not None
+        assert len(path) - 1 == 7
+
+    def test_avoids_congested_corner(self, graph10):
+        # Make the bottom L-corner expensive; the staircase should lift.
+        for x in range(0, 5):
+            graph10.add_wire((x, 0), (x + 1, 0), 9)
+        path = best_monotone_path(graph10, (0, 0), (5, 3))
+        assert path is not None
+        # The path must leave row 0 early rather than riding it.
+        row0_steps = sum(1 for a, b in zip(path, path[1:]) if a[1] == b[1] == 0)
+        assert row0_steps < 5
+
+    def test_forbidden_blocks(self, graph10):
+        forbidden = {(1, 0), (0, 1)}
+        path = best_monotone_path(graph10, (0, 0), (2, 2), forbidden=forbidden)
+        assert path is None  # both first steps blocked
+
+    def test_same_tile(self, graph10):
+        path = best_monotone_path(graph10, (3, 3), (3, 3))
+        assert path == [(3, 3)]
+
+
+class TestReduceCongestion:
+    def test_moves_wires_off_hot_row(self, graph10):
+        # Three L-routes hug row 0; capacity 10, plus artificial load.
+        routes = {}
+        for i in range(3):
+            routes[f"n{i}"] = _l_route((0, 0 + i), (8, 5 + i), f"n{i}")
+            routes[f"n{i}"].add_usage(graph10)
+        for x in range(8):
+            graph10.add_wire((x, 0), (x + 1, 0), 9)
+        before = wire_congestion_stats(graph10)
+        improved = reduce_congestion(graph10, routes)
+        after = wire_congestion_stats(graph10)
+        assert improved > 0
+        assert after.maximum <= before.maximum
+        for tree in routes.values():
+            tree.validate()
+
+    def test_wirelength_preserved(self, graph10):
+        routes = {"a": _l_route((0, 0), (7, 6), "a")}
+        routes["a"].add_usage(graph10)
+        for x in range(7):
+            graph10.add_wire((x, 0), (x + 1, 0), 8)
+        before = routes["a"].wirelength_tiles()
+        reduce_congestion(graph10, routes)
+        assert routes["a"].wirelength_tiles() == before
+
+    def test_usage_consistent(self, graph10):
+        routes = {"a": _l_route((0, 0), (6, 6), "a")}
+        routes["a"].add_usage(graph10)
+        for x in range(6):
+            graph10.add_wire((x, 0), (x + 1, 0), 8)
+        reduce_congestion(graph10, routes)
+        # Remove the artificial load and the net; nothing may remain.
+        for x in range(6):
+            graph10.add_wire((x, 0), (x + 1, 0), -8)
+        routes["a"].remove_usage(graph10)
+        assert graph10.h_usage.sum() == 0
+        assert graph10.v_usage.sum() == 0
+
+    def test_buffers_preserved_in_count(self, graph10_sites):
+        tree = _l_route((0, 0), (6, 6), "a")
+        mid = tree.two_paths()[0][3]
+        tree.apply_buffers([BufferSpec(mid, None)])
+        tree.add_usage(graph10_sites)
+        for x in range(6):
+            graph10_sites.add_wire((x, 0), (x + 1, 0), 9)
+        reduce_congestion(graph10_sites, {"a": tree})
+        assert tree.buffer_count() == 1
+        # Graph site accounting still matches the tree.
+        assert graph10_sites.total_used_sites == 1
+
+    def test_noop_when_uncongested(self, graph10):
+        routes = {"a": _l_route((0, 0), (4, 4), "a")}
+        routes["a"].add_usage(graph10)
+        assert reduce_congestion(graph10, routes) == 0

@@ -1,0 +1,105 @@
+"""Prim-Dijkstra tree construction and the radius/length trade-off."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.geometry import Point
+from repro.routing import prim_dijkstra_tree
+
+
+def _pins_star(n, radius=10.0):
+    # source at origin, sinks on a diagonal line
+    return [Point(0, 0)] + [Point(radius, i * 2.0) for i in range(n)]
+
+
+class TestConstruction:
+    def test_spanning(self):
+        pins = [Point(0, 0), Point(3, 0), Point(3, 4), Point(0, 4)]
+        tree = prim_dijkstra_tree(pins, c=0.4)
+        assert tree.num_points == 4
+        assert len(list(tree.edges())) == 3
+        tree.parent_order()  # connected
+
+    def test_single_pin(self):
+        tree = prim_dijkstra_tree([Point(1, 1)])
+        assert tree.num_points == 1
+        assert list(tree.edges()) == []
+
+    def test_two_pins(self):
+        tree = prim_dijkstra_tree([Point(0, 0), Point(5, 5)])
+        assert tree.wirelength() == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            prim_dijkstra_tree([])
+
+    def test_bad_tradeoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prim_dijkstra_tree([Point(0, 0)], c=1.5)
+
+    def test_bad_source_index(self):
+        with pytest.raises(RoutingError):
+            prim_dijkstra_tree([Point(0, 0)], source_index=2)
+
+    def test_root_is_source_index(self):
+        pins = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        tree = prim_dijkstra_tree(pins, source_index=1)
+        assert tree.root == 1
+
+
+class TestTradeoff:
+    def test_c0_is_mst(self):
+        # Chain of points: MST connects consecutive neighbors.
+        pins = [Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)]
+        tree = prim_dijkstra_tree(pins, c=0.0)
+        assert tree.wirelength() == pytest.approx(3.0)
+
+    def test_c1_is_spt(self):
+        # With c=1, each node attaches to minimize source path length.
+        pins = [Point(0, 0), Point(10, 1), Point(10, -1)]
+        tree = prim_dijkstra_tree(pins, c=1.0)
+        # SPT radius equals direct Manhattan distance for every sink.
+        lengths = tree.path_length_from_root()
+        assert lengths[1] == pytest.approx(11.0)
+        assert lengths[2] <= 11.0 + 2.0  # attaches via the other sink or direct
+
+    def test_radius_monotone_in_c(self):
+        pins = _pins_star(6)
+        radii = [
+            prim_dijkstra_tree(pins, c=c).radius() for c in (0.0, 0.4, 1.0)
+        ]
+        assert radii[0] >= radii[1] >= radii[2] - 1e-9
+
+    def test_wirelength_monotone_in_c(self):
+        pins = _pins_star(6)
+        wl = [
+            prim_dijkstra_tree(pins, c=c).wirelength() for c in (0.0, 0.4, 1.0)
+        ]
+        assert wl[0] <= wl[1] + 1e-9 <= wl[2] + 2e-9
+
+    def test_mst_wirelength_lower_bounds_everything(self):
+        pins = [Point(0, 0), Point(4, 7), Point(9, 2), Point(3, 3), Point(8, 8)]
+        mst = prim_dijkstra_tree(pins, c=0.0).wirelength()
+        pd = prim_dijkstra_tree(pins, c=0.4).wirelength()
+        assert mst <= pd + 1e-9
+
+
+class TestGeometricTree:
+    def test_disconnected_detected(self):
+        tree = prim_dijkstra_tree([Point(0, 0), Point(1, 1)])
+        tree.disconnect(0, 1)
+        with pytest.raises(RoutingError):
+            tree.parent_order()
+
+    def test_add_point_and_connect(self):
+        tree = prim_dijkstra_tree([Point(0, 0), Point(2, 0)])
+        s = tree.add_point(Point(1, 0))
+        tree.disconnect(0, 1)
+        tree.connect(0, s)
+        tree.connect(s, 1)
+        assert tree.wirelength() == pytest.approx(2.0)
+
+    def test_self_loop_rejected(self):
+        tree = prim_dijkstra_tree([Point(0, 0), Point(1, 1)])
+        with pytest.raises(RoutingError):
+            tree.connect(0, 0)

@@ -1,0 +1,89 @@
+"""Rip-up-and-reroute driver (Stage 2)."""
+
+import pytest
+
+from repro.routing.embed import l_shaped_between_tiles
+from repro.routing.ripup import RipupOptions, reroute_order_by_delay, ripup_and_reroute
+from repro.routing.tree import RouteTree
+from repro.tilegraph import CapacityModel, TileGraph, wire_congestion_stats
+from repro.geometry import Rect
+
+
+def _l_route(source, sink, name):
+    path = l_shaped_between_tiles(source, sink)
+    return RouteTree.from_paths(source, [path], [sink], net_name=name)
+
+
+class TestOrdering:
+    def test_ascending(self):
+        order = reroute_order_by_delay({"a": 3.0, "b": 1.0, "c": 2.0})
+        assert order == ["b", "c", "a"]
+
+    def test_descending(self):
+        order = reroute_order_by_delay({"a": 3.0, "b": 1.0}, ascending=False)
+        assert order == ["a", "b"]
+
+    def test_ties_break_by_name(self):
+        assert reroute_order_by_delay({"b": 1.0, "a": 1.0}) == ["a", "b"]
+
+
+class TestRipup:
+    def _congested_setup(self):
+        # Capacity 2; five row-to-row nets all initially detoured through
+        # row 0, overloading it. Straight rerouting fixes the overflow.
+        g = TileGraph(Rect(0, 0, 8, 8), 8, 8, CapacityModel.uniform(2))
+        routes = {}
+        for i in range(5):
+            name = f"n{i}"
+            source, sink = (0, i), (7, i)
+            path = (
+                [(0, y) for y in range(i, -1, -1)]
+                + [(x, 0) for x in range(1, 8)]
+                + [(7, y) for y in range(1, i + 1)]
+            )
+            routes[name] = RouteTree.from_paths(source, [path], [sink], net_name=name)
+            routes[name].add_usage(g)
+        return g, routes
+
+    def test_resolves_overflow(self):
+        g, routes = self._congested_setup()
+        assert wire_congestion_stats(g).overflow > 0
+        ripup_and_reroute(g, routes, sorted(routes), RipupOptions(max_iterations=3))
+        assert wire_congestion_stats(g).overflow == 0
+
+    def test_usage_consistent_after(self):
+        g, routes = self._congested_setup()
+        ripup_and_reroute(g, routes, sorted(routes))
+        # Recompute usage from scratch and compare.
+        h = g.h_usage.copy()
+        v = g.v_usage.copy()
+        g.h_usage[:] = 0
+        g.v_usage[:] = 0
+        for t in routes.values():
+            t.add_usage(g)
+        assert (g.h_usage == h).all()
+        assert (g.v_usage == v).all()
+
+    def test_stops_early_when_clean(self):
+        g = TileGraph(Rect(0, 0, 8, 8), 8, 8, CapacityModel.uniform(10))
+        routes = {"n0": _l_route((0, 0), (3, 3), "n0")}
+        routes["n0"].add_usage(g)
+        passes = ripup_and_reroute(g, routes, ["n0"], RipupOptions(max_iterations=3))
+        assert passes == 1
+
+    def test_pass_callback(self):
+        g, routes = self._congested_setup()
+        seen = []
+        ripup_and_reroute(
+            g, routes, sorted(routes), RipupOptions(max_iterations=2),
+            on_pass_end=seen.append,
+        )
+        assert seen and seen[0] == 0
+
+    def test_sinks_preserved(self):
+        g, routes = self._congested_setup()
+        sinks_before = {n: t.sink_tiles for n, t in routes.items()}
+        ripup_and_reroute(g, routes, sorted(routes))
+        for name, tree in routes.items():
+            assert tree.sink_tiles == sinks_before[name]
+            tree.validate()

@@ -1,0 +1,71 @@
+"""Greedy overlap removal (paper Fig. 4)."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.routing import prim_dijkstra_tree, remove_overlaps
+from repro.routing.prim_dijkstra import GeometricTree
+
+
+def _tree(points, edges, root=0):
+    adj = [set() for _ in points]
+    t = GeometricTree(points=list(points), adjacency=adj, root=root)
+    for i, j in edges:
+        t.connect(i, j)
+    return t
+
+
+class TestOverlapRemoval:
+    def test_paper_figure4_shape(self):
+        # A node with two edges going the same way: overlap removed by a
+        # Steiner point at the median.
+        t = _tree([Point(0, 0), Point(4, 2), Point(4, -2)], [(0, 1), (0, 2)])
+        before = t.wirelength()
+        remove_overlaps(t)
+        after = t.wirelength()
+        # Shared run of length 4 along x collapses once: 12 -> 8.
+        assert before == pytest.approx(12)
+        assert after == pytest.approx(8)
+        assert t.num_points == 4  # one Steiner point added
+        assert t.points[3] == Point(4, 0)
+
+    def test_no_overlap_no_change(self):
+        t = _tree([Point(0, 0), Point(5, 0), Point(-5, 0)], [(0, 1), (0, 2)])
+        remove_overlaps(t)
+        assert t.num_points == 3
+        assert t.wirelength() == pytest.approx(10)
+
+    def test_never_increases_wirelength(self):
+        pins = [Point(0, 0), Point(7, 3), Point(2, 8), Point(9, 9), Point(5, 1)]
+        t = prim_dijkstra_tree(pins, c=0.4)
+        before = t.wirelength()
+        remove_overlaps(t)
+        assert t.wirelength() <= before + 1e-9
+
+    def test_stays_connected(self):
+        pins = [Point(0, 0), Point(6, 2), Point(6, -2), Point(3, 5), Point(8, 0)]
+        t = prim_dijkstra_tree(pins, c=0.4)
+        remove_overlaps(t)
+        t.parent_order()  # raises if disconnected
+
+    def test_result_has_no_remaining_overlap(self):
+        from repro.routing.steiner import _best_overlap
+
+        pins = [Point(0, 0), Point(10, 4), Point(10, -4), Point(5, 9), Point(2, -7)]
+        t = prim_dijkstra_tree(pins, c=0.4)
+        remove_overlaps(t)
+        assert _best_overlap(t) is None
+
+    def test_degenerate_collinear(self):
+        t = _tree([Point(0, 0), Point(5, 0), Point(9, 0)], [(0, 1), (0, 2)])
+        remove_overlaps(t)
+        # Median of (0,0),(5,0),(9,0) is (5,0): edge (0,9) rewired via 5.
+        assert t.wirelength() == pytest.approx(9)
+
+    def test_idempotent(self):
+        pins = [Point(0, 0), Point(6, 2), Point(6, -2)]
+        t = prim_dijkstra_tree(pins, c=0.4)
+        remove_overlaps(t)
+        wl = t.wirelength()
+        remove_overlaps(t)
+        assert t.wirelength() == pytest.approx(wl)

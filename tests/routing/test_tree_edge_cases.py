@@ -1,0 +1,91 @@
+"""RouteTree corner cases: internal sinks, deep trees, buffer bookkeeping."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing.tree import BufferSpec, RouteTree
+
+
+class TestInternalSinks:
+    def _through_sink(self):
+        tiles = [(i, 0) for i in range(6)]
+        parent = {b: a for a, b in zip(tiles, tiles[1:])}
+        return RouteTree.from_parent_map((0, 0), parent, [(2, 0), (5, 0)])
+
+    def test_internal_sink_flagged(self):
+        t = self._through_sink()
+        assert t.node((2, 0)).is_sink
+        assert t.node((5, 0)).is_sink
+        assert t.sink_tiles == [(2, 0), (5, 0)]
+
+    def test_two_paths_split_at_internal_sink(self):
+        t = self._through_sink()
+        paths = t.two_paths()
+        # The internal sink is an endpoint, so two two-paths.
+        assert len(paths) == 2
+        assert {tuple(p) for p in paths} == {
+            ((0, 0), (1, 0), (2, 0)),
+            ((2, 0), (3, 0), (4, 0), (5, 0)),
+        }
+
+    def test_source_is_sink(self):
+        tiles = [(0, 0), (1, 0)]
+        parent = {(1, 0): (0, 0)}
+        t = RouteTree.from_parent_map((0, 0), parent, [(0, 0), (1, 0)])
+        assert t.root.is_sink
+
+
+class TestDeepTrees:
+    def test_long_path_no_recursion_limit(self):
+        # Traversals are iterative: a 5000-tile path must not blow the
+        # Python recursion limit.
+        tiles = [(i, 0) for i in range(5000)]
+        parent = {b: a for a, b in zip(tiles, tiles[1:])}
+        t = RouteTree.from_parent_map((0, 0), parent, [(4999, 0)])
+        assert len(t.postorder()) == 5000
+        assert len(t.preorder()) == 5000
+        t.validate()
+        assert t.num_edges() == 4999
+
+    def test_two_path_decomposition_long(self):
+        tiles = [(i, 0) for i in range(1000)]
+        parent = {b: a for a, b in zip(tiles, tiles[1:])}
+        t = RouteTree.from_parent_map((0, 0), parent, [(999, 0)])
+        paths = t.two_paths()
+        assert len(paths) == 1
+        assert len(paths[0]) == 1000
+
+
+class TestBufferBookkeeping:
+    def test_specs_roundtrip(self):
+        tiles = [(i, 0) for i in range(5)]
+        parent = {b: a for a, b in zip(tiles, tiles[1:])}
+        t = RouteTree.from_parent_map((0, 0), parent, [(4, 0)])
+        specs = [BufferSpec((1, 0), None), BufferSpec((3, 0), None)]
+        t.apply_buffers(specs)
+        assert t.buffer_specs() == specs
+
+    def test_specs_deterministic_order(self):
+        paths = [
+            [(1, 1), (1, 2), (0, 2)],
+            [(1, 1), (2, 1), (2, 2)],
+        ]
+        t = RouteTree.from_paths((1, 1), paths, [(0, 2), (2, 2)])
+        t.apply_buffers(
+            [
+                BufferSpec((2, 1), None),
+                BufferSpec((1, 1), (1, 2)),
+                BufferSpec((1, 1), None),
+            ]
+        )
+        specs = t.buffer_specs()
+        assert specs[0].tile == (1, 1) and specs[0].drives_child is None
+        assert specs[1].tile == (1, 1) and specs[1].drives_child == (1, 2)
+        assert specs[2].tile == (2, 1)
+
+    def test_node_accessor_raises_off_tree(self):
+        tiles = [(0, 0), (1, 0)]
+        parent = {(1, 0): (0, 0)}
+        t = RouteTree.from_parent_map((0, 0), parent, [(1, 0)])
+        with pytest.raises(RoutingError):
+            t.node((9, 9))

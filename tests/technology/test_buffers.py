@@ -1,0 +1,74 @@
+"""Buffer library behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import TECH_180NM, BufferKind, BufferLibrary
+
+
+def _kind(name, inverting=False, res=100.0, cap=1e-14, delay=1e-11):
+    return BufferKind(
+        name=name, inverting=inverting, output_res=res, input_cap=cap,
+        intrinsic_delay=delay,
+    )
+
+
+class TestBufferKind:
+    def test_valid(self):
+        k = _kind("BUF")
+        assert not k.inverting
+
+    def test_bad_rc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _kind("B", res=0)
+        with pytest.raises(ConfigurationError):
+            _kind("B", cap=-1e-15)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _kind("B", delay=-1e-12)
+
+
+class TestBufferLibrary:
+    def test_default_is_first_when_unset(self):
+        lib = BufferLibrary(kinds=[_kind("A"), _kind("B")])
+        assert lib.default_buffer.name == "A"
+
+    def test_explicit_default(self):
+        lib = BufferLibrary(kinds=[_kind("A"), _kind("B")], default_name="B")
+        assert lib.default_buffer.name == "B"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferLibrary(kinds=[_kind("A"), _kind("A")])
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BufferLibrary(kinds=[_kind("A")], default_name="Z")
+
+    def test_get_unknown_raises(self):
+        lib = BufferLibrary(kinds=[_kind("A")])
+        with pytest.raises(ConfigurationError):
+            lib.get("missing")
+
+    def test_empty_library_default_raises(self):
+        with pytest.raises(ConfigurationError):
+            BufferLibrary().default_buffer
+
+    def test_from_technology(self):
+        lib = BufferLibrary.from_technology(TECH_180NM)
+        assert lib.default_buffer.name == "BUF_X1"
+        assert not lib.default_buffer.inverting
+        names = {k.name for k in lib.kinds}
+        assert {"BUF_X1", "BUF_X2", "BUF_X4", "INV_X1"} <= names
+
+    def test_strength_scaling(self):
+        lib = BufferLibrary.from_technology(TECH_180NM)
+        b1, b4 = lib.get("BUF_X1"), lib.get("BUF_X4")
+        assert b4.output_res == pytest.approx(b1.output_res / 4)
+        assert b4.input_cap == pytest.approx(b1.input_cap * 4)
+
+    def test_non_inverting_filter(self):
+        lib = BufferLibrary.from_technology(TECH_180NM)
+        assert all(not k.inverting for k in lib.non_inverting())
+        assert len(lib.non_inverting()) == 3

@@ -1,0 +1,53 @@
+"""Technology parameter validation and helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import TECH_180NM, Technology
+
+
+class TestTechnology:
+    def test_default_node_sane(self):
+        assert TECH_180NM.name == "0.18um"
+        assert TECH_180NM.wire_res_per_mm > 0
+        assert TECH_180NM.wire_cap_per_mm > 0
+
+    def test_wire_scaling_linear(self):
+        assert TECH_180NM.wire_resistance(2.0) == pytest.approx(
+            2 * TECH_180NM.wire_resistance(1.0)
+        )
+        assert TECH_180NM.wire_capacitance(3.0) == pytest.approx(
+            3 * TECH_180NM.wire_capacitance(1.0)
+        )
+
+    def test_zero_length_wire(self):
+        assert TECH_180NM.wire_resistance(0.0) == 0.0
+        assert TECH_180NM.wire_capacitance(0.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "wire_res_per_mm",
+            "wire_cap_per_mm",
+            "driver_res",
+            "sink_cap",
+            "buffer_res",
+            "buffer_cap",
+            "buffer_area_mm2",
+            "wire_pitch_mm",
+        ],
+    )
+    def test_nonpositive_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(TECH_180NM, **{field: 0.0})
+
+    def test_negative_intrinsic_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(TECH_180NM, buffer_delay=-1e-12)
+
+    def test_realistic_magnitudes(self):
+        # 10mm of global wire: hundreds of ohms, ~1pF.
+        assert 100 < TECH_180NM.wire_resistance(10.0) < 10_000
+        assert 0.1e-12 < TECH_180NM.wire_capacitance(10.0) < 10e-12

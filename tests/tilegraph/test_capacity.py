@@ -1,0 +1,43 @@
+"""Capacity models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.technology import TECH_180NM
+from repro.tilegraph import CapacityModel
+
+
+class TestUniform:
+    def test_same_everywhere(self):
+        m = CapacityModel.uniform(7)
+        assert m.horizontal_capacity(0.5) == 7
+        assert m.vertical_capacity(2.0) == 7
+
+    def test_zero_allowed(self):
+        assert CapacityModel.uniform(0).horizontal_capacity(1.0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CapacityModel.uniform(-1)
+
+
+class TestFromPitch:
+    def test_scales_with_boundary(self):
+        m = CapacityModel.from_pitch(TECH_180NM, utilization=0.25)
+        small = m.horizontal_capacity(0.3)
+        large = m.horizontal_capacity(0.6)
+        assert large == pytest.approx(2 * small, rel=0.05)
+
+    def test_at_least_one(self):
+        m = CapacityModel.from_pitch(TECH_180NM, utilization=0.01)
+        assert m.horizontal_capacity(1e-4) >= 1
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CapacityModel.from_pitch(TECH_180NM, utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            CapacityModel.from_pitch(TECH_180NM, utilization=1.5)
+
+    def test_unbased_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CapacityModel().horizontal_capacity(1.0)

@@ -1,0 +1,83 @@
+"""Congestion statistics."""
+
+import pytest
+
+from repro.tilegraph import (
+    TileGraph,
+    buffer_density_stats,
+    wire_congestion_stats,
+)
+from repro.tilegraph.capacity import CapacityModel
+from repro.geometry import Rect
+
+
+class TestWireStats:
+    def test_empty_graph(self, graph10):
+        stats = wire_congestion_stats(graph10)
+        assert stats.maximum == 0.0
+        assert stats.average == 0.0
+        assert stats.overflow == 0
+        assert stats.satisfies_capacity()
+
+    def test_single_loaded_edge(self, graph10):
+        graph10.add_wire((0, 0), (1, 0), 5)
+        stats = wire_congestion_stats(graph10)
+        assert stats.maximum == pytest.approx(0.5)
+        assert stats.overflow == 0
+
+    def test_overflow_counted(self, graph10):
+        graph10.add_wire((0, 0), (1, 0), 13)
+        graph10.add_wire((5, 5), (5, 6), 11)
+        stats = wire_congestion_stats(graph10)
+        assert stats.maximum == pytest.approx(1.3)
+        assert stats.overflow == 3 + 1
+        assert not stats.satisfies_capacity()
+
+    def test_average_over_all_edges(self, graph10):
+        graph10.add_wire((0, 0), (1, 0), 10)
+        stats = wire_congestion_stats(graph10)
+        assert stats.average == pytest.approx(1.0 / graph10.num_edges)
+
+    def test_zero_capacity_edge_with_usage_is_infinite(self):
+        g = TileGraph(Rect(0, 0, 2, 1), 2, 1, CapacityModel.uniform(0))
+        g.add_wire((0, 0), (1, 0))
+        stats = wire_congestion_stats(g)
+        assert stats.maximum == float("inf")
+        assert stats.overflow == 1
+
+    def test_single_tile_graph_no_edges(self):
+        g = TileGraph(Rect(0, 0, 1, 1), 1, 1)
+        stats = wire_congestion_stats(g)
+        assert stats.maximum == 0.0 and stats.overflow == 0
+
+
+class TestBufferStats:
+    def test_no_sites(self, graph10):
+        stats = buffer_density_stats(graph10)
+        assert stats.maximum == 0.0 and stats.average == 0.0
+
+    def test_density_over_site_tiles_only(self, graph10):
+        graph10.set_sites((0, 0), 4)
+        graph10.set_sites((1, 0), 4)
+        graph10.use_site((0, 0), 2)
+        stats = buffer_density_stats(graph10)
+        assert stats.maximum == pytest.approx(0.5)
+        assert stats.average == pytest.approx(0.25)  # (0.5 + 0) / 2 tiles
+
+    def test_include_empty_dilutes(self, graph10):
+        graph10.set_sites((0, 0), 2)
+        graph10.use_site((0, 0), 2)
+        diluted = buffer_density_stats(graph10, include_empty=True)
+        assert diluted.average == pytest.approx(1.0 / 100)
+
+    def test_overflow(self, graph10):
+        graph10.set_sites((0, 0), 1)
+        graph10.use_site((0, 0), 3)
+        stats = buffer_density_stats(graph10)
+        assert stats.overflow == 2
+        assert stats.maximum == pytest.approx(3.0)
+
+    def test_usage_in_zero_site_tile_is_infinite(self, graph10):
+        graph10.use_site((4, 4), 1)
+        stats = buffer_density_stats(graph10)
+        assert stats.maximum == float("inf")

@@ -1,0 +1,129 @@
+"""Hierarchical site budgeting (paper Section I-B recipe)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.floorplan import Block, Floorplan
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.tilegraph import CapacityModel, TileGraph
+from repro.tilegraph.hierarchy import (
+    CHANNELS,
+    SiteDemand,
+    block_budgets,
+    distribute_sites_by_budget,
+    unconstrained_site_demand,
+)
+
+
+def _setup():
+    die = Rect(0, 0, 12, 12)
+    graph = TileGraph(die, 12, 12, CapacityModel.uniform(8))
+    plan = Floorplan(
+        die=die,
+        blocks=[
+            Block(name="left", width=4, height=10, x=1, y=1),
+            Block(name="right", width=4, height=10, x=7, y=1),
+        ],
+    )
+    plan.validate()
+    nets = [
+        Net(
+            name=f"n{i}",
+            source=Pin(f"n{i}.s", Point(0.5, 1.5 + i)),
+            sinks=[Pin(f"n{i}.t", Point(11.5, 1.5 + i))],
+        )
+        for i in range(6)
+    ]
+    return graph, plan, Netlist(nets=nets)
+
+
+class TestDemandCensus:
+    def test_counts_cover_all_buffers(self):
+        graph, plan, netlist = _setup()
+        demand = unconstrained_site_demand(graph, plan, netlist, length_limit=3)
+        assert demand.total == graph.total_used_sites > 0
+        assert sum(demand.per_block.values()) == demand.total
+
+    def test_crossing_nets_demand_block_interiors(self):
+        graph, plan, netlist = _setup()
+        demand = unconstrained_site_demand(graph, plan, netlist, length_limit=3)
+        # Nets cross both blocks; with L=3 over a 12-tile span, buffers
+        # must land inside at least one block.
+        assert demand.demand_for("left") + demand.demand_for("right") > 0
+
+
+class TestBudgets:
+    def test_headroom_scaling(self):
+        demand = SiteDemand(per_block={"a": 10, CHANNELS: 4}, total=14)
+        budgets = block_budgets(demand, headroom=2.0)
+        assert budgets == {"a": 20, CHANNELS: 8}
+
+    def test_minimum_floor(self):
+        demand = SiteDemand(per_block={"a": 0}, total=0)
+        assert block_budgets(demand, minimum=5) == {"a": 5}
+
+    def test_bad_headroom(self):
+        with pytest.raises(ConfigurationError):
+            block_budgets(SiteDemand({}, 0), headroom=0.5)
+
+
+class TestDistribution:
+    def test_budgets_land_in_their_blocks(self):
+        graph, plan, _ = _setup()
+        distribute_sites_by_budget(
+            graph, plan, {"left": 30, "right": 12, CHANNELS: 8}, seed=1
+        )
+        totals = {"left": 0, "right": 0, CHANNELS: 0}
+        for tile in graph.tiles():
+            block = plan.block_at(graph.tile_center(tile))
+            key = block.name if block else CHANNELS
+            totals[key] += graph.site_count(tile)
+        assert totals == {"left": 30, "right": 12, CHANNELS: 8}
+
+    def test_no_site_block_rejected(self):
+        die = Rect(0, 0, 10, 10)
+        graph = TileGraph(die, 10, 10)
+        plan = Floorplan(
+            die=die,
+            blocks=[
+                Block(
+                    name="cache", width=4, height=4, x=3, y=3,
+                    allows_buffer_sites=False,
+                )
+            ],
+        )
+        with pytest.raises(ConfigurationError):
+            distribute_sites_by_budget(graph, plan, {"cache": 5})
+
+    def test_deterministic(self):
+        graph_a, plan, _ = _setup()
+        graph_b = TileGraph(plan.die, 12, 12, CapacityModel.uniform(8))
+        distribute_sites_by_budget(graph_a, plan, {"left": 9, CHANNELS: 3}, seed=4)
+        distribute_sites_by_budget(graph_b, plan, {"left": 9, CHANNELS: 3}, seed=4)
+        assert (graph_a.sites == graph_b.sites).all()
+
+    def test_end_to_end_budgeted_plan_works(self):
+        # The full §I-B loop: census, budget, redistribute, replan. More
+        # headroom must help (fewer or equal failures), and the budgeted
+        # plan must respect site capacity — the exact fail count depends
+        # on where the random scatter leaves row gaps (Table III behaviour).
+        from repro.core import RabidConfig, RabidPlanner
+        from repro.tilegraph import buffer_density_stats
+
+        fails_by_headroom = {}
+        for headroom in (1.0, 6.0):
+            graph, plan, netlist = _setup()
+            demand = unconstrained_site_demand(graph, plan, netlist, length_limit=3)
+            budgets = block_budgets(demand, headroom=headroom, minimum=4)
+            graph.reset_usage()
+            distribute_sites_by_budget(graph, plan, budgets, seed=0)
+            result = RabidPlanner(
+                graph,
+                netlist,
+                RabidConfig(length_limit=3, stage4_iterations=2, window_margin=12),
+            ).run()
+            fails_by_headroom[headroom] = len(result.failed_nets)
+            assert buffer_density_stats(graph).overflow == 0
+        assert fails_by_headroom[6.0] <= fails_by_headroom[1.0]
+        assert fails_by_headroom[6.0] <= 1

@@ -1,0 +1,84 @@
+"""Buffer-site legalization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.tree import BufferSpec, RouteTree
+from repro.tilegraph import SitePlacement, legalize_buffers
+
+
+def _path_tree(tiles, name):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]], net_name=name)
+
+
+class TestSitePlacement:
+    def test_counts_match_graph(self, graph10_sites):
+        placement = SitePlacement(graph10_sites, seed=0)
+        assert placement.total_sites == graph10_sites.total_sites
+        assert len(placement.sites_in((0, 0))) == 3
+
+    def test_sites_inside_their_tile(self, graph10_sites):
+        placement = SitePlacement(graph10_sites, seed=1)
+        for tile in [(0, 0), (5, 7), (9, 9)]:
+            rect = graph10_sites.tile_rect(tile)
+            for p in placement.sites_in(tile):
+                assert rect.contains(p)
+
+    def test_deterministic(self, graph10_sites):
+        a = SitePlacement(graph10_sites, seed=5)
+        b = SitePlacement(graph10_sites, seed=5)
+        assert a.sites_in((3, 3)) == b.sites_in((3, 3))
+
+    def test_empty_tile(self, graph10):
+        placement = SitePlacement(graph10, seed=0)
+        assert placement.sites_in((4, 4)) == []
+
+
+class TestLegalize:
+    def test_each_buffer_gets_distinct_site(self, graph10_sites):
+        t1 = _path_tree([(i, 0) for i in range(6)], "a")
+        t1.apply_buffers([BufferSpec((2, 0), None), BufferSpec((4, 0), None)])
+        t2 = _path_tree([(i, 1) for i in range(6)], "b")
+        t2.apply_buffers([BufferSpec((2, 1), None)])
+        placement = SitePlacement(graph10_sites, seed=0)
+        placed = legalize_buffers({"a": t1, "b": t2}, placement)
+        assert len(placed) == 3
+        assert len({p.location for p in placed}) == 3
+
+    def test_same_tile_buffers_distinct_sites(self, graph10_sites):
+        paths = [
+            [(1, 0), (1, 1), (0, 1)],
+            [(1, 0), (1, 1), (2, 1)],
+        ]
+        tree = RouteTree.from_paths((1, 0), paths, [(0, 1), (2, 1)], net_name="n")
+        tree.apply_buffers(
+            [BufferSpec((1, 1), (0, 1)), BufferSpec((1, 1), (2, 1))]
+        )
+        placement = SitePlacement(graph10_sites, seed=0)
+        placed = legalize_buffers({"n": tree}, placement)
+        assert len(placed) == 2
+        assert placed[0].location != placed[1].location
+        assert all(p.tile == (1, 1) for p in placed)
+
+    def test_location_inside_tile(self, graph10_sites):
+        tree = _path_tree([(i, 0) for i in range(6)], "a")
+        tree.apply_buffers([BufferSpec((3, 0), None)])
+        placement = SitePlacement(graph10_sites, seed=0)
+        placed = legalize_buffers({"a": tree}, placement)
+        assert graph10_sites.tile_rect((3, 0)).contains(placed[0].location)
+
+    def test_overdemand_raises(self, graph10):
+        graph10.set_sites((2, 0), 1)
+        tree = _path_tree([(i, 0) for i in range(6)], "a")
+        tree2 = _path_tree([(i, 1) for i in range(2)] + [(1, 0), (2, 0), (3, 0)], "b")
+        tree.apply_buffers([BufferSpec((2, 0), None)])
+        tree2.apply_buffers([BufferSpec((2, 0), None)])
+        placement = SitePlacement(graph10, seed=0)
+        with pytest.raises(ConfigurationError):
+            legalize_buffers({"a": tree, "b": tree2}, placement)
+
+    def test_no_buffers_no_placements(self, graph10_sites):
+        tree = _path_tree([(0, 0), (1, 0)], "a")
+        placement = SitePlacement(graph10_sites, seed=0)
+        assert legalize_buffers({"a": tree}, placement) == []

@@ -1,0 +1,102 @@
+"""Buffer-site distribution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.floorplan import Block, Floorplan
+from repro.tilegraph import (
+    SiteDistribution,
+    blocked_region_tiles,
+    distribute_sites_randomly,
+)
+
+
+class TestBlockedRegion:
+    def test_size_and_shape(self, graph10):
+        blocked = blocked_region_tiles(graph10, 4, rng=0)
+        assert len(blocked) == 16
+        xs = sorted({t[0] for t in blocked})
+        ys = sorted({t[1] for t in blocked})
+        assert xs == list(range(xs[0], xs[0] + 4))
+        assert ys == list(range(ys[0], ys[0] + 4))
+
+    def test_zero_disables(self, graph10):
+        assert blocked_region_tiles(graph10, 0, rng=0) == frozenset()
+
+    def test_clips_to_small_grid(self, graph10):
+        blocked = blocked_region_tiles(graph10, 25, rng=0)
+        assert len(blocked) == 100  # whole 10x10 grid
+
+    def test_within_bounds(self, graph10):
+        for seed in range(10):
+            for t in blocked_region_tiles(graph10, 9, rng=seed):
+                assert graph10.in_bounds(t)
+
+
+class TestRandomDistribution:
+    def test_total_conserved(self, graph10):
+        distribute_sites_randomly(graph10, 500, rng=1)
+        assert graph10.total_sites == 500
+
+    def test_blocked_tiles_stay_zero(self, graph10):
+        blocked = blocked_region_tiles(graph10, 5, rng=2)
+        distribute_sites_randomly(graph10, 1000, rng=2, blocked=blocked)
+        for t in blocked:
+            assert graph10.site_count(t) == 0
+        assert graph10.total_sites == 1000
+
+    def test_zero_sites(self, graph10):
+        distribute_sites_randomly(graph10, 0, rng=0)
+        assert graph10.total_sites == 0
+
+    def test_negative_rejected(self, graph10):
+        with pytest.raises(ConfigurationError):
+            distribute_sites_randomly(graph10, -1)
+
+    def test_no_eligible_tiles_rejected(self, graph10):
+        blocked = frozenset(graph10.tiles())
+        with pytest.raises(ConfigurationError):
+            distribute_sites_randomly(graph10, 10, blocked=blocked)
+
+    def test_deterministic(self, die10):
+        from repro.tilegraph import TileGraph
+
+        a = TileGraph(die10, 10, 10)
+        b = TileGraph(die10, 10, 10)
+        distribute_sites_randomly(a, 300, rng=7)
+        distribute_sites_randomly(b, 300, rng=7)
+        assert (a.sites == b.sites).all()
+
+    def test_respects_no_site_blocks(self, graph10, die10):
+        plan = Floorplan(
+            die=die10,
+            blocks=[
+                Block(
+                    name="cache", width=5, height=5, x=0, y=0,
+                    allows_buffer_sites=False,
+                )
+            ],
+        )
+        distribute_sites_randomly(graph10, 400, rng=3, floorplan=plan)
+        # Tiles whose centers lie in the cache got nothing.
+        for x in range(5):
+            for y in range(5):
+                assert graph10.site_count((x, y)) == 0
+        assert graph10.total_sites == 400
+
+
+class TestSiteDistribution:
+    def test_apply(self, graph10):
+        dist = SiteDistribution(total_sites=200, blocked_size=3, seed=5)
+        blocked = dist.apply(graph10)
+        assert len(blocked) == 9
+        assert graph10.total_sites == 200
+
+    def test_apply_reproducible(self, die10):
+        from repro.tilegraph import TileGraph
+
+        a, b = TileGraph(die10, 10, 10), TileGraph(die10, 10, 10)
+        assert SiteDistribution(100, 2, seed=9).apply(a) == SiteDistribution(
+            100, 2, seed=9
+        ).apply(b)
+        assert (a.sites == b.sites).all()

@@ -1,0 +1,134 @@
+"""Elmore delay of (buffered) route trees."""
+
+import pytest
+
+from repro.routing.tree import BufferSpec, RouteTree
+from repro.timing import delay_summary, net_delay
+from repro.timing.elmore import elmore_sink_delays
+
+
+def _path_tree(tiles, factory=None):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]])
+
+
+def _expected_unbuffered(graph, tech, n_edges):
+    """Closed-form Elmore of a straight unbuffered line of n tiles."""
+    lw = graph.tile_w
+    r = tech.wire_resistance(lw)
+    c = tech.wire_capacitance(lw)
+    total_c = n_edges * c + tech.sink_cap
+    delay = tech.driver_res * total_c
+    downstream = total_c
+    for _ in range(n_edges):
+        delay += r * (downstream - c / 2)
+        downstream -= c
+    return delay
+
+
+class TestUnbuffered:
+    def test_straight_line_matches_closed_form(self, graph10, tech):
+        tiles = [(i, 0) for i in range(6)]
+        t = _path_tree(tiles)
+        delays = elmore_sink_delays(t, graph10, tech)
+        assert delays[(5, 0)] == pytest.approx(
+            _expected_unbuffered(graph10, tech, 5), rel=1e-9
+        )
+
+    def test_single_tile_net(self, graph10, tech):
+        t = RouteTree.from_paths((0, 0), [], [(0, 0)])
+        delays = elmore_sink_delays(t, graph10, tech)
+        assert delays[(0, 0)] == pytest.approx(tech.driver_res * tech.sink_cap)
+
+    def test_delay_grows_superlinearly(self, graph10, tech):
+        d3 = net_delay(_path_tree([(i, 0) for i in range(4)]), graph10, tech).max_delay
+        d6 = net_delay(_path_tree([(i, 0) for i in range(7)]), graph10, tech).max_delay
+        # Unbuffered RC delay is superlinear: doubling length > doubles delay.
+        assert d6 > 2.5 * d3
+
+    def test_branch_load_slows_other_sink(self, graph10, tech):
+        # Adding a side branch adds capacitive load upstream.
+        straight = _path_tree([(i, 0) for i in range(5)])
+        branched_paths = [
+            [(i, 0) for i in range(5)],
+            [(2, 0), (2, 1), (2, 2)],
+        ]
+        branched = RouteTree.from_paths(
+            (0, 0), branched_paths, [(4, 0), (2, 2)]
+        )
+        d_straight = elmore_sink_delays(straight, graph10, tech)[(4, 0)]
+        d_branched = elmore_sink_delays(branched, graph10, tech)[(4, 0)]
+        assert d_branched > d_straight
+
+
+class TestBuffered:
+    def test_buffering_reduces_long_line_delay(self, graph10, tech):
+        tiles = [(i, 0) for i in range(10)]
+        t = _path_tree(tiles)
+        unbuffered = net_delay(t, graph10, tech).max_delay
+        t.apply_buffers([BufferSpec((3, 0), None), BufferSpec((6, 0), None)])
+        buffered = net_delay(t, graph10, tech).max_delay
+        assert buffered < unbuffered
+
+    def test_buffer_at_root(self, graph10, tech):
+        t = _path_tree([(0, 0), (1, 0), (2, 0)])
+        base = net_delay(t, graph10, tech).max_delay
+        t.apply_buffers([BufferSpec((0, 0), None)])
+        with_buf = net_delay(t, graph10, tech).max_delay
+        # Short net: a root buffer only adds its intrinsic delay.
+        assert with_buf > base
+        assert with_buf == pytest.approx(
+            base
+            + tech.buffer_delay
+            + tech.driver_res * tech.buffer_cap
+            + (tech.buffer_res - tech.driver_res) * (
+                2 * tech.wire_capacitance(graph10.tile_w) + tech.sink_cap
+            ),
+            rel=1e-6,
+        )
+
+    def test_decoupling_shields_branch_load(self, graph10, tech):
+        # Heavy side branch decoupled -> main sink speeds up.
+        paths = [
+            [(i, 0) for i in range(6)],
+            [(1, 0)] + [(1, y) for y in range(1, 8)],
+        ]
+        t = RouteTree.from_paths((0, 0), paths, [(5, 0), (1, 7)])
+        plain = elmore_sink_delays(t, graph10, tech)[(5, 0)]
+        t.apply_buffers([BufferSpec((1, 0), (1, 1))])
+        shielded = elmore_sink_delays(t, graph10, tech)[(5, 0)]
+        assert shielded < plain
+
+    def test_sink_behind_trunk_buffer_arrives_later_by_intrinsic(
+        self, graph10, tech
+    ):
+        t = _path_tree([(0, 0), (1, 0), (2, 0), (3, 0)])
+        t.apply_buffers([BufferSpec((2, 0), None)])
+        delays = elmore_sink_delays(t, graph10, tech)
+        assert delays[(3, 0)] > tech.buffer_delay
+
+    def test_all_sinks_reported(self, graph10, tech):
+        paths = [
+            [(0, 0), (1, 0), (2, 0)],
+            [(1, 0), (1, 1)],
+        ]
+        t = RouteTree.from_paths((0, 0), paths, [(2, 0), (1, 1)])
+        delays = elmore_sink_delays(t, graph10, tech)
+        assert set(delays) == {(2, 0), (1, 1)}
+
+
+class TestSummary:
+    def test_net_delay_report(self, graph10, tech):
+        t = _path_tree([(0, 0), (1, 0), (2, 0)])
+        report = net_delay(t, graph10, tech)
+        assert report.max_delay >= report.avg_delay > 0
+
+    def test_design_summary_weights_sinks(self, graph10, tech):
+        t1 = _path_tree([(0, 0), (1, 0)])
+        t2 = _path_tree([(0, 5), (1, 5), (2, 5), (3, 5), (4, 5), (5, 5)])
+        worst, avg, reports = delay_summary({"a": t1, "b": t2}, graph10, tech)
+        assert worst == reports["b"].max_delay
+        expected_avg = (
+            reports["a"].max_delay + reports["b"].max_delay
+        ) / 2
+        assert avg == pytest.approx(expected_avg)

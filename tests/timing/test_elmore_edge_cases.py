@@ -1,0 +1,79 @@
+"""Elmore model corner cases: buffers at root/sinks, stacked buffers."""
+
+import pytest
+
+from repro.routing.tree import BufferSpec, RouteTree
+from repro.timing.elmore import elmore_sink_delays
+
+
+def _path_tree(tiles):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]])
+
+
+class TestBufferPlacementCorners:
+    def test_buffer_at_sink_tile(self, graph10, tech):
+        t = _path_tree([(0, 0), (1, 0), (2, 0)])
+        t.apply_buffers([BufferSpec((2, 0), None)])
+        delays = elmore_sink_delays(t, graph10, tech)
+        # The sink sits behind the buffer: its intrinsic delay applies.
+        assert delays[(2, 0)] > tech.buffer_delay
+
+    def test_trunk_plus_decouple_same_tile(self, graph10, tech):
+        paths = [
+            [(1, 0), (1, 1), (0, 1)],
+            [(1, 0), (1, 1), (2, 1)],
+        ]
+        t = RouteTree.from_paths((1, 0), paths, [(0, 1), (2, 1)])
+        t.apply_buffers(
+            [BufferSpec((1, 1), None), BufferSpec((1, 1), (0, 1))]
+        )
+        delays = elmore_sink_delays(t, graph10, tech)
+        # Decoupled branch passes through two gates -> two intrinsics.
+        assert delays[(0, 1)] > 2 * tech.buffer_delay
+        assert delays[(2, 1)] > tech.buffer_delay
+        assert set(delays) == {(0, 1), (2, 1)}
+
+    def test_root_buffer_with_root_sink(self, graph10, tech):
+        tiles = [(0, 0), (1, 0)]
+        parent = {(1, 0): (0, 0)}
+        t = RouteTree.from_parent_map((0, 0), parent, [(0, 0), (1, 0)])
+        t.apply_buffers([BufferSpec((0, 0), None)])
+        delays = elmore_sink_delays(t, graph10, tech)
+        assert set(delays) == {(0, 0), (1, 0)}
+        # The root sink hangs below the trunk buffer too.
+        assert delays[(0, 0)] > tech.buffer_delay
+
+    def test_every_tile_buffered(self, graph10, tech):
+        tiles = [(i, 0) for i in range(5)]
+        t = _path_tree(tiles)
+        t.apply_buffers([BufferSpec(x, None) for x in tiles[1:-1]])
+        delays = elmore_sink_delays(t, graph10, tech)
+        assert delays[(4, 0)] > 3 * tech.buffer_delay
+
+    def test_decouple_every_branch_of_star(self, graph10, tech):
+        center = (5, 5)
+        paths = [
+            [center, (6, 5), (7, 5)],
+            [center, (4, 5), (3, 5)],
+            [center, (5, 6), (5, 7)],
+        ]
+        t = RouteTree.from_paths(center, paths, [(7, 5), (3, 5), (5, 7)])
+        t.apply_buffers(
+            [BufferSpec(center, c) for c in [(6, 5), (4, 5), (5, 6)]]
+        )
+        delays = elmore_sink_delays(t, graph10, tech)
+        assert len(delays) == 3
+        # All branches symmetric within the grid's aspect differences.
+        values = sorted(delays.values())
+        assert values[-1] < 1.5 * values[0]
+
+    def test_annotations_do_not_leak_between_calls(self, graph10, tech):
+        t = _path_tree([(i, 0) for i in range(8)])
+        bare = elmore_sink_delays(t, graph10, tech)[(7, 0)]
+        t.apply_buffers([BufferSpec((3, 0), None)])
+        buffered = elmore_sink_delays(t, graph10, tech)[(7, 0)]
+        t.clear_buffers()
+        again = elmore_sink_delays(t, graph10, tech)[(7, 0)]
+        assert again == pytest.approx(bare)
+        assert buffered != pytest.approx(bare)

@@ -1,0 +1,160 @@
+"""Timing-driven (van Ginneken) buffer insertion."""
+
+import pytest
+
+from repro.core import insert_buffers_multi_sink
+from repro.routing.tree import RouteTree
+from repro.technology import TECH_180NM
+from repro.timing import net_delay, rebuffer_net_timing_driven, timing_driven_buffering
+from repro.tilegraph import CapacityModel, TileGraph
+from repro.geometry import Rect
+
+
+def _graph(size=20, sites=3):
+    g = TileGraph(Rect(0, 0, float(size), float(size)), size, size,
+                  CapacityModel.uniform(10))
+    for tile in g.tiles():
+        g.set_sites(tile, sites)
+    return g
+
+
+def _path_tree(tiles):
+    parent = {b: a for a, b in zip(tiles, tiles[1:])}
+    return RouteTree.from_parent_map(tiles[0], parent, [tiles[-1]])
+
+
+class TestTimingDriven:
+    def test_improves_long_line(self):
+        g = _graph()
+        tree = _path_tree([(i, 0) for i in range(16)])
+        before = net_delay(tree, g, TECH_180NM).max_delay
+        delay, specs = timing_driven_buffering(tree, g, TECH_180NM)
+        assert delay < before
+        assert specs  # a 15mm line in 0.18um wants repeaters
+
+    def test_reported_delay_matches_elmore(self):
+        g = _graph()
+        tree = _path_tree([(i, 0) for i in range(16)])
+        delay, specs = timing_driven_buffering(tree, g, TECH_180NM)
+        tree.apply_buffers(specs)
+        measured = net_delay(tree, g, TECH_180NM).max_delay
+        assert measured == pytest.approx(delay, rel=1e-9)
+
+    def test_short_net_unbuffered(self):
+        g = _graph()
+        tree = _path_tree([(0, 0), (1, 0)])
+        delay, specs = timing_driven_buffering(tree, g, TECH_180NM)
+        assert specs == []
+
+    def test_no_sites_means_no_buffers(self):
+        g = _graph(sites=0)
+        tree = _path_tree([(i, 0) for i in range(16)])
+        delay, specs = timing_driven_buffering(tree, g, TECH_180NM)
+        assert specs == []
+        assert delay == pytest.approx(
+            net_delay(tree, g, TECH_180NM).max_delay, rel=1e-9
+        )
+
+    def test_respects_site_predicate(self):
+        g = _graph()
+        allowed = {(5, 0), (10, 0)}
+        tree = _path_tree([(i, 0) for i in range(16)])
+        _, specs = timing_driven_buffering(
+            tree, g, TECH_180NM, site_available=lambda t: t in allowed
+        )
+        assert {s.tile for s in specs} <= allowed
+
+    def test_beats_or_matches_length_based(self):
+        # Same net, same sites: the delay-optimal solution can't be worse
+        # than the length-based DP's.
+        g = _graph()
+        tiles = [(i, 0) for i in range(16)]
+        tree = _path_tree(tiles)
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 5)
+        tree.apply_buffers(result.buffers)
+        length_based = net_delay(tree, g, TECH_180NM).max_delay
+        tree.clear_buffers()
+        vg_delay, _ = timing_driven_buffering(tree, g, TECH_180NM)
+        assert vg_delay <= length_based + 1e-15
+
+    def test_multi_sink_decoupling(self):
+        g = _graph()
+        stem = [(i, 0) for i in range(8)]
+        branch = [(4, 0)] + [(4, y) for y in range(1, 10)]
+        tree = RouteTree.from_paths((0, 0), [stem, branch], [(7, 0), (4, 9)])
+        before = net_delay(tree, g, TECH_180NM)
+        delay, specs = timing_driven_buffering(tree, g, TECH_180NM)
+        tree.apply_buffers(specs)
+        after = net_delay(tree, g, TECH_180NM)
+        assert after.max_delay < before.max_delay
+
+    def test_brute_force_small_path(self):
+        # All 2^k buffer subsets on a short path (trunk buffers only).
+        from itertools import combinations
+
+        from repro.routing.tree import BufferSpec
+
+        g = _graph()
+        tiles = [(i, 0) for i in range(7)]
+        tree = _path_tree(tiles)
+        best = net_delay(tree, g, TECH_180NM).max_delay
+        interior = tiles[1:-1]
+        for k in range(1, len(interior) + 1):
+            for combo in combinations(interior, k):
+                tree.apply_buffers([BufferSpec(t, None) for t in combo])
+                best = min(best, net_delay(tree, g, TECH_180NM).max_delay)
+        tree.clear_buffers()
+        vg_delay, _ = timing_driven_buffering(tree, g, TECH_180NM)
+        assert vg_delay == pytest.approx(best, rel=1e-9)
+
+
+class TestRebuffer:
+    def test_site_accounting_consistent(self):
+        g = _graph()
+        tree = _path_tree([(i, 0) for i in range(16)])
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 5)
+        tree.apply_buffers(result.buffers)
+        for s in result.buffers:
+            g.use_site(s.tile, 1)
+        before_used = g.total_used_sites
+        rebuffer_net_timing_driven(tree, g, TECH_180NM)
+        assert g.total_used_sites == tree.buffer_count()
+
+    def test_delay_not_worse_after_rebuffer(self):
+        g = _graph()
+        tree = _path_tree([(i, 0) for i in range(16)])
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 5)
+        tree.apply_buffers(result.buffers)
+        for s in result.buffers:
+            g.use_site(s.tile, 1)
+        before = net_delay(tree, g, TECH_180NM).max_delay
+        after = rebuffer_net_timing_driven(tree, g, TECH_180NM)
+        assert after <= before + 1e-15
+
+    def test_rebuffer_never_oversubscribes(self):
+        # One free site per tile: the rebuffered net must keep b <= B.
+        g = _graph(sites=1)
+        tree = _path_tree([(i, 0) for i in range(16)])
+        result = insert_buffers_multi_sink(tree, lambda t: 1.0, 5)
+        tree.apply_buffers(result.buffers)
+        for s in result.buffers:
+            g.use_site(s.tile, 1)
+        rebuffer_net_timing_driven(tree, g, TECH_180NM)
+        assert int(g.used_sites.max()) <= 1
+
+    def test_rebuffer_keeps_old_when_new_is_slower(self):
+        # With no free sites anywhere else, the VG pass can only produce
+        # the unbuffered net; the old (buffered, faster) solution must be
+        # kept.
+        g = _graph(sites=0)
+        tree = _path_tree([(i, 0) for i in range(16)])
+        from repro.routing.tree import BufferSpec
+
+        specs = [BufferSpec((5, 0), None), BufferSpec((10, 0), None)]
+        tree.apply_buffers(specs)
+        for s in specs:
+            g.use_site(s.tile, 1)  # legacy booking (oversubscribed B=0)
+        before = net_delay(tree, g, TECH_180NM).max_delay
+        after = rebuffer_net_timing_driven(tree, g, TECH_180NM)
+        assert after == pytest.approx(before)
+        assert tree.buffer_count() == 2

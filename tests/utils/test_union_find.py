@@ -1,0 +1,43 @@
+"""Union-find invariants."""
+
+from repro.utils import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+        assert uf.set_size("a") == 1
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        assert uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert uf.set_size("a") == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert not uf.union(2, 1)
+        assert uf.set_size(1) == 2
+
+    def test_transitive(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.union(2, 3)
+        assert uf.connected(1, 4)
+        assert uf.set_size(4) == 4
+
+    def test_many_chains_compress(self):
+        uf = UnionFind()
+        for i in range(100):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 100)
+        assert uf.set_size(50) == 101
+
+    def test_tuple_items(self):
+        uf = UnionFind()
+        uf.union((0, 0), (0, 1))
+        assert uf.connected((0, 1), (0, 0))
