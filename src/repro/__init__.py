@@ -26,9 +26,11 @@ from repro.errors import (
     FloorplanError,
     InfeasibleError,
     NetlistError,
+    ObservabilityError,
     ReproError,
     RoutingError,
 )
+from repro.obs import NULL_TRACER, NullTracer, Tracer, read_trace, render_summary
 from repro.geometry import Point, Rect
 from repro.technology import TECH_180NM, BufferKind, BufferLibrary, Technology
 from repro.netlist import Net, Netlist, Pin, decompose_to_two_pin
@@ -116,5 +118,11 @@ __all__ = [
     "BbpConfig",
     "BbpPlanner",
     "BbpResult",
+    "ObservabilityError",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "read_trace",
+    "render_summary",
     "__version__",
 ]

@@ -14,6 +14,7 @@ from repro.errors import ConfigurationError
 from repro.floorplan import Floorplan
 from repro.geometry import Point
 from repro.netlist import Net, Netlist, decompose_to_two_pin
+from repro.obs import NULL_TRACER
 from repro.routing.embed import l_shaped_between_tiles
 from repro.routing.tree import BufferSpec, RouteTree
 from repro.technology import TECH_180NM, Technology
@@ -162,8 +163,15 @@ class BbpPlanner:
         tree.apply_buffers(specs)
         return tree
 
-    def run(self) -> BbpResult:
-        """Plan buffers and routes for every (two-pin) net."""
+    def run(self, tracer=None) -> BbpResult:
+        """Plan buffers and routes for every (two-pin) net.
+
+        Args:
+            tracer: optional :class:`repro.obs.Tracer`; per-net
+                ``buffered`` events, the ``buffer_sites_used`` counter,
+                and spans around planning and post-processing.
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
         start = time.perf_counter()
         tile_pitch = (self.graph.tile_w + self.graph.tile_h) / 2
         spacing_mm = self.config.length_limit * tile_pitch
@@ -172,29 +180,43 @@ class BbpPlanner:
         buffers_per_tile = np.zeros((self.graph.nx, self.graph.ny), dtype=np.int64)
         unplaceable = 0
 
-        for net in self.netlist:
-            count = self.buffers_needed(net)
-            placed: List[Point] = []
-            for ideal in ideal_buffer_points(
-                net.source.location, net.sinks[0].location, count
-            ):
-                p = self._nearest_free_point(ideal, spacing_mm)
-                if p is None:
-                    unplaceable += 1
-                    continue
-                placed.append(p)
-                all_points.append(p)
-                buffers_per_tile[self.graph.tile_of(p)] += 1
-            tree = self._route_through(net, placed)
-            tree.add_usage(self.graph)
-            routes[net.name] = tree
+        with tracer.span("bbp.plan", nets=len(self.netlist)):
+            for net in self.netlist:
+                count = self.buffers_needed(net)
+                placed: List[Point] = []
+                for ideal in ideal_buffer_points(
+                    net.source.location, net.sinks[0].location, count
+                ):
+                    p = self._nearest_free_point(ideal, spacing_mm)
+                    if p is None:
+                        unplaceable += 1
+                        continue
+                    placed.append(p)
+                    all_points.append(p)
+                    buffers_per_tile[self.graph.tile_of(p)] += 1
+                tree = self._route_through(net, placed)
+                tree.add_usage(self.graph)
+                routes[net.name] = tree
+                if tracer.enabled:
+                    tracer.count("buffer_sites_used", len(placed))
+                    tracer.event(
+                        "buffered",
+                        net.name,
+                        stage="bbp",
+                        buffers=len(placed),
+                        wanted=count,
+                    )
 
         if self.config.postprocess:
             from repro.routing.monotone import reduce_congestion
 
-            reduce_congestion(self.graph, routes)
+            with tracer.span("bbp.postprocess"):
+                reduce_congestion(self.graph, routes)
 
         wire = wire_congestion_stats(self.graph)
+        if tracer.enabled:
+            tracer.gauge("overflow_total", wire.overflow)
+            tracer.gauge("bbp.unplaceable", unplaceable)
         max_delay, avg_delay, _ = delay_summary(
             routes, self.graph, self.config.technology
         )

@@ -19,6 +19,7 @@ from typing import List, Optional
 from repro.analysis import buffer_usage_map, wire_congestion_map
 from repro.benchmarks import BENCHMARK_SPECS, load_benchmark
 from repro.core import RabidConfig, RabidPlanner
+from repro.errors import ConfigurationError
 from repro.experiments import (
     ExperimentConfig,
     format_table1,
@@ -51,6 +52,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="classify why any failing nets miss the length rule",
     )
     run.add_argument("--stage4-iterations", type=int, default=2)
+    run.add_argument(
+        "--trace", metavar="PATH",
+        help="write a JSONL trace (spans, metrics, per-net events) to PATH",
+    )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="print the tracer summary (span tree, counters, event totals)",
+    )
 
     sub.add_parser("table1", help="print Table I")
     for name in ("table2", "table3", "table4", "table5"):
@@ -62,13 +71,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    if args.trace:
+        # Fail before the (multi-second) plan, not at export time.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 2
     bench = load_benchmark(args.circuit, seed=args.seed)
     config = RabidConfig(
         length_limit=bench.spec.length_limit,
         window_margin=10,
         stage4_iterations=args.stage4_iterations,
     )
-    planner = RabidPlanner(bench.graph, bench.netlist, config)
+    tracer = None
+    if args.trace or args.metrics:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    planner = RabidPlanner(bench.graph, bench.netlist, config, tracer=tracer)
     result = planner.run()
     headers = [
         "stage", "wire max", "wire avg", "overflows", "buf max", "buf avg",
@@ -98,11 +120,27 @@ def _cmd_run(args) -> int:
                 f"{d.tiles_in_blocked_region} tiles in the blocked region)"
             )
         print("  summary:", failure_summary(diags))
+    if tracer is not None:
+        if args.metrics:
+            from repro.obs import render_summary
+
+            print("\n" + render_summary(tracer))
+        if args.trace:
+            lines = tracer.export_jsonl(args.trace)
+            print(f"\ntrace: {lines} records -> {args.trace}")
     return 0
 
 
 def main(argv: "Optional[List[str]]" = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ConfigurationError as exc:
+        parser.exit(2, f"{parser.prog}: error: {exc}\n")
+
+
+def _dispatch(args) -> int:
     experiment = ExperimentConfig(seed=args.seed)
     if args.command == "list":
         for name, spec in sorted(BENCHMARK_SPECS.items()):

@@ -10,6 +10,7 @@ from repro.core.fallback import greedy_buffering
 from repro.core.length_rule import net_meets_length_rule
 from repro.core.multi_sink import insert_buffers_multi_sink
 from repro.core.probability import UsageProbability
+from repro.obs import NULL_TRACER
 from repro.routing.tree import RouteTree
 from repro.tilegraph.graph import TileGraph
 
@@ -41,6 +42,7 @@ def assign_buffers_to_net(
     tree: RouteTree,
     length_limit: int,
     probability: "UsageProbability | None" = None,
+    tracer=None,
 ) -> "tuple[bool, bool, float]":
     """Buffer one net: DP first, greedy fallback when infeasible.
 
@@ -54,7 +56,7 @@ def assign_buffers_to_net(
         p = probability.value(tile) if probability is not None else 0.0
         return buffer_site_cost(graph, tile, p)
 
-    result = insert_buffers_multi_sink(tree, q_of, length_limit)
+    result = insert_buffers_multi_sink(tree, q_of, length_limit, tracer=tracer)
     if result.feasible and not _oversubscribes(graph, result.buffers):
         specs = result.buffers
         cost = result.cost
@@ -77,6 +79,7 @@ def assign_buffers_stage3(
     length_limits: Dict[str, int],
     order: Sequence[str],
     use_probability: bool = True,
+    tracer=None,
 ) -> AssignmentResult:
     """Assign buffer sites to every net, highest-delay nets first.
 
@@ -87,11 +90,14 @@ def assign_buffers_stage3(
         length_limits: per-net ``L_i``.
         order: processing order (paper: descending delay).
         use_probability: include the ``p(v)`` term of Eq. (2).
+        tracer: optional :class:`repro.obs.Tracer`; per-net ``buffered`` /
+            ``failed`` events and the ``buffer_sites_used`` counter.
 
     Returns:
         An :class:`AssignmentResult`; the trees and graph are updated in
         place.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     probability = None
     if use_probability:
         probability = UsageProbability(graph)
@@ -104,13 +110,24 @@ def assign_buffers_stage3(
         if probability is not None:
             probability.remove_net(tree)
         meets, dp_ok, cost = assign_buffers_to_net(
-            graph, tree, length_limits[name], probability
+            graph, tree, length_limits[name], probability, tracer=tracer
         )
-        out.buffers_inserted += tree.buffer_count()
+        buffers = tree.buffer_count()
+        out.buffers_inserted += buffers
         if cost != float("inf"):
             out.total_cost += cost
         if not dp_ok:
             out.dp_infeasible_nets.append(name)
         if not meets:
             out.failed_nets.append(name)
+        if tracer.enabled:
+            tracer.count("buffer_sites_used", buffers)
+            tracer.event(
+                "buffered" if meets else "failed",
+                name,
+                stage="3",
+                buffers=buffers,
+                dp_feasible=dp_ok,
+            )
+            tracer.check_site_invariants(graph, f"stage3 net {name}")
     return out

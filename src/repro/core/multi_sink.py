@@ -108,6 +108,7 @@ def insert_buffers_multi_sink(
     tree: RouteTree,
     cost_of: Callable[[Tile], float],
     length_limit: int,
+    tracer=None,
 ) -> DPResult:
     """Optimal length-legal buffering of a multi-sink route tree.
 
@@ -115,6 +116,8 @@ def insert_buffers_multi_sink(
         tree: the net's route; existing buffer annotations are ignored.
         cost_of: the ``q(v)`` site cost per tile.
         length_limit: ``L_i`` in tile units (>= 1).
+        tracer: optional :class:`repro.obs.Tracer`; the DP table entries
+            explored accumulate into the ``dp_candidates`` counter.
 
     Returns:
         :class:`DPResult`; when infeasible the buffer list is empty.
@@ -163,6 +166,15 @@ def insert_buffers_multi_sink(
                 if trunk_cost < table.c[0]:
                     table.c[0] = trunk_cost
                     table.c_choice[0] = ("trunk", best_ext)
+
+    if tracer is not None and tracer.enabled:
+        tracer.count(
+            "dp_candidates",
+            sum(
+                len(t.c) + sum(len(k) for k in t.k)
+                for t in tables.values()
+            ),
+        )
 
     root_table = tables[tree.root.tile]
     best_cost = INF

@@ -23,6 +23,7 @@ from repro.core.length_rule import net_meets_length_rule
 from repro.core.two_path import optimize_two_paths
 from repro.errors import ConfigurationError
 from repro.netlist import Net, Netlist
+from repro.obs import NULL_TRACER
 from repro.routing.embed import embed_tree
 from repro.routing.prim_dijkstra import prim_dijkstra_tree
 from repro.routing.ripup import RipupOptions, reroute_order_by_delay, ripup_and_reroute
@@ -69,6 +70,16 @@ class RabidConfig:
     def __post_init__(self) -> None:
         if self.router not in ("pd", "mcf"):
             raise ConfigurationError(f"unknown router {self.router!r}")
+        if self.length_limit < 1:
+            raise ConfigurationError("length_limit must be >= 1")
+        if any(l < 1 for l in self.length_limits.values()):
+            raise ConfigurationError("per-net length limits must be >= 1")
+        if self.stage2_iterations < 0 or self.stage4_iterations < 0:
+            raise ConfigurationError("stage iteration counts must be >= 0")
+        if self.window_margin < 0:
+            raise ConfigurationError("window_margin must be >= 0")
+        if self.pd_tradeoff < 0:
+            raise ConfigurationError("pd_tradeoff must be >= 0")
 
     def limit_for(self, net_name: str) -> int:
         return self.length_limits.get(net_name, self.length_limit)
@@ -133,12 +144,14 @@ class RabidPlanner:
         graph: TileGraph,
         netlist: Netlist,
         config: "RabidConfig | None" = None,
+        tracer=None,
     ) -> None:
         if len(netlist) == 0:
             raise ConfigurationError("netlist is empty")
         self.graph = graph
         self.netlist = netlist
         self.config = config or RabidConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.routes: Dict[str, RouteTree] = {}
         self.stage_metrics: List[StageMetrics] = []
         self.failed_nets: List[str] = []
@@ -152,88 +165,157 @@ class RabidPlanner:
         """Initial routing: Prim-Dijkstra Steiner trees (default) or the
         MCF alternative router."""
         start = time.perf_counter()
-        if self.config.router == "mcf":
-            from repro.routing.mcf import mcf_initial_routes
+        with self.tracer.span("stage1", router=self.config.router):
+            if self.config.router == "mcf":
+                from repro.routing.mcf import mcf_initial_routes
 
-            self.routes = mcf_initial_routes(self.graph, self.netlist)
-        else:
-            for net in self.netlist:
-                self.routes[net.name] = self._initial_route(net)
-                self.routes[net.name].add_usage(self.graph)
-        self._snapshot(1, time.perf_counter() - start)
+                self.routes = mcf_initial_routes(
+                    self.graph, self.netlist, tracer=self.tracer
+                )
+            else:
+                for net in self.netlist:
+                    self.routes[net.name] = self._initial_route(net)
+                    self.routes[net.name].add_usage(self.graph)
+            self.tracer.count("nets_routed", len(self.routes))
+            self._snapshot(1, time.perf_counter() - start)
 
     def stage2(self) -> None:
         """Wire-congestion reduction by full rip-up and reroute."""
         start = time.perf_counter()
-        delays = self._net_delays()
-        order = reroute_order_by_delay(delays, ascending=True)
-        options = RipupOptions(
-            max_iterations=self.config.stage2_iterations,
-            radius_weight=self.config.pd_tradeoff,
-            window_margin=self.config.window_margin,
-        )
-        ripup_and_reroute(self.graph, self.routes, order, options)
-        self._snapshot(2, time.perf_counter() - start)
+        with self.tracer.span("stage2"):
+            delays = self._net_delays()
+            order = reroute_order_by_delay(delays, ascending=True)
+            options = RipupOptions(
+                max_iterations=self.config.stage2_iterations,
+                radius_weight=self.config.pd_tradeoff,
+                window_margin=self.config.window_margin,
+            )
+            on_pass_end = None
+            if self.tracer.enabled:
+                def on_pass_end(iteration: int) -> None:
+                    self.tracer.gauge(
+                        "overflow_total",
+                        wire_congestion_stats(self.graph).overflow,
+                    )
+                    self.tracer.check_site_invariants(
+                        self.graph, f"stage2 pass {iteration}"
+                    )
+            ripup_and_reroute(
+                self.graph,
+                self.routes,
+                order,
+                options,
+                on_pass_end=on_pass_end,
+                tracer=self.tracer,
+            )
+            self._snapshot(2, time.perf_counter() - start)
 
     def stage3(self) -> None:
         """Buffer assignment, highest-delay nets first."""
         start = time.perf_counter()
-        delays = self._net_delays()
-        order = reroute_order_by_delay(delays, ascending=False)
-        limits = {name: self.config.limit_for(name) for name in self.routes}
-        self.assignment = assign_buffers_stage3(
-            self.graph,
-            self.routes,
-            limits,
-            order,
-            use_probability=self.config.use_probability,
-        )
-        self.failed_nets = list(self.assignment.failed_nets)
-        self._snapshot(3, time.perf_counter() - start)
+        with self.tracer.span("stage3"):
+            delays = self._net_delays()
+            order = reroute_order_by_delay(delays, ascending=False)
+            limits = {name: self.config.limit_for(name) for name in self.routes}
+            self.assignment = assign_buffers_stage3(
+                self.graph,
+                self.routes,
+                limits,
+                order,
+                use_probability=self.config.use_probability,
+                tracer=self.tracer,
+            )
+            self.failed_nets = list(self.assignment.failed_nets)
+            self._snapshot(3, time.perf_counter() - start)
 
     def stage4(self) -> None:
         """Two-path rip-up/reroute with buffer reinsertion."""
         start = time.perf_counter()
-        for _ in range(self.config.stage4_iterations):
-            delays = self._net_delays()
-            order = reroute_order_by_delay(delays, ascending=True)
-            failed: List[str] = []
-            for name in order:
-                tree = self.routes[name]
-                limit = self.config.limit_for(name)
-                # Rip out this net's buffers before rerouting its paths.
-                for node in tree.nodes.values():
-                    count = node.buffer_count()
-                    if count:
-                        self.graph.use_site(node.tile, -count)
-                q_of = lambda tile: buffer_site_cost(self.graph, tile)
-                optimize_two_paths(
+        q_of = lambda tile: buffer_site_cost(self.graph, tile)
+        with self.tracer.span("stage4"):
+            for iteration in range(self.config.stage4_iterations):
+                with self.tracer.span("stage4.pass", **{"pass": iteration}):
+                    self._stage4_pass(q_of)
+            if self.config.rescue_failing and self.failed_nets:
+                from repro.core.rescue import rescue_failing_nets
+
+                limits = {
+                    name: self.config.limit_for(name) for name in self.routes
+                }
+                with self.tracer.span("rescue", failing=len(self.failed_nets)):
+                    self.failed_nets = rescue_failing_nets(
+                        self.graph,
+                        self.routes,
+                        self.failed_nets,
+                        limits,
+                        q_of,
+                        window_margin=self.config.window_margin,
+                        tracer=self.tracer,
+                    )
+            self._snapshot(4, time.perf_counter() - start)
+
+    def _stage4_pass(self, q_of) -> None:
+        """One full Stage-4 pass over every net."""
+        tracer = self.tracer
+        delays = self._net_delays()
+        order = reroute_order_by_delay(delays, ascending=True)
+        failed: List[str] = []
+        for name in order:
+            tree = self.routes[name]
+            limit = self.config.limit_for(name)
+            # Rip out this net's buffers before rerouting its paths.
+            ripped: "Dict[tuple, int]" = {}
+            for node in tree.nodes.values():
+                count = node.buffer_count()
+                if count:
+                    self.graph.use_site(node.tile, -count)
+                    ripped[node.tile] = count
+            if tracer.enabled:
+                tracer.event(
+                    "ripped_up", name, stage="4", buffers=sum(ripped.values())
+                )
+            try:
+                changed = optimize_two_paths(
                     self.graph, tree, q_of, limit, self.config.window_margin
                 )
-                meets, _, _ = assign_buffers_to_net(self.graph, tree, limit, None)
-                if not meets:
-                    failed.append(name)
-            self.failed_nets = failed
-        if self.config.rescue_failing and self.failed_nets:
-            from repro.core.rescue import rescue_failing_nets
+                meets, _, _ = assign_buffers_to_net(
+                    self.graph, tree, limit, None, tracer=tracer
+                )
+            except Exception:
+                # Keep b(v) accounting consistent: the reinsertion that
+                # would have re-booked these sites will not happen.
+                for tile, count in ripped.items():
+                    self.graph.use_site(tile, count)
+                raise
+            if not meets:
+                failed.append(name)
+            if tracer.enabled:
+                tracer.count("nets_rerouted")
+                tracer.count("two_paths_changed", changed)
+                tracer.event(
+                    "rerouted" if meets else "failed",
+                    name,
+                    stage="4",
+                    two_paths_changed=changed,
+                    buffers=tree.buffer_count(),
+                )
+                tracer.check_site_invariants(self.graph, f"stage4 net {name}")
+        self.failed_nets = failed
 
-            limits = {name: self.config.limit_for(name) for name in self.routes}
-            self.failed_nets = rescue_failing_nets(
-                self.graph,
-                self.routes,
-                self.failed_nets,
-                limits,
-                lambda tile: buffer_site_cost(self.graph, tile),
-                window_margin=self.config.window_margin,
-            )
-        self._snapshot(4, time.perf_counter() - start)
+    def run(self, tracer=None) -> RabidResult:
+        """Execute all four stages and return the collected result.
 
-    def run(self) -> RabidResult:
-        """Execute all four stages and return the collected result."""
-        self.stage1()
-        self.stage2()
-        self.stage3()
-        self.stage4()
+        Args:
+            tracer: optional :class:`repro.obs.Tracer` overriding the one
+                supplied at construction for this run.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+        with self.tracer.span("rabid.run", nets=len(self.netlist)):
+            self.stage1()
+            self.stage2()
+            self.stage3()
+            self.stage4()
         return RabidResult(
             routes=self.routes,
             stage_metrics=self.stage_metrics,
@@ -273,6 +355,16 @@ class RabidPlanner:
         wirelength = sum(
             tree.wirelength_mm(self.graph) for tree in self.routes.values()
         )
+        num_fails = self._count_fails()
+        if self.tracer.enabled:
+            self.tracer.gauge(f"stage{stage}.overflows", wire.overflow)
+            self.tracer.gauge(
+                f"stage{stage}.num_buffers", self.graph.total_used_sites
+            )
+            self.tracer.gauge(f"stage{stage}.num_fails", num_fails)
+            self.tracer.gauge(f"stage{stage}.wirelength_mm", wirelength)
+            self.tracer.gauge("overflow_total", wire.overflow)
+            self.tracer.observe("stage.cpu_seconds", cpu_seconds)
         self.stage_metrics.append(
             StageMetrics(
                 stage=stage,
@@ -282,7 +374,7 @@ class RabidPlanner:
                 buffer_density_max=buffers.maximum,
                 buffer_density_avg=buffers.average,
                 num_buffers=self.graph.total_used_sites,
-                num_fails=self._count_fails(),
+                num_fails=num_fails,
                 wirelength_mm=wirelength,
                 max_delay_ps=max_delay * 1e12,
                 avg_delay_ps=avg_delay * 1e12,

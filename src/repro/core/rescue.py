@@ -114,8 +114,14 @@ def rescue_failing_nets(
     length_limits: Dict[str, int],
     q_of: Callable[[Tile], float],
     window_margin: int = 10,
+    tracer=None,
 ) -> List[str]:
-    """Rescue every failing net; returns the names still failing after."""
+    """Rescue every failing net; returns the names still failing after.
+
+    With a ``tracer``, every whole-net re-route emits a ``rescued`` event
+    (or ``failed`` when the net still violates its rule) and bumps the
+    ``nets_rescued`` counter.
+    """
     still_failing: List[str] = []
     for name in sorted(failing):
         tree = routes[name]
@@ -124,6 +130,17 @@ def rescue_failing_nets(
             graph, tree, limit, q_of, window_margin
         )
         routes[name] = new_tree
-        if length_violations(new_tree, limit) > 0:
+        still_fails = length_violations(new_tree, limit) > 0
+        if still_fails:
             still_failing.append(name)
+        if tracer is not None and tracer.enabled:
+            if changed and not still_fails:
+                tracer.count("nets_rescued")
+            tracer.event(
+                "rescued" if not still_fails else "failed",
+                name,
+                stage="4",
+                rerouted=changed,
+            )
+            tracer.check_site_invariants(graph, f"rescue net {name}")
     return still_failing

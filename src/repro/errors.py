@@ -29,6 +29,16 @@ class RoutingError(ReproError):
     """A route could not be produced (e.g., disconnected tile graph)."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused or a traced invariant failed.
+
+    Raised on metric-type conflicts (e.g., counting into a name already
+    registered as a gauge), unknown event kinds, and — when a tracer's
+    debug checks are on — violated buffer-site invariants observed at an
+    event hook.
+    """
+
+
 class InfeasibleError(ReproError):
     """No solution satisfies the stated constraints.
 

@@ -32,41 +32,60 @@ FULL_TABLE5 = FULL_TABLE2 + FULL_TABLE2_FINAL
 def run_all_tables(
     quick: bool = True,
     experiment: Optional[ExperimentConfig] = None,
+    tracer=None,
 ) -> Dict[str, str]:
     """Regenerate every table; returns {'Table I': text, ...}.
 
     Quick mode finishes in a few minutes; full mode is the paper's
-    complete sweep (tens of minutes).
+    complete sweep (tens of minutes). With a ``tracer``
+    (:class:`repro.obs.Tracer`), every table gets a span, the planner
+    runs are fully instrumented, and the returned dict gains a
+    ``"Metrics"`` entry holding the metrics snapshot.
     """
+    from repro.obs import NULL_TRACER
+
     experiment = experiment or ExperimentConfig(
         stage4_iterations=1 if quick else 2
     )
+    trace = tracer if tracer is not None else NULL_TRACER
     out: Dict[str, str] = {}
-    out["Table I"] = format_table1(run_table1(seed=experiment.seed))
+    with trace.span("tables.table1"):
+        out["Table I"] = format_table1(run_table1(seed=experiment.seed))
 
     rows2 = []
-    for name in QUICK_TABLE2 if quick else FULL_TABLE2:
-        rows2.extend(run_table2_circuit(name, experiment))
-    if not quick:
-        for name in FULL_TABLE2_FINAL:
-            rows2.extend(run_table2_circuit(name, experiment, final_only=True))
+    with trace.span("tables.table2"):
+        for name in QUICK_TABLE2 if quick else FULL_TABLE2:
+            rows2.extend(run_table2_circuit(name, experiment, tracer=tracer))
+        if not quick:
+            for name in FULL_TABLE2_FINAL:
+                rows2.extend(
+                    run_table2_circuit(
+                        name, experiment, final_only=True, tracer=tracer
+                    )
+                )
     out["Table II"] = format_table2(rows2)
 
     rows3 = []
-    for name in QUICK_TABLE3 if quick else FULL_TABLE3:
-        rows3.extend(run_table3_circuit(name, experiment))
+    with trace.span("tables.table3"):
+        for name in QUICK_TABLE3 if quick else FULL_TABLE3:
+            rows3.extend(run_table3_circuit(name, experiment))
     out["Table III"] = format_table3(rows3)
 
     rows4 = []
-    sweeps = QUICK_TABLE4 if quick else FULL_TABLE4
-    for name, grids in sweeps.items():
-        rows4.extend(run_table4_circuit(name, experiment, grids=grids))
+    with trace.span("tables.table4"):
+        sweeps = QUICK_TABLE4 if quick else FULL_TABLE4
+        for name, grids in sweeps.items():
+            rows4.extend(run_table4_circuit(name, experiment, grids=grids))
     out["Table IV"] = format_table4(rows4)
 
     rows5 = []
-    for name in QUICK_TABLE5 if quick else FULL_TABLE5:
-        rows5.extend(run_table5_circuit(name, experiment))
+    with trace.span("tables.table5"):
+        for name in QUICK_TABLE5 if quick else FULL_TABLE5:
+            rows5.extend(run_table5_circuit(name, experiment, tracer=tracer))
     out["Table V"] = format_table5(rows5)
+
+    if trace.enabled:
+        out["Metrics"] = trace.metrics.render()
     return out
 
 

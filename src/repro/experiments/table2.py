@@ -28,11 +28,15 @@ def run_table2_circuit(
     name: str,
     experiment: Optional[ExperimentConfig] = None,
     final_only: bool = False,
+    tracer=None,
 ) -> List[Table2Row]:
     """Run RABID on one benchmark, returning per-stage (or final) rows."""
     experiment = experiment or ExperimentConfig()
     bench = load_benchmark(name, seed=experiment.seed)
-    planner = RabidPlanner(bench.graph, bench.netlist, planner_config_for(bench, experiment))
+    planner = RabidPlanner(
+        bench.graph, bench.netlist, planner_config_for(bench, experiment),
+        tracer=tracer,
+    )
     result = planner.run()
     if final_only:
         return [Table2Row(name, "1-4", result.final_metrics)]

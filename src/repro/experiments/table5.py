@@ -44,6 +44,7 @@ def run_table5_circuit(
     name: str,
     experiment: Optional[ExperimentConfig] = None,
     capacity_scale: float = 1.5,
+    tracer=None,
 ) -> List[Table5Row]:
     """Run both planners on one benchmark; returns [BBP row, RABID row].
 
@@ -70,7 +71,7 @@ def run_table5_circuit(
         bench_bbp.netlist,
         BbpConfig(length_limit=bench_bbp.spec.length_limit),
     )
-    bbp_result = bbp.run()
+    bbp_result = bbp.run(tracer=tracer)
     bbp_row = Table5Row(
         circuit=name,
         algorithm="BBP/FR",
@@ -88,7 +89,8 @@ def run_table5_circuit(
     # RABID gets an identical fresh instance and the decomposed netlist.
     bench = load_benchmark(name, seed=experiment.seed, wire_capacity=capacity)
     planner = RabidPlanner(
-        bench.graph, two_pin, planner_config_for(bench, experiment)
+        bench.graph, two_pin, planner_config_for(bench, experiment),
+        tracer=tracer,
     )
     result = planner.run()
     # The same equal-length congestion cleanup the paper applies to both

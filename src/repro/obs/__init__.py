@@ -1,0 +1,45 @@
+"""Observability for the RABID pipeline: spans, metrics, per-net events.
+
+Usage::
+
+    from repro.obs import Tracer, render_summary
+
+    tracer = Tracer()
+    planner = RabidPlanner(graph, netlist, config, tracer=tracer)
+    planner.run()
+    tracer.export_jsonl("trace.jsonl")
+    print(render_summary(tracer))
+
+The no-op default (:data:`NULL_TRACER`) keeps un-instrumented runs
+byte-identical and essentially free; see ``docs/OBSERVABILITY.md`` for
+the tracer API, the metric-name conventions, and the JSONL schema.
+"""
+
+from repro.obs.events import EVENT_KINDS, EventLog, NetEvent
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import render_summary
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "NetEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_summary",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "read_trace",
+]

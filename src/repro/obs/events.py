@@ -1,0 +1,88 @@
+"""The structured per-net event stream.
+
+Every notable thing that happens to a net during planning is one
+:class:`NetEvent`: it was ripped up, rerouted, buffered, failed its length
+rule, or was rescued. Events carry a monotonic sequence number, a
+timestamp relative to the tracer's epoch, the stage that emitted them, and
+free-form numeric/string attributes (buffer counts, two-path swap counts,
+...). The stream exports as JSON lines (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import ObservabilityError
+
+#: The closed set of event kinds; anything else is a programming error.
+EVENT_KINDS = frozenset(
+    {"ripped_up", "rerouted", "buffered", "failed", "rescued"}
+)
+
+Attr = Union[int, float, str, bool, None]
+
+
+@dataclass(frozen=True)
+class NetEvent:
+    """One per-net planning event."""
+
+    seq: int
+    t_s: float
+    kind: str
+    net: str
+    stage: Optional[str] = None
+    attrs: Dict[str, Attr] = field(default_factory=dict)
+
+    def as_record(self) -> dict:
+        return {
+            "type": "event",
+            "seq": self.seq,
+            "t_s": self.t_s,
+            "kind": self.kind,
+            "net": self.net,
+            "stage": self.stage,
+            "attrs": dict(self.attrs),
+        }
+
+
+class EventLog:
+    """Append-only, kind-validated event collection."""
+
+    def __init__(self) -> None:
+        self._events: List[NetEvent] = []
+
+    def record(
+        self,
+        t_s: float,
+        kind: str,
+        net: str,
+        stage: Optional[str] = None,
+        **attrs: Attr,
+    ) -> NetEvent:
+        if kind not in EVENT_KINDS:
+            raise ObservabilityError(
+                f"unknown event kind {kind!r}; expected one of "
+                f"{sorted(EVENT_KINDS)}"
+            )
+        event = NetEvent(len(self._events), t_s, kind, net, stage, attrs)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[NetEvent]:
+        return iter(self._events)
+
+    def by_kind(self, kind: str) -> List[NetEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def as_records(self) -> List[dict]:
+        return [e.as_record() for e in self._events]

@@ -1,0 +1,158 @@
+"""Typed metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` maps names to exactly one metric type; using a
+name with a second type raises :class:`ObservabilityError` so a typo in an
+instrumentation site fails loudly instead of silently forking the series.
+
+Conventions used by the instrumented planner code:
+
+* counters are monotonic totals (``nets_rerouted``, ``dp_candidates``,
+  ``buffer_sites_used``, ``maze_nodes_expanded``, ...);
+* gauges are last-write-wins snapshots (``overflow_total``,
+  ``stage3.num_buffers``, ...);
+* histograms keep count/sum/min/max of observed values
+  (``stage.cpu_seconds``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: Union[int, float] = 0
+
+    def add(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (add({n}))"
+            )
+        self.value += n
+
+    def as_record(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins snapshot value."""
+
+    name: str
+    value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def as_record(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Count/sum/min/max summary of observed samples."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_record(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name -> metric map enforcing one type per name."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, cls) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)  # type: ignore[return-value]
+
+    def get(self, name: str) -> "Metric | None":
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
+        """The value of a counter/gauge, or ``default`` when absent."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            raise ObservabilityError(f"metric {name!r} is a histogram")
+        return metric.value
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def items(self) -> Iterator[Tuple[str, Metric]]:
+        return iter(sorted(self._metrics.items()))
+
+    def as_records(self) -> List[dict]:
+        """One export record per metric, sorted by name."""
+        return [m.as_record() for _, m in self.items()]
+
+    def render(self) -> str:
+        """Human-readable snapshot, one line per metric."""
+        lines: List[str] = []
+        for name, metric in self.items():
+            if isinstance(metric, Counter):
+                lines.append(f"counter   {name} = {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"gauge     {name} = {metric.value}")
+            else:
+                lines.append(
+                    f"histogram {name}: n={metric.count} sum={metric.total:.6g} "
+                    f"mean={metric.mean:.6g}"
+                )
+        return "\n".join(lines)

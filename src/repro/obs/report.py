@@ -1,0 +1,56 @@
+"""Human-readable summary of a collected trace.
+
+``render_summary(tracer)`` prints the span tree with wall-clock timings,
+the metrics snapshot, and the event-stream totals — the quick look a
+``--metrics`` CLI run gives after a plan finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.tracer import SpanRecord, Tracer
+
+
+def _span_tree_lines(tracer: Tracer) -> List[str]:
+    children: Dict[int, List[SpanRecord]] = {}
+    roots: List[SpanRecord] = []
+    for span in tracer.spans:
+        if span.parent is None:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent, []).append(span)
+
+    lines: List[str] = []
+
+    def emit(span: SpanRecord, indent: int) -> None:
+        timing = (
+            f"{span.duration_s * 1e3:9.1f} ms" if span.closed else "   (open)  "
+        )
+        attrs = ""
+        if span.attrs:
+            attrs = " " + " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        lines.append(f"{timing}  {'  ' * indent}{span.name}{attrs}")
+        for child in children.get(span.index, []):
+            emit(child, indent + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return lines
+
+
+def render_summary(tracer: Tracer) -> str:
+    """The full text report: spans, metrics, event totals."""
+    sections: List[str] = []
+    if tracer.spans:
+        sections.append("== spans ==")
+        sections.extend(_span_tree_lines(tracer))
+    if len(tracer.metrics):
+        sections.append("== metrics ==")
+        sections.append(tracer.metrics.render())
+    counts = tracer.events.counts_by_kind()
+    if counts:
+        sections.append("== events ==")
+        for kind in sorted(counts):
+            sections.append(f"{kind:10s} {counts[kind]}")
+    return "\n".join(sections) if sections else "(empty trace)"

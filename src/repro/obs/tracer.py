@@ -1,0 +1,268 @@
+"""The tracer: nested timing spans + metrics + the per-net event stream.
+
+One :class:`Tracer` instance collects everything a planning run emits:
+
+* **spans** — nested, monotonic-clock timed sections
+  (``with tracer.span("stage2.pass", **{"pass": i}): ...``);
+* **metrics** — typed counters/gauges/histograms (:mod:`repro.obs.metrics`);
+* **events** — the per-net stream (:mod:`repro.obs.events`).
+
+The default everywhere is :data:`NULL_TRACER`, a no-op with the same duck
+API, so un-traced runs pay (almost) nothing and — crucially — produce
+byte-identical planning results: the tracer records, it never steers.
+
+``Tracer(debug_checks=True)`` additionally asserts the buffer-site
+invariants (``b(v) >= 0`` and ``b(v) <= B(v)`` for every tile) at the
+planner's event hooks, turning a traced run into a self-checking one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import IO, Dict, Iterator, List, Optional, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.events import Attr, EventLog, NetEvent
+from repro.obs.metrics import MetricsRegistry
+
+#: Schema version stamped into the export's ``meta`` record.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class SpanRecord:
+    """One (possibly still open) timed section."""
+
+    index: int
+    name: str
+    parent: Optional[int]
+    depth: int
+    start_s: float
+    end_s: Optional[float] = None
+    attrs: Dict[str, Attr] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise ObservabilityError(f"span {self.name!r} is still open")
+        return self.end_s - self.start_s
+
+    def as_record(self) -> dict:
+        return {
+            "type": "span",
+            "index": self.index,
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _SpanContext:
+    """Context manager that closes its span exactly once."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> SpanRecord:
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self._record)
+        return False
+
+
+class Tracer:
+    """Collects spans, metrics, and per-net events for one run."""
+
+    enabled = True
+
+    def __init__(self, debug_checks: bool = True) -> None:
+        self._epoch = time.perf_counter()
+        self.spans: List[SpanRecord] = []
+        self._stack: List[int] = []
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+        self.debug_checks = debug_checks
+
+    # -- spans --------------------------------------------------------- #
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def span(self, name: str, **attrs: Attr) -> _SpanContext:
+        """Open a nested span; use as a context manager."""
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            index=len(self.spans),
+            name=name,
+            parent=parent,
+            depth=len(self._stack),
+            start_s=self._now(),
+            attrs=attrs,
+        )
+        self.spans.append(record)
+        self._stack.append(record.index)
+        return _SpanContext(self, record)
+
+    def _close(self, record: SpanRecord) -> None:
+        if record.closed:
+            raise ObservabilityError(f"span {record.name!r} closed twice")
+        if not self._stack or self._stack[-1] != record.index:
+            raise ObservabilityError(
+                f"span {record.name!r} closed out of nesting order"
+            )
+        self._stack.pop()
+        record.end_s = self._now()
+
+    @property
+    def open_spans(self) -> List[SpanRecord]:
+        return [self.spans[i] for i in self._stack]
+
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    # -- metrics ------------------------------------------------------- #
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        self.metrics.counter(name).add(n)
+
+    def gauge(self, name: str, value: Union[int, float]) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # -- events -------------------------------------------------------- #
+
+    def event(
+        self, kind: str, net: str, stage: Optional[str] = None, **attrs: Attr
+    ) -> NetEvent:
+        return self.events.record(self._now(), kind, net, stage, **attrs)
+
+    # -- debug invariants ---------------------------------------------- #
+
+    def check_site_invariants(self, graph, context: str = "") -> None:
+        """Assert ``0 <= b(v) <= B(v)`` for every tile (debug builds only).
+
+        Called by the instrumented planner at its event hooks; a no-op
+        unless ``debug_checks`` is set. ``graph`` is a
+        :class:`repro.tilegraph.graph.TileGraph`.
+        """
+        if not self.debug_checks:
+            return
+        used = graph.used_sites
+        if (used < 0).any():
+            tiles = list(zip(*((used < 0).nonzero())))
+            raise ObservabilityError(
+                f"negative used-site count at tiles {tiles[:5]}"
+                + (f" ({context})" if context else "")
+            )
+        over = used > graph.sites
+        if over.any():
+            tiles = list(zip(*(over.nonzero())))
+            raise ObservabilityError(
+                f"b(v) > B(v) at tiles {tiles[:5]}"
+                + (f" ({context})" if context else "")
+            )
+
+    # -- export -------------------------------------------------------- #
+
+    def to_records(self) -> List[dict]:
+        """All collected data as export records (meta first)."""
+        records: List[dict] = [
+            {
+                "type": "meta",
+                "version": TRACE_SCHEMA_VERSION,
+                "spans": len(self.spans),
+                "events": len(self.events),
+                "metrics": len(self.metrics),
+            }
+        ]
+        records.extend(s.as_record() for s in self.spans)
+        records.extend(self.metrics.as_records())
+        records.extend(self.events.as_records())
+        return records
+
+    def export_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write the trace as JSON lines; returns the line count.
+
+        ``target`` is a path or an open text file object.
+        """
+        records = self.to_records()
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                for record in records:
+                    fh.write(json.dumps(record) + "\n")
+        else:
+            for record in records:
+                target.write(json.dumps(record) + "\n")
+        return len(records)
+
+
+class NullTracer:
+    """Do-nothing stand-in with the :class:`Tracer` duck API.
+
+    Every method is an inert constant-time call so library code can write
+    ``tracer.count(...)`` unconditionally; hot loops should additionally
+    gate per-element work on ``tracer.enabled``.
+    """
+
+    enabled = False
+    debug_checks = False
+    __slots__ = ()
+
+    class _NullContext:
+        __slots__ = ()
+
+        def __enter__(self):
+            return None
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            return False
+
+    _CONTEXT = _NullContext()
+
+    def span(self, name: str, **attrs: Attr) -> "_NullContext":
+        return self._CONTEXT
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, kind: str, net: str, stage: Optional[str] = None, **attrs):
+        return None
+
+    def check_site_invariants(self, graph, context: str = "") -> None:
+        pass
+
+
+#: Shared inert tracer used as the default everywhere.
+NULL_TRACER = NullTracer()
+
+
+def read_trace(path: str) -> List[dict]:
+    """Parse a JSONL trace file back into its records."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

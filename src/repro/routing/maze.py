@@ -77,11 +77,12 @@ def _dijkstra_to_sink(
     targets: Set[Tile],
     cost_fn: EdgeCost,
     window: Tuple[int, int, int, int],
-) -> Optional[Tuple[Tile, Dict[Tile, Tile]]]:
+) -> Tuple[Optional[Tuple[Tile, Dict[Tile, Tile]]], int]:
     """Wavefront from ``seeds`` until the cheapest target is settled.
 
-    Returns (reached target, predecessor map) or None when unreachable
-    within the window under finite costs.
+    Returns ``(result, nodes_expanded)`` where ``result`` is (reached
+    target, predecessor map) or None when unreachable within the window
+    under finite costs, and ``nodes_expanded`` counts settled tiles.
     """
     x0, y0, x1, y1 = window
     dist: Dict[Tile, float] = dict(seeds)
@@ -89,13 +90,15 @@ def _dijkstra_to_sink(
     heap: List[Tuple[float, Tile]] = [(c, t) for t, c in seeds.items()]
     heapq.heapify(heap)
     settled: Set[Tile] = set()
+    expanded = 0
     while heap:
         d, u = heapq.heappop(heap)
         if u in settled:
             continue
         settled.add(u)
+        expanded += 1
         if u in targets:
-            return u, pred
+            return (u, pred), expanded
         for v in graph.neighbors(u):
             if not (x0 <= v[0] <= x1 and y0 <= v[1] <= y1):
                 continue
@@ -109,7 +112,7 @@ def _dijkstra_to_sink(
                 dist[v] = nd
                 pred[v] = u
                 heapq.heappush(heap, (nd, v))
-    return None
+    return None, expanded
 
 
 def route_net_on_tiles(
@@ -120,6 +123,7 @@ def route_net_on_tiles(
     radius_weight: float = 0.0,
     net_name: str = "",
     window_margin: int = 6,
+    tracer=None,
 ) -> RouteTree:
     """Route one net on the tile graph, congestion-aware.
 
@@ -135,6 +139,8 @@ def route_net_on_tiles(
         window_margin: initial search-window margin in tiles; doubled, then
             dropped (whole grid) if a sink is unreachable, before falling
             back to the soft cost.
+        tracer: optional :class:`repro.obs.Tracer`; settled wavefront
+            tiles accumulate into the ``maze_nodes_expanded`` counter.
 
     Returns:
         A :class:`RouteTree` connecting the source to every sink.
@@ -150,6 +156,7 @@ def route_net_on_tiles(
 
     all_pins = [source] + list(sinks)
     margins = [window_margin, window_margin * 4, max(graph.nx, graph.ny)]
+    total_expanded = 0
 
     while pending:
         found = None
@@ -159,7 +166,10 @@ def route_net_on_tiles(
             seeds = {
                 t: radius_weight * path_cost for t, path_cost in tree_tiles.items()
             }
-            found = _dijkstra_to_sink(graph, seeds, pending, used_cost, window)
+            found, expanded = _dijkstra_to_sink(
+                graph, seeds, pending, used_cost, window
+            )
+            total_expanded += expanded
             if found is not None:
                 break
             if attempt == len(margins) - 1 and used_cost is not soft_congestion_cost:
@@ -168,7 +178,10 @@ def route_net_on_tiles(
                 used_cost = soft_congestion_cost
                 for margin2 in margins:
                     window = _search_window(graph, all_pins, margin2)
-                    found = _dijkstra_to_sink(graph, seeds, pending, used_cost, window)
+                    found, expanded = _dijkstra_to_sink(
+                        graph, seeds, pending, used_cost, window
+                    )
+                    total_expanded += expanded
                     if found is not None:
                         break
                 break
@@ -191,5 +204,7 @@ def route_net_on_tiles(
                 parent[b] = a
         pending -= set(tree_tiles)
 
+    if tracer is not None and tracer.enabled and total_expanded:
+        tracer.count("maze_nodes_expanded", total_expanded)
     sink_tiles = sorted(sink_set)
     return RouteTree.from_parent_map(source, parent, sink_tiles, net_name=net_name)

@@ -31,6 +31,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.netlist import Net, Netlist
+from repro.obs import NULL_TRACER
 from repro.routing.maze import route_net_on_tiles
 from repro.routing.tree import RouteTree
 from repro.tilegraph.graph import Tile, TileGraph
@@ -60,9 +61,15 @@ class McfOptions:
 class McfRouter:
     """Fractional MCF routing with greedy least-congestion rounding."""
 
-    def __init__(self, graph: TileGraph, options: "McfOptions | None" = None):
+    def __init__(
+        self,
+        graph: TileGraph,
+        options: "McfOptions | None" = None,
+        tracer=None,
+    ):
         self.graph = graph
         self.options = options or McfOptions()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Dual edge lengths, stored sparsely over (u, v) canonical keys.
         self._length: Dict[Tuple[Tile, Tile], float] = {}
 
@@ -95,30 +102,35 @@ class McfRouter:
             sinks = [self.graph.tile_of(p) for p in net.sink_locations()]
             pins[net.name] = (source, sinks)
 
-        for _ in range(self.options.iterations):
-            for net in netlist:
-                source, sinks = pins[net.name]
-                tree = route_net_on_tiles(
-                    self.graph,
-                    source,
-                    sinks,
-                    cost_fn=self._edge_length,
-                    net_name=net.name,
-                    window_margin=self.options.window_margin,
-                )
-                for u, v in tree.edges():
-                    self._bump(u, v)
-                seen = candidates[net.name]
-                signature = frozenset(
-                    (min(u, v), max(u, v)) for u, v in tree.edges()
-                )
-                if all(
-                    signature
-                    != frozenset((min(a, b), max(a, b)) for a, b in t.edges())
-                    for t in seen
-                ):
-                    seen.append(tree)
-        return self._round(netlist, candidates)
+        for round_index in range(self.options.iterations):
+            with self.tracer.span("mcf.round", **{"round": round_index}):
+                for net in netlist:
+                    source, sinks = pins[net.name]
+                    tree = route_net_on_tiles(
+                        self.graph,
+                        source,
+                        sinks,
+                        cost_fn=self._edge_length,
+                        net_name=net.name,
+                        window_margin=self.options.window_margin,
+                        tracer=self.tracer,
+                    )
+                    for u, v in tree.edges():
+                        self._bump(u, v)
+                    seen = candidates[net.name]
+                    signature = frozenset(
+                        (min(u, v), max(u, v)) for u, v in tree.edges()
+                    )
+                    if all(
+                        signature
+                        != frozenset((min(a, b), max(a, b)) for a, b in t.edges())
+                        for t in seen
+                    ):
+                        seen.append(tree)
+                        if self.tracer.enabled:
+                            self.tracer.count("mcf_candidate_trees")
+        with self.tracer.span("mcf.rounding"):
+            return self._round(netlist, candidates)
 
     def _round(
         self,
@@ -157,10 +169,11 @@ def mcf_initial_routes(
     graph: TileGraph,
     netlist: Netlist,
     options: "McfOptions | None" = None,
+    tracer=None,
 ) -> Dict[str, RouteTree]:
     """Convenience wrapper: route a whole netlist MCF-style.
 
     The graph must carry no prior usage for these nets; usage for the
     selected trees is recorded on return.
     """
-    return McfRouter(graph, options).route_all(netlist)
+    return McfRouter(graph, options, tracer=tracer).route_all(netlist)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
+from repro.errors import ConfigurationError
+from repro.obs import NULL_TRACER
 from repro.routing.maze import congestion_cost, route_net_on_tiles
 from repro.routing.tree import RouteTree
 from repro.tilegraph.congestion import wire_congestion_stats
@@ -31,6 +33,14 @@ class RipupOptions:
     radius_weight: float = 0.4
     window_margin: int = 6
 
+    def __post_init__(self) -> None:
+        if self.max_iterations < 0:
+            raise ConfigurationError("max_iterations must be >= 0")
+        if self.radius_weight < 0:
+            raise ConfigurationError("radius_weight must be >= 0")
+        if self.window_margin < 0:
+            raise ConfigurationError("window_margin must be >= 0")
+
 
 def ripup_and_reroute(
     graph: TileGraph,
@@ -38,6 +48,7 @@ def ripup_and_reroute(
     order: Sequence[str],
     options: "RipupOptions | None" = None,
     on_pass_end: "Callable[[int], None] | None" = None,
+    tracer=None,
 ) -> int:
     """Rip up and reroute every net per pass until congestion clears.
 
@@ -47,30 +58,45 @@ def ripup_and_reroute(
         order: net processing order (paper: ascending delay).
         options: iteration/rerouting knobs.
         on_pass_end: optional callback after each full pass (pass index).
+        tracer: optional :class:`repro.obs.Tracer`; each pass becomes a
+            ``stage2.pass`` span and each net emits ``ripped_up`` /
+            ``rerouted`` events plus the ``nets_rerouted`` counter.
 
     Returns:
         Number of full passes executed.
     """
     options = options or RipupOptions()
+    tracer = tracer if tracer is not None else NULL_TRACER
     passes = 0
     for iteration in range(options.max_iterations):
-        for name in order:
-            tree = routes[name]
-            tree.remove_usage(graph)
-            new_tree = route_net_on_tiles(
-                graph,
-                tree.source,
-                tree.sink_tiles,
-                cost_fn=congestion_cost,
-                radius_weight=options.radius_weight,
-                net_name=name,
-                window_margin=options.window_margin,
-            )
-            new_tree.add_usage(graph)
-            routes[name] = new_tree
-        passes += 1
-        if on_pass_end is not None:
-            on_pass_end(iteration)
+        with tracer.span("stage2.pass", **{"pass": iteration}):
+            for name in order:
+                tree = routes[name]
+                tree.remove_usage(graph)
+                if tracer.enabled:
+                    tracer.event(
+                        "ripped_up", name, stage="2", nodes=len(tree.nodes)
+                    )
+                new_tree = route_net_on_tiles(
+                    graph,
+                    tree.source,
+                    tree.sink_tiles,
+                    cost_fn=congestion_cost,
+                    radius_weight=options.radius_weight,
+                    net_name=name,
+                    window_margin=options.window_margin,
+                    tracer=tracer,
+                )
+                new_tree.add_usage(graph)
+                routes[name] = new_tree
+                if tracer.enabled:
+                    tracer.count("nets_rerouted")
+                    tracer.event(
+                        "rerouted", name, stage="2", nodes=len(new_tree.nodes)
+                    )
+            passes += 1
+            if on_pass_end is not None:
+                on_pass_end(iteration)
         if wire_congestion_stats(graph).overflow == 0:
             break
     return passes

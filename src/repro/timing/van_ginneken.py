@@ -63,6 +63,7 @@ def timing_driven_buffering(
     tech: Technology,
     site_available: "Callable[[Tile], bool] | None" = None,
     max_candidates: int = 64,
+    tracer=None,
 ) -> Tuple[float, List[BufferSpec]]:
     """Minimize the net's worst Elmore sink delay by buffer insertion.
 
@@ -74,6 +75,8 @@ def timing_driven_buffering(
             ``graph.free_sites(tile) > 0``.
         max_candidates: cap on the per-node Pareto list (keeps the lowest-
             delay candidates when exceeded).
+        tracer: optional :class:`repro.obs.Tracer`; every Pareto candidate
+            generated accumulates into the ``dp_candidates`` counter.
 
     Returns:
         ``(delay_seconds, buffer_specs)`` for the best solution found;
@@ -84,6 +87,7 @@ def timing_driven_buffering(
         site_available = lambda t: graph.free_sites(t) > 0
 
     lists: Dict[Tile, List[_Candidate]] = {}
+    generated = 0
 
     for node in tree.postorder():
         merged: Optional[List[_Candidate]] = None
@@ -107,6 +111,7 @@ def timing_driven_buffering(
                             cand.buffers + 1,
                         )
                     )
+            generated += len(branch)
             branch = _prune(branch)[:max_candidates]
             if merged is None:
                 merged = branch
@@ -121,6 +126,7 @@ def timing_driven_buffering(
                     for a in merged
                     for b in branch
                 ]
+                generated += len(combined)
                 merged = _prune(combined)[:max_candidates]
 
         if merged is None:  # leaf (sink)
@@ -134,6 +140,7 @@ def timing_driven_buffering(
             )
         # Trunk buffer at this node (drives the merged contents).
         if node.children and site_available(node.tile):
+            generated += len(merged)
             merged = _prune(
                 merged
                 + [
@@ -147,6 +154,9 @@ def timing_driven_buffering(
                 ]
             )[:max_candidates]
         lists[node.tile] = merged
+
+    if tracer is not None and tracer.enabled and generated:
+        tracer.count("dp_candidates", generated)
 
     root_cands = lists[tree.root.tile]
     if not root_cands:
@@ -189,6 +199,7 @@ def rebuffer_net_timing_driven(
     graph: TileGraph,
     tech: Technology,
     max_candidates: int = 64,
+    tracer=None,
 ) -> float:
     """Rip up a net's buffers and reinsert them delay-optimally.
 
@@ -210,11 +221,21 @@ def rebuffer_net_timing_driven(
             graph.use_site(node.tile, -count)
     tree.clear_buffers()
     delay, specs = timing_driven_buffering(
-        tree, graph, tech, max_candidates=max_candidates
+        tree, graph, tech, max_candidates=max_candidates, tracer=tracer
     )
-    if _oversubscribes(graph, specs) or delay > old_delay:
+    improved = not (_oversubscribes(graph, specs) or delay > old_delay)
+    if not improved:
         specs, delay = old_specs, old_delay
     tree.apply_buffers(specs)
     for spec in specs:
         graph.use_site(spec.tile, 1)
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "buffered",
+            tree.net_name,
+            stage="rebuffer",
+            buffers=len(specs),
+            improved=improved,
+        )
+        tracer.check_site_invariants(graph, f"rebuffer net {tree.net_name}")
     return delay

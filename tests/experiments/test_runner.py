@@ -5,6 +5,8 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import render_report, run_all_tables
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def tables():

@@ -21,6 +21,8 @@ from repro.experiments import (
 )
 from repro.experiments.formatting import render_table
 
+pytestmark = pytest.mark.slow
+
 FAST = ExperimentConfig(seed=0, stage4_iterations=1)
 
 

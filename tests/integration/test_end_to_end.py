@@ -13,6 +13,8 @@ from repro import (
 from repro.core.length_rule import net_meets_length_rule
 from repro.timing import delay_summary
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def apte_run():

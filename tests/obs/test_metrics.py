@@ -1,0 +1,89 @@
+"""Typed metrics: counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("n")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ObservabilityError):
+            Counter("n").add(-1)
+
+    def test_record(self):
+        c = Counter("n")
+        c.add(2)
+        assert c.as_record() == {"type": "counter", "name": "n", "value": 2}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+    def test_record(self):
+        g = Gauge("g")
+        g.set(1.5)
+        assert g.as_record()["value"] == 1.5
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.minimum == 1.0
+        assert h.maximum == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_record_has_null_bounds(self):
+        record = Histogram("h").as_record()
+        assert record["min"] is None and record["max"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("a")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("a")
+
+    def test_value_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(7)
+        assert reg.value("a") == 7
+        assert reg.value("missing", default=-1) == -1
+        reg.histogram("h").observe(1.0)
+        with pytest.raises(ObservabilityError):
+            reg.value("h")
+
+    def test_records_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("z").set(1)
+        reg.counter("a").add(1)
+        assert [r["name"] for r in reg.as_records()] == ["a", "z"]
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("nets").add(3)
+        reg.gauge("overflow").set(0)
+        reg.histogram("cpu").observe(0.25)
+        text = reg.render()
+        assert "nets" in text and "overflow" in text and "cpu" in text

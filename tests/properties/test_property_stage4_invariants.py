@@ -1,0 +1,74 @@
+"""Property-based tests: Stage 4 rip-out/reinsert never corrupts b(v).
+
+Random small designs (grid size, wire capacity, site density, net count,
+length limit drawn by hypothesis): after the full stage4() cycle — any
+number of rip-out/reinsert passes plus the rescue phase — every tile's
+used-site count must satisfy ``0 <= b(v) <= B(v)``, and the graph's site
+bookings must equal the buffers the surviving route trees annotate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RabidConfig, RabidPlanner
+from repro.geometry import Point, Rect
+from repro.netlist import Net, Netlist, Pin
+from repro.obs import Tracer
+from repro.tilegraph import CapacityModel, TileGraph
+
+
+@st.composite
+def stage4_instances(draw):
+    size = draw(st.integers(6, 10))
+    capacity = draw(st.integers(3, 8))
+    sites = draw(st.integers(1, 3))
+    n_nets = draw(st.integers(3, 8))
+    limit = draw(st.integers(2, 4))
+    passes = draw(st.integers(1, 2))
+
+    graph = TileGraph(
+        Rect(0, 0, float(size), float(size)), size, size,
+        CapacityModel.uniform(capacity),
+    )
+    for tile in graph.tiles():
+        graph.set_sites(tile, sites)
+    nets = []
+    for i in range(n_nets):
+        y = 0.5 + (i % size)
+        x_mid = 0.5 + ((2 * i) % size)
+        nets.append(
+            Net(
+                name=f"n{i}",
+                source=Pin(f"n{i}.s", Point(0.5, y)),
+                sinks=[
+                    Pin(f"n{i}.a", Point(size - 0.5, y)),
+                    Pin(f"n{i}.b", Point(x_mid, (y + size // 2) % size)),
+                ],
+            )
+        )
+    config = RabidConfig(
+        length_limit=limit, stage2_iterations=1, stage4_iterations=passes
+    )
+    return graph, Netlist(nets=nets), config
+
+
+class TestStage4SiteInvariants:
+    @given(stage4_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_no_negative_and_no_oversubscription(self, instance):
+        graph, netlist, config = instance
+        planner = RabidPlanner(graph, netlist, config)
+        planner.run()
+        assert (graph.used_sites >= 0).all()
+        assert (graph.used_sites <= graph.sites).all()
+        # Same invariant the obs layer asserts at its event hooks.
+        Tracer().check_site_invariants(graph, "property test")
+
+    @given(stage4_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_bookings_match_tree_annotations(self, instance):
+        graph, netlist, config = instance
+        planner = RabidPlanner(graph, netlist, config)
+        result = planner.run()
+        annotated = sum(t.buffer_count() for t in result.routes.values())
+        assert graph.total_used_sites == annotated

@@ -1,0 +1,53 @@
+"""Stage-2 ordering tie-breaks and RipupOptions validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.ripup import RipupOptions, reroute_order_by_delay
+
+
+class TestRerouteOrder:
+    def test_ascending_by_delay(self):
+        delays = {"a": 3.0, "b": 1.0, "c": 2.0}
+        assert reroute_order_by_delay(delays) == ["b", "c", "a"]
+
+    def test_descending(self):
+        delays = {"a": 3.0, "b": 1.0, "c": 2.0}
+        assert reroute_order_by_delay(delays, ascending=False) == ["a", "c", "b"]
+
+    def test_equal_delays_break_ties_by_name(self):
+        delays = {"z": 1.0, "a": 1.0, "m": 1.0}
+        assert reroute_order_by_delay(delays) == ["a", "m", "z"]
+
+    def test_descending_ties_reverse_names(self):
+        delays = {"z": 1.0, "a": 1.0, "m": 1.0}
+        assert reroute_order_by_delay(delays, ascending=False) == ["z", "m", "a"]
+
+    def test_order_is_independent_of_dict_insertion(self):
+        fwd = {"a": 2.0, "b": 1.0, "c": 2.0}
+        rev = dict(reversed(list(fwd.items())))
+        assert reroute_order_by_delay(fwd) == reroute_order_by_delay(rev)
+
+    def test_empty(self):
+        assert reroute_order_by_delay({}) == []
+
+
+class TestRipupOptionsValidation:
+    def test_defaults_are_valid(self):
+        opts = RipupOptions()
+        assert opts.max_iterations == 3
+
+    def test_zero_iterations_allowed(self):
+        assert RipupOptions(max_iterations=0).max_iterations == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": -1},
+            {"radius_weight": -0.1},
+            {"window_margin": -2},
+        ],
+    )
+    def test_negative_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RipupOptions(**kwargs)
