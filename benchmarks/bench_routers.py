@@ -1,18 +1,31 @@
 """Router ablation: Prim-Dijkstra + rip-up (paper default) versus the
-multicommodity-flow alternative the paper cites for Stages 1-2.
+multicommodity-flow alternative the paper cites for Stages 1-2 — plus the
+Stage-2 routing-kernel benchmark that feeds ``BENCH_routing.json``.
 
-Both feed the identical Stage 3/4 pipeline on the same instance; compared
-on congestion, wirelength, buffers, fails, and runtime.
+Both ablation arms feed the identical Stage 3/4 pipeline on the same
+instance; compared on congestion, wirelength, buffers, fails, and runtime.
+The kernel benchmark reroutes the ISSUE's 32x32 / 500-net workload
+(16x16 / 120 nets under ``REPRO_BENCH_FAST=1``) and records the timings
+into the committed trajectory next to the pre-flat-kernel baseline.
 """
+
+import json
+import os
 
 import pytest
 
-from conftest import SEED, record_table
+from conftest import FAST, SEED, record_table
 from repro.benchmarks import load_benchmark
+from repro.benchmarks.routing_kernel import append_entry, run_best_of
 from repro.core import RabidConfig, RabidPlanner
 from repro.experiments.formatting import render_table
 
 CIRCUIT = "hp"
+TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_routing.json")
+GOLDEN_KERNEL = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "golden",
+    "routing_kernel_32x32_seed0.json",
+)
 
 
 def _run(router):
@@ -27,6 +40,7 @@ def _run(router):
     return result
 
 
+@pytest.mark.skipif(FAST, reason="multi-minute ablation skipped in smoke mode")
 def test_router_ablation(benchmark):
     def body():
         return {router: _run(router) for router in ("pd", "mcf")}
@@ -61,3 +75,85 @@ def test_router_ablation(benchmark):
     pd = results["pd"].final_metrics
     mcf = results["mcf"].final_metrics
     assert mcf.wirelength_mm <= pd.wirelength_mm * 1.2
+
+
+def test_routing_kernel_speedup(benchmark):
+    """Time the flat-array Stage-2 kernel and record it in the trajectory.
+
+    In the full run (32x32 / 500 nets, seed 0) this also pins the
+    acceptance criteria: the routed trees are byte-identical to the
+    pre-flat-kernel golden, and the speedup over the committed baseline
+    entry holds up (>= 2.5x live floor; the recorded entry is >= 3x —
+    comparing a live half-second shot against a number committed from a
+    different machine state needs noise headroom).
+    """
+    holder = {}
+
+    def body():
+        kwargs = dict(seed=SEED)
+        if FAST:
+            kwargs.update(grid=16, num_nets=120)
+        holder["scenario"], holder["result"] = run_best_of(
+            1 if FAST else 3, **kwargs
+        )
+        return holder["result"]
+
+    result = benchmark.pedantic(body, rounds=1, iterations=1)
+    entry = append_entry(
+        TRAJECTORY, "flat-kernel", result, holder["scenario"], workers=1
+    )
+    record_table(
+        "Routing kernel (BENCH_routing.json)",
+        render_table(
+            ["label", "grid", "nets", "workers", "total s", "speedup"],
+            [[
+                entry["label"],
+                str(entry["params"]["grid"]),
+                str(entry["params"]["num_nets"]),
+                str(entry["workers"]),
+                f"{entry['seconds_total']:.3f}",
+                str(entry.get("speedup_vs_baseline", "-")),
+            ]],
+        ),
+    )
+    assert result.overflow == 0
+    if not FAST and SEED == 0:
+        with open(GOLDEN_KERNEL, "r", encoding="utf-8") as fh:
+            golden = json.load(fh)
+        assert result.signature == golden["signature"]
+        assert entry.get("speedup_vs_baseline", 0.0) >= 2.5
+
+
+@pytest.mark.skipif(FAST, reason="parallel run duplicates the smoke entry")
+def test_routing_kernel_parallel_entry(benchmark):
+    """Record the workers=2 arm; must stay route-identical to sequential."""
+    holder = {}
+
+    def body():
+        holder["scenario"], holder["result"] = run_best_of(
+            3, workers=2, seed=SEED
+        )
+        return holder["result"]
+
+    result = benchmark.pedantic(body, rounds=1, iterations=1)
+    entry = append_entry(
+        TRAJECTORY, "flat-kernel-2workers", result, holder["scenario"], workers=2
+    )
+    if SEED == 0:
+        with open(GOLDEN_KERNEL, "r", encoding="utf-8") as fh:
+            golden = json.load(fh)
+        assert result.signature == golden["signature"]
+    record_table(
+        "Routing kernel (BENCH_routing.json)",
+        render_table(
+            ["label", "grid", "nets", "workers", "total s", "speedup"],
+            [[
+                entry["label"],
+                str(entry["params"]["grid"]),
+                str(entry["params"]["num_nets"]),
+                str(entry["workers"]),
+                f"{entry['seconds_total']:.3f}",
+                str(entry.get("speedup_vs_baseline", "-")),
+            ]],
+        ),
+    )

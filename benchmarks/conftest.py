@@ -6,6 +6,8 @@ Environment knobs:
   sweeps; expect tens of minutes). Without it each table runs a
   representative subset so ``pytest benchmarks/ --benchmark-only``
   completes in a few minutes.
+* ``REPRO_BENCH_FAST=1`` — CI smoke mode: the routing-kernel benchmarks
+  shrink to a 16x16 instance and the multi-minute ablations are skipped.
 * ``REPRO_SEED`` — master seed (default 0).
 
 Each benchmark body runs its harness once (``rounds=1``): these are
@@ -24,6 +26,7 @@ import pytest
 from repro.experiments import ExperimentConfig
 
 FULL = os.environ.get("REPRO_FULL", "") == "1"
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
 SEED = int(os.environ.get("REPRO_SEED", "0"))
 
 #: Circuits per table when not running the full sweep.

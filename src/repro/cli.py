@@ -46,6 +46,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run RABID on one benchmark")
     run.add_argument("circuit", choices=sorted(BENCHMARK_SPECS))
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="Stage-2 reroute threads (1 = sequential, byte-identical)",
+    )
     run.add_argument("--maps", action="store_true", help="print ASCII maps")
     run.add_argument(
         "--diagnose", action="store_true",
@@ -84,6 +88,7 @@ def _cmd_run(args) -> int:
         length_limit=bench.spec.length_limit,
         window_margin=10,
         stage4_iterations=args.stage4_iterations,
+        workers=args.workers,
     )
     tracer = None
     if args.trace or args.metrics:
@@ -141,6 +146,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
 
 
 def _dispatch(args) -> int:
+    if args.seed < 0:
+        raise ConfigurationError(f"seed must be >= 0, got {args.seed}")
     experiment = ExperimentConfig(seed=args.seed)
     if args.command == "list":
         for name, spec in sorted(BENCHMARK_SPECS.items()):

@@ -54,6 +54,9 @@ class RabidConfig:
         rescue_failing: after the Stage-4 iterations, attempt a whole-net
             bufferable re-route for nets still violating the length rule
             (an extension of Stage 4's goal; see repro.core.rescue).
+        workers: Stage-2 reroute concurrency; 1 (default) is strictly
+            sequential and byte-identical to the single-threaded planner,
+            >1 reroutes bounding-box-disjoint batches of nets in threads.
     """
 
     length_limit: int = 5
@@ -66,6 +69,7 @@ class RabidConfig:
     use_probability: bool = True
     router: str = "pd"
     rescue_failing: bool = True
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.router not in ("pd", "mcf"):
@@ -80,6 +84,8 @@ class RabidConfig:
             raise ConfigurationError("window_margin must be >= 0")
         if self.pd_tradeoff < 0:
             raise ConfigurationError("pd_tradeoff must be >= 0")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
 
     def limit_for(self, net_name: str) -> int:
         return self.length_limits.get(net_name, self.length_limit)
@@ -189,6 +195,7 @@ class RabidPlanner:
                 max_iterations=self.config.stage2_iterations,
                 radius_weight=self.config.pd_tradeoff,
                 window_margin=self.config.window_margin,
+                workers=self.config.workers,
             )
             on_pass_end = None
             if self.tracer.enabled:

@@ -14,7 +14,11 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.routing.maze import congestion_cost, soft_congestion_cost
+from repro.routing.maze import (
+    congestion_cost,
+    scalar_edge_cost,
+    soft_congestion_cost,
+)
 from repro.routing.tree import RouteTree
 from repro.tilegraph.graph import Tile, TileGraph
 
@@ -47,6 +51,7 @@ def best_buffered_path(
     exists within the window.
     """
     L = length_limit
+    wire_cost = scalar_edge_cost(graph, wire_cost)
     goals: Set[Tile] = {goal} if isinstance(goal, tuple) else set(goal)
     if start in goals:
         return [start]
@@ -138,6 +143,7 @@ def _plain_path(
     wire_cost: Callable[[TileGraph, Tile, Tile], float],
 ) -> Optional[List[Tile]]:
     """Wire-cost-only Dijkstra (used when no bufferable path exists)."""
+    wire_cost = scalar_edge_cost(graph, wire_cost)
     x0, y0, x1, y1 = window
     dist: Dict[Tile, float] = {start: 0.0}
     pred: Dict[Tile, Tile] = {}

@@ -70,25 +70,22 @@ class McfRouter:
         self.graph = graph
         self.options = options or McfOptions()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        # Dual edge lengths, stored sparsely over (u, v) canonical keys.
-        self._length: Dict[Tuple[Tile, Tile], float] = {}
-
-    def _key(self, u: Tile, v: Tile) -> Tuple[Tile, Tile]:
-        return (u, v) if u <= v else (v, u)
+        # Dual edge lengths, flat per edge id (the maze kernel's
+        # ``cost_array``); zero-capacity edges are priced unroutable.
+        self._lengths: List[float] = [
+            1.0 / cap if cap > 0 else float("inf")
+            for cap in graph.edge_capacity.tolist()
+        ]
 
     def _edge_length(self, graph: TileGraph, u: Tile, v: Tile) -> float:
-        cap = graph.wire_capacity(u, v)
-        if cap <= 0:
-            return float("inf")
-        return self._length.get(self._key(u, v), 1.0 / cap)
+        return self._lengths[graph.edge_id(u, v)]
 
     def _bump(self, u: Tile, v: Tile) -> None:
         cap = self.graph.wire_capacity(u, v)
         if cap <= 0:
             return
-        key = self._key(u, v)
-        current = self._length.get(key, 1.0 / cap)
-        self._length[key] = current * (1.0 + self.options.epsilon / cap)
+        eid = self.graph.edge_id(u, v)
+        self._lengths[eid] *= 1.0 + self.options.epsilon / cap
 
     def route_all(self, netlist: Netlist) -> Dict[str, RouteTree]:
         """Route every net; the graph's wire usage is written in place.
@@ -110,7 +107,7 @@ class McfRouter:
                         self.graph,
                         source,
                         sinks,
-                        cost_fn=self._edge_length,
+                        cost_array=self._lengths,
                         net_name=net.name,
                         window_margin=self.options.window_margin,
                         tracer=self.tracer,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.routing.maze import soft_congestion_cost
+from repro.routing.maze import scalar_edge_cost, soft_congestion_cost
 from repro.routing.tree import RouteTree
 from repro.tilegraph.graph import Tile, TileGraph
 
@@ -46,6 +46,7 @@ def best_monotone_path(
     blocked by ``forbidden`` tiles.
     """
     forbidden = forbidden or set()
+    cost_fn = scalar_edge_cost(graph, cost_fn)
     dx = goal[0] - start[0]
     dy = goal[1] - start[1]
     sx = 1 if dx >= 0 else -1
@@ -108,6 +109,7 @@ def reduce_congestion(
         The number of two-paths improved.
     """
     improved = 0
+    cost_fn = scalar_edge_cost(graph, cost_fn)
     for _ in range(passes):
         for name in sorted(routes):
             tree = routes[name]

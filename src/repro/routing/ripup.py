@@ -4,19 +4,39 @@ Every net is ripped up and rerouted in a fixed order (the paper sorts by
 ascending delay), even nets that violate nothing — improving uncongested
 nets frees capacity for later ones and avoids local minima. The loop runs
 until either ``max_iterations`` full passes complete or no edge overflows.
+
+With ``workers > 1`` the pass is executed in *bounding-box-disjoint
+batches*: the net order is cut into maximal prefixes whose expanded route
+boxes are pairwise disjoint, every net of a batch is ripped up, the batch
+is rerouted concurrently against the frozen usage state, and the results
+are committed serially in the original order. Disjoint boxes mean the
+batch members' searches read disjoint edge sets, so each concurrent
+result equals what the sequential loop would have produced — except for
+the rare net whose search escalates past its box (full-grid retry), which
+is detected by a containment check and rerouted serially. Usage
+accounting is exact in every case; ``workers=1`` (the default) runs the
+original loop, byte-identical to the pre-parallel code.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs import NULL_TRACER
-from repro.routing.maze import congestion_cost, route_net_on_tiles
+from repro.routing.maze import (
+    RoutingWorkspace,
+    congestion_cost,
+    route_net_on_tiles,
+)
 from repro.routing.tree import RouteTree
 from repro.tilegraph.congestion import wire_congestion_stats
 from repro.tilegraph.graph import TileGraph
+
+Box = Tuple[int, int, int, int]
 
 
 @dataclass
@@ -27,11 +47,15 @@ class RipupOptions:
         max_iterations: full passes over the net list (paper: 3).
         radius_weight: PD trade-off used when rerouting (paper: 0.4).
         window_margin: maze-router search window margin in tiles.
+        workers: reroute batches of box-disjoint nets with this many
+            threads; 1 routes strictly sequentially (byte-identical
+            results, the default).
     """
 
     max_iterations: int = 3
     radius_weight: float = 0.4
     window_margin: int = 6
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.max_iterations < 0:
@@ -40,6 +64,8 @@ class RipupOptions:
             raise ConfigurationError("radius_weight must be >= 0")
         if self.window_margin < 0:
             raise ConfigurationError("window_margin must be >= 0")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
 
 
 def ripup_and_reroute(
@@ -56,50 +82,215 @@ def ripup_and_reroute(
         graph: tile graph carrying the current usage of all ``routes``.
         routes: net name -> current route; mutated in place with new routes.
         order: net processing order (paper: ascending delay).
-        options: iteration/rerouting knobs.
+        options: iteration/rerouting knobs (including ``workers``).
         on_pass_end: optional callback after each full pass (pass index).
         tracer: optional :class:`repro.obs.Tracer`; each pass becomes a
             ``stage2.pass`` span and each net emits ``ripped_up`` /
-            ``rerouted`` events plus the ``nets_rerouted`` counter.
+            ``rerouted`` events plus the ``nets_rerouted`` counter;
+            parallel passes also count ``stage2.batches``.
 
     Returns:
         Number of full passes executed.
     """
     options = options or RipupOptions()
     tracer = tracer if tracer is not None else NULL_TRACER
+    executor = None
+    tls = None
+    if options.workers > 1 and len(order) > 1:
+        executor = ThreadPoolExecutor(
+            max_workers=options.workers, thread_name_prefix="stage2"
+        )
+        tls = threading.local()
+        graph.flat()  # build the shared CSR before any worker touches it
     passes = 0
-    for iteration in range(options.max_iterations):
-        with tracer.span("stage2.pass", **{"pass": iteration}):
-            for name in order:
-                tree = routes[name]
-                tree.remove_usage(graph)
-                if tracer.enabled:
-                    tracer.event(
-                        "ripped_up", name, stage="2", nodes=len(tree.nodes)
+    try:
+        for iteration in range(options.max_iterations):
+            with tracer.span("stage2.pass", **{"pass": iteration}):
+                if executor is None:
+                    _run_pass_sequential(graph, routes, order, options, tracer)
+                else:
+                    _run_pass_parallel(
+                        graph, routes, order, options, executor, tls, tracer
                     )
+                passes += 1
+                if on_pass_end is not None:
+                    on_pass_end(iteration)
+            if wire_congestion_stats(graph).overflow == 0:
+                break
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+    return passes
+
+
+def _run_pass_sequential(
+    graph: TileGraph,
+    routes: Dict[str, RouteTree],
+    order: Sequence[str],
+    options: RipupOptions,
+    tracer,
+) -> None:
+    for name in order:
+        tree = routes[name]
+        tree.remove_usage(graph)
+        if tracer.enabled:
+            tracer.event("ripped_up", name, stage="2", nodes=len(tree.nodes))
+        new_tree = route_net_on_tiles(
+            graph,
+            tree.source,
+            tree.sink_tiles,
+            cost_fn=congestion_cost,
+            radius_weight=options.radius_weight,
+            net_name=name,
+            window_margin=options.window_margin,
+            tracer=tracer,
+        )
+        new_tree.add_usage(graph)
+        routes[name] = new_tree
+        if tracer.enabled:
+            tracer.count("nets_rerouted")
+            tracer.event("rerouted", name, stage="2", nodes=len(new_tree.nodes))
+
+
+# --------------------------------------------------------------------- #
+# Parallel pass                                                         #
+# --------------------------------------------------------------------- #
+
+
+def _net_box(graph: TileGraph, tree: RouteTree, margin: int) -> Box:
+    """Expanded bounding box of everything a net's reroute may touch.
+
+    Covers the current route *and* the pins it will be rerouted between,
+    expanded by the largest windowed search margin (4x the base margin —
+    the router's second escalation step). Only the final full-grid retry
+    can read outside this box; :func:`_tree_within` catches that case.
+    """
+    xs = [t[0] for t in tree.nodes]
+    ys = [t[1] for t in tree.nodes]
+    return (
+        max(0, min(xs) - margin),
+        max(0, min(ys) - margin),
+        min(graph.nx - 1, max(xs) + margin),
+        min(graph.ny - 1, max(ys) + margin),
+    )
+
+
+def _boxes_overlap(a: Box, b: Box) -> bool:
+    return not (a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1])
+
+
+def _tree_within(tree: RouteTree, box: Box) -> bool:
+    x0, y0, x1, y1 = box
+    return all(
+        x0 <= t[0] <= x1 and y0 <= t[1] <= y1 for t in tree.nodes
+    )
+
+
+def _route_worker(
+    graph: TileGraph,
+    tree: RouteTree,
+    name: str,
+    options: RipupOptions,
+    tls,
+) -> RouteTree:
+    """Route one net in a worker thread (read-only graph access).
+
+    Each thread keeps its own :class:`RoutingWorkspace`; the tracer is not
+    thread-safe, so workers run untraced (the coordinating thread emits
+    the per-net events at commit time).
+    """
+    ws = getattr(tls, "workspace", None)
+    if ws is None or ws.num_tiles != graph.num_tiles:
+        ws = RoutingWorkspace(graph.num_tiles)
+        tls.workspace = ws
+    return route_net_on_tiles(
+        graph,
+        tree.source,
+        tree.sink_tiles,
+        cost_fn=congestion_cost,
+        radius_weight=options.radius_weight,
+        net_name=name,
+        window_margin=options.window_margin,
+        workspace=ws,
+    )
+
+
+def _run_pass_parallel(
+    graph: TileGraph,
+    routes: Dict[str, RouteTree],
+    order: Sequence[str],
+    options: RipupOptions,
+    executor: ThreadPoolExecutor,
+    tls,
+    tracer,
+) -> None:
+    """One full pass in box-disjoint batches; commits stay in net order."""
+    cache = graph.cost_cache()
+    margin = options.window_margin * 4
+    n = len(order)
+    idx = 0
+    while idx < n:
+        # Maximal prefix of the remaining order with pairwise-disjoint
+        # boxes. Keeping it a *prefix* (stop at the first overlap rather
+        # than skipping ahead) preserves the paper's net order exactly:
+        # the concatenation of all batches is the original order.
+        batch: List[str] = [order[idx]]
+        boxes: List[Box] = [_net_box(graph, routes[order[idx]], margin)]
+        j = idx + 1
+        while j < n:
+            box = _net_box(graph, routes[order[j]], margin)
+            if any(_boxes_overlap(box, b) for b in boxes):
+                break
+            batch.append(order[j])
+            boxes.append(box)
+            j += 1
+        idx = j
+        if tracer.enabled:
+            tracer.count("stage2.batches")
+        if len(batch) == 1:
+            _run_pass_sequential(graph, routes, batch, options, tracer)
+            continue
+        # Rip up the whole batch, then freeze the cost state: with every
+        # batch member removed and both cost lists refreshed up front,
+        # workers only ever *read* the graph and the cache.
+        for name in batch:
+            tree = routes[name]
+            tree.remove_usage(graph)
+            if tracer.enabled:
+                tracer.event(
+                    "ripped_up", name, stage="2", nodes=len(tree.nodes)
+                )
+        cache.strict_costs()
+        cache.soft_costs()
+        futures = [
+            executor.submit(
+                _route_worker, graph, routes[name], name, options, tls
+            )
+            for name in batch
+        ]
+        results = [f.result() for f in futures]  # barrier: wait for all
+        for name, box, new_tree in zip(batch, boxes, results):
+            if not _tree_within(new_tree, box):
+                # The search escalated to the full grid and escaped its
+                # box, so it may have read edges other batch members
+                # already committed to — redo it against current state.
                 new_tree = route_net_on_tiles(
                     graph,
-                    tree.source,
-                    tree.sink_tiles,
+                    new_tree.source,
+                    new_tree.sink_tiles,
                     cost_fn=congestion_cost,
                     radius_weight=options.radius_weight,
                     net_name=name,
                     window_margin=options.window_margin,
                     tracer=tracer,
                 )
-                new_tree.add_usage(graph)
-                routes[name] = new_tree
-                if tracer.enabled:
-                    tracer.count("nets_rerouted")
-                    tracer.event(
-                        "rerouted", name, stage="2", nodes=len(new_tree.nodes)
-                    )
-            passes += 1
-            if on_pass_end is not None:
-                on_pass_end(iteration)
-        if wire_congestion_stats(graph).overflow == 0:
-            break
-    return passes
+            new_tree.add_usage(graph)
+            routes[name] = new_tree
+            if tracer.enabled:
+                tracer.count("nets_rerouted")
+                tracer.event(
+                    "rerouted", name, stage="2", nodes=len(new_tree.nodes)
+                )
 
 
 def reroute_order_by_delay(

@@ -63,6 +63,10 @@ class RouteTree:
         self.root = root
         self.nodes = nodes
         self.net_name = net_name
+        # Memoized topology queries; invalidated by replace_two_path (the
+        # only post-construction topology mutator).
+        self._edges_cache: Optional[List[Tuple[Tile, Tile]]] = None
+        self._wl_mm_cache: Optional[Tuple[TileGraph, float]] = None
 
     # ------------------------------------------------------------------ #
     # Construction                                                       #
@@ -167,14 +171,29 @@ class RouteTree:
             raise RoutingError(f"tile {tile} is not on net {self.net_name!r}")
         return self.nodes[tile]
 
-    def edges(self) -> Iterator[Tuple[Tile, Tile]]:
-        """All (parent_tile, child_tile) edges, preorder."""
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            for child in node.children:
-                yield (node.tile, child.tile)
-                stack.append(child)
+    def edges(self) -> List[Tuple[Tile, Tile]]:
+        """All (parent_tile, child_tile) edges, preorder (memoized).
+
+        Stage-2 cost evaluation walks every net's edges repeatedly; the
+        list is built once and reused until the topology mutates (see
+        :meth:`replace_two_path`). Treat the result as read-only.
+        """
+        cache = self._edges_cache
+        if cache is None:
+            cache = []
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                for child in node.children:
+                    cache.append((node.tile, child.tile))
+                    stack.append(child)
+            self._edges_cache = cache
+        return cache
+
+    def _invalidate_topology(self) -> None:
+        """Drop memoized edge/wirelength values after a topology change."""
+        self._edges_cache = None
+        self._wl_mm_cache = None
 
     def num_edges(self) -> int:
         return len(self.nodes) - 1
@@ -184,7 +203,12 @@ class RouteTree:
         return self.num_edges()
 
     def wirelength_mm(self, graph: TileGraph) -> float:
-        return sum(graph.edge_length_mm(u, v) for u, v in self.edges())
+        cached = self._wl_mm_cache
+        if cached is not None and cached[0] is graph:
+            return cached[1]
+        value = sum(graph.edge_length_mm(u, v) for u, v in self.edges())
+        self._wl_mm_cache = (graph, value)
+        return value
 
     def postorder(self) -> List[RouteNode]:
         """Children-before-parents order."""
@@ -355,3 +379,4 @@ class RouteTree:
         tail_node.parent = prev
         prev.children.append(tail_node)
         prev.children.sort(key=lambda n: n.tile)
+        self._invalidate_topology()

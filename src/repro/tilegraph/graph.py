@@ -1,8 +1,21 @@
-"""The tile graph: grid, buffer sites, wire capacities and usages."""
+"""The tile graph: grid, buffer sites, wire capacities and usages.
+
+Storage is *flat*: tiles are numbered ``0 .. nx*ny - 1`` (column-major,
+``index = x * ny + y``) and every tile-boundary edge has a flat id into
+1-D usage/capacity arrays (horizontal edges first, then vertical). The
+classic object API — ``(x, y)`` tile tuples, ``h_usage``/``v_usage`` 2-D
+arrays — is preserved as *views* of the flat arrays, so existing call
+sites keep working while the routing kernel indexes integers.
+
+A :class:`FlatTileGraph` (built lazily, cached) packages the CSR-style
+adjacency as plain Python lists for the maze router's inner loop, where
+list indexing beats NumPy scalar access by a wide margin.
+"""
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 from typing import Iterator, List, Tuple
 
 import numpy as np
@@ -14,6 +27,30 @@ from repro.tilegraph.capacity import CapacityModel
 #: A tile is addressed by integer grid coordinates ``(x, y)`` with the
 #: origin tile (0, 0) at the lower-left corner of the die.
 Tile = Tuple[int, int]
+
+
+@dataclass
+class FlatTileGraph:
+    """Index-addressed adjacency of a :class:`TileGraph`, as Python lists.
+
+    ``indptr``/``neighbors``/``edge_ids`` form a CSR over tile indices in
+    the same deterministic E/W/N/S neighbor order as
+    :meth:`TileGraph.neighbors`; ``tile_x``/``tile_y`` decode an index
+    back to grid coordinates without divisions in the hot loop.
+    """
+
+    nx: int
+    ny: int
+    num_tiles: int
+    num_edges: int
+    indptr: List[int] = field(repr=False)
+    neighbors: List[int] = field(repr=False)
+    edge_ids: List[int] = field(repr=False)
+    tile_x: List[int] = field(repr=False)
+    tile_y: List[int] = field(repr=False)
+    #: adj[i] = ((neighbor_idx, edge_id), ...) — the CSR row as one tuple,
+    #: so the wavefront iterates pairs instead of indexing three arrays.
+    adj: List[Tuple[Tuple[int, int], ...]] = field(repr=False)
 
 
 class TileGraph:
@@ -29,6 +66,12 @@ class TileGraph:
     Edges are undirected. A *horizontal* edge ``((x, y), (x+1, y))`` is
     crossed by horizontally running wires; a *vertical* edge
     ``((x, y), (x, y+1))`` by vertically running ones.
+
+    Flat layout: horizontal edge ``(x, y)-(x+1, y)`` has id
+    ``x * ny + y``; vertical edge ``(x, y)-(x, y+1)`` has id
+    ``num_h_edges + x * (ny - 1) + y``. ``h_usage``/``v_usage`` (and the
+    capacity twins) are reshaped views of ``edge_usage``/``edge_capacity``,
+    so writes through either spelling stay coherent.
     """
 
     def __init__(
@@ -55,14 +98,29 @@ class TileGraph:
         model = capacity_model or CapacityModel.uniform(10)
         h_cap = model.horizontal_capacity(self.tile_h)
         v_cap = model.vertical_capacity(self.tile_w)
-        # Edge arrays: h_* indexed [x, y] for edge (x,y)-(x+1,y);
-        #              v_* indexed [x, y] for edge (x,y)-(x,y+1).
-        self.h_capacity = np.full((max(nx - 1, 0), ny), h_cap, dtype=np.int64)
-        self.v_capacity = np.full((nx, max(ny - 1, 0)), v_cap, dtype=np.int64)
-        self.h_usage = np.zeros_like(self.h_capacity)
-        self.v_usage = np.zeros_like(self.v_capacity)
+        self.num_h_edges = max(nx - 1, 0) * ny
+        self.num_v_edges = nx * max(ny - 1, 0)
+        # Flat edge arrays; h_*/v_* below are reshaped views of these.
+        self.edge_capacity = np.empty(self.num_h_edges + self.num_v_edges, dtype=np.int64)
+        self.edge_usage = np.zeros_like(self.edge_capacity)
+        # Edge views: h_* indexed [x, y] for edge (x,y)-(x+1,y);
+        #             v_* indexed [x, y] for edge (x,y)-(x,y+1).
+        self.h_capacity = self.edge_capacity[: self.num_h_edges].reshape(
+            max(nx - 1, 0), ny
+        )
+        self.v_capacity = self.edge_capacity[self.num_h_edges :].reshape(
+            nx, max(ny - 1, 0)
+        )
+        self.h_usage = self.edge_usage[: self.num_h_edges].reshape(max(nx - 1, 0), ny)
+        self.v_usage = self.edge_usage[self.num_h_edges :].reshape(nx, max(ny - 1, 0))
+        self.h_capacity[...] = h_cap
+        self.v_capacity[...] = v_cap
         self.sites = np.zeros((nx, ny), dtype=np.int64)
         self.used_sites = np.zeros((nx, ny), dtype=np.int64)
+        #: Cost caches notified when wire usage changes (see cost_cache.py).
+        self._cost_caches: list = []
+        self._default_cost_cache = None
+        self._flat: "FlatTileGraph | None" = None
 
     # ------------------------------------------------------------------ #
     # Geometry                                                           #
@@ -131,6 +189,107 @@ class TileGraph:
         return self.tile_h
 
     # ------------------------------------------------------------------ #
+    # Flat indexing                                                      #
+    # ------------------------------------------------------------------ #
+
+    def tile_index(self, tile: Tile) -> int:
+        """Flat index of ``tile`` (column-major: ``x * ny + y``)."""
+        return tile[0] * self.ny + tile[1]
+
+    def tile_at(self, index: int) -> Tile:
+        """Inverse of :meth:`tile_index`."""
+        return (index // self.ny, index % self.ny)
+
+    def edge_id(self, u: Tile, v: Tile) -> int:
+        """Flat edge id of the boundary between adjacent tiles ``u``, ``v``.
+
+        Assumes 4-adjacency (the validated path is :meth:`_edge_index`).
+        """
+        (ux, uy), (vx, vy) = u, v
+        if uy == vy:
+            return (ux if ux < vx else vx) * self.ny + uy
+        return self.num_h_edges + ux * (self.ny - 1) + (uy if uy < vy else vy)
+
+    def edge_endpoints(self, eid: int) -> Tuple[Tile, Tile]:
+        """The (lower, upper) tile pair of flat edge ``eid``."""
+        if eid < self.num_h_edges:
+            x, y = divmod(eid, self.ny)
+            return (x, y), (x + 1, y)
+        rem = eid - self.num_h_edges
+        x, y = divmod(rem, self.ny - 1)
+        return (x, y), (x, y + 1)
+
+    def flat(self) -> FlatTileGraph:
+        """The cached index-addressed adjacency (built on first use).
+
+        Topology never changes after construction, so the CSR is built
+        exactly once per graph.
+        """
+        if self._flat is None:
+            nx, ny = self.nx, self.ny
+            n = nx * ny
+            num_h = self.num_h_edges
+            indptr = [0] * (n + 1)
+            nbrs: List[int] = []
+            eids: List[int] = []
+            for x in range(nx):
+                for y in range(ny):
+                    if x + 1 < nx:
+                        nbrs.append((x + 1) * ny + y)
+                        eids.append(x * ny + y)
+                    if x - 1 >= 0:
+                        nbrs.append((x - 1) * ny + y)
+                        eids.append((x - 1) * ny + y)
+                    if y + 1 < ny:
+                        nbrs.append(x * ny + y + 1)
+                        eids.append(num_h + x * (ny - 1) + y)
+                    if y - 1 >= 0:
+                        nbrs.append(x * ny + y - 1)
+                        eids.append(num_h + x * (ny - 1) + y - 1)
+                    indptr[x * ny + y + 1] = len(nbrs)
+            pairs = list(zip(nbrs, eids))
+            self._flat = FlatTileGraph(
+                nx=nx,
+                ny=ny,
+                num_tiles=n,
+                num_edges=self.num_edges,
+                indptr=indptr,
+                neighbors=nbrs,
+                edge_ids=eids,
+                tile_x=[i // ny for i in range(n)],
+                tile_y=[i % ny for i in range(n)],
+                adj=[
+                    tuple(pairs[indptr[i] : indptr[i + 1]]) for i in range(n)
+                ],
+            )
+        return self._flat
+
+    # ------------------------------------------------------------------ #
+    # Cost-cache registration                                            #
+    # ------------------------------------------------------------------ #
+
+    def register_cost_cache(self, cache) -> None:
+        """Subscribe ``cache`` to per-edge usage-change notifications."""
+        if cache not in self._cost_caches:
+            self._cost_caches.append(cache)
+
+    def cost_cache(self):
+        """The graph's shared congestion-cost cache (created on first use)."""
+        if self._default_cost_cache is None:
+            from repro.tilegraph.cost_cache import CongestionCostCache
+
+            self._default_cost_cache = CongestionCostCache(self)
+        return self._default_cost_cache
+
+    def _notify_usage_changed(self, eid: int) -> None:
+        for cache in self._cost_caches:
+            cache.mark_dirty(eid)
+
+    def _notify_all_usage_changed(self) -> None:
+        for cache in self._cost_caches:
+            cache.mark_all_dirty()
+
+    # ------------------------------------------------------------------ #
     # Wire usage / capacity                                              #
     # ------------------------------------------------------------------ #
 
@@ -143,21 +302,41 @@ class TileGraph:
             return True, min(ux, vx), uy
         return False, ux, min(uy, vy)
 
+    def _checked_edge_id(self, u: Tile, v: Tile) -> int:
+        (ux, uy), (vx, vy) = u, v
+        if uy == vy:
+            if vx - ux not in (1, -1):
+                raise ConfigurationError(f"tiles {u} and {v} are not adjacent")
+            return (ux if ux < vx else vx) * self.ny + uy
+        if ux != vx or vy - uy not in (1, -1):
+            raise ConfigurationError(f"tiles {u} and {v} are not adjacent")
+        return self.num_h_edges + ux * (self.ny - 1) + (uy if uy < vy else vy)
+
     def wire_capacity(self, u: Tile, v: Tile) -> int:
-        horizontal, x, y = self._edge_index(u, v)
-        return int(self.h_capacity[x, y] if horizontal else self.v_capacity[x, y])
+        return int(self.edge_capacity[self._checked_edge_id(u, v)])
 
     def wire_usage(self, u: Tile, v: Tile) -> int:
-        horizontal, x, y = self._edge_index(u, v)
-        return int(self.h_usage[x, y] if horizontal else self.v_usage[x, y])
+        return int(self.edge_usage[self._checked_edge_id(u, v)])
 
     def add_wire(self, u: Tile, v: Tile, count: int = 1) -> None:
         """Record ``count`` wires crossing edge ``(u, v)`` (negative to remove)."""
-        horizontal, x, y = self._edge_index(u, v)
-        array = self.h_usage if horizontal else self.v_usage
-        if array[x, y] + count < 0:
+        eid = self._checked_edge_id(u, v)
+        usage = self.edge_usage
+        if usage[eid] + count < 0:
             raise ConfigurationError(f"wire usage on {u}-{v} would go negative")
-        array[x, y] += count
+        usage[eid] += count
+        if self._cost_caches:
+            self._notify_usage_changed(eid)
+
+    def add_wire_flat(self, eid: int, count: int = 1) -> None:
+        """Flat-id variant of :meth:`add_wire` (hot path, unvalidated id)."""
+        usage = self.edge_usage
+        if usage[eid] + count < 0:
+            u, v = self.edge_endpoints(eid)
+            raise ConfigurationError(f"wire usage on {u}-{v} would go negative")
+        usage[eid] += count
+        if self._cost_caches:
+            self._notify_usage_changed(eid)
 
     def edges(self) -> Iterator[Tuple[Tile, Tile]]:
         """All undirected edges, horizontal first, deterministic order."""
@@ -170,7 +349,7 @@ class TileGraph:
 
     @property
     def num_edges(self) -> int:
-        return self.h_usage.size + self.v_usage.size
+        return self.num_h_edges + self.num_v_edges
 
     # ------------------------------------------------------------------ #
     # Buffer sites                                                       #
@@ -214,9 +393,9 @@ class TileGraph:
 
     def reset_usage(self) -> None:
         """Clear all wire and buffer usage (capacities and sites kept)."""
-        self.h_usage[:] = 0
-        self.v_usage[:] = 0
+        self.edge_usage[:] = 0
         self.used_sites[:] = 0
+        self._notify_all_usage_changed()
 
     def snapshot_usage(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Copies of (h_usage, v_usage, used_sites) for save/restore."""
@@ -229,3 +408,4 @@ class TileGraph:
         self.h_usage[:] = h
         self.v_usage[:] = v
         self.used_sites[:] = b
+        self._notify_all_usage_changed()

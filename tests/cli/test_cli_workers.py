@@ -1,0 +1,39 @@
+"""CLI --workers / --seed validation via the exit-2 configuration path."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkersFlag:
+    def test_run_with_workers(self, capsys):
+        assert main(["run", "apte", "--stage4-iterations", "0",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+
+    def test_zero_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "apte", "--workers", "0"])
+        assert exc.value.code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_negative_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "apte", "--workers", "-3"])
+        assert exc.value.code == 2
+        assert "workers" in capsys.readouterr().err
+
+
+class TestSeedValidation:
+    def test_negative_seed_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--seed", "-1", "run", "apte"])
+        assert exc.value.code == 2
+        assert "seed" in capsys.readouterr().err
+
+    def test_negative_seed_rejected_for_tables_too(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--seed", "-7", "table1"])
+        assert exc.value.code == 2
+        assert "seed" in capsys.readouterr().err

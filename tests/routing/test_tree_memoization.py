@@ -1,0 +1,57 @@
+"""RouteTree edge/wirelength memoization and its invalidation."""
+
+from repro.routing.maze import route_net_on_tiles
+from repro.routing.tree import RouteTree
+
+
+def build_tree():
+    # 0,0 - 1,0 - 2,0 - 3,0 with a branch 1,0 - 1,1 (sink)
+    parent = {
+        (1, 0): (0, 0),
+        (2, 0): (1, 0),
+        (3, 0): (2, 0),
+        (1, 1): (1, 0),
+    }
+    return RouteTree.from_parent_map((0, 0), parent, [(3, 0), (1, 1)], "t")
+
+
+class TestEdgesMemoization:
+    def test_edges_cached_between_calls(self):
+        tree = build_tree()
+        first = tree.edges()
+        assert tree.edges() is first  # same list object, no rebuild
+        assert len(first) == 4
+
+    def test_replace_two_path_invalidates_cache(self):
+        tree = build_tree()
+        before = tree.edges()
+        # Swap the straight (1,0)->(3,0) two-path for a detour over y=1.
+        tree.replace_two_path(
+            [(1, 0), (2, 0), (3, 0)],
+            [(1, 0), (2, 0), (3, 0)],  # identity first: endpoints rule
+        )
+        assert tree.edges() is not before
+        assert sorted(tree.edges()) == sorted(before)
+        detour = [(1, 0), (2, 0), (2, 1), (3, 1), (3, 0)]
+        tree.replace_two_path([(1, 0), (2, 0), (3, 0)], detour)
+        edges = tree.edges()
+        assert ((2, 1), (3, 1)) in edges or ((3, 1), (2, 1)) in edges
+        assert len(edges) == 6
+
+    def test_wirelength_mm_cached_per_graph(self, graph10):
+        tree = route_net_on_tiles(graph10, (0, 0), [(4, 0)])
+        wl = tree.wirelength_mm(graph10)
+        assert tree.wirelength_mm(graph10) == wl
+        assert tree._wl_mm_cache is not None
+        tree._invalidate_topology()
+        assert tree._wl_mm_cache is None
+        assert tree.wirelength_mm(graph10) == wl  # rebuilt, same value
+
+    def test_wirelength_mm_not_reused_across_graphs(self, die10):
+        from repro.tilegraph import CapacityModel, TileGraph
+
+        tree = build_tree()
+        coarse = TileGraph(die10, 10, 10, CapacityModel.uniform(4))
+        fine = TileGraph(die10, 5, 5, CapacityModel.uniform(4))
+        assert tree.wirelength_mm(coarse) == 4 * coarse.tile_w
+        assert tree.wirelength_mm(fine) == 4 * fine.tile_w
