@@ -50,6 +50,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="Stage-2 reroute threads (1 = sequential, byte-identical)",
     )
+    run.add_argument(
+        "--stage3-workers", type=int, default=1,
+        help="Stage-3 buffering threads (output identical at any count)",
+    )
+    run.add_argument(
+        "--stage3-solver", default="dp",
+        help="Stage-3 buffering strategy (dp, single_sink, greedy, "
+        "van_ginneken)",
+    )
     run.add_argument("--maps", action="store_true", help="print ASCII maps")
     run.add_argument(
         "--diagnose", action="store_true",
@@ -89,6 +98,8 @@ def _cmd_run(args) -> int:
         window_margin=10,
         stage4_iterations=args.stage4_iterations,
         workers=args.workers,
+        stage3_workers=args.stage3_workers,
+        stage3_solver=args.stage3_solver,
     )
     tracer = None
     if args.trace or args.metrics:

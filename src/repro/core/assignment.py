@@ -1,26 +1,54 @@
-"""Stage 3: buffer assignment over all nets (paper Section III-C)."""
+"""Stage 3: buffer assignment over all nets (paper Section III-C).
+
+The per-net pipeline is *solve then commit*:
+
+* **solve** — a :class:`repro.core.solver.BufferingSolver` strategy
+  (Fig. 9 DP by default) proposes buffer specs against a vectorized
+  Eq. (2) cost gather. Solvers are pure: they never mutate the graph or
+  the tree.
+* **commit** — the specs are booked through the graph's transactional
+  :class:`repro.tilegraph.ledger.SiteLedger`. A proposal that would push
+  a tile past ``B(v)`` is rolled back (counted as
+  ``stage3.ledger_rollbacks``) and the greedy best-effort fallback runs
+  in its place; exceptions anywhere inside a net's scope unwind its site
+  bookings automatically.
+
+With ``workers > 1`` the order is cut into maximal prefixes of nets with
+pairwise-disjoint tile sets; a batch is solved concurrently and committed
+serially in order. Because every solver input — the Eq. (2)/``p(v)``
+gather, free-site probes, the length rule — reads only the net's own
+tiles, and batch members share none, each concurrent solve sees exactly
+the state the sequential loop would have shown it: the parallel path is
+byte-identical, with no escape hatch needed (unlike Stage 2's bounding
+boxes, tile-set disjointness is exact, not approximate).
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, Iterator, List, Sequence
 
-from repro.core.costs import buffer_site_cost
+from repro.core.candidates import INF, oversubscribes
 from repro.core.fallback import greedy_buffering
 from repro.core.length_rule import net_meets_length_rule
-from repro.core.multi_sink import insert_buffers_multi_sink
 from repro.core.probability import UsageProbability
+from repro.core.solver import (
+    BufferingSolver,
+    MultiSinkDPSolver,
+    SolveOutcome,
+    SolveRequest,
+    Stage3CostField,
+)
 from repro.obs import NULL_TRACER
 from repro.routing.tree import RouteTree
 from repro.tilegraph.graph import TileGraph
 
-
-def _oversubscribes(graph: TileGraph, specs) -> bool:
-    """True when applying ``specs`` would push some tile past ``B(v)``."""
-    per_tile: Dict = {}
-    for spec in specs:
-        per_tile[spec.tile] = per_tile.get(spec.tile, 0) + 1
-    return any(count > graph.free_sites(tile) for tile, count in per_tile.items())
+#: The oversubscription test, shared engine-wide (see
+#: :func:`repro.core.candidates.oversubscribes`). Kept under its
+#: historical name; the ``freed`` parameter accounts for sites a net
+#: itself releases when it is re-buffered.
+_oversubscribes = oversubscribes
 
 
 @dataclass
@@ -37,40 +65,141 @@ class AssignmentResult:
         return len(self.failed_nets)
 
 
+def _solve_net(
+    graph: TileGraph,
+    tree: RouteTree,
+    length_limit: int,
+    cost_field: Stage3CostField,
+    solver: BufferingSolver,
+    tracer=None,
+) -> SolveOutcome:
+    """Run one net's strategy (read-only; safe off-thread untraced)."""
+    return solver.solve(
+        SolveRequest(
+            graph=graph,
+            tree=tree,
+            length_limit=length_limit,
+            cost_of=cost_field.cost_fn(tree),
+            tracer=tracer,
+        )
+    )
+
+
+def _commit_outcome(
+    graph: TileGraph,
+    tree: RouteTree,
+    length_limit: int,
+    outcome: SolveOutcome,
+    tracer=None,
+) -> "tuple[bool, bool, float]":
+    """Book a solver proposal under a ledger scope; fall back to greedy.
+
+    The proposal's sites are booked inside a nested transaction; if any
+    of its tiles ends up past ``B(v)`` the booking is rolled back (the
+    DP prices each buffer at the same pre-net ``q(v)`` and so can stack
+    a tile past its free sites) and the greedy pass — which always
+    respects free-site counts — takes over.
+    """
+    ledger = graph.ledger()
+    specs, cost = outcome.specs, outcome.cost
+    with ledger.transaction():
+        committed = False
+        if outcome.feasible:
+            txn = ledger.begin()
+            for spec in specs:
+                graph.use_site(spec.tile, 1)
+            # Post-booking ``free < 0`` on a spec tile is exactly the old
+            # pre-booking ``count > free_sites`` test.
+            if any(ledger.free_tile(spec.tile) < 0 for spec in specs):
+                ledger.rollback(txn)
+                if tracer is not None and tracer.enabled:
+                    tracer.count("stage3.ledger_rollbacks")
+            else:
+                ledger.commit(txn)
+                committed = True
+        if not committed:
+            specs = greedy_buffering(tree, graph, length_limit)
+            cost = INF
+            for spec in specs:
+                graph.use_site(spec.tile, 1)
+        tree.apply_buffers(specs)
+    return net_meets_length_rule(tree, length_limit), outcome.feasible, cost
+
+
 def assign_buffers_to_net(
     graph: TileGraph,
     tree: RouteTree,
     length_limit: int,
     probability: "UsageProbability | None" = None,
     tracer=None,
+    solver: "BufferingSolver | None" = None,
+    rebuffer: bool = False,
 ) -> "tuple[bool, bool, float]":
-    """Buffer one net: DP first, greedy fallback when infeasible.
+    """Buffer one net: strategy first, greedy fallback when infeasible.
 
     Applies the chosen buffers to the tree annotations and the graph's
-    ``b(v)`` counters.
+    ``b(v)`` counters. The whole operation is one ledger transaction:
+    partial failures cannot leak site bookings.
+
+    Args:
+        graph: tile graph carrying ``B(v)``/``b(v)``.
+        tree: the net's route; annotations are overwritten.
+        length_limit: the net's ``L_i``.
+        probability: optional ``p(v)`` source for the Eq. (2) costs.
+        tracer: optional :class:`repro.obs.Tracer`.
+        solver: buffering strategy; default Fig. 9 multi-sink DP.
+        rebuffer: the tree's current annotations are booked on the graph
+            and should be released first (the rip-up-and-recompute flow) —
+            the solver and the oversubscription test then both see the
+            sites this net itself frees.
 
     Returns:
-        ``(meets_rule, dp_was_feasible, cost)``.
+        ``(meets_rule, solver_was_feasible, cost)``.
     """
-    def q_of(tile):
-        p = probability.value(tile) if probability is not None else 0.0
-        return buffer_site_cost(graph, tile, p)
+    if solver is None:
+        solver = MultiSinkDPSolver()
+    ledger = graph.ledger()
+    with ledger.transaction():
+        if rebuffer:
+            for tile, count in tree.buffer_counts().items():
+                graph.use_site(tile, -count)
+        outcome = _solve_net(
+            graph,
+            tree,
+            length_limit,
+            Stage3CostField(graph, probability),
+            solver,
+            tracer=tracer,
+        )
+        return _commit_outcome(graph, tree, length_limit, outcome, tracer=tracer)
 
-    result = insert_buffers_multi_sink(tree, q_of, length_limit, tracer=tracer)
-    if result.feasible and not _oversubscribes(graph, result.buffers):
-        specs = result.buffers
-        cost = result.cost
-    else:
-        # Either no length-legal solution exists, or the optimal one stacks
-        # more buffers into a tile than it has free sites (the DP prices
-        # each buffer at the same pre-net q(v)); the greedy fallback always
-        # respects free-site counts.
-        specs = greedy_buffering(tree, graph, length_limit)
-        cost = float("inf")
-    tree.apply_buffers(specs)
-    for spec in specs:
-        graph.use_site(spec.tile, 1)
-    return net_meets_length_rule(tree, length_limit), result.feasible, cost
+
+def _disjoint_prefix_batches(
+    routes: Dict[str, RouteTree],
+    order: Sequence[str],
+    ny: int,
+) -> Iterator[List[str]]:
+    """Cut ``order`` into maximal prefixes of tile-disjoint nets.
+
+    Stopping at the first overlap (rather than skipping ahead) keeps the
+    concatenation of all batches equal to the original order, which the
+    serial commit phase relies on.
+    """
+    n = len(order)
+    idx = 0
+    while idx < n:
+        batch = [order[idx]]
+        footprint = set(routes[order[idx]].tile_indices(ny).tolist())
+        j = idx + 1
+        while j < n:
+            tiles = routes[order[j]].tile_indices(ny).tolist()
+            if not footprint.isdisjoint(tiles):
+                break
+            batch.append(order[j])
+            footprint.update(tiles)
+            j += 1
+        idx = j
+        yield batch
 
 
 def assign_buffers_stage3(
@@ -80,6 +209,8 @@ def assign_buffers_stage3(
     order: Sequence[str],
     use_probability: bool = True,
     tracer=None,
+    workers: int = 1,
+    solver_for: "Callable[[str], BufferingSolver] | None" = None,
 ) -> AssignmentResult:
     """Assign buffer sites to every net, highest-delay nets first.
 
@@ -91,7 +222,15 @@ def assign_buffers_stage3(
         order: processing order (paper: descending delay).
         use_probability: include the ``p(v)`` term of Eq. (2).
         tracer: optional :class:`repro.obs.Tracer`; per-net ``buffered`` /
-            ``failed`` events and the ``buffer_sites_used`` counter.
+            ``failed`` events and the ``buffer_sites_used`` counter, plus
+            ``stage3.ledger_rollbacks`` and (parallel) ``stage3.batches``.
+        workers: solve tile-disjoint batches of nets with this many
+            threads; 1 (default) runs strictly sequentially. Both paths
+            produce identical output (tile-set disjointness is exact);
+            like Stage 2, off-thread solves run untraced, so per-net DP
+            counters are only exact at ``workers=1``.
+        solver_for: optional net-name -> strategy mapping; default is the
+            Fig. 9 multi-sink DP for every net.
 
     Returns:
         An :class:`AssignmentResult`; the trees and graph are updated in
@@ -103,18 +242,33 @@ def assign_buffers_stage3(
         probability = UsageProbability(graph)
         for name in order:
             probability.add_net(routes[name], length_limits[name])
+    cost_field = Stage3CostField(graph, probability)
+    if solver_for is None:
+        default_solver = MultiSinkDPSolver()
+        solver_for = lambda name: default_solver
 
     out = AssignmentResult()
-    for name in order:
+
+    def process(name: str, outcome: "SolveOutcome | None") -> None:
+        """Commit one net (serial phase) and record its accounting."""
         tree = routes[name]
-        if probability is not None:
-            probability.remove_net(tree)
-        meets, dp_ok, cost = assign_buffers_to_net(
-            graph, tree, length_limits[name], probability, tracer=tracer
+        if outcome is None:
+            if probability is not None:
+                probability.remove_net(tree)
+            outcome = _solve_net(
+                graph,
+                tree,
+                length_limits[name],
+                cost_field,
+                solver_for(name),
+                tracer=tracer,
+            )
+        meets, dp_ok, cost = _commit_outcome(
+            graph, tree, length_limits[name], outcome, tracer=tracer
         )
         buffers = tree.buffer_count()
         out.buffers_inserted += buffers
-        if cost != float("inf"):
+        if cost != INF:
             out.total_cost += cost
         if not dp_ok:
             out.dp_infeasible_nets.append(name)
@@ -130,4 +284,40 @@ def assign_buffers_stage3(
                 dp_feasible=dp_ok,
             )
             tracer.check_site_invariants(graph, f"stage3 net {name}")
+
+    if workers <= 1 or len(order) <= 1:
+        for name in order:
+            process(name, None)
+        return out
+
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="stage3"
+    ) as executor:
+        for batch in _disjoint_prefix_batches(routes, order, graph.ny):
+            if tracer.enabled:
+                tracer.count("stage3.batches")
+            if len(batch) == 1:
+                process(batch[0], None)
+                continue
+            # Remove the whole batch's p(v) contributions up front (each
+            # net's tiles are its own, so this equals the sequential
+            # remove-before-solve), then solve concurrently against the
+            # frozen graph state and commit serially in order.
+            if probability is not None:
+                for name in batch:
+                    probability.remove_net(routes[name])
+            futures = [
+                executor.submit(
+                    _solve_net,
+                    graph,
+                    routes[name],
+                    length_limits[name],
+                    cost_field,
+                    solver_for(name),
+                )
+                for name in batch
+            ]
+            outcomes = [f.result() for f in futures]  # barrier
+            for name, outcome in zip(batch, outcomes):
+                process(name, outcome)
     return out

@@ -74,8 +74,34 @@ def driven_lengths(tree: RouteTree) -> List[GateLoad]:
 
 
 def length_violations(tree: RouteTree, length_limit: int) -> int:
-    """Number of gates driving more than ``length_limit`` tile units."""
-    return sum(1 for g in driven_lengths(tree) if g.driven_length > length_limit)
+    """Number of gates driving more than ``length_limit`` tile units.
+
+    Counts the same gates as :func:`driven_lengths` without materializing
+    the :class:`GateLoad` records — this runs once per net inside the
+    Stage-3/4 commit path.
+    """
+    below = _unbuffered_below(tree)
+    violations = 0
+    root = tree.root
+    if not root.trunk_buffer:
+        total = 0
+        for child in root.children:
+            if child.tile not in root.decoupled_children:
+                total += 1 + below[child.tile]
+        if total > length_limit:
+            violations += 1
+    for node in tree.preorder():
+        if node.trunk_buffer:
+            total = 0
+            for child in node.children:
+                if child.tile not in node.decoupled_children:
+                    total += 1 + below[child.tile]
+            if total > length_limit:
+                violations += 1
+        for child in node.decoupled_children:
+            if 1 + below[child] > length_limit:
+                violations += 1
+    return violations
 
 
 def net_meets_length_rule(tree: RouteTree, length_limit: int) -> bool:

@@ -25,11 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.candidates import INF, advance_and_buffer, first_min_index
 from repro.errors import ConfigurationError
 from repro.routing.tree import BufferSpec, RouteNode, RouteTree
 from repro.tilegraph.graph import Tile
-
-INF = float("inf")
 
 
 @dataclass
@@ -51,35 +50,22 @@ class _NodeTable:
         # c_choice[j]: ("join", idx) or ("trunk", joined_idx) or ("k", idx)
         self.c_choice: List[Optional[Tuple[str, int]]] = []
         self.k: List[List[float]] = []
-        # k_choice[i][j]: for j>=1 always advance (child index j-1);
-        # for j==0 the argmin child index used under the decoupling buffer.
-        self.k_choice: List[List[int]] = []
+        # k_choice[i]: the argmin child index consumed by the decoupling
+        # buffer behind K_i[0] (j >= 1 entries are always plain advances).
+        self.k_choice: List[int] = []
         # splits[i][j] = (a, b): joined_i[j] = joined_{i-1}[a] + K_i[b]
         self.splits: List[List[Optional[Tuple[int, int]]]] = []
         self.joined_ext: List[float] = []
         self.children: List[RouteNode] = []
 
 
-def _build_k(
-    child_c: List[float], q_v: float, L: int
-) -> Tuple[List[float], List[int]]:
-    """Per-child intermediate array, indexed 0..L (length L+1).
-
-    Index ``j`` = unbuffered length of this branch measured at ``v``
-    (including the v->w edge). Index ``L`` is kept because a run of
-    exactly ``L`` is consumable by a trunk buffer at ``v`` itself or by
-    the driver when ``v`` is the root; parents cannot use it (the next
-    edge would make it ``L+1``), so ``C_v`` stores only 0..L-1.
-    """
-    k = [INF] * (L + 1)
-    k_choice = [-1] * (L + 1)
-    for j in range(1, L + 1):
-        k[j] = child_c[j - 1]
-    best = min(range(L), key=lambda jj: child_c[jj])
-    if q_v != INF and child_c[best] != INF:
-        k[0] = q_v + child_c[best]
-        k_choice[0] = best
-    return k, k_choice
+# Per-child intermediate array, indexed 0..L (length L+1): index ``j`` =
+# unbuffered length of this branch measured at ``v`` (including the v->w
+# edge). Index ``L`` is kept because a run of exactly ``L`` is consumable
+# by a trunk buffer at ``v`` itself or by the driver when ``v`` is the
+# root; parents cannot use it (the next edge would make it ``L+1``), so
+# ``C_v`` stores only 0..L-1. Shared with the single-sink DP.
+_build_k = advance_and_buffer
 
 
 def _join(
@@ -129,6 +115,11 @@ def insert_buffers_multi_sink(
         return DPResult(0.0, [], True)
 
     tables: Dict[Tile, _NodeTable] = {}
+    # Shared immutable choice tuples (copied per node): avoids building
+    # the same L tuples for every tree node.
+    k_choices = [("k", j) for j in range(L)]
+    join_choices = [("join", j) for j in range(L)]
+    leaf_choices: List[Optional[Tuple[str, int]]] = [None] * L
 
     for node in tree.postorder():
         table = _NodeTable()
@@ -136,18 +127,18 @@ def insert_buffers_multi_sink(
         table.children = list(node.children)
         if not node.children:
             table.c = [0.0] * L
-            table.c_choice = [None] * L
+            table.c_choice = list(leaf_choices)
             continue
         q_v = cost_of(node.tile)
         for child in node.children:
-            k, k_choice = _build_k(tables[child.tile].c, q_v, L)
+            k, buffer_choice = _build_k(tables[child.tile].c, q_v, L)
             table.k.append(k)
-            table.k_choice.append(k_choice)
+            table.k_choice.append(buffer_choice)
 
         if len(node.children) == 1:
             k0 = table.k[0]
-            table.c = list(k0[:L])
-            table.c_choice = [("k", j) for j in range(L)]
+            table.c = k0[:L]
+            table.c_choice = list(k_choices)
             table.joined_ext = list(k0)
             table.splits = []
         else:
@@ -158,9 +149,9 @@ def insert_buffers_multi_sink(
                 all_splits.append(splits)
             table.splits = all_splits
             table.joined_ext = joined
-            table.c = list(joined[:L])
-            table.c_choice = [("join", j) for j in range(L)]
-            best_ext = min(range(L + 1), key=lambda jj: joined[jj])
+            table.c = joined[:L]
+            table.c_choice = list(join_choices)
+            best_ext = first_min_index(joined)
             if q_v != INF and joined[best_ext] != INF:
                 trunk_cost = q_v + joined[best_ext]
                 if trunk_cost < table.c[0]:
@@ -168,13 +159,15 @@ def insert_buffers_multi_sink(
                     table.c_choice[0] = ("trunk", best_ext)
 
     if tracer is not None and tracer.enabled:
-        tracer.count(
-            "dp_candidates",
-            sum(
-                len(t.c) + sum(len(k) for k in t.k)
-                for t in tables.values()
-            ),
-        )
+        explored = pruned = 0
+        for t in tables.values():
+            explored += len(t.c) + sum(len(k) for k in t.k)
+            pruned += t.c.count(INF) + sum(k.count(INF) for k in t.k)
+        tracer.count("dp_candidates", explored)
+        if pruned:
+            # Entries that stayed infeasible — candidate states the DP
+            # visited but could never extend into a solution.
+            tracer.count("dp.candidates_pruned", pruned)
 
     root_table = tables[tree.root.tile]
     best_cost = INF
@@ -242,7 +235,7 @@ def _traceback(
         else:  # "K"
             child = table.children[child_pos]
             if j == 0:
-                best = table.k_choice[child_pos][0]
+                best = table.k_choice[child_pos]
                 assert best >= 0, "traceback hit an unexplained K[0] entry"
                 out.append(BufferSpec(node.tile, child.tile))
                 stack.append(("C", child, 0, best))

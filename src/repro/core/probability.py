@@ -4,6 +4,11 @@ For a net ``n_i`` passing through tile ``v``, the probability of a buffer
 from ``v`` landing on ``n_i`` is modeled as ``1 / L_i``. ``p(v)`` sums this
 over all *unprocessed* nets; Stage 3 removes each net's own contribution
 just before optimizing it.
+
+Updates are vectorized gathers/scatters over each tree's memoized flat
+tile-index array (every tile appears at most once per tree, so the
+per-tile operations are independent and order-free — bit-identical to the
+scalar loop they replaced).
 """
 
 from __future__ import annotations
@@ -22,6 +27,9 @@ class UsageProbability:
 
     def __init__(self, graph: TileGraph):
         self._field = np.zeros((graph.nx, graph.ny), dtype=np.float64)
+        #: Flat (length ``num_tiles``) view; index = ``x * ny + y``.
+        self.field_flat = self._field.reshape(-1)
+        self._ny = graph.ny
         self._contributions: Dict[str, float] = {}
 
     def add_net(self, tree: RouteTree, length_limit: int) -> None:
@@ -31,8 +39,8 @@ class UsageProbability:
         if tree.net_name in self._contributions:
             raise ConfigurationError(f"net {tree.net_name!r} already registered")
         weight = 1.0 / length_limit
-        for tile in tree.nodes:
-            self._field[tile] += weight
+        idx = tree.tile_indices(self._ny)
+        self.field_flat[idx] += weight
         self._contributions[tree.net_name] = weight
 
     def remove_net(self, tree: RouteTree) -> None:
@@ -40,8 +48,11 @@ class UsageProbability:
         weight = self._contributions.pop(tree.net_name, None)
         if weight is None:
             return
-        for tile in tree.nodes:
-            self._field[tile] = max(0.0, self._field[tile] - weight)
+        idx = tree.tile_indices(self._ny)
+        field = self.field_flat
+        values = field[idx] - weight
+        np.maximum(values, 0.0, out=values)
+        field[idx] = values
 
     def value(self, tile: Tile) -> float:
         """Current ``p(v)``."""

@@ -18,8 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.assignment import AssignmentResult, assign_buffers_stage3, assign_buffers_to_net
-from repro.core.costs import buffer_site_cost
 from repro.core.length_rule import net_meets_length_rule
+from repro.core.solver import SOLVER_NAMES, BufferingSolver, make_solver
 from repro.core.two_path import optimize_two_paths
 from repro.errors import ConfigurationError
 from repro.netlist import Net, Netlist
@@ -57,6 +57,14 @@ class RabidConfig:
         workers: Stage-2 reroute concurrency; 1 (default) is strictly
             sequential and byte-identical to the single-threaded planner,
             >1 reroutes bounding-box-disjoint batches of nets in threads.
+        stage3_workers: Stage-3 buffering concurrency; >1 solves
+            tile-disjoint batches of nets in threads (output identical to
+            sequential — tile-set disjointness is exact).
+        stage3_solver: default buffering strategy for Stage 3, one of
+            :data:`repro.core.solver.SOLVER_NAMES` (``"dp"`` is the
+            paper's Fig. 9 multi-sink DP).
+        stage3_solvers: per-net strategy overrides (net name -> solver
+            name).
     """
 
     length_limit: int = 5
@@ -70,10 +78,26 @@ class RabidConfig:
     router: str = "pd"
     rescue_failing: bool = True
     workers: int = 1
+    stage3_workers: int = 1
+    stage3_solver: str = "dp"
+    stage3_solvers: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.router not in ("pd", "mcf"):
             raise ConfigurationError(f"unknown router {self.router!r}")
+        if self.stage3_solver not in SOLVER_NAMES:
+            raise ConfigurationError(
+                f"unknown buffering solver {self.stage3_solver!r}; "
+                f"expected one of {SOLVER_NAMES}"
+            )
+        for net, name in self.stage3_solvers.items():
+            if name not in SOLVER_NAMES:
+                raise ConfigurationError(
+                    f"unknown buffering solver {name!r} for net {net!r}; "
+                    f"expected one of {SOLVER_NAMES}"
+                )
+        if self.stage3_workers < 1:
+            raise ConfigurationError("stage3_workers must be >= 1")
         if self.length_limit < 1:
             raise ConfigurationError("length_limit must be >= 1")
         if any(l < 1 for l in self.length_limits.values()):
@@ -89,6 +113,9 @@ class RabidConfig:
 
     def limit_for(self, net_name: str) -> int:
         return self.length_limits.get(net_name, self.length_limit)
+
+    def solver_name_for(self, net_name: str) -> str:
+        return self.stage3_solvers.get(net_name, self.stage3_solver)
 
 
 @dataclass(frozen=True)
@@ -224,6 +251,17 @@ class RabidPlanner:
             delays = self._net_delays()
             order = reroute_order_by_delay(delays, ascending=False)
             limits = {name: self.config.limit_for(name) for name in self.routes}
+            solvers: Dict[str, BufferingSolver] = {}
+
+            def solver_for(name: str) -> BufferingSolver:
+                key = self.config.solver_name_for(name)
+                solver = solvers.get(key)
+                if solver is None:
+                    solver = solvers[key] = make_solver(
+                        key, technology=self.config.technology
+                    )
+                return solver
+
             self.assignment = assign_buffers_stage3(
                 self.graph,
                 self.routes,
@@ -231,6 +269,8 @@ class RabidPlanner:
                 order,
                 use_probability=self.config.use_probability,
                 tracer=self.tracer,
+                workers=self.config.stage3_workers,
+                solver_for=solver_for,
             )
             self.failed_nets = list(self.assignment.failed_nets)
             self._snapshot(3, time.perf_counter() - start)
@@ -238,7 +278,9 @@ class RabidPlanner:
     def stage4(self) -> None:
         """Two-path rip-up/reroute with buffer reinsertion."""
         start = time.perf_counter()
-        q_of = lambda tile: buffer_site_cost(self.graph, tile)
+        # Cached p=0 Eq. (2) costs (bit-identical to the scalar formula),
+        # invalidated per tile through the graph's site observers.
+        q_of = self.graph.site_cost_cache().cost_fn()
         with self.tracer.span("stage4"):
             for iteration in range(self.config.stage4_iterations):
                 with self.tracer.span("stage4.pass", **{"pass": iteration}):
@@ -267,33 +309,26 @@ class RabidPlanner:
         delays = self._net_delays()
         order = reroute_order_by_delay(delays, ascending=True)
         failed: List[str] = []
+        ledger = self.graph.ledger()
         for name in order:
             tree = self.routes[name]
             limit = self.config.limit_for(name)
-            # Rip out this net's buffers before rerouting its paths.
-            ripped: "Dict[tuple, int]" = {}
-            for node in tree.nodes.values():
-                count = node.buffer_count()
-                if count:
-                    self.graph.use_site(node.tile, -count)
-                    ripped[node.tile] = count
-            if tracer.enabled:
-                tracer.event(
-                    "ripped_up", name, stage="4", buffers=sum(ripped.values())
-                )
-            try:
+            # One transaction covers the rip, the two-path trials, and the
+            # reinsertion: an exception anywhere restores both the b(v)
+            # accounting and any wire deltas instead of leaking them.
+            with ledger.transaction():
+                for tile, count in tree.buffer_counts().items():
+                    self.graph.use_site(tile, -count)
+                if tracer.enabled:
+                    tracer.event(
+                        "ripped_up", name, stage="4", buffers=tree.buffer_count()
+                    )
                 changed = optimize_two_paths(
                     self.graph, tree, q_of, limit, self.config.window_margin
                 )
                 meets, _, _ = assign_buffers_to_net(
                     self.graph, tree, limit, None, tracer=tracer
                 )
-            except Exception:
-                # Keep b(v) accounting consistent: the reinsertion that
-                # would have re-booked these sites will not happen.
-                for tile, count in ripped.items():
-                    self.graph.use_site(tile, count)
-                raise
             if not meets:
                 failed.append(name)
             if tracer.enabled:

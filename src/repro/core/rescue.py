@@ -82,6 +82,11 @@ def rescue_net(
     graph. On success returns ``(new_tree, True)`` with usage transferred;
     on failure the original tree and its usage are untouched and
     ``(tree, False)`` is returned.
+
+    The whole attempt — rip, candidate wires, buffer reinsertion — runs
+    inside one :class:`SiteLedger` transaction; a non-improvement (or an
+    exception at any point) rolls every wire and site delta back, which
+    restores exactly the state the old hand-rolled remove/add pairs did.
     """
     old_violations = length_violations(tree, length_limit)
     if old_violations == 0:
@@ -89,22 +94,22 @@ def rescue_net(
     source = tree.source
     sinks = tree.sink_tiles
 
-    tree.remove_usage(graph)
-    candidate = _bufferable_tree(
-        graph, source, sinks, q_of, length_limit, window_margin, tree.net_name
-    )
-    if candidate is None:
-        tree.add_usage(graph)
+    ledger = graph.ledger()
+    with ledger.transaction() as txn:
+        tree.remove_usage(graph)
+        candidate = _bufferable_tree(
+            graph, source, sinks, q_of, length_limit, window_margin, tree.net_name
+        )
+        if candidate is None:
+            txn.rollback()  # re-adds the original tree's usage
+            return tree, False
+        candidate.add_usage(graph)  # wires only; no buffers annotated yet
+        meets, _, _ = assign_buffers_to_net(graph, candidate, length_limit, None)
+        new_violations = length_violations(candidate, length_limit)
+        if new_violations < old_violations:
+            return candidate, True  # scope exit commits the transfer
+        txn.rollback()  # drops the candidate's usage, restores the tree's
         return tree, False
-    candidate.add_usage(graph)  # wires only; no buffers annotated yet
-    meets, _, _ = assign_buffers_to_net(graph, candidate, length_limit, None)
-    new_violations = length_violations(candidate, length_limit)
-    if new_violations < old_violations:
-        return candidate, True
-    # Not an improvement: roll back.
-    candidate.remove_usage(graph)
-    tree.add_usage(graph)
-    return tree, False
 
 
 def rescue_failing_nets(

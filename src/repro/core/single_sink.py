@@ -18,11 +18,10 @@ from __future__ import annotations
 
 from typing import Callable, List, Sequence, Tuple
 
+from repro.core.candidates import INF, first_min_index
 from repro.errors import ConfigurationError
 from repro.routing.tree import BufferSpec
 from repro.tilegraph.graph import Tile
-
-INF = float("inf")
 
 
 def insert_buffers_single_sink(
@@ -63,7 +62,7 @@ def insert_buffers_single_sink(
         for j in range(1, L):
             row[j] = below[j - 1]
         q = cost_of(path[i])
-        best_j = min(range(L), key=lambda jj: below[jj])
+        best_j = first_min_index(below)
         if q != INF and below[best_j] != INF:
             row[0] = q + below[best_j]
             choice_rows[i][0] = best_j
@@ -75,7 +74,7 @@ def insert_buffers_single_sink(
         return 0.0, [], L >= 1
 
     first = cost_rows[1]
-    best = min(range(L), key=lambda jj: first[jj])
+    best = first_min_index(first)
     if first[best] == INF:
         return INF, [], False
 

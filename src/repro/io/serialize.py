@@ -173,6 +173,7 @@ def _instance_from_dict(d: Dict[str, Any]):
     import numpy as np
 
     graph.sites[:] = np.asarray(d["sites"], dtype=np.int64)
+    graph._notify_all_sites_changed()
     graph.h_capacity[:] = np.asarray(d["h_capacity"], dtype=np.int64)
     graph.v_capacity[:] = np.asarray(d["v_capacity"], dtype=np.int64)
     return die, floorplan, netlist, graph

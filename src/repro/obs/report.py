@@ -11,6 +11,16 @@ from typing import Dict, List
 
 from repro.obs.tracer import SpanRecord, Tracer
 
+#: Buffering-engine counters pulled into their own report section (they
+#: also appear in the full metrics snapshot).
+BUFFERING_COUNTERS = (
+    "dp_candidates",
+    "dp.candidates_pruned",
+    "buffer_sites_used",
+    "stage3.batches",
+    "stage3.ledger_rollbacks",
+)
+
 
 def _span_tree_lines(tracer: Tracer) -> List[str]:
     children: Dict[int, List[SpanRecord]] = {}
@@ -48,6 +58,15 @@ def render_summary(tracer: Tracer) -> str:
     if len(tracer.metrics):
         sections.append("== metrics ==")
         sections.append(tracer.metrics.render())
+    buffering = [
+        (name, tracer.metrics.get(name))
+        for name in BUFFERING_COUNTERS
+        if tracer.metrics.get(name) is not None
+    ]
+    if buffering:
+        sections.append("== buffering ==")
+        for name, metric in buffering:
+            sections.append(f"{name:24s} {metric.value}")
     counts = tracer.events.counts_by_kind()
     if counts:
         sections.append("== events ==")

@@ -67,6 +67,9 @@ class RouteTree:
         # only post-construction topology mutator).
         self._edges_cache: Optional[List[Tuple[Tile, Tile]]] = None
         self._wl_mm_cache: Optional[Tuple[TileGraph, float]] = None
+        self._postorder_cache: Optional[List[RouteNode]] = None
+        self._preorder_cache: Optional[List[RouteNode]] = None
+        self._tile_indices_cache: "Optional[Tuple[int, object]]" = None
 
     # ------------------------------------------------------------------ #
     # Construction                                                       #
@@ -194,6 +197,9 @@ class RouteTree:
         """Drop memoized edge/wirelength values after a topology change."""
         self._edges_cache = None
         self._wl_mm_cache = None
+        self._postorder_cache = None
+        self._preorder_cache = None
+        self._tile_indices_cache = None
 
     def num_edges(self) -> int:
         return len(self.nodes) - 1
@@ -211,27 +217,58 @@ class RouteTree:
         return value
 
     def postorder(self) -> List[RouteNode]:
-        """Children-before-parents order."""
-        out: List[RouteNode] = []
-        stack: List[Tuple[RouteNode, bool]] = [(self.root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            if expanded:
-                out.append(node)
-            else:
-                stack.append((node, True))
-                for child in node.children:
-                    stack.append((child, False))
+        """Children-before-parents order (memoized; treat as read-only).
+
+        Every buffering solver and the length rule walk this order per
+        visit; like :meth:`edges` the list survives until the topology
+        mutates (annotation changes do not invalidate it).
+        """
+        out = self._postorder_cache
+        if out is None:
+            out = []
+            stack: List[Tuple[RouteNode, bool]] = [(self.root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    out.append(node)
+                else:
+                    stack.append((node, True))
+                    for child in node.children:
+                        stack.append((child, False))
+            self._postorder_cache = out
         return out
 
     def preorder(self) -> List[RouteNode]:
-        out: List[RouteNode] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            out.append(node)
-            stack.extend(reversed(node.children))
+        """Parents-before-children order (memoized; treat as read-only)."""
+        out = self._preorder_cache
+        if out is None:
+            out = []
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                out.append(node)
+                stack.extend(reversed(node.children))
+            self._preorder_cache = out
         return out
+
+    def tile_indices(self, ny: int):
+        """Flat tile indices (``x * ny + y``) of every node (memoized).
+
+        Iteration order matches ``self.nodes`` so vectorized gathers can
+        be zipped back against the node map. Treat as read-only.
+        """
+        cached = self._tile_indices_cache
+        if cached is not None and cached[0] == ny:
+            return cached[1]
+        import numpy as np
+
+        idx = np.fromiter(
+            (t[0] * ny + t[1] for t in self.nodes),
+            dtype=np.int64,
+            count=len(self.nodes),
+        )
+        self._tile_indices_cache = (ny, idx)
+        return idx
 
     def validate(self) -> None:
         """Check tree structure invariants; raises RoutingError on breakage."""
@@ -273,6 +310,15 @@ class RouteTree:
 
     def buffer_count(self) -> int:
         return sum(node.buffer_count() for node in self.nodes.values())
+
+    def buffer_counts(self) -> Dict[Tile, int]:
+        """Per-tile counts of this net's current buffer annotations."""
+        out: Dict[Tile, int] = {}
+        for node in self.nodes.values():
+            count = node.buffer_count()
+            if count:
+                out[node.tile] = count
+        return out
 
     def apply_buffers(self, specs: Sequence[BufferSpec]) -> None:
         """Install buffer annotations (clearing any existing ones)."""

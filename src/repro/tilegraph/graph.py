@@ -117,9 +117,16 @@ class TileGraph:
         self.v_capacity[...] = v_cap
         self.sites = np.zeros((nx, ny), dtype=np.int64)
         self.used_sites = np.zeros((nx, ny), dtype=np.int64)
+        # Flat (length num_tiles) views of B(v)/b(v); index = x * ny + y.
+        self.sites_flat = self.sites.reshape(-1)
+        self.used_sites_flat = self.used_sites.reshape(-1)
         #: Cost caches notified when wire usage changes (see cost_cache.py).
         self._cost_caches: list = []
         self._default_cost_cache = None
+        #: Site observers notified when b(v)/B(v) changes (see ledger.py).
+        self._site_observers: list = []
+        self._ledger = None
+        self._site_cost_cache = None
         self._flat: "FlatTileGraph | None" = None
 
     # ------------------------------------------------------------------ #
@@ -288,6 +295,52 @@ class TileGraph:
     def _notify_all_usage_changed(self) -> None:
         for cache in self._cost_caches:
             cache.mark_all_dirty()
+        for observer in self._site_observers:
+            observer.all_sites_changed()
+
+    # ------------------------------------------------------------------ #
+    # Site-observer registration                                         #
+    # ------------------------------------------------------------------ #
+
+    def register_site_observer(self, observer) -> None:
+        """Subscribe to per-tile site-change notifications.
+
+        ``observer`` provides ``site_changed(flat_index, delta)``,
+        ``all_sites_changed()``, and ``wire_changed(eid, delta)`` —
+        the buffer-side mirror of :meth:`register_cost_cache`.
+        """
+        if observer not in self._site_observers:
+            self._site_observers.append(observer)
+
+    def ledger(self):
+        """The graph's shared transactional :class:`SiteLedger`
+        (created on first use)."""
+        if self._ledger is None:
+            from repro.tilegraph.ledger import SiteLedger
+
+            self._ledger = SiteLedger(self)
+        return self._ledger
+
+    def site_cost_cache(self):
+        """The graph's shared Eq. (2) cost cache (created on first use)."""
+        if self._site_cost_cache is None:
+            from repro.tilegraph.ledger import SiteCostCache
+
+            self._site_cost_cache = SiteCostCache(self)
+        return self._site_cost_cache
+
+    def _notify_site_changed(self, index: int, delta: int) -> None:
+        for observer in self._site_observers:
+            observer.site_changed(index, delta)
+
+    def _notify_all_sites_changed(self) -> None:
+        """Broadcast a bulk B(v)/b(v) rewrite (site distribution, load)."""
+        for observer in self._site_observers:
+            observer.all_sites_changed()
+
+    def _notify_wire_delta(self, eid: int, delta: int) -> None:
+        for observer in self._site_observers:
+            observer.wire_changed(eid, delta)
 
     # ------------------------------------------------------------------ #
     # Wire usage / capacity                                              #
@@ -327,6 +380,8 @@ class TileGraph:
         usage[eid] += count
         if self._cost_caches:
             self._notify_usage_changed(eid)
+        if count and self._site_observers:
+            self._notify_wire_delta(eid, count)
 
     def add_wire_flat(self, eid: int, count: int = 1) -> None:
         """Flat-id variant of :meth:`add_wire` (hot path, unvalidated id)."""
@@ -337,6 +392,8 @@ class TileGraph:
         usage[eid] += count
         if self._cost_caches:
             self._notify_usage_changed(eid)
+        if count and self._site_observers:
+            self._notify_wire_delta(eid, count)
 
     def edges(self) -> Iterator[Tuple[Tile, Tile]]:
         """All undirected edges, horizontal first, deterministic order."""
@@ -372,6 +429,10 @@ class TileGraph:
         if count < self.used_sites[tile]:
             raise ConfigurationError("cannot set sites below current usage")
         self.sites[tile] = count
+        if self._site_observers:
+            # delta 0: a capacity change invalidates costs but is not a
+            # usage delta, so the ledger journals nothing.
+            self._notify_site_changed(tile[0] * self.ny + tile[1], 0)
 
     def use_site(self, tile: Tile, count: int = 1) -> None:
         """Consume ``count`` buffer sites in ``tile`` (negative to release).
@@ -379,9 +440,18 @@ class TileGraph:
         Over-subscription is allowed (best-effort fallback paths may exceed
         ``B(v)``); constraint checks read the arrays directly.
         """
-        if self.used_sites[tile] + count < 0:
-            raise ConfigurationError(f"used sites in {tile} would go negative")
-        self.used_sites[tile] += count
+        self.use_site_flat(tile[0] * self.ny + tile[1], count)
+
+    def use_site_flat(self, index: int, count: int = 1) -> None:
+        """Flat-index variant of :meth:`use_site` (hot path)."""
+        used = self.used_sites_flat
+        if used[index] + count < 0:
+            raise ConfigurationError(
+                f"used sites in {self.tile_at(index)} would go negative"
+            )
+        used[index] += count
+        if count and self._site_observers:
+            self._notify_site_changed(index, count)
 
     @property
     def total_sites(self) -> int:

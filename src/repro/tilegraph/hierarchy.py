@@ -118,18 +118,21 @@ def distribute_sites_by_budget(
         tiles_of.setdefault(key, []).append(tile)
 
     graph.sites[:] = 0
-    for name, budget in sorted(budgets.items()):
-        if budget <= 0:
-            continue
-        if name != CHANNELS:
-            block = floorplan.get(name)
-            if not block.allows_buffer_sites:
-                raise ConfigurationError(
-                    f"block {name!r} does not allow buffer sites"
-                )
-        tiles = tiles_of.get(name, [])
-        if not tiles:
-            raise ConfigurationError(f"no tiles belong to {name!r}")
-        counts = rng.multinomial(budget, [1.0 / len(tiles)] * len(tiles))
-        for tile, count in zip(tiles, counts):
-            graph.sites[tile] += int(count)
+    try:
+        for name, budget in sorted(budgets.items()):
+            if budget <= 0:
+                continue
+            if name != CHANNELS:
+                block = floorplan.get(name)
+                if not block.allows_buffer_sites:
+                    raise ConfigurationError(
+                        f"block {name!r} does not allow buffer sites"
+                    )
+            tiles = tiles_of.get(name, [])
+            if not tiles:
+                raise ConfigurationError(f"no tiles belong to {name!r}")
+            counts = rng.multinomial(budget, [1.0 / len(tiles)] * len(tiles))
+            for tile, count in zip(tiles, counts):
+                graph.sites[tile] += int(count)
+    finally:
+        graph._notify_all_sites_changed()

@@ -94,12 +94,17 @@ def distribute_sites_randomly(
                 continue
         eligible.append(tile)
     graph.sites[:] = 0
-    if total_sites == 0:
-        return
-    if not eligible:
-        raise ConfigurationError("no eligible tiles for buffer sites")
-    # Multinomial scatter: identical in distribution to dropping sites one
-    # by one into uniformly random eligible tiles, but O(#tiles).
-    counts = rng.multinomial(total_sites, [1.0 / len(eligible)] * len(eligible))
-    for tile, count in zip(eligible, counts):
-        graph.sites[tile] = int(count)
+    try:
+        if total_sites == 0:
+            return
+        if not eligible:
+            raise ConfigurationError("no eligible tiles for buffer sites")
+        # Multinomial scatter: identical in distribution to dropping sites
+        # one by one into uniformly random eligible tiles, but O(#tiles).
+        counts = rng.multinomial(
+            total_sites, [1.0 / len(eligible)] * len(eligible)
+        )
+        for tile, count in zip(eligible, counts):
+            graph.sites[tile] = int(count)
+    finally:
+        graph._notify_all_sites_changed()

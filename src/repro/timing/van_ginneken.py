@@ -20,12 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.candidates import INF, oversubscribes, pareto_prune
 from repro.errors import ConfigurationError
 from repro.routing.tree import BufferSpec, RouteNode, RouteTree
 from repro.technology import Technology
 from repro.tilegraph.graph import Tile, TileGraph
-
-INF = float("inf")
 
 
 @dataclass
@@ -43,18 +42,6 @@ class _Candidate:
     delay: float
     trace: tuple
     buffers: int = 0
-
-
-def _prune(cands: List[_Candidate]) -> List[_Candidate]:
-    """Keep the Pareto frontier: increasing cap must decrease delay."""
-    cands.sort(key=lambda c: (c.cap, c.delay))
-    out: List[_Candidate] = []
-    best_delay = INF
-    for c in cands:
-        if c.delay < best_delay - 1e-18:
-            out.append(c)
-            best_delay = c.delay
-    return out
 
 
 def timing_driven_buffering(
@@ -88,6 +75,18 @@ def timing_driven_buffering(
 
     lists: Dict[Tile, List[_Candidate]] = {}
     generated = 0
+    pruned = 0
+
+    def _count_pruned(n: int) -> None:
+        nonlocal pruned
+        pruned += n
+
+    def _prune(cands: List[_Candidate]) -> List[_Candidate]:
+        kept = pareto_prune(cands, count=_count_pruned)
+        if len(kept) > max_candidates:
+            _count_pruned(len(kept) - max_candidates)
+            del kept[max_candidates:]
+        return kept
 
     for node in tree.postorder():
         merged: Optional[List[_Candidate]] = None
@@ -112,7 +111,7 @@ def timing_driven_buffering(
                         )
                     )
             generated += len(branch)
-            branch = _prune(branch)[:max_candidates]
+            branch = _prune(branch)
             if merged is None:
                 merged = branch
             else:
@@ -127,7 +126,7 @@ def timing_driven_buffering(
                     for b in branch
                 ]
                 generated += len(combined)
-                merged = _prune(combined)[:max_candidates]
+                merged = _prune(combined)
 
         if merged is None:  # leaf (sink)
             merged = [_Candidate(tech.sink_cap, 0.0, ("sink",))]
@@ -152,11 +151,14 @@ def timing_driven_buffering(
                     )
                     for c in merged
                 ]
-            )[:max_candidates]
+            )
         lists[node.tile] = merged
 
-    if tracer is not None and tracer.enabled and generated:
-        tracer.count("dp_candidates", generated)
+    if tracer is not None and tracer.enabled:
+        if generated:
+            tracer.count("dp_candidates", generated)
+        if pruned:
+            tracer.count("dp.candidates_pruned", pruned)
 
     root_cands = lists[tree.root.tile]
     if not root_cands:
@@ -185,15 +187,6 @@ def _trace_buffers(cand: _Candidate, out: List[BufferSpec]) -> None:
             stack.append(c.trace[2])
 
 
-def _oversubscribes(graph: TileGraph, specs: List[BufferSpec]) -> bool:
-    per_tile: Dict[Tile, int] = {}
-    for spec in specs:
-        per_tile[spec.tile] = per_tile.get(spec.tile, 0) + 1
-    return any(
-        count > graph.free_sites(tile) for tile, count in per_tile.items()
-    )
-
-
 def rebuffer_net_timing_driven(
     tree: RouteTree,
     graph: TileGraph,
@@ -203,11 +196,14 @@ def rebuffer_net_timing_driven(
 ) -> float:
     """Rip up a net's buffers and reinsert them delay-optimally.
 
-    Releases the net's current sites, runs :func:`timing_driven_buffering`
-    against the freed availability, applies the result to the tree, and
-    re-books the sites. The DP prices site *availability* per tile but can
-    stack several buffers into one tile; when that oversubscribes ``B(v)``
-    (or when the new solution is slower), the previous buffering is kept.
+    Releases the net's current sites (one :class:`SiteLedger` transaction
+    covers the whole trial, so an exception anywhere restores ``b(v)``),
+    runs :func:`timing_driven_buffering` against the freed availability,
+    applies the result to the tree, and re-books the sites. The DP prices
+    site *availability* per tile but can stack several buffers into one
+    tile; when that oversubscribes ``B(v)`` (or when the new solution is
+    slower), the transaction is rolled back and the previous buffering is
+    kept.
 
     Returns the achieved worst sink delay (seconds).
     """
@@ -215,20 +211,25 @@ def rebuffer_net_timing_driven(
 
     old_specs = tree.buffer_specs()
     old_delay = net_delay(tree, graph, tech).max_delay
-    for node in tree.nodes.values():
-        count = node.buffer_count()
-        if count:
-            graph.use_site(node.tile, -count)
-    tree.clear_buffers()
-    delay, specs = timing_driven_buffering(
-        tree, graph, tech, max_candidates=max_candidates, tracer=tracer
-    )
-    improved = not (_oversubscribes(graph, specs) or delay > old_delay)
-    if not improved:
-        specs, delay = old_specs, old_delay
-    tree.apply_buffers(specs)
-    for spec in specs:
-        graph.use_site(spec.tile, 1)
+    ledger = graph.ledger()
+    with ledger.transaction() as txn:
+        for node in tree.nodes.values():
+            count = node.buffer_count()
+            if count:
+                graph.use_site(node.tile, -count)
+        tree.clear_buffers()
+        delay, specs = timing_driven_buffering(
+            tree, graph, tech, max_candidates=max_candidates, tracer=tracer
+        )
+        improved = not (oversubscribes(graph, specs) or delay > old_delay)
+        if improved:
+            tree.apply_buffers(specs)
+            for spec in specs:
+                graph.use_site(spec.tile, 1)
+        else:
+            txn.rollback()  # re-books the released sites
+            specs, delay = old_specs, old_delay
+            tree.apply_buffers(specs)
     if tracer is not None and tracer.enabled:
         tracer.event(
             "buffered",

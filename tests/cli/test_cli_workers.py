@@ -25,6 +25,31 @@ class TestWorkersFlag:
         assert "workers" in capsys.readouterr().err
 
 
+class TestStage3WorkersFlag:
+    def test_run_with_stage3_workers(self, capsys):
+        assert main(["run", "apte", "--stage4-iterations", "0",
+                     "--stage3-workers", "2"]) == 0
+        assert "stage" in capsys.readouterr().out
+
+    def test_zero_stage3_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "apte", "--stage3-workers", "0"])
+        assert exc.value.code == 2
+        assert "stage3_workers" in capsys.readouterr().err
+
+    def test_negative_stage3_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "apte", "--stage3-workers", "-2"])
+        assert exc.value.code == 2
+        assert "stage3_workers" in capsys.readouterr().err
+
+    def test_unknown_stage3_solver_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "apte", "--stage3-solver", "quantum"])
+        assert exc.value.code == 2
+        assert "solver" in capsys.readouterr().err
+
+
 class TestSeedValidation:
     def test_negative_seed_exits_2(self, capsys):
         with pytest.raises(SystemExit) as exc:

@@ -1,0 +1,43 @@
+"""Golden pin: Stage-3 buffering output is byte-identical to the capture
+taken before the unified solver engine landed — sequentially and with
+parallel tile-disjoint batches."""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks.buffering_kernel import (
+    buffers_as_json,
+    make_buffering_scenario,
+    run_buffering_kernel,
+)
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "..", "golden", "buffering_kernel_32x32_seed0.json"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.slow
+class TestGoldenBuffering:
+    def test_sequential_signature(self, golden):
+        instance = make_buffering_scenario()
+        result = run_buffering_kernel(instance)
+        assert result.signature == golden["signature"]
+        assert result.buffers_inserted == golden["buffers_inserted"]
+        assert result.num_fails == golden["num_fails"]
+        assert result.dp_infeasible == golden["dp_infeasible"]
+        assert buffers_as_json(instance.routes) == golden["buffers"]
+        assert instance.graph.used_sites.tolist() == golden["used_sites"]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_golden(self, golden, workers):
+        instance = make_buffering_scenario()
+        result = run_buffering_kernel(instance, workers=workers)
+        assert result.signature == golden["signature"]

@@ -1,0 +1,88 @@
+"""Property-based tests: SiteLedger transaction semantics.
+
+The invariant: after executing any nested interleaving of transaction
+scopes — each containing site/wire deltas and child scopes, each ending in
+commit or rollback — the graph's ``used_sites`` equals the initial state
+plus exactly the deltas whose *entire* chain of enclosing scopes
+committed. Rollbacks undo nested committed work; commits fold into the
+parent and stay vulnerable to an enclosing rollback.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.tilegraph import CapacityModel, TileGraph
+
+GRID = 4  # 16 tiles
+# Pre-booked per tile so negative deltas can't go below zero: the largest
+# program is 4 top scopes x 5 x 5 x 5 deltas of -3 on one tile (=1500).
+BASELINE = 2000
+
+
+def scopes(depth):
+    """A scope: (commit?, [actions]); action = (idx, delta) or a scope."""
+    delta = st.tuples(
+        st.integers(0, GRID * GRID - 1), st.integers(-3, 3).filter(bool)
+    )
+    action = delta if depth == 0 else st.one_of(delta, scopes(depth - 1))
+    return st.tuples(st.booleans(), st.lists(action, max_size=5))
+
+
+def _run_scope(graph, ledger, scope, expected):
+    """Execute one scope; returns its per-tile effect if it commits."""
+    commit, actions = scope
+    txn = ledger.begin()
+    effect = {}
+    for action in actions:
+        if isinstance(action[0], bool):  # nested scope
+            sub = _run_scope(graph, ledger, action, expected)
+            for idx, d in sub.items():
+                effect[idx] = effect.get(idx, 0) + d
+        else:
+            idx, d = action
+            graph.use_site_flat(idx, d)
+            effect[idx] = effect.get(idx, 0) + d
+    if commit:
+        ledger.commit(txn)
+        return effect
+    ledger.rollback(txn)
+    return {}
+
+
+@given(st.lists(scopes(2), max_size=4))
+@settings(max_examples=120, deadline=None)
+def test_used_sites_match_committed_set(program):
+    graph = TileGraph(
+        Rect(0, 0, float(GRID), float(GRID)), GRID, GRID, CapacityModel.uniform(4)
+    )
+    for tile in graph.tiles():
+        graph.set_sites(tile, BASELINE * 2)
+        graph.use_site(tile, BASELINE)
+    ledger = graph.ledger()
+    expected = {}
+    for scope in program:
+        # Top level counts as committed: surviving effects accumulate.
+        for idx, d in _run_scope(graph, ledger, scope, expected).items():
+            expected[idx] = expected.get(idx, 0) + d
+    assert not ledger.active
+    for idx in range(GRID * GRID):
+        assert graph.used_sites_flat[idx] == BASELINE + expected.get(idx, 0), idx
+
+
+@given(st.lists(scopes(1), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_rollback_all_restores_initial(program):
+    """Forcing every top-level scope to roll back restores the baseline."""
+    graph = TileGraph(
+        Rect(0, 0, float(GRID), float(GRID)), GRID, GRID, CapacityModel.uniform(4)
+    )
+    for tile in graph.tiles():
+        graph.set_sites(tile, BASELINE * 2)
+        graph.use_site(tile, BASELINE)
+    ledger = graph.ledger()
+    for _, actions in program:
+        _run_scope(graph, ledger, (False, actions), {})
+    assert all(
+        graph.used_sites_flat[i] == BASELINE for i in range(GRID * GRID)
+    )
