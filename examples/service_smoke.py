@@ -1,0 +1,146 @@
+"""End-to-end service smoke: serve, submit, verify exactness. CI runs this.
+
+Starts a real ``repro serve`` subprocess, submits one baseline and two
+incremental deltas through the real ``repro submit`` CLI, then asserts
+the final incrementally-maintained plan's buffering signature equals an
+in-process from-scratch full plan of the twice-evolved scenario. Exits
+non-zero on any mismatch — this is the service's acceptance gate in CI.
+
+Usage::
+
+    PYTHONPATH=src python examples/service_smoke.py [--grid 16]
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.service import (
+    DeltaSpec,
+    MacroSpec,
+    ScenarioSpec,
+    apply_delta,
+    full_plan,
+    move_macro,
+    set_length_limit,
+)
+from repro.service.protocol import request_over_stream
+
+
+def start_server(env):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--verify-fraction", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    # The serve front end prints exactly one parseable line on startup.
+    for line in proc.stdout:
+        line = line.strip()
+        print(f"[serve] {line}")
+        if line.startswith("serving on "):
+            return proc, int(line.rsplit(":", 1)[1])
+    raise RuntimeError("server exited before announcing its port")
+
+
+def submit(port, job, env):
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as fh:
+        json.dump(job, fh)
+        path = fh.name
+    try:
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", "--port", str(port),
+             path],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        if out.returncode != 0:
+            raise RuntimeError(
+                f"submit failed ({out.returncode}):\n{out.stdout}{out.stderr}"
+            )
+        return json.loads(out.stdout)
+    finally:
+        os.unlink(path)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--grid", type=int, default=16)
+    parser.add_argument("--nets", type=int, default=120)
+    parser.add_argument("--sites", type=int, default=600)
+    args = parser.parse_args()
+
+    spec = ScenarioSpec(
+        grid=args.grid,
+        num_nets=args.nets,
+        total_sites=args.sites,
+        macros=(MacroSpec(2, 2, 4, 4),),
+    )
+    d1 = DeltaSpec((move_macro(0, args.grid // 2, args.grid // 2),))
+    d2 = DeltaSpec(
+        (move_macro(0, 1, args.grid // 2), set_length_limit("net007", 3))
+    )
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ["src", env.get("PYTHONPATH", "")] if p
+    )
+    proc, port = start_server(env)
+    try:
+        base = submit(port, {"job_id": "b0", "kind": "baseline",
+                             "scenario": spec.to_dict()}, env)
+        assert base["status"] == "done", base
+        print(f"baseline planned: {base['result']['nets']} nets")
+
+        for i, delta in enumerate((d1, d2)):
+            resp = submit(
+                port,
+                {"job_id": f"d{i}", "kind": "delta", "baseline_id": "b0",
+                 "delta": delta.to_dict()},
+                env,
+            )
+            assert resp["status"] == "done", resp
+            print(
+                f"delta d{i}: resolved {resp['result']['nets_resolved']}, "
+                f"replayed {resp['result']['nets_replayed']}, "
+                f"speedup {resp['result'].get('speedup_vs_full', '-')}x"
+            )
+        incremental_signature = resp["result"]["signature"]
+
+        responses = asyncio.run(
+            request_over_stream(
+                "127.0.0.1", port,
+                [{"op": "stats"}, {"op": "shutdown"}],
+            )
+        )
+        print(f"[stats] {json.dumps(responses[0])}")
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    reference = full_plan(apply_delta(apply_delta(spec, d1), d2))
+    if incremental_signature != reference.signature:
+        print(
+            "MISMATCH: incremental "
+            f"{incremental_signature[:16]}... != full "
+            f"{reference.signature[:16]}...",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"signatures match: {incremental_signature[:16]}... == full re-plan")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

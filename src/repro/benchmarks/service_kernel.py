@@ -1,0 +1,302 @@
+"""Service benchmark: incremental-vs-full speedup and job throughput.
+
+Feeds ``benchmarks/BENCH_service.json``. Two measurements on the same
+32x32 / 500-net workload the routing/buffering kernels use:
+
+* **Incremental speedup** — plan a baseline, apply one single-macro-move
+  delta, and time :func:`repro.service.incremental_replan` against a
+  from-scratch :func:`repro.service.full_plan` of the evolved scenario.
+  The two plans must agree on the buffering-kernel signature (exactness
+  is part of the measurement, not a separate test).
+* **Throughput / latency** — drive a real :class:`PlanningService`
+  through a burst of alternating move deltas and report jobs/sec with
+  p50/p95 per-job latency from the scheduler's own records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.service import (
+    DeltaSpec,
+    Job,
+    JobStatus,
+    MacroSpec,
+    PlanningService,
+    ScenarioSpec,
+    SchedulerOptions,
+    apply_delta,
+    full_plan,
+    incremental_replan,
+    move_macro,
+)
+
+SERVICE_BENCH_SCHEMA = 1
+
+
+def make_service_scenario(
+    grid: int = 32,
+    num_nets: int = 500,
+    total_sites: int = 2500,
+    seed: int = 0,
+    site_seed: int = 0,
+) -> ScenarioSpec:
+    """The benchmark scenario: one movable macro on the kernel workload."""
+    macro_side = max(2, grid * 9 // 32)
+    origin = max(0, grid * 10 // 32)
+    return ScenarioSpec(
+        grid=grid,
+        num_nets=num_nets,
+        total_sites=total_sites,
+        seed=seed,
+        site_seed=site_seed,
+        macros=(MacroSpec(origin, origin, macro_side, macro_side),),
+    )
+
+
+def move_delta(spec: ScenarioSpec, to_corner: bool = True) -> DeltaSpec:
+    """A single-macro-move delta (the acceptance workload)."""
+    side = spec.macros[0].width
+    far = max(0, spec.grid - side - 1)
+    near = max(0, spec.grid // 8)
+    target = (far, far) if to_corner else (near, near)
+    return DeltaSpec((move_macro(0, *target),))
+
+
+@dataclass(frozen=True)
+class ServiceKernelResult:
+    """One full measurement (see :func:`run_service_kernel`)."""
+
+    params: Dict[str, Any]
+    seconds_full: float
+    seconds_incremental: float
+    seconds_full_replan: float
+    incremental_speedup: float
+    signature_match: bool
+    nets_total: int
+    nets_resolved: int
+    nets_replayed: int
+    jobs: int
+    jobs_per_sec: float
+    latency_p50: float
+    latency_p95: float
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def measure_incremental_speedup(spec: ScenarioSpec, repetitions: int = 3):
+    """Best-of-N incremental and full replan times for one move delta.
+
+    Returns ``(seconds_incremental, seconds_full_replan, match, stats)``.
+    Each repetition replans from a *fresh* baseline so the incremental
+    arm never benefits from its own previous run.
+    """
+    import gc
+
+    delta = move_delta(spec)
+    evolved = apply_delta(spec, delta)
+    best_incr: Optional[float] = None
+    best_full: Optional[float] = None
+    match = True
+    last_stats = None
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repetitions)):
+            baseline = full_plan(spec)
+            t0 = time.perf_counter()
+            stats = incremental_replan(baseline, delta)
+            seconds_incr = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            reference = full_plan(evolved)
+            seconds_full = time.perf_counter() - t0
+            match = match and stats.signature == reference.signature
+            last_stats = stats
+            if best_incr is None or seconds_incr < best_incr:
+                best_incr = seconds_incr
+            if best_full is None or seconds_full < best_full:
+                best_full = seconds_full
+            gc.collect()
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best_incr, best_full, match, last_stats
+
+
+def measure_throughput(spec: ScenarioSpec, jobs: int = 10):
+    """Jobs/sec and latency percentiles over a burst of move deltas."""
+
+    async def burst():
+        service = PlanningService(
+            options=SchedulerOptions(workers=1, max_queue=jobs + 1)
+        )
+        await service.start()
+        try:
+            service.submit(Job("bench-b0", "baseline", scenario=spec))
+            await service.wait("bench-b0")
+            t0 = time.perf_counter()
+            for i in range(jobs):
+                service.submit(
+                    Job(
+                        f"bench-d{i}",
+                        "delta",
+                        baseline_id="bench-b0",
+                        delta=move_delta(spec, to_corner=(i % 2 == 0)),
+                    )
+                )
+            await service.drain()
+            elapsed = time.perf_counter() - t0
+            latencies = []
+            for i in range(jobs):
+                record = service.record(f"bench-d{i}")
+                assert record.status is JobStatus.DONE, record.error
+                latencies.append(record.finished_at - record.submitted_at)
+            return elapsed, latencies
+        finally:
+            await service.stop()
+
+    elapsed, latencies = asyncio.run(burst())
+    return (
+        jobs / elapsed if elapsed > 0 else 0.0,
+        _percentile(latencies, 0.50),
+        _percentile(latencies, 0.95),
+    )
+
+
+def run_service_kernel(
+    grid: int = 32,
+    num_nets: int = 500,
+    total_sites: int = 2500,
+    seed: int = 0,
+    site_seed: int = 0,
+    repetitions: int = 3,
+    jobs: int = 10,
+) -> ServiceKernelResult:
+    spec = make_service_scenario(grid, num_nets, total_sites, seed, site_seed)
+
+    t0 = time.perf_counter()
+    full_plan(spec)
+    seconds_full = time.perf_counter() - t0
+
+    incr, full_replan, match, stats = measure_incremental_speedup(
+        spec, repetitions
+    )
+    jobs_per_sec, p50, p95 = measure_throughput(spec, jobs)
+    return ServiceKernelResult(
+        params={
+            "grid": grid,
+            "num_nets": num_nets,
+            "total_sites": total_sites,
+            "seed": seed,
+            "site_seed": site_seed,
+        },
+        seconds_full=seconds_full,
+        seconds_incremental=incr,
+        seconds_full_replan=full_replan,
+        incremental_speedup=full_replan / incr if incr > 0 else 0.0,
+        signature_match=match,
+        nets_total=stats.nets_total,
+        nets_resolved=stats.nets_resolved,
+        nets_replayed=stats.nets_replayed,
+        jobs=jobs,
+        jobs_per_sec=jobs_per_sec,
+        latency_p50=p50,
+        latency_p95=p95,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Trajectory file                                                        #
+# --------------------------------------------------------------------- #
+
+def load_service_trajectory(path: "str | Path") -> Dict[str, Any]:
+    path = Path(path)
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"schema": SERVICE_BENCH_SCHEMA, "benchmark": {}, "entries": []}
+
+
+def append_service_entry(
+    path: "str | Path", label: str, result: ServiceKernelResult
+) -> Dict[str, Any]:
+    """Record one measurement; re-running a label replaces it in place."""
+    data = load_service_trajectory(path)
+    if not data["entries"]:
+        data["benchmark"] = result.params
+    entry = {
+        "label": label,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": result.params,
+        "seconds_full": round(result.seconds_full, 4),
+        "seconds_incremental": round(result.seconds_incremental, 4),
+        "seconds_full_replan": round(result.seconds_full_replan, 4),
+        "incremental_speedup": round(result.incremental_speedup, 2),
+        "signature_match": result.signature_match,
+        "nets_total": result.nets_total,
+        "nets_resolved": result.nets_resolved,
+        "nets_replayed": result.nets_replayed,
+        "jobs": result.jobs,
+        "jobs_per_sec": round(result.jobs_per_sec, 2),
+        "latency_p50": round(result.latency_p50, 4),
+        "latency_p95": round(result.latency_p95, 4),
+    }
+    replaced = False
+    for i, existing in enumerate(data["entries"]):
+        if existing["label"] == label:
+            data["entries"][i] = entry
+            replaced = True
+            break
+    if not replaced:
+        data["entries"].append(entry)
+    Path(path).write_text(json.dumps(data, indent=2) + "\n")
+    return entry
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="service kernel: incremental speedup + job throughput"
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="16x16 / 120-net smoke instead of 32x32 / 500")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=10)
+    parser.add_argument("--label", default="incremental-service")
+    parser.add_argument("--out", default=None,
+                        help="trajectory JSON to append to")
+    args = parser.parse_args(argv)
+    kwargs: Dict[str, Any] = dict(repetitions=args.repeat, jobs=args.jobs)
+    if args.fast:
+        kwargs.update(grid=16, num_nets=120, total_sites=600)
+    result = run_service_kernel(**kwargs)
+    print(
+        f"full {result.seconds_full:.3f}s | incremental "
+        f"{result.seconds_incremental:.3f}s vs full-replan "
+        f"{result.seconds_full_replan:.3f}s -> "
+        f"{result.incremental_speedup:.2f}x (match={result.signature_match})"
+    )
+    print(
+        f"{result.jobs} jobs: {result.jobs_per_sec:.2f} jobs/s, "
+        f"p50 {result.latency_p50 * 1000:.1f}ms, "
+        f"p95 {result.latency_p95 * 1000:.1f}ms"
+    )
+    if args.out:
+        append_service_entry(args.out, args.label, result)
+        print(f"recorded -> {args.out}")
+    return 0 if result.signature_match else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,11 +8,14 @@ Commands:
 * ``table2|table3|table4 <circuit>`` — regenerate one circuit's rows.
 * ``table5 <circuit>`` — RABID-vs-BBP comparison rows.
 * ``list`` — list available benchmarks.
+* ``serve`` — run the incremental planning service (JSON-lines protocol).
+* ``submit`` — submit a job to a running service and print the result.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -80,7 +83,141 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("circuit", choices=sorted(BENCHMARK_SPECS))
 
     sub.add_parser("list", help="list benchmarks")
+
+    serve = sub.add_parser(
+        "serve", help="run the incremental planning service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 picks a free port and prints it)",
+    )
+    serve.add_argument(
+        "--service-workers", type=int, default=2,
+        help="concurrent planning jobs",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="queued-job cap before submits shed",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=300.0,
+        help="per-job wall-clock budget in seconds",
+    )
+    serve.add_argument(
+        "--verify-fraction", type=float, default=0.05,
+        help="fraction of incremental jobs verified against a full re-plan",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="restore baselines from DIR on start; checkpoint on shutdown",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a job (JSON file or stdin) to a service"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, required=True)
+    submit.add_argument(
+        "job", nargs="?", default="-",
+        help="path to a job JSON file, or - for stdin (default)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return after enqueueing instead of waiting for the result",
+    )
     return parser
+
+
+def _check_worker_flags(args) -> None:
+    """Validate the worker-knob interplay with the machine.
+
+    Values below 1 are rejected (exit 2); values beyond ``os.cpu_count()``
+    are *clamped* to it with a clear warning on stderr — oversubscribing
+    threads past the core count only adds contention, and results are
+    identical at any worker count, so degrading to the machine's
+    capacity is always safe. Library callers are unaffected — only the
+    CLI flags are validated.
+    """
+    cpus = os.cpu_count() or 1
+    for flag, attr in (("--workers", "workers"),
+                       ("--stage3-workers", "stage3_workers")):
+        value = getattr(args, attr, 1)
+        if value < 1:
+            # Leave sub-1 values to RabidConfig's own validation so the
+            # error message stays the library's.
+            continue
+        if value > cpus:
+            print(
+                f"warning: clamping {flag}={value} to {cpus} "
+                f"(this machine has {cpus} CPU core(s))",
+                file=sys.stderr,
+            )
+            setattr(args, attr, cpus)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.core import RabidConfig as _Config
+    from repro.service.protocol import ProtocolServer
+    from repro.service.scheduler import PlanningService, SchedulerOptions
+
+    options = SchedulerOptions(
+        workers=args.service_workers,
+        max_queue=args.max_queue,
+        job_timeout=args.job_timeout,
+        verify_fraction=args.verify_fraction,
+    )
+
+    async def _serve() -> None:
+        service = PlanningService(config=_Config(), options=options)
+        if args.checkpoint_dir and os.path.isdir(args.checkpoint_dir):
+            from repro.service.checkpoint import load_service_checkpoints
+
+            loaded = load_service_checkpoints(args.checkpoint_dir, service)
+            if loaded:
+                print(f"restored baselines: {', '.join(loaded)}", flush=True)
+        server = ProtocolServer(service)
+        await server.start(args.host, args.port)
+        # The one line clients parse to find the port (tests, CI smoke).
+        print(f"serving on {args.host}:{server.port}", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            if args.checkpoint_dir:
+                from repro.service.checkpoint import save_service_checkpoints
+
+                save_service_checkpoints(args.checkpoint_dir, service)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import asyncio
+    import json
+
+    from repro.service.protocol import request_over_stream
+
+    if args.job == "-":
+        payload = sys.stdin.read()
+    else:
+        with open(args.job, "r", encoding="utf-8") as fh:
+            payload = fh.read()
+    try:
+        job = json.loads(payload)
+    except ValueError as exc:
+        raise ConfigurationError(f"job is not valid JSON: {exc}") from exc
+    requests = [{"op": "submit", "job": job}]
+    if not args.no_wait:
+        requests.append({"op": "wait", "job_id": job.get("job_id")})
+    responses = asyncio.run(
+        request_over_stream(args.host, args.port, requests)
+    )
+    final = responses[-1]
+    print(json.dumps(final, indent=2))
+    return 0 if final.get("ok") else 1
 
 
 def _cmd_run(args) -> int:
@@ -166,7 +303,12 @@ def _dispatch(args) -> int:
             print(f"{name:8s} {kind:6s} {spec.nets:5d} nets {spec.sinks:5d} sinks")
         return 0
     if args.command == "run":
+        _check_worker_flags(args)
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "table1":
         print(format_table1(run_table1(seed=args.seed)))
         return 0

@@ -117,6 +117,40 @@ class RabidConfig:
     def solver_name_for(self, net_name: str) -> str:
         return self.stage3_solvers.get(net_name, self.stage3_solver)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of every field (used by ``repro.io``).
+
+        The technology is expanded to its parameter set so a config round-
+        trips exactly even for a custom process node.
+        """
+        from dataclasses import asdict, fields
+
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = asdict(value) if f.name == "technology" else value
+        # Copies, so mutating the dict cannot alias the config.
+        out["length_limits"] = dict(self.length_limits)
+        out["stage3_solvers"] = dict(self.stage3_solvers)
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "RabidConfig":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected."""
+        from dataclasses import fields
+
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RabidConfig fields {sorted(unknown)!r}"
+            )
+        kwargs = dict(d)
+        tech = kwargs.get("technology")
+        if isinstance(tech, dict):
+            kwargs["technology"] = Technology(**tech)
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class StageMetrics:

@@ -45,3 +45,35 @@ class InfeasibleError(ReproError):
     Raised only by APIs documented to be strict; the RABID planner itself
     prefers best-effort fallbacks and counts failures instead of raising.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for planning-service failures (see ``repro.service``)."""
+
+
+class QueueFullError(ServiceError):
+    """The scheduler's bounded queue is at capacity; the job was shed.
+
+    Backpressure is explicit: callers are expected to catch this, back
+    off, and resubmit rather than pile work onto a saturated service.
+    """
+
+
+class JobTimeoutError(ServiceError):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+class JobFailedError(ServiceError):
+    """A job exhausted its retry budget without completing."""
+
+
+class UnknownJobError(ServiceError):
+    """A job or baseline id was referenced that the service does not hold."""
+
+
+class CheckpointError(ServiceError):
+    """A service checkpoint could not be written or restored."""
+
+
+class ProtocolError(ServiceError):
+    """A malformed or unsupported JSON-lines service request."""

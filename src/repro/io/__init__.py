@@ -1,16 +1,26 @@
 """Serialization of planning inputs and results (JSON)."""
 
 from repro.io.serialize import (
+    PLAN_SCHEMA_VERSION,
+    config_from_dict,
+    config_to_dict,
     instance_to_dict,
+    ledger_state_from_dict,
+    ledger_state_to_dict,
     load_instance_json,
+    load_plan_json,
     netlist_from_dict,
     netlist_to_dict,
+    plan_from_dict,
+    plan_to_dict,
     routes_from_dict,
     routes_to_dict,
     save_instance_json,
+    save_plan_json,
 )
 
 __all__ = [
+    "PLAN_SCHEMA_VERSION",
     "netlist_to_dict",
     "netlist_from_dict",
     "routes_to_dict",
@@ -18,4 +28,12 @@ __all__ = [
     "instance_to_dict",
     "save_instance_json",
     "load_instance_json",
+    "config_to_dict",
+    "config_from_dict",
+    "ledger_state_to_dict",
+    "ledger_state_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "save_plan_json",
+    "load_plan_json",
 ]

@@ -22,6 +22,10 @@ from repro.tilegraph import CapacityModel, TileGraph
 
 SCHEMA_VERSION = 1
 
+#: Schema of the config / ledger / whole-plan payloads (added with the
+#: planning service; independent of the instance schema above).
+PLAN_SCHEMA_VERSION = 1
+
 
 # --------------------------------------------------------------------- #
 # Netlists                                                              #
@@ -177,6 +181,91 @@ def _instance_from_dict(d: Dict[str, Any]):
     graph.h_capacity[:] = np.asarray(d["h_capacity"], dtype=np.int64)
     graph.v_capacity[:] = np.asarray(d["v_capacity"], dtype=np.int64)
     return die, floorplan, netlist, graph
+
+
+# --------------------------------------------------------------------- #
+# Configs, ledger state, whole plans                                    #
+# --------------------------------------------------------------------- #
+
+def config_to_dict(config) -> Dict[str, Any]:
+    """Serialize a full :class:`repro.core.RabidConfig`.
+
+    Every field round-trips — per-net length limits, ``stage3_solver`` and
+    the per-net ``stage3_solvers`` overrides, ``workers``,
+    ``stage3_workers``, and the expanded technology parameters.
+    """
+    return {"version": PLAN_SCHEMA_VERSION, "config": config.as_dict()}
+
+
+def config_from_dict(d: Dict[str, Any]):
+    if d.get("version") != PLAN_SCHEMA_VERSION:
+        raise ConfigurationError(f"unsupported config schema {d.get('version')!r}")
+    from repro.core.rabid import RabidConfig
+
+    return RabidConfig.from_dict(d["config"])
+
+
+def ledger_state_to_dict(ledger) -> Dict[str, Any]:
+    """Serialize a :class:`SiteLedger`'s used/capacity vectors."""
+    state = ledger.snapshot_state()
+    return {"version": PLAN_SCHEMA_VERSION, **state}
+
+
+def ledger_state_from_dict(d: Dict[str, Any], ledger) -> None:
+    """Install a serialized ledger state onto ``ledger``'s graph."""
+    if d.get("version") != PLAN_SCHEMA_VERSION:
+        raise ConfigurationError(f"unsupported ledger schema {d.get('version')!r}")
+    ledger.restore_state({"used": d["used"], "capacity": d["capacity"]})
+
+
+def plan_to_dict(graph: TileGraph, routes: Dict[str, RouteTree], config) -> Dict[str, Any]:
+    """Serialize a complete plan: graph state + routes + config.
+
+    The payload captures everything needed to resume planning warm —
+    ``B(v)``/``b(v)`` through the ledger, wire capacity/usage, every
+    net's tree with buffer annotations, and the full planner config.
+    """
+    return {
+        "version": PLAN_SCHEMA_VERSION,
+        "die": [graph.die.x0, graph.die.y0, graph.die.x1, graph.die.y1],
+        "grid": [graph.nx, graph.ny],
+        "ledger": ledger_state_to_dict(graph.ledger()),
+        "edge_capacity": graph.edge_capacity.tolist(),
+        "edge_usage": graph.edge_usage.tolist(),
+        "routes": routes_to_dict(routes),
+        "config": config_to_dict(config),
+    }
+
+
+def plan_from_dict(d: Dict[str, Any]):
+    """Inverse of :func:`plan_to_dict`.
+
+    Returns ``(graph, routes, config)`` with all usage state installed.
+    """
+    if d.get("version") != PLAN_SCHEMA_VERSION:
+        raise ConfigurationError(f"unsupported plan schema {d.get('version')!r}")
+    import numpy as np
+
+    die = Rect(*d["die"])
+    nx, ny = d["grid"]
+    graph = TileGraph(die, nx, ny, CapacityModel.uniform(0))
+    graph.edge_capacity[:] = np.asarray(d["edge_capacity"], dtype=np.int64)
+    graph.edge_usage[:] = np.asarray(d["edge_usage"], dtype=np.int64)
+    graph._notify_all_usage_changed()
+    ledger_state_from_dict(d["ledger"], graph.ledger())
+    routes = routes_from_dict(d["routes"])
+    config = config_from_dict(d["config"])
+    return graph, routes, config
+
+
+def save_plan_json(path: "str | Path", graph, routes, config) -> None:
+    """Write a complete plan (graph state + routes + config) to JSON."""
+    Path(path).write_text(json.dumps(plan_to_dict(graph, routes, config)))
+
+
+def load_plan_json(path: "str | Path"):
+    """Read a plan written by :func:`save_plan_json`."""
+    return plan_from_dict(json.loads(Path(path).read_text()))
 
 
 def save_instance_json(

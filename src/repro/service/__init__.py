@@ -1,0 +1,60 @@
+"""The incremental planning service.
+
+A persistent layer over the RABID pipeline for the paper's intended
+workflow — perturb the floorplan, re-evaluate, repeat — built from:
+
+* :mod:`repro.service.jobs` — typed scenarios, deltas, and jobs.
+* :mod:`repro.service.engine` — full plans with replayable per-net state.
+* :mod:`repro.service.incremental` — exact dirty-region re-planning.
+* :mod:`repro.service.scheduler` — asyncio workers, timeouts, shed.
+* :mod:`repro.service.verify` — sampled incremental-vs-full checks.
+* :mod:`repro.service.checkpoint` — warm restarts via ``repro.io``.
+* :mod:`repro.service.protocol` — the ``repro serve`` JSON-lines API.
+"""
+
+from repro.service.engine import NetOutcome, PlanState, full_plan
+from repro.service.incremental import IncrementalStats, incremental_replan
+from repro.service.jobs import (
+    DeltaOp,
+    DeltaSpec,
+    Job,
+    JobRecord,
+    JobStatus,
+    MacroSpec,
+    ScenarioSpec,
+    add_net,
+    apply_delta,
+    move_macro,
+    remove_net,
+    set_capacity,
+    set_length_limit,
+    set_sites,
+)
+from repro.service.scheduler import PlanningService, SchedulerOptions
+from repro.service.verify import VerificationResult, verify_state
+
+__all__ = [
+    "DeltaOp",
+    "DeltaSpec",
+    "IncrementalStats",
+    "Job",
+    "JobRecord",
+    "JobStatus",
+    "MacroSpec",
+    "NetOutcome",
+    "PlanState",
+    "PlanningService",
+    "ScenarioSpec",
+    "SchedulerOptions",
+    "VerificationResult",
+    "add_net",
+    "apply_delta",
+    "full_plan",
+    "incremental_replan",
+    "move_macro",
+    "remove_net",
+    "set_capacity",
+    "set_length_limit",
+    "set_sites",
+    "verify_state",
+]

@@ -395,6 +395,21 @@ class TileGraph:
         if count and self._site_observers:
             self._notify_wire_delta(eid, count)
 
+    def set_wire_capacity(self, u: Tile, v: Tile, capacity: int) -> None:
+        """Set ``W(e)`` for the boundary edge ``(u, v)``.
+
+        Capacity edits (floorplan deltas, what-if scenarios) invalidate
+        the congestion-cost caches for that edge; usage is untouched, so
+        the edge may be left overflowing — the planner's rip-up stages
+        are expected to resolve that.
+        """
+        if capacity < 0:
+            raise ConfigurationError("wire capacity must be >= 0")
+        eid = self._checked_edge_id(u, v)
+        self.edge_capacity[eid] = capacity
+        if self._cost_caches:
+            self._notify_usage_changed(eid)
+
     def edges(self) -> Iterator[Tuple[Tile, Tile]]:
         """All undirected edges, horizontal first, deterministic order."""
         for x in range(self.nx - 1):

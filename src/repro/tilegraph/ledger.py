@@ -188,6 +188,40 @@ class SiteLedger:
         self.entries_rolled_back += len(journal)
         return len(journal)
 
+    # -- whole-state snapshots ------------------------------------------ #
+
+    def snapshot_state(self) -> "dict[str, List[int]]":
+        """JSON-able copy of the ledger's used/capacity vectors.
+
+        The service checkpoints call this so a restarted process resumes
+        with the exact ``b(v)``/``B(v)`` accounting of the saved plan.
+        """
+        return {
+            "used": self.used.tolist(),
+            "capacity": self.capacity.tolist(),
+        }
+
+    def restore_state(self, state: "dict[str, List[int]]") -> None:
+        """Install a :meth:`snapshot_state` payload onto the graph.
+
+        Refused while a transaction is open (the journal could not undo a
+        bulk overwrite), and on length mismatches against this graph.
+        """
+        if self._journals:
+            raise ConfigurationError(
+                "cannot restore ledger state inside an open transaction"
+            )
+        used = state["used"]
+        capacity = state["capacity"]
+        if len(used) != self.used.shape[0] or len(capacity) != self.capacity.shape[0]:
+            raise ConfigurationError(
+                f"ledger state is for {len(used)} tiles, graph has "
+                f"{self.used.shape[0]}"
+            )
+        self.capacity[:] = np.asarray(capacity, dtype=np.int64)
+        self.used[:] = np.asarray(used, dtype=np.int64)
+        self._graph._notify_all_sites_changed()
+
     @contextmanager
     def transaction(self) -> Iterator[Transaction]:
         """Scope that commits on success and rolls back on exception.

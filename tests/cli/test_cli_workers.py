@@ -50,6 +50,66 @@ class TestStage3WorkersFlag:
         assert "solver" in capsys.readouterr().err
 
 
+class TestWorkerClamping:
+    """Values past os.cpu_count() clamp (with a warning) instead of dying."""
+
+    def test_workers_clamped_to_cpu_count(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 2)
+        assert main(["run", "apte", "--stage4-iterations", "0",
+                     "--workers", "64"]) == 0
+        captured = capsys.readouterr()
+        assert "warning: clamping --workers=64 to 2" in captured.err
+        assert "stage" in captured.out
+
+    def test_stage3_workers_clamped_to_cpu_count(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 2)
+        assert main(["run", "apte", "--stage4-iterations", "0",
+                     "--stage3-workers", "64"]) == 0
+        captured = capsys.readouterr()
+        assert "warning: clamping --stage3-workers=64 to 2" in captured.err
+
+    def test_in_range_values_not_clamped(self, capsys, monkeypatch):
+        from repro.cli import _check_worker_flags
+
+        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 4)
+
+        class Args:
+            workers = 4
+            stage3_workers = 3
+
+        _check_worker_flags(Args)
+        assert Args.workers == 4
+        assert Args.stage3_workers == 3
+        assert capsys.readouterr().err == ""
+
+    def test_unknown_cpu_count_clamps_to_one(self, capsys, monkeypatch):
+        from repro.cli import _check_worker_flags
+
+        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: None)
+
+        class Args:
+            workers = 8
+            stage3_workers = 1
+
+        _check_worker_flags(Args)
+        assert Args.workers == 1
+        assert "clamping --workers=8 to 1" in capsys.readouterr().err
+
+    def test_sub_one_values_left_for_config_validation(self, monkeypatch):
+        from repro.cli import _check_worker_flags
+
+        monkeypatch.setattr("repro.cli.os.cpu_count", lambda: 2)
+
+        class Args:
+            workers = 0
+            stage3_workers = -3
+
+        _check_worker_flags(Args)
+        # Untouched: RabidConfig owns the "must be >= 1" rejection.
+        assert Args.workers == 0
+        assert Args.stage3_workers == -3
+
+
 class TestSeedValidation:
     def test_negative_seed_exits_2(self, capsys):
         with pytest.raises(SystemExit) as exc:

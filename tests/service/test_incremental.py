@@ -1,0 +1,140 @@
+"""Incremental re-plan == full re-plan, for every delta kind.
+
+The service's core guarantee: the exact-replay engine produces a plan
+whose buffering-kernel signature equals a from-scratch plan of the
+evolved scenario. Each test perturbs a cached baseline one way, replans
+incrementally, and compares against ``full_plan(apply_delta(...))``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import (
+    DeltaSpec,
+    MacroSpec,
+    ScenarioSpec,
+    add_net,
+    apply_delta,
+    full_plan,
+    incremental_replan,
+    move_macro,
+    remove_net,
+    set_capacity,
+    set_length_limit,
+    set_sites,
+)
+
+SPEC = ScenarioSpec(
+    grid=12, num_nets=60, total_sites=400, macros=(MacroSpec(2, 2, 3, 3),)
+)
+
+
+@pytest.fixture
+def baseline():
+    return full_plan(SPEC)
+
+
+def assert_usage_consistent(state):
+    """Graph usage must equal the sum of the plan's trees — after every
+    commit, not just at steady state (the ledger-transaction guarantee
+    extended to service jobs)."""
+    graph = state.graph
+    edge_usage = np.zeros_like(graph.edge_usage)
+    used_sites = np.zeros_like(graph.used_sites)
+    for tree in state.routes.values():
+        for u, v in tree.edges():
+            edge_usage[graph.edge_id(u, v)] += 1
+        for tile, count in tree.buffer_counts().items():
+            used_sites[tile] += count
+    assert np.array_equal(edge_usage, graph.edge_usage)
+    assert np.array_equal(used_sites, graph.used_sites)
+    assert not graph.ledger().active
+
+
+DELTAS = {
+    "move_macro": DeltaSpec((move_macro(0, 7, 7),)),
+    "set_sites": DeltaSpec((set_sites([(6, 6, 0), (7, 7, 12)]),)),
+    "set_capacity": DeltaSpec(
+        (set_capacity([(5, 5, 6, 5, 1), (5, 5, 5, 6, 1)]),)
+    ),
+    "add_net": DeltaSpec(
+        (add_net("zz_new", (1, 1), [(8, 3), (4, 9)]),)
+    ),
+    "remove_net": DeltaSpec((remove_net("net07"),)),
+    "set_length_limit": DeltaSpec((set_length_limit("net11", 2),)),
+    "combined": DeltaSpec(
+        (
+            move_macro(0, 6, 1),
+            set_length_limit("net23", 3),
+            remove_net("net40"),
+            add_net("zz_more", (10, 10), [(2, 2)]),
+        )
+    ),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(DELTAS))
+def test_incremental_matches_full(baseline, kind):
+    delta = DELTAS[kind]
+    stats = incremental_replan(baseline, delta)
+    reference = full_plan(apply_delta(SPEC, delta))
+    assert stats.signature == reference.signature
+    assert baseline.signature == reference.signature
+    assert stats.nets_replayed + stats.nets_resolved == stats.nets_total
+    assert_usage_consistent(baseline)
+
+
+def test_stacked_deltas_match_full(baseline):
+    d1 = DELTAS["move_macro"]
+    d2 = DELTAS["set_length_limit"]
+    incremental_replan(baseline, d1)
+    incremental_replan(baseline, d2)
+    reference = full_plan(apply_delta(apply_delta(SPEC, d1), d2))
+    assert baseline.signature == reference.signature
+    assert_usage_consistent(baseline)
+
+
+def test_replay_actually_skips_work(baseline):
+    # A corner-local perturbation must leave far-away nets replayed.
+    stats = incremental_replan(baseline, DeltaSpec((set_sites([(11, 11, 3)]),)))
+    assert stats.nets_replayed > 0
+
+
+def test_outcomes_track_trees(baseline):
+    incremental_replan(baseline, DELTAS["move_macro"])
+    for name, tree in baseline.routes.items():
+        assert tuple(tree.buffer_specs()) == baseline.outcomes[name].specs
+
+
+def test_failed_replan_rolls_back(baseline):
+    sig = baseline.signature
+    usage_before = baseline.graph.snapshot_usage()
+    routes_before = dict(baseline.routes)
+    # A negative site override passes delta validation but blows up inside
+    # the replay (effective_sites), exercising the restore path.
+    bad = DeltaSpec((set_sites([(3, 3, -1)]),))
+    with pytest.raises(ConfigurationError):
+        incremental_replan(baseline, bad)
+    assert baseline.signature == sig
+    assert baseline.routes == routes_before
+    h, v, b = usage_before
+    assert np.array_equal(baseline.graph.h_usage, h)
+    assert np.array_equal(baseline.graph.v_usage, v)
+    assert np.array_equal(baseline.graph.used_sites, b)
+    assert_usage_consistent(baseline)
+    # The baseline must still be usable after the failed attempt.
+    stats = incremental_replan(baseline, DELTAS["move_macro"])
+    assert stats.signature == full_plan(apply_delta(SPEC, DELTAS["move_macro"])).signature
+
+
+def test_reroute_path_taken_for_capacity_choke(baseline):
+    # Throttling a band of central edges to capacity 1 forces reroutes
+    # (not just re-buffering) through the dirty-region machinery.
+    edges = [(x, 6, x, 7, 1) for x in range(3, 9)]
+    delta = DeltaSpec((set_capacity(edges),))
+    stats = incremental_replan(baseline, delta)
+    reference = full_plan(apply_delta(SPEC, delta))
+    assert stats.signature == reference.signature
+    assert stats.nets_rerouted > 0
+    assert_usage_consistent(baseline)

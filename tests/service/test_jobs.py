@@ -1,0 +1,184 @@
+"""Scenario/delta/job model: round-trips, validation, pure evolution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.service.jobs import (
+    DeltaOp,
+    DeltaSpec,
+    Job,
+    MacroSpec,
+    ScenarioSpec,
+    add_net,
+    apply_delta,
+    move_macro,
+    remove_net,
+    set_capacity,
+    set_length_limit,
+    set_sites,
+)
+
+
+def small_spec(**kwargs) -> ScenarioSpec:
+    defaults = dict(
+        grid=10, num_nets=20, total_sites=200, macros=(MacroSpec(2, 2, 3, 3),)
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+class TestScenarioSpec:
+    def test_round_trip(self):
+        spec = small_spec(
+            added_nets=((("extra"), (0, 0), ((5, 5), (2, 7))),),
+            removed_nets=("net03",),
+            length_limits=(("net01", 7),),
+            site_overrides=(((4, 4), 9),),
+            capacity_overrides=(((0, 0), (1, 0), 3),),
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_bad_version_rejected(self):
+        d = small_spec().to_dict()
+        d["version"] = 99
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict(d)
+
+    def test_macro_blocks_sites(self):
+        spec = small_spec()
+        sites = spec.effective_sites()
+        for x, y in spec.macros[0].tiles(10, 10):
+            assert sites[x, y] == 0
+
+    def test_moving_macro_restores_old_footprint(self):
+        spec = small_spec()
+        moved = apply_delta(spec, DeltaSpec((move_macro(0, 6, 6),)))
+        base = spec.base_sites()
+        sites = moved.effective_sites()
+        for x, y in spec.macros[0].tiles(10, 10):
+            if (x, y) not in moved.macros[0].tiles(10, 10):
+                assert sites[x, y] == base[x, y]
+
+    def test_site_override_beats_macro(self):
+        spec = small_spec(site_overrides=(((2, 2), 5),))
+        assert spec.effective_sites()[2, 2] == 5
+
+    def test_base_sites_deterministic_and_conserved(self):
+        spec = small_spec()
+        a, b = spec.base_sites(), spec.base_sites()
+        assert np.array_equal(a, b)
+        assert int(a.sum()) == spec.total_sites
+
+    def test_nets_add_remove(self):
+        spec = small_spec(
+            added_nets=(("extra", (0, 0), ((5, 5),)),),
+            removed_nets=("net00",),
+        )
+        nets = spec.nets()
+        assert "extra" in nets and "net00" not in nets
+
+    def test_limits_with_overrides(self):
+        spec = small_spec(length_limits=(("net01", 9),))
+        limits = spec.limits(["net00", "net01"])
+        assert limits == {"net00": spec.length_limit, "net01": 9}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(grid=1)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(capacity=0)
+        with pytest.raises(ConfigurationError):
+            MacroSpec(0, 0, 0, 3)
+
+
+class TestDeltas:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown delta kind"):
+            DeltaOp("teleport_macro", {})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing fields"):
+            DeltaOp("move_macro", {"index": 0})
+
+    def test_empty_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeltaSpec(ops=())
+
+    def test_round_trip(self):
+        delta = DeltaSpec(
+            ops=(
+                move_macro(0, 5, 5),
+                set_sites([(1, 1, 4)]),
+                set_capacity([(0, 0, 1, 0, 2)]),
+                add_net("x", (0, 0), [(3, 3)]),
+                remove_net("net01"),
+                set_length_limit("net02", 8),
+            )
+        )
+        assert DeltaSpec.from_dict(delta.to_dict()) == delta
+
+    def test_apply_is_pure(self):
+        spec = small_spec()
+        before = spec.to_dict()
+        apply_delta(spec, DeltaSpec((move_macro(0, 6, 6),)))
+        assert spec.to_dict() == before
+
+    def test_apply_each_kind(self):
+        spec = small_spec()
+        out = apply_delta(
+            spec,
+            DeltaSpec(
+                ops=(
+                    move_macro(0, 6, 6),
+                    set_sites([(1, 1, 4)]),
+                    set_capacity([(0, 0, 0, 1, 2)]),
+                    add_net("x", (0, 0), [(3, 3)]),
+                    remove_net("net01"),
+                    set_length_limit("net02", 8),
+                )
+            ),
+        )
+        assert out.macros[0] == MacroSpec(6, 6, 3, 3)
+        assert ((1, 1), 4) in out.site_overrides
+        assert ((0, 0), (0, 1), 2) in out.capacity_overrides
+        assert "x" in out.nets() and "net01" not in out.nets()
+        assert out.limits(["net02"])["net02"] == 8
+
+    def test_remove_then_add_back(self):
+        spec = small_spec()
+        out = apply_delta(spec, DeltaSpec((remove_net("net01"),)))
+        out = apply_delta(out, DeltaSpec((add_net("net01", (0, 0), [(2, 2)]),)))
+        assert out.nets()["net01"] == ((0, 0), [(2, 2)])
+
+    def test_move_macro_bad_index(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            apply_delta(small_spec(), DeltaSpec((move_macro(3, 0, 0),)))
+
+    def test_bad_length_limit(self):
+        with pytest.raises(ConfigurationError):
+            apply_delta(small_spec(), DeltaSpec((set_length_limit("n", 0),)))
+
+
+class TestJobs:
+    def test_baseline_needs_scenario(self):
+        with pytest.raises(ProtocolError):
+            Job("j0", "baseline")
+
+    def test_delta_needs_baseline_and_delta(self):
+        with pytest.raises(ProtocolError):
+            Job("j0", "delta", baseline_id="b0")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError):
+            Job("j0", "mystery", scenario=small_spec())
+
+    def test_unknown_mode(self):
+        with pytest.raises(ProtocolError):
+            Job(
+                "j0",
+                "delta",
+                baseline_id="b0",
+                delta=DeltaSpec((remove_net("n"),)),
+                mode="psychic",
+            )

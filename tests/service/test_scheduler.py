@@ -1,0 +1,300 @@
+"""Scheduler behaviour: shed, timeout rollback, retries, verification.
+
+The planning engine is exercised elsewhere; here we mostly inject fake
+plan/replan callables so each scheduler path is isolated and fast. No
+pytest-asyncio in the environment — tests drive the loop via
+``asyncio.run`` directly.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, QueueFullError, ServiceError
+from repro.service import (
+    DeltaSpec,
+    Job,
+    JobStatus,
+    PlanningService,
+    ScenarioSpec,
+    SchedulerOptions,
+    full_plan,
+    move_macro,
+)
+from repro.service.jobs import MacroSpec
+
+SPEC = ScenarioSpec(
+    grid=8, num_nets=12, total_sites=120, macros=(MacroSpec(1, 1, 2, 2),)
+)
+DELTA = DeltaSpec((move_macro(0, 4, 4),))
+
+
+class FakeStats:
+    seconds = 0.001
+
+    def as_dict(self):
+        return {"seconds": self.seconds}
+
+
+def delta_job(job_id="d0", baseline_id="b0"):
+    return Job(job_id, "delta", baseline_id=baseline_id, delta=DELTA)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOptions:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"max_queue": 0},
+            {"job_timeout": 0},
+            {"retries": -1},
+            {"backoff": -0.1},
+            {"verify_fraction": 1.5},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SchedulerOptions(**kwargs)
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_typed_error(self):
+        async def scenario():
+            # Workers never started, so the queue only drains on shed.
+            service = PlanningService(options=SchedulerOptions(max_queue=1))
+            service.submit(delta_job("d0"))
+            with pytest.raises(QueueFullError):
+                service.submit(delta_job("d1"))
+            assert service.record("d1").status is JobStatus.SHED
+            assert service.stats()["shed"] == 1
+            assert "queue full" in service.record("d1").error
+
+        run(scenario())
+
+    def test_duplicate_job_id_rejected(self):
+        async def scenario():
+            service = PlanningService()
+            service.submit(delta_job("d0"))
+            with pytest.raises(ServiceError, match="duplicate"):
+                service.submit(delta_job("d0"))
+
+        run(scenario())
+
+
+class TestEndToEnd:
+    def test_baseline_then_incremental_delta(self):
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, verify_fraction=1.0)
+            )
+            await service.start()
+            try:
+                service.submit(Job("b0", "baseline", scenario=SPEC))
+                record = await service.wait("b0")
+                assert record.status is JobStatus.DONE
+                service.submit(delta_job("d0"))
+                record = await service.wait("d0")
+                assert record.status is JobStatus.DONE
+                assert record.result["mode"] == "incremental"
+                assert record.result["verify_matched"] is True
+                assert service.stats()["verified"] == 1
+                assert service.stats()["mismatches"] == 0
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+    def test_full_mode_replaces_baseline(self):
+        async def scenario():
+            service = PlanningService(options=SchedulerOptions(workers=1))
+            await service.start()
+            try:
+                service.submit(Job("b0", "baseline", scenario=SPEC))
+                await service.wait("b0")
+                job = Job("d0", "delta", baseline_id="b0", delta=DELTA,
+                          mode="full")
+                service.submit(job)
+                record = await service.wait("d0")
+                assert record.status is JobStatus.DONE
+                assert record.result["mode"] == "full"
+                from repro.service.jobs import apply_delta
+
+                assert (service.baseline("b0").signature
+                        == full_plan(apply_delta(SPEC, DELTA)).signature)
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+    def test_unknown_baseline_fails_job(self):
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, retries=0)
+            )
+            await service.start()
+            try:
+                service.submit(delta_job("d0", baseline_id="nope"))
+                record = await service.wait("d0")
+                assert record.status is JobStatus.FAILED
+                assert "UnknownJobError" in record.error
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+
+class TestRetries:
+    def test_flaky_job_retries_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky_replan(state, delta, tracer=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return FakeStats()
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, retries=1, backoff=0.0),
+                replan_fn=flaky_replan,
+            )
+            service.install_baseline("b0", full_plan(SPEC))
+            await service.start()
+            try:
+                service.submit(delta_job())
+                record = await service.wait("d0")
+                assert record.status is JobStatus.DONE
+                assert record.attempts == 2
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+    def test_retries_exhausted_fails(self):
+        def always_fails(state, delta, tracer=None):
+            raise RuntimeError("hard down")
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, retries=2, backoff=0.0),
+                replan_fn=always_fails,
+            )
+            service.install_baseline("b0", full_plan(SPEC))
+            await service.start()
+            try:
+                service.submit(delta_job())
+                record = await service.wait("d0")
+                assert record.status is JobStatus.FAILED
+                assert record.attempts == 3
+                assert "hard down" in record.error
+                assert service.stats()["failed"] == 1
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+
+class TestTimeout:
+    def test_timeout_rolls_back_and_does_not_retry(self):
+        release = threading.Event()
+
+        def slow_replan(state, delta, tracer=None):
+            # Corrupt the plan, then outlive the deadline: the rollback
+            # in the worker thread must undo the corruption.
+            state.signature = "corrupted-by-slow-job"
+            release.wait(5.0)
+            return FakeStats()
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(
+                    workers=1, job_timeout=0.1, retries=3
+                ),
+                replan_fn=slow_replan,
+            )
+            baseline = full_plan(SPEC)
+            original = baseline.signature
+            service.install_baseline("b0", baseline)
+            await service.start()
+            try:
+                service.submit(delta_job())
+                record = await service.wait("d0")
+                assert record.status is JobStatus.TIMEOUT
+                assert record.attempts == 1  # timeouts never retry
+                release.set()
+                # The zombie thread finishes, notices the cancel flag,
+                # and restores the pre-job backup.
+                deadline = time.monotonic() + 5.0
+                while (baseline.signature != original
+                       and time.monotonic() < deadline):
+                    await asyncio.sleep(0.01)
+                assert baseline.signature == original
+                assert service.stats()["timeout"] == 1
+            finally:
+                release.set()
+                await service.stop()
+
+        run(scenario())
+
+
+class TestVerification:
+    def test_mismatch_escalates_to_full_plan(self):
+        def corrupting_replan(state, delta, tracer=None):
+            # Claims success but leaves a wrong signature behind —
+            # exactly the bug class sampled verification exists for.
+            state.signature = "bogus"
+            return FakeStats()
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, verify_fraction=1.0),
+                replan_fn=corrupting_replan,
+            )
+            baseline = full_plan(SPEC)
+            service.install_baseline("b0", baseline)
+            await service.start()
+            try:
+                service.submit(delta_job())
+                record = await service.wait("d0")
+                assert record.status is JobStatus.DONE
+                assert record.result["verify_matched"] is False
+                assert record.result["escalated"] is True
+                stats = service.stats()
+                assert stats["verified"] == 1
+                assert stats["mismatches"] == 1
+                # The adopted baseline is the scratch full plan.
+                adopted = service.baseline("b0")
+                assert adopted.signature == full_plan(SPEC).signature
+                assert adopted is not baseline
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+    def test_sampling_respects_fraction_zero(self):
+        def fake_replan(state, delta, tracer=None):
+            return FakeStats()
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, verify_fraction=0.0),
+                replan_fn=fake_replan,
+            )
+            service.install_baseline("b0", full_plan(SPEC))
+            await service.start()
+            try:
+                service.submit(delta_job())
+                record = await service.wait("d0")
+                assert record.status is JobStatus.DONE
+                assert "verified" not in record.result
+                assert service.stats()["verified"] == 0
+            finally:
+                await service.stop()
+
+        run(scenario())

@@ -82,3 +82,75 @@ class TestLegalize:
         tree = _path_tree([(0, 0), (1, 0)], "a")
         placement = SitePlacement(graph10_sites, seed=0)
         assert legalize_buffers({"a": tree}, placement) == []
+
+    def test_sites_in_returns_a_copy(self, graph10_sites):
+        placement = SitePlacement(graph10_sites, seed=0)
+        placement.sites_in((0, 0)).clear()
+        assert len(placement.sites_in((0, 0))) == 3
+
+    def test_single_buffer_takes_site_nearest_center(self, graph10_sites):
+        tree = _path_tree([(i, 0) for i in range(6)], "a")
+        tree.apply_buffers([BufferSpec((3, 0), None)])
+        placement = SitePlacement(graph10_sites, seed=0)
+        [placed] = legalize_buffers({"a": tree}, placement)
+        center = graph10_sites.tile_center((3, 0))
+        best = min(
+            p.manhattan_to(center) for p in placement.sites_in((3, 0))
+        )
+        assert placed.location.manhattan_to(center) == best
+
+    def test_legalization_deterministic(self, graph10_sites):
+        def run():
+            t1 = _path_tree([(i, 0) for i in range(6)], "a")
+            t1.apply_buffers(
+                [BufferSpec((2, 0), None), BufferSpec((4, 0), None)]
+            )
+            t2 = _path_tree([(i, 1) for i in range(6)], "b")
+            t2.apply_buffers([BufferSpec((2, 1), None)])
+            placement = SitePlacement(graph10_sites, seed=7)
+            return legalize_buffers({"a": t1, "b": t2}, placement)
+
+        assert run() == run()
+
+    def test_overdemand_message_names_tile_and_counts(self, graph10):
+        graph10.set_sites((2, 0), 1)
+        tree = _path_tree([(i, 0) for i in range(6)], "a")
+        tree2 = _path_tree([(i, 1) for i in range(2)] + [(2, 0), (3, 0)], "b")
+        tree.apply_buffers([BufferSpec((2, 0), None)])
+        tree2.apply_buffers([BufferSpec((2, 0), None)])
+        placement = SitePlacement(graph10, seed=0)
+        with pytest.raises(
+            ConfigurationError, match=r"\(2, 0\).*2 buffers.*1"
+        ):
+            legalize_buffers({"a": tree, "b": tree2}, placement)
+
+    def test_exact_fit_consumes_every_site(self, graph10):
+        graph10.set_sites((5, 5), 2)
+        paths = [
+            [(5, 4), (5, 5), (5, 6)],
+            [(5, 4), (5, 5), (6, 5)],
+        ]
+        tree = RouteTree.from_paths(
+            (5, 4), paths, [(5, 6), (6, 5)], net_name="n"
+        )
+        tree.apply_buffers(
+            [BufferSpec((5, 5), (5, 6)), BufferSpec((5, 5), (6, 5))]
+        )
+        placement = SitePlacement(graph10, seed=0)
+        placed = legalize_buffers({"n": tree}, placement)
+        assert {p.location for p in placed} == set(placement.sites_in((5, 5)))
+
+    def test_placed_buffers_carry_driven_child(self, graph10_sites):
+        paths = [
+            [(1, 0), (1, 1), (0, 1)],
+            [(1, 0), (1, 1), (2, 1)],
+        ]
+        tree = RouteTree.from_paths(
+            (1, 0), paths, [(0, 1), (2, 1)], net_name="n"
+        )
+        tree.apply_buffers(
+            [BufferSpec((1, 1), (0, 1)), BufferSpec((1, 1), (2, 1))]
+        )
+        placement = SitePlacement(graph10_sites, seed=0)
+        placed = legalize_buffers({"n": tree}, placement)
+        assert {p.drives_child for p in placed} == {(0, 1), (2, 1)}
