@@ -105,13 +105,20 @@ def load_checkpoint(path: "str | Path") -> "tuple[str, PlanState]":
 
 
 def save_service_checkpoints(directory: "str | Path", service) -> "list[str]":
-    """Write one ``<baseline_id>.ckpt.json`` per baseline; returns paths."""
+    """Write one ``<baseline_id>.ckpt.json`` per baseline; returns paths.
+
+    Each baseline is captured under its job lock
+    (:meth:`PlanningService.locked_baseline`), so a worker — or a
+    timed-out job's zombie thread — mid-replan can never hand the
+    serializer a torn plan.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = []
     for baseline_id in service.baseline_ids:
         path = directory / f"{baseline_id}.ckpt.json"
-        save_checkpoint(path, baseline_id, service.baseline(baseline_id))
+        with service.locked_baseline(baseline_id) as state:
+            save_checkpoint(path, baseline_id, state)
         written.append(str(path))
     return written
 

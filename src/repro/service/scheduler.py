@@ -12,9 +12,13 @@ per-job timeout. Three safety properties:
   so a timed-out job's zombie thread can never interleave with the next
   job on the same plan.
 * **Timeout rollback** — a timeout cancels the awaiting coroutine but
-  cannot stop the thread; the thread checks a cancel flag after
-  finishing and restores the pre-job backup, so a plan mutated past its
-  deadline rolls back to the state the scheduler reported.
+  cannot stop the thread; thread and timeout path race to claim the
+  job's fate through a lock-guarded :class:`_JobFate`, so exactly one
+  of them wins. If the timeout claims first, the thread rolls back the
+  pre-job backup (and never installs/rebinds a baseline); if the thread
+  already claimed completion, the record still reports ``TIMEOUT`` but
+  its error says the result was committed, so clients know not to
+  resubmit the delta.
 
 Sampled verification (``verify_fraction``) re-plans a deterministic
 subset of incremental jobs from scratch and, on a signature mismatch,
@@ -24,11 +28,12 @@ adopts the full plan (escalation) while counting the event in ``obs``.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.rabid import RabidConfig
 from repro.errors import (
@@ -44,6 +49,40 @@ from repro.service.incremental import incremental_replan
 from repro.service.jobs import Job, JobRecord, JobStatus
 
 _TERMINAL = (JobStatus.DONE, JobStatus.FAILED, JobStatus.TIMEOUT, JobStatus.SHED)
+
+
+class _JobFate:
+    """Atomic arbiter between a job thread and the timeout path.
+
+    The event loop cannot stop a running thread, so when ``wait_for``
+    raises both sides may believe they own the outcome. Exactly one
+    claim wins: the thread calls :meth:`try_commit` *before* publishing
+    any mutation (installing a baseline, rebinding the dict entry), and
+    the timeout path calls :meth:`try_cancel` before reporting "rolled
+    back". Whoever claims second learns the truth and acts on it — the
+    thread rolls back, or the timeout path reports the commit.
+    """
+
+    _COMMITTED = "committed"
+    _CANCELLED = "cancelled"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._state: Optional[str] = None
+
+    def try_commit(self) -> bool:
+        """Claim completion; False means the timeout already won."""
+        with self._lock:
+            if self._state is None:
+                self._state = self._COMMITTED
+            return self._state == self._COMMITTED
+
+    def try_cancel(self) -> bool:
+        """Claim cancellation; False means the thread already committed."""
+        with self._lock:
+            if self._state is None:
+                self._state = self._CANCELLED
+            return self._state == self._CANCELLED
 
 
 @dataclass
@@ -148,8 +187,14 @@ class PlanningService:
     # -- submission / inspection ----------------------------------------- #
 
     def submit(self, job: Job) -> JobRecord:
-        """Enqueue a job; raises :class:`QueueFullError` when saturated."""
-        if job.job_id in self._records:
+        """Enqueue a job; raises :class:`QueueFullError` when saturated.
+
+        A job id whose only record is ``SHED`` may be resubmitted:
+        backpressure is exactly the condition that invites a retry, so
+        shedding must not burn the id.
+        """
+        existing = self._records.get(job.job_id)
+        if existing is not None and existing.status is not JobStatus.SHED:
             raise ServiceError(f"duplicate job id {job.job_id!r}")
         record = JobRecord(job=job, submitted_at=time.monotonic())
         self._stats["submitted"] += 1
@@ -182,6 +227,23 @@ class PlanningService:
             return self._baselines[baseline_id]
         except KeyError:
             raise UnknownJobError(f"unknown baseline {baseline_id!r}") from None
+
+    @contextlib.contextmanager
+    def locked_baseline(self, baseline_id: str) -> Iterator[PlanState]:
+        """The baseline under its job lock — a quiescent plan.
+
+        Checkpointing reads routes and live graph arrays; without the
+        lock a worker (or a timed-out job's zombie thread) could mutate
+        them mid-serialization. Re-reads the dict entry after acquiring
+        the lock so a concurrent full-mode rebind yields the new plan,
+        not the orphaned one.
+        """
+        try:
+            lock = self._baseline_locks[baseline_id]
+        except KeyError:
+            raise UnknownJobError(f"unknown baseline {baseline_id!r}") from None
+        with lock:
+            yield self.baseline(baseline_id)
 
     def install_baseline(self, baseline_id: str, state: PlanState) -> None:
         """Adopt a pre-built plan (checkpoint restore / warm restart)."""
@@ -223,18 +285,24 @@ class PlanningService:
         options = self.options
         for attempt in range(options.retries + 1):
             record.attempts += 1
-            cancelled = threading.Event()
+            fate = _JobFate()
             try:
                 result = await asyncio.wait_for(
-                    asyncio.to_thread(self._run_job_sync, record.job, cancelled),
+                    asyncio.to_thread(self._run_job_sync, record.job, fate),
                     timeout=options.job_timeout,
                 )
             except asyncio.TimeoutError:
-                cancelled.set()
                 record.status = JobStatus.TIMEOUT
+                if fate.try_cancel():
+                    outcome = "rolled back"
+                else:
+                    # The thread claimed completion inside the race
+                    # window: its mutation is committed and must not be
+                    # reported as undone (a client would re-apply it).
+                    outcome = "completed before cancellation; committed"
                 record.error = (
                     f"job exceeded {options.job_timeout}s "
-                    f"(attempt {attempt + 1}); rolled back"
+                    f"(attempt {attempt + 1}); {outcome}"
                 )
                 self._stats["timeout"] += 1
                 if self.tracer.enabled:
@@ -265,42 +333,57 @@ class PlanningService:
 
     # -- the job body (runs in a worker thread) --------------------------- #
 
-    def _run_job_sync(
-        self, job: Job, cancelled: threading.Event
-    ) -> Dict[str, Any]:
+    def _run_job_sync(self, job: Job, fate: _JobFate) -> Dict[str, Any]:
         if job.kind == "baseline":
-            return self._run_baseline(job)
-        return self._run_delta(job, cancelled)
+            return self._run_baseline(job, fate)
+        return self._run_delta(job, fate)
 
-    def _run_baseline(self, job: Job) -> Dict[str, Any]:
+    def _run_baseline(self, job: Job, fate: _JobFate) -> Dict[str, Any]:
         config = self.config
         if job.config is not None:
             config = RabidConfig.from_dict(job.config)
         state = self._full_plan(job.scenario, config, tracer=self.tracer)
+        if not fate.try_commit():
+            # The scheduler already reported TIMEOUT; installing now
+            # would silently adopt a baseline it said failed.
+            raise JobTimeoutError(
+                f"job {job.job_id!r} cancelled; baseline not installed"
+            )
         self.install_baseline(job.job_id, state)
         return {"baseline_id": job.job_id, **state.summary()}
 
-    def _run_delta(self, job: Job, cancelled: threading.Event) -> Dict[str, Any]:
+    def _run_delta(self, job: Job, fate: _JobFate) -> Dict[str, Any]:
         state = self.baseline(job.baseline_id)
         lock = self._baseline_locks[job.baseline_id]
         with lock:
             backup = state.backup()
             try:
-                result = self._apply_delta_locked(job, state)
+                result, new_state = self._apply_delta_locked(job, state)
             except ServiceError:
                 raise
             except Exception as exc:
                 raise JobFailedError(
                     f"delta job {job.job_id!r} failed: {exc}"
                 ) from exc
-            if cancelled.is_set():
+            if not fate.try_commit():
                 # The awaiting side already reported a timeout; undo the
-                # mutation so the reported state matches reality.
+                # in-place mutation and drop any replacement plan so the
+                # reported state matches reality.
                 state.restore(backup)
                 raise JobTimeoutError(f"job {job.job_id!r} cancelled")
+            if new_state is not None:
+                self._baselines[job.baseline_id] = new_state
             return result
 
-    def _apply_delta_locked(self, job: Job, state: PlanState) -> Dict[str, Any]:
+    def _apply_delta_locked(
+        self, job: Job, state: PlanState
+    ) -> "tuple[Dict[str, Any], Optional[PlanState]]":
+        """Run the delta; returns (result, replacement plan or None).
+
+        Never rebinds ``self._baselines`` itself — full-mode and
+        escalation plans are handed back so :meth:`_run_delta` installs
+        them only after the job wins the commit/cancel race.
+        """
         seconds_full_estimate = state.seconds_full
         if job.mode == "full":
             from repro.service.jobs import apply_delta
@@ -310,14 +393,14 @@ class PlanningService:
                 state.config,
                 tracer=self.tracer,
             )
-            self._baselines[job.baseline_id] = new_state
-            return {
+            result = {
                 "baseline_id": job.baseline_id,
                 "mode": "full",
                 **new_state.summary(),
             }
+            return result, new_state
         stats = self._replan(state, job.delta, tracer=self.tracer)
-        result: Dict[str, Any] = {
+        result = {
             "baseline_id": job.baseline_id,
             "mode": "incremental",
             **stats.as_dict(),
@@ -327,11 +410,15 @@ class PlanningService:
             result["speedup_vs_full"] = round(speedup, 2)
             if self.tracer.enabled:
                 self.tracer.observe("service.incremental_speedup", speedup)
+        new_state = None
         if self._verify_rng.random() < self.options.verify_fraction:
-            result.update(self._verify(job, state))
-        return result
+            out, new_state = self._verify(job, state)
+            result.update(out)
+        return result, new_state
 
-    def _verify(self, job: Job, state: PlanState) -> Dict[str, Any]:
+    def _verify(
+        self, job: Job, state: PlanState
+    ) -> "tuple[Dict[str, Any], Optional[PlanState]]":
         from repro.service.verify import verify_state
 
         self._stats["verified"] += 1
@@ -342,10 +429,11 @@ class PlanningService:
             "verified": True,
             "verify_matched": check.matched,
         }
+        escalated: Optional[PlanState] = None
         if not check.matched:
             # Escalate: the scratch full plan is the truth; adopt it.
             self._stats["mismatches"] += 1
-            self._baselines[job.baseline_id] = check.reference
+            escalated = check.reference
             out["escalated"] = True
             out["signature"] = check.reference.signature
             if self.tracer.enabled:
@@ -356,4 +444,4 @@ class PlanningService:
                     incremental=check.incremental_signature,
                     full=check.full_signature,
                 )
-        return out
+        return out, escalated

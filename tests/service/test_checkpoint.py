@@ -1,6 +1,8 @@
-"""Checkpoint round-trips and tamper detection."""
+"""Checkpoint round-trips, tamper detection, and snapshot quiescence."""
 
 import json
+import threading
+import time
 
 import pytest
 
@@ -100,6 +102,34 @@ def test_unreadable_file_raises(tmp_path):
     path.write_text("{not json")
     with pytest.raises(CheckpointError, match="cannot read"):
         load_checkpoint(path)
+
+
+def test_service_checkpoint_waits_for_baseline_lock(tmp_path):
+    # A thread holding the baseline lock (a mid-replan job) leaves the
+    # plan torn; save_service_checkpoints must block until it is whole
+    # again rather than serialize the torn state.
+    service = PlanningService()
+    state = full_plan(SPEC)
+    service.install_baseline("b0", state)
+    original = state.signature
+    mutating = threading.Event()
+
+    def mutator():
+        with service.locked_baseline("b0") as locked:
+            locked.signature = "torn-mid-replan"
+            mutating.set()
+            time.sleep(0.3)
+            locked.signature = original
+
+    thread = threading.Thread(target=mutator)
+    thread.start()
+    assert mutating.wait(5.0)
+    written = save_service_checkpoints(tmp_path, service)
+    thread.join()
+    # Without the lock the snapshot would carry the torn signature and
+    # fail the restore-time recompute check.
+    _, restored = load_checkpoint(written[0])
+    assert restored.signature == original
 
 
 def test_service_checkpoint_cycle(baseline, tmp_path):

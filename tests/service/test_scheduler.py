@@ -86,6 +86,46 @@ class TestBackpressure:
 
         run(scenario())
 
+    def test_shed_job_id_can_be_resubmitted(self):
+        gate = threading.Event()
+
+        def gated_replan(state, delta, tracer=None):
+            gate.wait(5.0)
+            return FakeStats()
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, max_queue=1),
+                replan_fn=gated_replan,
+            )
+            service.install_baseline("b0", full_plan(SPEC))
+            await service.start()
+            try:
+                service.submit(delta_job("d0"))
+                # Wait until the worker dequeues d0; d1 then occupies
+                # the single queue slot so d2's shed is deterministic.
+                while service.record("d0").status is JobStatus.QUEUED:
+                    await asyncio.sleep(0.01)
+                service.submit(delta_job("d1"))
+                with pytest.raises(QueueFullError):
+                    service.submit(delta_job("d2"))
+                assert service.record("d2").status is JobStatus.SHED
+                # Shedding must not burn the id: while still saturated a
+                # retry sheds again (not "duplicate")...
+                with pytest.raises(QueueFullError):
+                    service.submit(delta_job("d2"))
+                gate.set()
+                await service.drain()
+                # ...and once the queue drains the retry is accepted.
+                service.submit(delta_job("d2"))
+                record = await service.wait("d2")
+                assert record.status is JobStatus.DONE
+            finally:
+                gate.set()
+                await service.stop()
+
+        run(scenario())
+
 
 class TestEndToEnd:
     def test_baseline_then_incremental_delta(self):
@@ -241,6 +281,121 @@ class TestTimeout:
                 await service.stop()
 
         run(scenario())
+
+    def test_timeout_baseline_job_never_installs(self):
+        release = threading.Event()
+
+        def slow_full_plan(scenario, config=None, tracer=None):
+            release.wait(5.0)
+            return full_plan(scenario, config)
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, job_timeout=0.1),
+                full_plan_fn=slow_full_plan,
+            )
+            await service.start()
+            try:
+                service.submit(Job("b0", "baseline", scenario=SPEC))
+                record = await service.wait("b0")
+                assert record.status is JobStatus.TIMEOUT
+                assert "rolled back" in record.error
+                release.set()
+            finally:
+                release.set()
+                await service.stop()
+            return service
+
+        # asyncio.run joins the zombie thread on loop shutdown, so by
+        # here it has finished — and must not have installed "b0".
+        service = run(scenario())
+        assert service.baseline_ids == []
+
+    def test_timeout_full_mode_keeps_old_baseline(self):
+        release = threading.Event()
+
+        def slow_full_plan(scenario, config=None, tracer=None):
+            release.wait(5.0)
+            return full_plan(scenario, config)
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(workers=1, job_timeout=0.1),
+                full_plan_fn=slow_full_plan,
+            )
+            baseline = full_plan(SPEC)
+            service.install_baseline("b0", baseline)
+            await service.start()
+            try:
+                service.submit(
+                    Job("d0", "delta", baseline_id="b0", delta=DELTA,
+                        mode="full")
+                )
+                record = await service.wait("d0")
+                assert record.status is JobStatus.TIMEOUT
+                assert "rolled back" in record.error
+                release.set()
+            finally:
+                release.set()
+                await service.stop()
+            return service, baseline
+
+        service, baseline = run(scenario())
+        # The zombie's replacement plan was dropped, not installed.
+        assert service.baseline("b0") is baseline
+
+    def test_timeout_escalation_not_adopted(self):
+        release = threading.Event()
+
+        def corrupt_slow_replan(state, delta, tracer=None):
+            # Forces a verify mismatch (escalation), then outlives the
+            # deadline: the escalated plan must be dropped too.
+            state.signature = "bogus"
+            release.wait(5.0)
+            return FakeStats()
+
+        async def scenario():
+            service = PlanningService(
+                options=SchedulerOptions(
+                    workers=1, job_timeout=0.1, verify_fraction=1.0
+                ),
+                replan_fn=corrupt_slow_replan,
+            )
+            baseline = full_plan(SPEC)
+            original = baseline.signature
+            service.install_baseline("b0", baseline)
+            await service.start()
+            try:
+                service.submit(delta_job())
+                record = await service.wait("d0")
+                assert record.status is JobStatus.TIMEOUT
+                release.set()
+            finally:
+                release.set()
+                await service.stop()
+            return service, baseline, original
+
+        service, baseline, original = run(scenario())
+        assert service.baseline("b0") is baseline
+        assert baseline.signature == original
+
+
+class TestJobFate:
+    def test_commit_claim_beats_cancel(self):
+        from repro.service.scheduler import _JobFate
+
+        fate = _JobFate()
+        assert fate.try_commit()
+        assert not fate.try_cancel()
+        assert fate.try_commit()  # idempotent
+
+    def test_cancel_claim_beats_commit(self):
+        from repro.service.scheduler import _JobFate
+
+        fate = _JobFate()
+        assert fate.try_cancel()
+        assert not fate.try_commit()
+        assert fate.try_cancel()  # idempotent
 
 
 class TestVerification:
