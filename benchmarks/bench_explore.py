@@ -1,0 +1,72 @@
+"""Design-space-exploration benchmark feeding ``BENCH_explore.json``.
+
+Measures the explore engine against the acceptance workload: the
+64-scenario budget sweep on the 32x32 / 500-net kernel scenario with 8
+workers (8 scenarios on 16x16 / 120 under ``REPRO_BENCH_FAST=1``),
+against a bare sequential full-plan loop over the identical scenario
+list. Exactness rides along: per-scenario buffering signatures and the
+rendered frontier report must be byte-identical between the arms.
+"""
+
+import os
+
+from conftest import FAST, SEED, record_table
+from repro.benchmarks.explore_kernel import (
+    append_explore_entry,
+    run_explore_kernel,
+)
+from repro.experiments.formatting import render_table
+
+TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_explore.json")
+
+#: The acceptance floor for the sweep engine on the full workload.
+MIN_SPEEDUP = 4.0
+
+
+def _kernel_kwargs():
+    kwargs = dict(seed=SEED, site_seed=SEED, workers=8)
+    if FAST:
+        kwargs.update(grid=16, num_nets=120, total_sites=600,
+                      values_per_dim=4, values_second_dim=2)
+    return kwargs
+
+
+def _record(entry):
+    record_table(
+        "Design-space exploration (BENCH_explore.json)",
+        render_table(
+            ["label", "grid", "nets", "scen", "workers", "seq s", "engine s",
+             "speedup", "sig", "frontier"],
+            [[
+                entry["label"],
+                str(entry["params"]["grid"]),
+                str(entry["params"]["num_nets"]),
+                str(entry["scenarios"]),
+                str(entry["workers"]),
+                f"{entry['seconds_sequential']:.4f}",
+                f"{entry['seconds_engine']:.4f}",
+                f"{entry['speedup']:.2f}x",
+                str(entry["signatures_match"]),
+                str(entry["frontier_match"]),
+            ]],
+        ),
+    )
+
+
+def test_explore_kernel(benchmark):
+    """Record the budget-sweep engine arm; enforce exactness + speedup."""
+    holder = {}
+
+    def body():
+        holder["result"] = run_explore_kernel(**_kernel_kwargs())
+        return holder["result"]
+
+    result = benchmark.pedantic(body, rounds=1, iterations=1)
+    label = "budget-sweep-smoke" if FAST else "budget-sweep-engine"
+    entry = append_explore_entry(TRAJECTORY, label, result)
+    _record(entry)
+    assert result.signatures_match
+    assert result.frontier_match
+    assert result.via_counts.get("incremental", 0) == result.scenarios
+    if not FAST:
+        assert result.speedup >= MIN_SPEEDUP

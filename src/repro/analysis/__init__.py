@@ -6,7 +6,12 @@ from repro.analysis.maps import (
     wire_congestion_map,
 )
 from repro.analysis.report import DesignReport, NetReport, design_report
-from repro.analysis.svg import SvgCanvas, floorplan_svg, planning_svg
+from repro.analysis.svg import (
+    SvgCanvas,
+    floorplan_svg,
+    planning_svg,
+    scatter_svg,
+)
 from repro.analysis.failures import (
     FailureCause,
     FailureDiagnosis,
@@ -24,6 +29,7 @@ __all__ = [
     "SvgCanvas",
     "floorplan_svg",
     "planning_svg",
+    "scatter_svg",
     "wire_congestion_map",
     "buffer_usage_map",
     "site_distribution_map",

@@ -110,6 +110,87 @@ def floorplan_svg(
     return canvas.render()
 
 
+def scatter_svg(
+    points: Sequence[dict],
+    x: str,
+    y: str,
+    feasible_key: str = "feasible",
+    frontier_key: str = "on_frontier",
+    width_px: float = 480.0,
+    height_px: float = 360.0,
+    title: "str | None" = None,
+) -> str:
+    """Budget-vs-outcome scatter for sweep results (``repro explore --svg``).
+
+    ``points`` are flat dicts carrying at least ``x`` and ``y`` numeric
+    fields; feasible points render blue, infeasible red, and points
+    flagged ``on_frontier`` get a ring. Axes are linear with simple
+    min/max labels — this is a quick-look artifact, not a plotting
+    library.
+    """
+    margin = 42.0
+    usable_w = width_px - 2 * margin
+    usable_h = height_px - 2 * margin
+    xs = [float(p[x]) for p in points]
+    ys = [float(p[y]) for p in points]
+    if not xs:
+        xs, ys = [0.0], [0.0]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def px(value: float) -> float:
+        return margin + (value - x_lo) / x_span * usable_w
+
+    def py(value: float) -> float:
+        return height_px - margin - (value - y_lo) / y_span * usable_h
+
+    body: List[str] = [
+        _HEADER.format(w=f"{width_px:.0f}", h=f"{height_px:.0f}", vx=0,
+                       vy=0, vw=f"{width_px:.0f}", vh=f"{height_px:.0f}"),
+        f'<rect x="0" y="0" width="{width_px:.0f}" height="{height_px:.0f}" '
+        'fill="white"/>',
+        f'<line x1="{margin}" y1="{height_px - margin}" x2="{width_px - margin}" '
+        f'y2="{height_px - margin}" stroke="black"/>',
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{height_px - margin}" stroke="black"/>',
+        f'<text x="{width_px / 2:.0f}" y="{height_px - 8:.0f}" '
+        f'font-size="11" text-anchor="middle">{x}</text>',
+        f'<text x="12" y="{height_px / 2:.0f}" font-size="11" '
+        f'text-anchor="middle" '
+        f'transform="rotate(-90 12 {height_px / 2:.0f})">{y}</text>',
+        f'<text x="{margin:.0f}" y="{height_px - margin + 14:.0f}" '
+        f'font-size="9">{x_lo:g}</text>',
+        f'<text x="{width_px - margin:.0f}" y="{height_px - margin + 14:.0f}" '
+        f'font-size="9" text-anchor="end">{x_hi:g}</text>',
+        f'<text x="{margin - 4:.0f}" y="{height_px - margin:.0f}" '
+        f'font-size="9" text-anchor="end">{y_lo:g}</text>',
+        f'<text x="{margin - 4:.0f}" y="{margin + 4:.0f}" '
+        f'font-size="9" text-anchor="end">{y_hi:g}</text>',
+    ]
+    if title:
+        body.append(
+            f'<text x="{width_px / 2:.0f}" y="16" font-size="12" '
+            f'text-anchor="middle">{title}</text>'
+        )
+    for p in points:
+        cx, cy = px(float(p[x])), py(float(p[y]))
+        fill = "#36c" if p.get(feasible_key) else "#c33"
+        if p.get(frontier_key):
+            body.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="6.0" fill="none" '
+                'stroke="#222" stroke-width="1.2"/>'
+            )
+        hover = p.get("label") or f"{x}={p[x]} {y}={p[y]}"
+        body.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="3.2" fill="{fill}">'
+            f"<title>{hover}</title></circle>"
+        )
+    body.append("</svg>")
+    return "\n".join(body)
+
+
 def planning_svg(
     graph: TileGraph,
     floorplan: "Floorplan | None" = None,

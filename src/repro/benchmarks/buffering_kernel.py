@@ -31,10 +31,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.benchmarks.emit import append_trajectory_entry
 from repro.benchmarks.routing_kernel import (
-    TRAJECTORY_SCHEMA,
     RoutingScenario,
-    load_trajectory,
     make_routing_scenario,
 )
 from repro.core.assignment import AssignmentResult, assign_buffers_stage3
@@ -245,51 +244,21 @@ def append_entry(
     with identical scenario params against the first ``workers=1`` entry,
     and re-running an existing label replaces that entry in place.
     """
-    data = load_trajectory(path)
-    params = instance.params
-    if not data["entries"]:
-        data["benchmark"] = params
-    entry = {
-        "label": label,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "params": params,
-        "workers": workers,
-        "seconds_stage3": round(result.seconds_stage3, 4),
-        "buffers_inserted": result.buffers_inserted,
-        "num_fails": result.num_fails,
-        "dp_infeasible": result.dp_infeasible,
-        "signature": result.signature,
-    }
-    baseline = next(
-        (e for e in data["entries"] if e["params"] == params and e["workers"] == 1),
-        None,
+    return append_trajectory_entry(
+        path,
+        label,
+        instance.params,
+        {
+            "seconds_stage3": round(result.seconds_stage3, 4),
+            "buffers_inserted": result.buffers_inserted,
+            "num_fails": result.num_fails,
+            "dp_infeasible": result.dp_infeasible,
+            "signature": result.signature,
+        },
+        workers=workers,
+        speedup_from="seconds_stage3",
+        extra=extra,
     )
-    if baseline is not None and baseline["label"] == label and workers == 1:
-        baseline = None  # re-recording the baseline itself: no self-speedup
-    if baseline is not None and result.seconds_stage3 > 0:
-        entry["speedup_vs_baseline"] = round(
-            baseline["seconds_stage3"] / result.seconds_stage3, 2
-        )
-    if extra:
-        entry.update(extra)
-    existing = next(
-        (
-            i
-            for i, e in enumerate(data["entries"])
-            if e["label"] == label
-            and e["params"] == params
-            and e["workers"] == workers
-        ),
-        None,
-    )
-    if existing is not None:
-        data["entries"][existing] = entry
-    else:
-        data["entries"].append(entry)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2)
-        fh.write("\n")
-    return entry
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,114 @@
+"""Shared BENCH_*.json trajectory emitter.
+
+Every kernel benchmark (routing, buffering, service, explore) records its
+measurements in a small *trajectory* file: a ``schema`` tag, the
+``benchmark`` params pinned by the first entry, and a list of ``entries``
+each describing one measured configuration. The bookkeeping — label-based
+in-place replacement, speedup-vs-baseline lookup, atomic-enough rewrite —
+was copy-pasted across the kernels; this module is the one implementation
+they all share.
+
+Contract (unchanged from the per-kernel originals):
+
+* The first entry pins ``data["benchmark"]`` to its params.
+* Re-recording an existing identity *replaces* that entry in place, so
+  benchmark reruns refresh their numbers instead of growing the file.
+  Identity is ``(label, params, workers)`` for worker-styled kernels and
+  ``label`` alone for kernels that record one arm per label.
+* When ``speedup_from`` names a seconds field, the entry gains
+  ``speedup_vs_baseline`` measured against the first ``workers == 1``
+  entry with identical params (never against itself).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+TRAJECTORY_SCHEMA = 1
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Read a trajectory file, or a fresh empty one if absent."""
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {"schema": TRAJECTORY_SCHEMA, "benchmark": {}, "entries": []}
+
+
+def write_trajectory(path: str, data: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+
+
+def append_trajectory_entry(
+    path: str,
+    label: str,
+    params: Dict[str, Any],
+    values: Dict[str, Any],
+    workers: Optional[int] = None,
+    speedup_from: Optional[str] = None,
+    extra: Optional[dict] = None,
+) -> Dict[str, Any]:
+    """Record one measurement in ``path``; returns the stored entry.
+
+    Args:
+        path: the BENCH_*.json trajectory file.
+        label: entry label (re-recording a label replaces in place).
+        params: the scenario parameters the measurement is valid for.
+        values: the measured fields, stored verbatim on the entry.
+        workers: worker count, when the kernel has a worker knob; part of
+            the entry identity and of the baseline rule.
+        speedup_from: name of a seconds field in ``values`` to compare
+            against the first same-params ``workers == 1`` entry.
+        extra: optional additional fields merged into the entry.
+    """
+    data = load_trajectory(path)
+    if not data["entries"]:
+        data["benchmark"] = dict(params)
+    entry: Dict[str, Any] = {
+        "label": label,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "params": dict(params),
+    }
+    if workers is not None:
+        entry["workers"] = workers
+    entry.update(values)
+    if speedup_from is not None:
+        baseline = next(
+            (
+                e
+                for e in data["entries"]
+                if e["params"] == params and e.get("workers") == 1
+            ),
+            None,
+        )
+        if baseline is not None and baseline["label"] == label and workers == 1:
+            baseline = None  # re-recording the baseline itself: no self-speedup
+        seconds = entry.get(speedup_from)
+        if baseline is not None and seconds:
+            entry["speedup_vs_baseline"] = round(
+                baseline[speedup_from] / seconds, 2
+            )
+    if extra:
+        entry.update(extra)
+
+    def identity(e: Dict[str, Any]):
+        if workers is None:
+            return e["label"]
+        return (e["label"], e["params"], e.get("workers"))
+
+    target = identity(entry)
+    existing = next(
+        (i for i, e in enumerate(data["entries"]) if identity(e) == target),
+        None,
+    )
+    if existing is not None:
+        data["entries"][existing] = entry
+    else:
+        data["entries"].append(entry)
+    write_trajectory(path, data)
+    return entry

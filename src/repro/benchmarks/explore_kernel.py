@@ -1,0 +1,300 @@
+"""The design-space-exploration benchmark feeding ``BENCH_explore.json``.
+
+The acceptance workload is the 64-scenario budget sweep on the
+32x32 / 500-net kernel scenario: two 4x4 buffer-site regions, each swept
+over 8 per-tile ``B(v)`` override values (8 x 8 = 64 combinations), all
+of which are pure deltas of the sweep's base scenario. Two arms run the
+identical scenario list:
+
+* **sequential** — the sweep without the subsystem: a bare loop calling
+  :func:`repro.service.full_plan` on every scenario.
+* **engine** — :func:`repro.explore.run_sweep` with a worker pool and
+  baseline reuse, writing a fresh store.
+
+The speedup the trajectory records is engine vs sequential. On a
+single-core machine the win comes from the incremental-replay reuse
+(each delta replans a few dirty tiles instead of the whole grid), not
+from parallelism — which is the point: the engine is faster *per core*,
+and worker processes only add wall-clock headroom on bigger machines.
+Exactness rides along: both arms must produce identical per-scenario
+buffering signatures and byte-identical frontier reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.benchmarks.emit import append_trajectory_entry, load_trajectory
+from repro.core.rabid import RabidConfig
+from repro.explore import (
+    Dimension,
+    ParameterSpace,
+    ResultStore,
+    SweepOptions,
+    evaluate_scenario,
+    frontier_report,
+    metrics_from_state,
+    report_bytes,
+    run_sweep,
+    scenario_key,
+)
+from repro.explore.store import EvalRecord
+from repro.service.engine import full_plan
+from repro.service.jobs import ScenarioSpec
+
+#: Default location of the trajectory file, relative to the repo root.
+DEFAULT_TRAJECTORY = os.path.join("benchmarks", "BENCH_explore.json")
+
+
+def make_explore_space(
+    grid: int = 32,
+    num_nets: int = 500,
+    total_sites: int = 2500,
+    seed: int = 0,
+    site_seed: int = 0,
+    values_per_dim: int = 8,
+    values_second_dim: Optional[int] = None,
+) -> ParameterSpace:
+    """The benchmark space: two site regions x ``values_per_dim`` values.
+
+    Each dimension overrides ``B(v)`` on a 4x4 tile region with values
+    ``0 .. values_per_dim - 1`` buffer sites per tile, so every sampled
+    scenario is a ``set_sites`` delta of the base — the workload the
+    engine's baseline reuse is built for. The default 8 x 8 grid is the
+    64-scenario acceptance sweep; ``values_second_dim`` shrinks the
+    second axis (the CI smoke uses 4 x 2 = 8 scenarios).
+    """
+    base = ScenarioSpec(
+        grid=grid,
+        num_nets=num_nets,
+        total_sites=total_sites,
+        seed=seed,
+        site_seed=site_seed,
+    )
+    side = max(2, min(4, grid // 4))
+    ax, ay = grid // 4, grid // 4
+    bx, by = (5 * grid) // 8, (5 * grid) // 8
+    region_a = tuple(
+        (x, y) for x in range(ax, ax + side) for y in range(ay, ay + side)
+    )
+    region_b = tuple(
+        (x, y) for x in range(bx, bx + side) for y in range(by, by + side)
+    )
+    values = tuple(range(values_per_dim))
+    values_b = tuple(range(
+        values_second_dim if values_second_dim is not None else values_per_dim
+    ))
+    return ParameterSpace(
+        base,
+        (
+            Dimension("region_sites", values, tiles=region_a),
+            Dimension("region_sites", values_b, tiles=region_b),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ExploreKernelResult:
+    """One two-arm measurement of the acceptance sweep."""
+
+    params: Dict[str, Any]
+    scenarios: int
+    workers: int
+    seconds_sequential: float
+    seconds_engine: float
+    speedup: float
+    via_counts: Dict[str, int]
+    signatures_match: bool
+    frontier_match: bool
+    frontier_size: int
+    feasible: int
+
+
+def _sequential_sweep(
+    points, config: RabidConfig
+) -> Tuple[Dict[str, EvalRecord], float]:
+    """The reference arm: plan every scenario from scratch, no reuse."""
+    records: Dict[str, EvalRecord] = {}
+    start = time.perf_counter()
+    for point in points:
+        key = scenario_key(point.scenario, config)
+        if key in records:
+            continue
+        t0 = time.perf_counter()
+        metrics = metrics_from_state(full_plan(point.scenario, config))
+        records[key] = EvalRecord(
+            key=key,
+            scenario=point.scenario.to_dict(),
+            status="ok",
+            metrics=metrics,
+            seconds=time.perf_counter() - t0,
+        )
+    return records, time.perf_counter() - start
+
+
+def run_explore_kernel(
+    grid: int = 32,
+    num_nets: int = 500,
+    total_sites: int = 2500,
+    seed: int = 0,
+    site_seed: int = 0,
+    values_per_dim: int = 8,
+    values_second_dim: Optional[int] = None,
+    workers: int = 8,
+    warmup: bool = True,
+) -> ExploreKernelResult:
+    """Time the sequential and engine arms on the same scenario list.
+
+    ``warmup`` runs one untimed evaluation per arm first, so both timed
+    windows measure steady-state sweep cost: the netlist memo, the
+    allocator, and the engine arm's shared baseline plan are warm for
+    both arms alike.
+    """
+    space = make_explore_space(
+        grid=grid,
+        num_nets=num_nets,
+        total_sites=total_sites,
+        seed=seed,
+        site_seed=site_seed,
+        values_per_dim=values_per_dim,
+        values_second_dim=values_second_dim,
+    )
+    config = RabidConfig()
+    points = space.grid()
+
+    if warmup:
+        metrics_from_state(full_plan(points[0].scenario, config))
+        evaluate_scenario(points[-1].scenario, config, base=space.base)
+
+    sequential, seconds_sequential = _sequential_sweep(points, config)
+
+    store = ResultStore()  # fresh in-memory store: no head start
+    start = time.perf_counter()
+    engine = run_sweep(
+        [p.scenario for p in points],
+        base=space.base,
+        config=config,
+        store=store,
+        options=SweepOptions(workers=workers),
+    )
+    seconds_engine = time.perf_counter() - start
+
+    via_counts: Dict[str, int] = {}
+    for record in engine.values():
+        via_counts[record.via] = via_counts.get(record.via, 0) + 1
+    signatures_match = set(engine) == set(sequential) and all(
+        engine[k].status == "ok"
+        and engine[k].metrics["signature"] == sequential[k].metrics["signature"]
+        for k in sequential
+    )
+    report_seq = frontier_report(sequential)
+    report_eng = frontier_report(engine)
+    feasible = report_eng["feasible"]
+    return ExploreKernelResult(
+        params={
+            "grid": grid,
+            "num_nets": num_nets,
+            "total_sites": total_sites,
+            "seed": seed,
+            "site_seed": site_seed,
+            "values_per_dim": values_per_dim,
+            "values_second_dim": (
+                values_second_dim
+                if values_second_dim is not None
+                else values_per_dim
+            ),
+        },
+        scenarios=len(points),
+        workers=workers,
+        seconds_sequential=seconds_sequential,
+        seconds_engine=seconds_engine,
+        speedup=(
+            seconds_sequential / seconds_engine if seconds_engine > 0 else 0.0
+        ),
+        via_counts=via_counts,
+        signatures_match=signatures_match,
+        frontier_match=report_bytes(report_seq) == report_bytes(report_eng),
+        frontier_size=report_eng["frontier_size"],
+        feasible=feasible,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Trajectory file                                                       #
+# --------------------------------------------------------------------- #
+
+
+def append_explore_entry(
+    path: str,
+    label: str,
+    result: ExploreKernelResult,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Record one measurement; re-running a label replaces it in place."""
+    return append_trajectory_entry(
+        path,
+        label,
+        result.params,
+        {
+            "scenarios": result.scenarios,
+            "seconds_sequential": round(result.seconds_sequential, 4),
+            "seconds_engine": round(result.seconds_engine, 4),
+            "speedup": round(result.speedup, 2),
+            "via_counts": dict(sorted(result.via_counts.items())),
+            "signatures_match": result.signatures_match,
+            "frontier_match": result.frontier_match,
+            "frontier_size": result.frontier_size,
+            "feasible": result.feasible,
+        },
+        workers=result.workers,
+        speedup_from="seconds_engine",
+        extra=extra,
+    )
+
+
+def load_explore_trajectory(path: str) -> dict:
+    return load_trajectory(path)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.benchmarks.explore_kernel",
+        description="Run the 64-scenario budget-sweep benchmark and append "
+        "the result to the BENCH_explore.json trajectory.",
+    )
+    parser.add_argument("--label", required=True, help="entry label")
+    parser.add_argument("--out", default=DEFAULT_TRAJECTORY)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="8-scenario 16x16 smoke sweep for CI",
+    )
+    args = parser.parse_args(argv)
+    kwargs: Dict[str, Any] = dict(
+        seed=args.seed, site_seed=args.seed, workers=args.workers
+    )
+    if args.fast:
+        kwargs.update(
+            grid=16, num_nets=120, total_sites=600,
+            values_per_dim=4, values_second_dim=2,
+        )
+    result = run_explore_kernel(**kwargs)
+    entry = append_explore_entry(args.out, args.label, result)
+    print(json.dumps(entry, indent=2))
+    print(
+        f"{result.scenarios} scenarios: sequential "
+        f"{result.seconds_sequential:.2f}s, engine {result.seconds_engine:.2f}s "
+        f"-> {result.speedup:.2f}x (signatures_match="
+        f"{result.signatures_match}, frontier_match={result.frontier_match})"
+    )
+    return 0 if result.signatures_match and result.frontier_match else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

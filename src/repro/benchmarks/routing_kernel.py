@@ -37,10 +37,14 @@ from repro.routing.tree import RouteTree
 from repro.tilegraph import CapacityModel, TileGraph
 from repro.tilegraph.congestion import wire_congestion_stats
 
+from repro.benchmarks.emit import (  # noqa: F401  (re-exported API)
+    TRAJECTORY_SCHEMA,
+    append_trajectory_entry,
+    load_trajectory,
+)
+
 #: Default location of the trajectory file, relative to the repo root.
 DEFAULT_TRAJECTORY = os.path.join("benchmarks", "BENCH_routing.json")
-
-TRAJECTORY_SCHEMA = 1
 
 
 @dataclass
@@ -232,13 +236,6 @@ def run_best_of(
 # --------------------------------------------------------------------- #
 
 
-def load_trajectory(path: str) -> dict:
-    if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as fh:
-            return json.load(fh)
-    return {"schema": TRAJECTORY_SCHEMA, "benchmark": {}, "entries": []}
-
-
 def append_entry(
     path: str,
     label: str,
@@ -254,58 +251,29 @@ def append_entry(
     a label already in the trajectory *replaces* that entry in place, so
     benchmark reruns refresh their numbers instead of growing the file.
     """
-    data = load_trajectory(path)
     params = {
         "grid": scenario.grid,
         "num_nets": len(scenario.nets),
         "capacity": scenario.capacity,
         "seed": scenario.seed,
     }
-    if not data["entries"]:
-        data["benchmark"] = params
-    entry = {
-        "label": label,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "params": params,
-        "workers": workers,
-        "seconds_initial": round(result.seconds_initial, 4),
-        "seconds_ripup": round(result.seconds_ripup, 4),
-        "seconds_total": round(result.seconds_total, 4),
-        "passes": result.passes,
-        "overflow": result.overflow,
-        "wirelength_tiles": result.wirelength_tiles,
-        "signature": result.signature,
-    }
-    baseline = next(
-        (e for e in data["entries"] if e["params"] == params and e["workers"] == 1),
-        None,
+    return append_trajectory_entry(
+        path,
+        label,
+        params,
+        {
+            "seconds_initial": round(result.seconds_initial, 4),
+            "seconds_ripup": round(result.seconds_ripup, 4),
+            "seconds_total": round(result.seconds_total, 4),
+            "passes": result.passes,
+            "overflow": result.overflow,
+            "wirelength_tiles": result.wirelength_tiles,
+            "signature": result.signature,
+        },
+        workers=workers,
+        speedup_from="seconds_total",
+        extra=extra,
     )
-    if baseline is not None and baseline["label"] == label and workers == 1:
-        baseline = None  # re-recording the baseline itself: no self-speedup
-    if baseline is not None and result.seconds_total > 0:
-        entry["speedup_vs_baseline"] = round(
-            baseline["seconds_total"] / result.seconds_total, 2
-        )
-    if extra:
-        entry.update(extra)
-    existing = next(
-        (
-            i
-            for i, e in enumerate(data["entries"])
-            if e["label"] == label
-            and e["params"] == params
-            and e["workers"] == workers
-        ),
-        None,
-    )
-    if existing is not None:
-        data["entries"][existing] = entry
-    else:
-        data["entries"].append(entry)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2)
-        fh.write("\n")
-    return entry
 
 
 def main(argv: Optional[List[str]] = None) -> int:

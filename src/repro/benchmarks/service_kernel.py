@@ -16,12 +16,12 @@ Feeds ``benchmarks/BENCH_service.json``. Two measurements on the same
 from __future__ import annotations
 
 import asyncio
-import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.benchmarks.emit import append_trajectory_entry, load_trajectory
 from repro.service import (
     DeltaSpec,
     Job,
@@ -221,46 +221,32 @@ def run_service_kernel(
 # --------------------------------------------------------------------- #
 
 def load_service_trajectory(path: "str | Path") -> Dict[str, Any]:
-    path = Path(path)
-    if path.exists():
-        return json.loads(path.read_text())
-    return {"schema": SERVICE_BENCH_SCHEMA, "benchmark": {}, "entries": []}
+    return load_trajectory(str(path))
 
 
 def append_service_entry(
     path: "str | Path", label: str, result: ServiceKernelResult
 ) -> Dict[str, Any]:
     """Record one measurement; re-running a label replaces it in place."""
-    data = load_service_trajectory(path)
-    if not data["entries"]:
-        data["benchmark"] = result.params
-    entry = {
-        "label": label,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "params": result.params,
-        "seconds_full": round(result.seconds_full, 4),
-        "seconds_incremental": round(result.seconds_incremental, 4),
-        "seconds_full_replan": round(result.seconds_full_replan, 4),
-        "incremental_speedup": round(result.incremental_speedup, 2),
-        "signature_match": result.signature_match,
-        "nets_total": result.nets_total,
-        "nets_resolved": result.nets_resolved,
-        "nets_replayed": result.nets_replayed,
-        "jobs": result.jobs,
-        "jobs_per_sec": round(result.jobs_per_sec, 2),
-        "latency_p50": round(result.latency_p50, 4),
-        "latency_p95": round(result.latency_p95, 4),
-    }
-    replaced = False
-    for i, existing in enumerate(data["entries"]):
-        if existing["label"] == label:
-            data["entries"][i] = entry
-            replaced = True
-            break
-    if not replaced:
-        data["entries"].append(entry)
-    Path(path).write_text(json.dumps(data, indent=2) + "\n")
-    return entry
+    return append_trajectory_entry(
+        str(path),
+        label,
+        result.params,
+        {
+            "seconds_full": round(result.seconds_full, 4),
+            "seconds_incremental": round(result.seconds_incremental, 4),
+            "seconds_full_replan": round(result.seconds_full_replan, 4),
+            "incremental_speedup": round(result.incremental_speedup, 2),
+            "signature_match": result.signature_match,
+            "nets_total": result.nets_total,
+            "nets_resolved": result.nets_resolved,
+            "nets_replayed": result.nets_replayed,
+            "jobs": result.jobs,
+            "jobs_per_sec": round(result.jobs_per_sec, 2),
+            "latency_p50": round(result.latency_p50, 4),
+            "latency_p95": round(result.latency_p95, 4),
+        },
+    )
 
 
 def main(argv=None) -> int:

@@ -7,9 +7,11 @@ Commands:
 * ``table1`` — print the realized Table I.
 * ``table2|table3|table4 <circuit>`` — regenerate one circuit's rows.
 * ``table5 <circuit>`` — RABID-vs-BBP comparison rows.
-* ``list`` — list available benchmarks.
+* ``list`` — list available benchmarks (``--json`` for machine-readable).
 * ``serve`` — run the incremental planning service (JSON-lines protocol).
 * ``submit`` — submit a job to a running service and print the result.
+* ``explore`` — sweep resource budgets over a scenario space and report
+  the Pareto frontier (see ``docs/EXPLORE.md``).
 """
 
 from __future__ import annotations
@@ -40,9 +42,14 @@ from repro.experiments.formatting import render_table
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RABID buffer/wire resource allocation (DAC 2001 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument("--seed", type=int, default=0, help="benchmark seed")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -82,7 +89,11 @@ def _build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"regenerate {name} for one circuit")
         p.add_argument("circuit", choices=sorted(BENCHMARK_SPECS))
 
-    sub.add_parser("list", help="list benchmarks")
+    list_cmd = sub.add_parser("list", help="list benchmarks")
+    list_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit a JSON array instead of the text table",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the incremental planning service"
@@ -111,6 +122,92 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--checkpoint-dir", metavar="DIR",
         help="restore baselines from DIR on start; checkpoint on shutdown",
+    )
+    serve.add_argument(
+        "--max-request-bytes", type=int, default=None, metavar="N",
+        help="reject request lines longer than N bytes (default 1 MiB)",
+    )
+
+    explore = sub.add_parser(
+        "explore",
+        help="sweep resource budgets and report the Pareto frontier",
+    )
+    explore.add_argument(
+        "--dim", action="append", required=True, metavar="SPEC",
+        help="one sweep dimension, repeatable. SPEC is NAME=VALUES where "
+        "NAME is total_sites, capacity, length_limit, num_nets, "
+        "macroN (values XxY), or region_sites@X0:Y0:X1:Y1 (inclusive "
+        "tile rectangle); VALUES is a,b,c or LO:HI[:STEP]",
+    )
+    explore.add_argument("--grid", type=int, default=16,
+                         help="scenario grid size (tiles per side)")
+    explore.add_argument("--nets", type=int, default=120)
+    explore.add_argument("--capacity", type=int, default=8)
+    explore.add_argument("--length-limit", type=int, default=5)
+    explore.add_argument("--total-sites", type=int, default=600)
+    explore.add_argument("--site-seed", type=int, default=0)
+    explore.add_argument(
+        "--base-macro", action="append", default=[], metavar="X,Y,W,H",
+        help="add a macro to the base scenario (repeatable)",
+    )
+    explore.add_argument(
+        "--sampler", choices=("grid", "random", "bisect"), default="grid",
+    )
+    explore.add_argument(
+        "--samples", type=int, default=32,
+        help="sample count for the random (Latin-hypercube) sampler",
+    )
+    explore.add_argument(
+        "--sample-seed", type=int, default=0,
+        help="seed for the random sampler's strata permutation",
+    )
+    explore.add_argument(
+        "--bisect-dim", metavar="LABEL",
+        help="dimension label the bisect sampler refines",
+    )
+    explore.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = in-process; results identical)",
+    )
+    explore.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-scenario wall-clock budget (pool mode)",
+    )
+    explore.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for crashed/timed-out scenarios",
+    )
+    explore.add_argument(
+        "--no-reuse", action="store_true",
+        help="always plan from scratch (skip incremental baseline replay)",
+    )
+    explore.add_argument(
+        "--max-scenarios", type=int, default=None, metavar="N",
+        help="evaluate at most N scenarios this invocation (resume later)",
+    )
+    explore.add_argument(
+        "--store", metavar="PATH",
+        help="JSONL result store; reuse to resume a killed sweep",
+    )
+    explore.add_argument(
+        "--json", action="store_true",
+        help="print the canonical frontier report JSON instead of the table",
+    )
+    explore.add_argument(
+        "--sensitivity", action="store_true",
+        help="print one-at-a-time sensitivity per dimension",
+    )
+    explore.add_argument(
+        "--svg", metavar="PATH",
+        help="write a budget-vs-outcome scatter SVG",
+    )
+    explore.add_argument("--svg-x", default="site_budget",
+                         help="scatter x metric (default site_budget)")
+    explore.add_argument("--svg-y", default="unassigned_nets",
+                         help="scatter y metric (default unassigned_nets)")
+    explore.add_argument(
+        "--metrics", action="store_true",
+        help="print the explore.* observability counters",
     )
 
     submit = sub.add_parser(
@@ -156,6 +253,196 @@ def _check_worker_flags(args) -> None:
             setattr(args, attr, cpus)
 
 
+def _parse_sweep_values(text: str, pairs: bool = False) -> list:
+    """``a,b,c`` / ``LO:HI[:STEP]`` value lists (``XxY`` pairs for macros)."""
+    values: list = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            if pairs:
+                x, _, y = part.partition("x")
+                values.append((int(x), int(y)))
+            elif ":" in part:
+                bits = [int(b) for b in part.split(":")]
+                if len(bits) not in (2, 3):
+                    raise ValueError(part)
+                step = bits[2] if len(bits) == 3 else 1
+                values.extend(range(bits[0], bits[1] + 1, step))
+            else:
+                values.append(int(part))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"cannot parse sweep value {part!r}"
+            ) from exc
+    if not values:
+        raise ConfigurationError(f"empty sweep value list {text!r}")
+    return values
+
+
+def _parse_dim_spec(spec: str):
+    """One ``--dim`` argument -> a :class:`repro.explore.Dimension`."""
+    import re
+
+    from repro.explore import Dimension
+
+    name, sep, values_text = spec.partition("=")
+    if not sep:
+        raise ConfigurationError(
+            f"--dim {spec!r} must look like NAME=VALUES"
+        )
+    name = name.strip()
+    macro = re.fullmatch(r"macro(\d+)", name)
+    if macro:
+        return Dimension(
+            "macro_origin",
+            _parse_sweep_values(values_text, pairs=True),
+            index=int(macro.group(1)),
+        )
+    region = re.fullmatch(r"region_sites@(\d+):(\d+):(\d+):(\d+)", name)
+    if region:
+        x0, y0, x1, y1 = (int(g) for g in region.groups())
+        if x1 < x0 or y1 < y0:
+            raise ConfigurationError(
+                f"--dim {spec!r}: empty region rectangle"
+            )
+        tiles = tuple(
+            (x, y)
+            for x in range(x0, x1 + 1)
+            for y in range(y0, y1 + 1)
+        )
+        return Dimension(
+            "region_sites", _parse_sweep_values(values_text), tiles=tiles
+        )
+    if name in ("total_sites", "capacity", "length_limit", "num_nets"):
+        return Dimension(name, _parse_sweep_values(values_text))
+    raise ConfigurationError(
+        f"unknown sweep dimension {name!r}; expected total_sites, "
+        "capacity, length_limit, num_nets, macroN, or "
+        "region_sites@X0:Y0:X1:Y1"
+    )
+
+
+def _cmd_explore(args) -> int:
+    from repro.explore import (
+        ParameterSpace,
+        ResultStore,
+        SweepOptions,
+        explore_space,
+        frontier_report,
+        render_frontier_table,
+        render_sensitivity,
+        report_bytes,
+        sensitivity_report,
+    )
+    from repro.service.jobs import MacroSpec, ScenarioSpec
+
+    macros = []
+    for text in args.base_macro:
+        try:
+            x, y, w, h = (int(v) for v in text.split(","))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"--base-macro {text!r} must be X,Y,W,H"
+            ) from exc
+        macros.append(MacroSpec(x, y, w, h))
+    base = ScenarioSpec(
+        grid=args.grid,
+        num_nets=args.nets,
+        capacity=args.capacity,
+        seed=args.seed,
+        length_limit=args.length_limit,
+        total_sites=args.total_sites,
+        site_seed=args.site_seed,
+        macros=tuple(macros),
+    )
+    space = ParameterSpace(base, tuple(_parse_dim_spec(s) for s in args.dim))
+    options = SweepOptions(
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        reuse_baseline=not args.no_reuse,
+        max_scenarios=args.max_scenarios,
+    )
+    tracer = None
+    if args.metrics:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    result = explore_space(
+        space,
+        sampler=args.sampler,
+        samples=args.samples,
+        seed=args.sample_seed,
+        bisect_dim=args.bisect_dim,
+        store=ResultStore(args.store),
+        options=options,
+        tracer=tracer,
+    )
+    assignments = {
+        key: space.assignment(point)
+        for point, key in zip(result.points, result.keys)
+    }
+    report = frontier_report(result.records, assignments)
+    if args.json:
+        sys.stdout.write(report_bytes(report).decode("utf-8"))
+    else:
+        print(
+            f"space: {space.size} combinations, "
+            f"{len(result.points)} sampled, "
+            f"{len(result.records)} evaluated in {result.seconds:.2f}s"
+        )
+        print()
+        print(render_frontier_table(report))
+    if args.sensitivity:
+        print("\nsensitivity (one-at-a-time):")
+        print(render_sensitivity(sensitivity_report(result)))
+    if result.boundaries is not None and not args.json:
+        print(f"\ncheapest feasible {args.bisect_dim} per combination:")
+        for combo, value in result.boundaries.items():
+            label = " ".join(str(v) for v in combo) or "-"
+            print(f"  {label}: {value if value is not None else 'infeasible'}")
+    if args.svg:
+        from repro.analysis import scatter_svg
+
+        frontier_keys = {e["key"] for e in report["frontier"]}
+        points = []
+        for row in result.rows():
+            if row.get("status") != "ok":
+                continue
+            points.append(
+                {
+                    **row,
+                    "feasible": row["unassigned_nets"] == 0,
+                    "on_frontier": row["key"] in frontier_keys,
+                    "label": " ".join(
+                        f"{d.label}={v}"
+                        for d, v in zip(
+                            space.dimensions,
+                            result.points[result.keys.index(row["key"])].values,
+                        )
+                    ),
+                }
+            )
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(
+                scatter_svg(
+                    points, x=args.svg_x, y=args.svg_y, title="budget sweep"
+                )
+            )
+        print(f"\nscatter ({args.svg_x} vs {args.svg_y}) -> {args.svg}")
+    if tracer is not None:
+        print("\ncounters:")
+        for name in ("explore.scenarios", "explore.cache_hits",
+                     "explore.retries"):
+            print(f"  {name}: {tracer.metrics.value(name)}")
+    evaluated_ok = any(
+        r.status == "ok" for r in result.records.values()
+    )
+    return 0 if evaluated_ok else 1
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -178,7 +465,11 @@ def _cmd_serve(args) -> int:
             loaded = load_service_checkpoints(args.checkpoint_dir, service)
             if loaded:
                 print(f"restored baselines: {', '.join(loaded)}", flush=True)
-        server = ProtocolServer(service)
+        server = (
+            ProtocolServer(service, max_request_bytes=args.max_request_bytes)
+            if args.max_request_bytes is not None
+            else ProtocolServer(service)
+        )
         await server.start(args.host, args.port)
         # The one line clients parse to find the port (tests, CI smoke).
         print(f"serving on {args.host}:{server.port}", flush=True)
@@ -298,10 +589,26 @@ def _dispatch(args) -> int:
         raise ConfigurationError(f"seed must be >= 0, got {args.seed}")
     experiment = ExperimentConfig(seed=args.seed)
     if args.command == "list":
+        if args.json:
+            import json
+
+            rows = [
+                {
+                    "name": name,
+                    "kind": "random" if spec.is_random else "CBL",
+                    "nets": spec.nets,
+                    "sinks": spec.sinks,
+                }
+                for name, spec in sorted(BENCHMARK_SPECS.items())
+            ]
+            print(json.dumps(rows, indent=2))
+            return 0
         for name, spec in sorted(BENCHMARK_SPECS.items()):
             kind = "random" if spec.is_random else "CBL"
             print(f"{name:8s} {kind:6s} {spec.nets:5d} nets {spec.sinks:5d} sinks")
         return 0
+    if args.command == "explore":
+        return _cmd_explore(args)
     if args.command == "run":
         _check_worker_flags(args)
         return _cmd_run(args)

@@ -1,0 +1,657 @@
+"""Sweep execution: evaluate many scenarios, in-process or across a pool.
+
+The unit of work is one scenario -> one :class:`EvalRecord`. Evaluation
+is a full :func:`repro.service.engine.full_plan` — except when the
+scenario is a pure delta of the sweep's base scenario
+(:func:`repro.explore.space.delta_between`), in which case the worker
+replays a shared baseline plan incrementally, which is several times
+faster and provably the same plan (the service's byte-identical replay
+property). Each worker process caches the baseline; under the ``fork``
+start method the parent plans it once *before* spawning, so every
+worker inherits it for free.
+
+Failure policy is graceful degradation: a scenario that times out is
+killed and recorded as ``timeout``, a worker that crashes (or an
+evaluation that raises) records ``crashed`` — after ``retries`` extra
+attempts — and the sweep always continues to the next scenario. Records
+land in the :class:`ResultStore` as they finish, so killing the sweep
+loses at most the in-flight scenarios; a re-run resumes from the store
+and re-evaluates nothing that finished (``explore.cache_hits``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.candidates import INF
+from repro.core.rabid import RabidConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.explore.space import (
+    AdaptiveBisection,
+    ParameterSpace,
+    SamplePoint,
+    delta_between,
+)
+from repro.explore.store import EvalRecord, ResultStore, scenario_key
+from repro.obs import NULL_TRACER
+from repro.service.engine import PlanState, full_plan, plan_cost
+from repro.service.incremental import incremental_replan
+from repro.service.jobs import ScenarioSpec
+from repro.timing.elmore import net_delay
+
+#: Baseline plans cached per process (inherited by forked workers).
+_BASELINE_CACHE: Dict[str, PlanState] = {}
+#: Per-net delay reports of each cached baseline, computed once: a net
+#: the replay did not re-solve keeps its exact topology and buffer
+#: specs, so its Elmore delay is the baseline's.
+_BASELINE_DELAYS: Dict[str, Dict[str, Any]] = {}
+
+
+def metrics_from_state(state: PlanState, reuse_delays=None) -> Dict[str, Any]:
+    """The objective vector the frontier consumes, from a planned state.
+
+    Identical whether the state came from a scratch plan or an
+    incremental replay (the replay reproduces the full plan's routes and
+    buffers byte for byte, and the signature is recorded to prove it).
+    ``reuse_delays`` maps net names to precomputed
+    :class:`~repro.timing.elmore.DelayReport` objects known to still be
+    valid — only nets absent from it are recomputed.
+    """
+    graph = state.graph
+    failed = state.failed_nets
+    tech = state.config.technology
+    max_delay = 0.0
+    delay_total = 0.0
+    delay_count = 0
+    for name, tree in state.routes.items():
+        report = reuse_delays.get(name) if reuse_delays else None
+        if report is None:
+            report = net_delay(tree, graph, tech)
+        max_delay = max(max_delay, report.max_delay)
+        for value in report.sink_delays.values():
+            delay_total += value
+            delay_count += 1
+    return {
+        "site_budget": int(graph.sites.sum()),
+        "wire_budget": int(graph.edge_capacity.sum()),
+        "unassigned_nets": len(failed),
+        "failed_nets": list(failed),
+        "buffers": sum(len(o.specs) for o in state.outcomes.values()),
+        "wirelength_tiles": sum(
+            t.wirelength_tiles() for t in state.routes.values()
+        ),
+        "max_delay_ps": round(max_delay * 1e12, 3),
+        "avg_delay_ps": round(
+            (delay_total / delay_count * 1e12) if delay_count else 0.0, 3
+        ),
+        "cost": round(
+            sum(o.cost for o in state.outcomes.values() if o.cost != INF), 6
+        ),
+        "signature": state.signature,
+    }
+
+
+def _baseline_for(base: ScenarioSpec, config: RabidConfig) -> PlanState:
+    key = scenario_key(base, config)
+    state = _BASELINE_CACHE.get(key)
+    if state is None:
+        state = _BASELINE_CACHE[key] = full_plan(base, config)
+    if key not in _BASELINE_DELAYS:
+        tech = state.config.technology
+        _BASELINE_DELAYS[key] = {
+            name: net_delay(tree, state.graph, tech)
+            for name, tree in state.routes.items()
+        }
+    return state
+
+
+def evaluate_scenario(
+    scenario: ScenarioSpec,
+    config: "RabidConfig | None" = None,
+    base: "ScenarioSpec | None" = None,
+    reuse_baseline: bool = True,
+) -> Tuple[Dict[str, Any], str]:
+    """Evaluate one scenario; returns ``(metrics, via)``.
+
+    ``via`` is ``"incremental"`` when the scenario was a recognized delta
+    of ``base`` and the replay succeeded, else ``"full"``.
+    """
+    config = config or RabidConfig()
+    if reuse_baseline and base is not None and base != scenario:
+        delta = delta_between(base, scenario)
+        if delta is not None:
+            baseline = _baseline_for(base, config)
+            baseline_delays = _BASELINE_DELAYS[scenario_key(base, config)]
+            backup = baseline.backup()
+            try:
+                stats = incremental_replan(baseline, delta)
+                fresh = set(stats.resolved_nets)
+                metrics = metrics_from_state(
+                    baseline,
+                    reuse_delays={
+                        name: report
+                        for name, report in baseline_delays.items()
+                        if name not in fresh
+                    },
+                )
+                return metrics, "incremental"
+            except ReproError:
+                pass  # fall through to the scratch plan
+            finally:
+                baseline.restore(backup)
+    return metrics_from_state(full_plan(scenario, config)), "full"
+
+
+@dataclass
+class SweepOptions:
+    """Execution knobs for :func:`run_sweep`.
+
+    Attributes:
+        workers: worker processes; 1 evaluates in-process (no timeout
+            enforcement, exceptions degrade to ``crashed`` records).
+        timeout_s: per-scenario wall-clock budget (pool mode only); an
+            expired worker is terminated and respawned.
+        retries: extra attempts granted to crashed/timed-out scenarios.
+        reuse_baseline: replay the shared baseline incrementally for
+            delta-expressible scenarios.
+        retry_failed: on resume, re-evaluate stored ``crashed``/
+            ``timeout`` records (finished ``ok`` records are never
+            re-evaluated).
+        max_scenarios: stop the sweep after this many evaluations —
+            remaining scenarios stay pending in the store for a resume.
+    """
+
+    workers: int = 1
+    timeout_s: Optional[float] = None
+    retries: int = 1
+    reuse_baseline: bool = True
+    retry_failed: bool = True
+    max_scenarios: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be > 0")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.max_scenarios is not None and self.max_scenarios < 0:
+            raise ConfigurationError("max_scenarios must be >= 0")
+
+
+# --------------------------------------------------------------------- #
+# Worker process                                                        #
+# --------------------------------------------------------------------- #
+
+
+def _worker_main(conn, base_dict, config_dict, reuse_baseline: bool) -> None:
+    """Pool worker: evaluate scenarios from the pipe until ``None``."""
+    base = ScenarioSpec.from_dict(base_dict) if base_dict else None
+    config = (
+        RabidConfig.from_dict(config_dict) if config_dict else RabidConfig()
+    )
+    while True:
+        task = conn.recv()
+        if task is None:
+            return
+        key, scenario_dict = task
+        start = time.perf_counter()
+        try:
+            scenario = ScenarioSpec.from_dict(scenario_dict)
+            metrics, via = evaluate_scenario(
+                scenario, config, base=base, reuse_baseline=reuse_baseline
+            )
+            payload = {
+                "status": "ok",
+                "metrics": metrics,
+                "via": via,
+                "seconds": time.perf_counter() - start,
+            }
+        except BaseException as exc:  # noqa: BLE001 - degrade, never die
+            payload = {
+                "status": "crashed",
+                "error": f"{type(exc).__name__}: {exc}",
+                "seconds": time.perf_counter() - start,
+            }
+        conn.send((key, payload))
+
+
+class _Worker:
+    """One pool worker process plus its parent-side pipe and deadline."""
+
+    def __init__(self, ctx, base_dict, config_dict, reuse_baseline):
+        self._args = (base_dict, config_dict, reuse_baseline)
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, *self._args),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.task: Optional[Tuple[str, dict, int]] = None  # (key, scenario, attempt)
+        self.deadline: Optional[float] = None
+
+    def assign(self, task, timeout_s: Optional[float]) -> None:
+        self.task = task
+        self.deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        self.conn.send((task[0], task[1]))
+
+    @property
+    def idle(self) -> bool:
+        return self.task is None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+            self.conn.close()
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5.0)
+
+
+# --------------------------------------------------------------------- #
+# The sweep                                                             #
+# --------------------------------------------------------------------- #
+
+
+def run_sweep(
+    scenarios: List[ScenarioSpec],
+    base: "ScenarioSpec | None" = None,
+    config: "RabidConfig | None" = None,
+    store: "ResultStore | None" = None,
+    options: "SweepOptions | None" = None,
+    tracer=None,
+) -> Dict[str, EvalRecord]:
+    """Evaluate ``scenarios`` and return ``{scenario_key: record}``.
+
+    Scenarios already finished in ``store`` are returned from it without
+    re-evaluation (counted as ``explore.cache_hits``); duplicates within
+    ``scenarios`` are evaluated once. New records are appended to the
+    store as they complete, so the sweep can be killed and resumed.
+    """
+    options = options or SweepOptions()
+    config = config or RabidConfig()
+    store = store if store is not None else ResultStore()
+    tracer = tracer if tracer is not None else NULL_TRACER
+
+    keyed: Dict[str, ScenarioSpec] = {}
+    for scenario in scenarios:
+        keyed.setdefault(scenario_key(scenario, config), scenario)
+    pending: List[Tuple[str, ScenarioSpec]] = []
+    results: Dict[str, EvalRecord] = {}
+    for key, scenario in keyed.items():
+        record = store.get(key)
+        if record is not None and (
+            record.finished or not options.retry_failed
+        ):
+            results[key] = record
+            if tracer.enabled:
+                tracer.count("explore.cache_hits")
+            continue
+        pending.append((key, scenario))
+    if options.max_scenarios is not None:
+        pending = pending[: options.max_scenarios]
+    if not pending:
+        return results
+
+    if options.workers == 1:
+        _run_inline(pending, base, config, store, options, tracer, results)
+    else:
+        _run_pool(pending, base, config, store, options, tracer, results)
+    return results
+
+
+def _finish(record: EvalRecord, store: ResultStore, results, tracer) -> None:
+    store.append(record)
+    results[record.key] = record
+    if tracer.enabled:
+        tracer.count("explore.scenarios")
+
+
+def _run_inline(
+    pending, base, config, store, options, tracer, results
+) -> None:
+    """Sequential in-process evaluation (workers == 1)."""
+    for key, scenario in pending:
+        attempts = 0
+        while True:
+            attempts += 1
+            start = time.perf_counter()
+            try:
+                metrics, via = evaluate_scenario(
+                    scenario,
+                    config,
+                    base=base,
+                    reuse_baseline=options.reuse_baseline,
+                )
+                record = EvalRecord(
+                    key=key,
+                    scenario=scenario.to_dict(),
+                    status="ok",
+                    metrics=metrics,
+                    seconds=time.perf_counter() - start,
+                    attempts=attempts,
+                    via=via,
+                )
+            except Exception as exc:  # noqa: BLE001 - degrade, continue sweep
+                record = EvalRecord(
+                    key=key,
+                    scenario=scenario.to_dict(),
+                    status="crashed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    seconds=time.perf_counter() - start,
+                    attempts=attempts,
+                )
+            if record.status == "ok" or attempts > options.retries:
+                _finish(record, store, results, tracer)
+                break
+            if tracer.enabled:
+                tracer.count("explore.retries")
+
+
+def _run_pool(
+    pending, base, config, store, options, tracer, results
+) -> None:
+    """Process-pool evaluation with per-scenario timeout and respawn."""
+    from multiprocessing.connection import wait as conn_wait
+
+    base_dict = base.to_dict() if base is not None else None
+    config_dict = config.as_dict()
+    if options.reuse_baseline and base is not None and any(
+        delta_between(base, scenario) is not None for _, scenario in pending
+    ):
+        # Plan the shared baseline in the parent before spawning: under
+        # the (Linux-default) fork start method every worker inherits it
+        # instead of replanning its own copy.
+        _baseline_for(base, config)
+    ctx = multiprocessing.get_context()
+    workers = [
+        _Worker(ctx, base_dict, config_dict, options.reuse_baseline)
+        for _ in range(min(options.workers, len(pending)))
+    ]
+    queue: List[Tuple[str, dict, int]] = [
+        (key, scenario.to_dict(), 1) for key, scenario in pending
+    ]
+    queue.reverse()  # pop() consumes in submission order
+    in_flight = 0
+
+    def retry_or_finish(worker: _Worker, status: str, error: str) -> None:
+        nonlocal in_flight
+        key, scenario_dict, attempt = worker.task
+        worker.task, worker.deadline = None, None
+        in_flight -= 1
+        elapsed = 0.0
+        if status == "timeout" and options.timeout_s is not None:
+            elapsed = options.timeout_s
+        if attempt <= options.retries:
+            if tracer.enabled:
+                tracer.count("explore.retries")
+            queue.append((key, scenario_dict, attempt + 1))
+            return
+        _finish(
+            EvalRecord(
+                key=key,
+                scenario=scenario_dict,
+                status=status,
+                error=error,
+                seconds=elapsed,
+                attempts=attempt,
+            ),
+            store,
+            results,
+            tracer,
+        )
+
+    try:
+        while queue or in_flight:
+            for i, worker in enumerate(workers):
+                if queue and worker.idle:
+                    worker.assign(queue.pop(), options.timeout_s)
+                    in_flight += 1
+            busy = [w for w in workers if not w.idle]
+            ready = conn_wait([w.conn for w in busy], timeout=0.1)
+            now = time.monotonic()
+            for worker in busy:
+                if worker.conn in ready:
+                    try:
+                        key, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # The worker died mid-scenario.
+                        worker.kill()
+                        retry_or_finish(
+                            worker, "crashed", "worker process died"
+                        )
+                        workers[workers.index(worker)] = _Worker(
+                            ctx, base_dict, config_dict, options.reuse_baseline
+                        )
+                        continue
+                    task_key, scenario_dict, attempt = worker.task
+                    worker.task, worker.deadline = None, None
+                    in_flight -= 1
+                    if payload["status"] == "ok":
+                        _finish(
+                            EvalRecord(
+                                key=task_key,
+                                scenario=scenario_dict,
+                                status="ok",
+                                metrics=payload["metrics"],
+                                seconds=payload["seconds"],
+                                attempts=attempt,
+                                via=payload["via"],
+                            ),
+                            store,
+                            results,
+                            tracer,
+                        )
+                    elif attempt <= options.retries:
+                        if tracer.enabled:
+                            tracer.count("explore.retries")
+                        queue.append((task_key, scenario_dict, attempt + 1))
+                    else:
+                        _finish(
+                            EvalRecord(
+                                key=task_key,
+                                scenario=scenario_dict,
+                                status="crashed",
+                                error=payload.get("error"),
+                                seconds=payload["seconds"],
+                                attempts=attempt,
+                            ),
+                            store,
+                            results,
+                            tracer,
+                        )
+                elif worker.expired(now):
+                    worker.kill()
+                    retry_or_finish(
+                        worker,
+                        "timeout",
+                        f"scenario exceeded {options.timeout_s}s",
+                    )
+                    workers[workers.index(worker)] = _Worker(
+                        ctx, base_dict, config_dict, options.reuse_baseline
+                    )
+                elif not worker.proc.is_alive():
+                    worker.kill()
+                    retry_or_finish(worker, "crashed", "worker process died")
+                    workers[workers.index(worker)] = _Worker(
+                        ctx, base_dict, config_dict, options.reuse_baseline
+                    )
+    finally:
+        for worker in workers:
+            worker.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# High-level drivers                                                    #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ExploreResult:
+    """A finished exploration: sampled points and their records."""
+
+    space: ParameterSpace
+    points: List[SamplePoint]
+    #: scenario key per point (aligned with ``points``).
+    keys: List[str]
+    records: Dict[str, EvalRecord]
+    #: cheapest-feasible boundaries per combination (bisect sampler only).
+    boundaries: Optional[Dict[Tuple, Optional[int]]] = None
+    seconds: float = 0.0
+
+    def record_for(self, point: SamplePoint) -> Optional[EvalRecord]:
+        return self.records.get(self.keys[self.points.index(point)])
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One flat dict per point: assignment + record summary."""
+        out = []
+        for point, key in zip(self.points, self.keys):
+            record = self.records.get(key)
+            row: Dict[str, Any] = dict(self.space.assignment(point))
+            row["key"] = key
+            if record is None:
+                row["status"] = "pending"
+            else:
+                row["status"] = record.status
+                row["via"] = record.via
+                row["seconds"] = record.seconds
+                if record.metrics:
+                    row.update(
+                        {
+                            k: v
+                            for k, v in record.metrics.items()
+                            if k != "failed_nets"
+                        }
+                    )
+            out.append(row)
+        return out
+
+
+def is_feasible(record: "EvalRecord | None") -> bool:
+    """A scenario is feasible when it planned with zero unassigned nets."""
+    return (
+        record is not None
+        and record.status == "ok"
+        and record.metrics["unassigned_nets"] == 0
+    )
+
+
+def explore_space(
+    space: ParameterSpace,
+    sampler: str = "grid",
+    samples: int = 32,
+    seed: int = 0,
+    bisect_dim: "str | None" = None,
+    config: "RabidConfig | None" = None,
+    store: "ResultStore | None" = None,
+    options: "SweepOptions | None" = None,
+    tracer=None,
+) -> ExploreResult:
+    """Sample a parameter space and evaluate every sampled scenario.
+
+    ``sampler`` is ``"grid"``, ``"random"`` (Latin hypercube, needs
+    ``samples``/``seed``), or ``"bisect"`` (adaptive boundary refinement,
+    needs ``bisect_dim``). The bisect sampler runs propose/evaluate
+    rounds until every bracket converges, so its point list grows with
+    the search; grid and random evaluate one fixed batch.
+    """
+    options = options or SweepOptions()
+    store = store if store is not None else ResultStore()
+    start = time.perf_counter()
+    boundaries = None
+    if sampler == "grid":
+        points = space.grid()
+    elif sampler == "random":
+        points = space.sample_random(samples, seed=seed)
+    elif sampler == "bisect":
+        if not bisect_dim:
+            raise ConfigurationError("the bisect sampler needs bisect_dim")
+        points = []
+        search = AdaptiveBisection(space, bisect_dim)
+        budget = options.max_scenarios
+        while True:
+            batch = search.propose()
+            if not batch:
+                break
+            if budget is not None:
+                batch = batch[:budget]
+                if not batch:
+                    break
+            records = run_sweep(
+                [p.scenario for p in batch],
+                base=space.base,
+                config=config,
+                store=store,
+                options=options,
+                tracer=tracer,
+            )
+            points.extend(batch)
+            evaluated = 0
+            for point in batch:
+                record = records.get(scenario_key(point.scenario, config or RabidConfig()))
+                if record is None:
+                    continue
+                evaluated += 1
+                if record.status == "ok":
+                    search.observe(point.values, is_feasible(record))
+                else:
+                    # Treat a crashed/timed-out budget probe as infeasible
+                    # so the bracket still converges.
+                    search.observe(point.values, False)
+            if budget is not None:
+                budget = max(0, budget - evaluated)
+        boundaries = search.boundaries()
+        keys = [
+            scenario_key(p.scenario, config or RabidConfig()) for p in points
+        ]
+        return ExploreResult(
+            space=space,
+            points=points,
+            keys=keys,
+            records={k: store.get(k) for k in keys if store.get(k) is not None},
+            boundaries=boundaries,
+            seconds=time.perf_counter() - start,
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown sampler {sampler!r}; expected grid, random, or bisect"
+        )
+    records = run_sweep(
+        [p.scenario for p in points],
+        base=space.base,
+        config=config,
+        store=store,
+        options=options,
+        tracer=tracer,
+    )
+    keys = [scenario_key(p.scenario, config or RabidConfig()) for p in points]
+    return ExploreResult(
+        space=space,
+        points=points,
+        keys=keys,
+        records=records,
+        boundaries=boundaries,
+        seconds=time.perf_counter() - start,
+    )

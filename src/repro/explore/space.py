@@ -1,0 +1,471 @@
+"""Typed parameter spaces over :class:`ScenarioSpec` deltas.
+
+A :class:`ParameterSpace` is a base scenario plus an ordered tuple of
+:class:`Dimension`\\ s, each varying one resource knob the paper sweeps:
+buffer-site density (``total_sites`` or per-region ``B(v)`` overrides),
+wire capacity ``W(e)``, the length limit ``L``, macro placements, and
+net count. A *sample point* assigns one value per dimension and fully
+determines a scenario, so every point is reproducible and
+content-addressable (:mod:`repro.explore.store`).
+
+Three samplers cover the sweep styles behind the paper's tables:
+
+* :meth:`ParameterSpace.grid` — the full cartesian product;
+* :meth:`ParameterSpace.sample_random` — seeded Latin-hypercube
+  stratification, for spaces too large to enumerate;
+* :class:`AdaptiveBisection` — iterative refinement around the
+  feasible/infeasible boundary of one integer dimension, answering
+  "what is the cheapest budget that still plans cleanly?" directly.
+
+:func:`delta_between` recognizes when a target scenario is a pure delta
+of the sweep's base scenario, which lets the executor evaluate it by
+incremental replay of a shared baseline plan instead of a scratch plan.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.service.jobs import (
+    DeltaOp,
+    DeltaSpec,
+    ScenarioSpec,
+    add_net,
+    move_macro,
+    remove_net,
+    set_capacity,
+    set_length_limit,
+    set_sites,
+)
+from repro.utils.rng import make_rng
+
+Tile = Tuple[int, int]
+
+
+def _apply_total_sites(spec: ScenarioSpec, value, dim) -> ScenarioSpec:
+    return replace(spec, total_sites=int(value))
+
+
+def _apply_capacity(spec: ScenarioSpec, value, dim) -> ScenarioSpec:
+    return replace(spec, capacity=int(value))
+
+
+def _apply_length_limit(spec: ScenarioSpec, value, dim) -> ScenarioSpec:
+    return replace(spec, length_limit=int(value))
+
+
+def _apply_num_nets(spec: ScenarioSpec, value, dim) -> ScenarioSpec:
+    return replace(spec, num_nets=int(value))
+
+
+def _apply_macro_origin(spec: ScenarioSpec, value, dim) -> ScenarioSpec:
+    if not 0 <= dim.index < len(spec.macros):
+        raise ConfigurationError(
+            f"macro_origin dimension index {dim.index} out of range "
+            f"({len(spec.macros)} macros)"
+        )
+    x, y = (int(v) for v in value)
+    macros = list(spec.macros)
+    macros[dim.index] = replace(macros[dim.index], x=x, y=y)
+    return replace(spec, macros=tuple(macros))
+
+
+def _apply_region_sites(spec: ScenarioSpec, value, dim) -> ScenarioSpec:
+    """Override ``B(v)`` to ``value`` on every tile of the dimension's region."""
+    overrides = dict(spec.site_overrides)
+    for tile in dim.tiles:
+        overrides[tuple(tile)] = int(value)
+    return replace(spec, site_overrides=tuple(sorted(overrides.items())))
+
+
+#: Dimension kind -> (applier, value validator).
+PARAM_APPLIERS: Dict[str, Callable] = {
+    "total_sites": _apply_total_sites,
+    "capacity": _apply_capacity,
+    "length_limit": _apply_length_limit,
+    "num_nets": _apply_num_nets,
+    "macro_origin": _apply_macro_origin,
+    "region_sites": _apply_region_sites,
+}
+
+#: Dimensions whose values are plain integers (bisection-capable).
+SCALAR_PARAMS = (
+    "total_sites",
+    "capacity",
+    "length_limit",
+    "num_nets",
+    "region_sites",
+)
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One axis of a sweep: a parameter kind plus its candidate values.
+
+    Attributes:
+        param: one of :data:`PARAM_APPLIERS`.
+        values: ordered candidate values. Integers for scalar params,
+            ``(x, y)`` pairs for ``macro_origin``.
+        index: which macro a ``macro_origin`` dimension moves.
+        tiles: the tile set a ``region_sites`` dimension overrides.
+    """
+
+    param: str
+    values: Tuple
+    index: int = 0
+    tiles: Tuple[Tile, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.param not in PARAM_APPLIERS:
+            raise ConfigurationError(
+                f"unknown sweep parameter {self.param!r}; expected one of "
+                f"{sorted(PARAM_APPLIERS)}"
+            )
+        if not self.values:
+            raise ConfigurationError(
+                f"dimension {self.param!r} needs at least one value"
+            )
+        object.__setattr__(self, "values", tuple(self.values))
+        object.__setattr__(
+            self, "tiles", tuple(tuple(t) for t in self.tiles)
+        )
+        if self.param == "region_sites" and not self.tiles:
+            raise ConfigurationError("region_sites dimension needs tiles")
+        if self.param == "macro_origin":
+            for v in self.values:
+                try:
+                    ok = len(tuple(v)) == 2
+                except TypeError:
+                    ok = False
+                if not ok:
+                    raise ConfigurationError(
+                        "macro_origin values must be (x, y) pairs"
+                    )
+            object.__setattr__(
+                self, "values", tuple(tuple(int(c) for c in v) for v in self.values)
+            )
+        elif self.param in SCALAR_PARAMS:
+            object.__setattr__(
+                self, "values", tuple(int(v) for v in self.values)
+            )
+
+    @property
+    def label(self) -> str:
+        if self.param == "macro_origin":
+            return f"macro{self.index}"
+        if self.param == "region_sites":
+            x, y = self.tiles[0]
+            return f"region_sites[{x},{y}+{len(self.tiles)}t]"
+        return self.param
+
+    def apply(self, spec: ScenarioSpec, value) -> ScenarioSpec:
+        return PARAM_APPLIERS[self.param](spec, value, self)
+
+
+@dataclass(frozen=True)
+class SamplePoint:
+    """One sampled assignment: dimension values plus the scenario it builds."""
+
+    values: Tuple
+    scenario: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """A base scenario and the dimensions to sweep over it."""
+
+    base: ScenarioSpec
+    dimensions: Tuple[Dimension, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dimensions", tuple(self.dimensions))
+        if not self.dimensions:
+            raise ConfigurationError("a parameter space needs >= 1 dimension")
+        labels = [d.label for d in self.dimensions]
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(
+                f"dimension labels must be unique, got {labels}"
+            )
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for dim in self.dimensions:
+            n *= len(dim.values)
+        return n
+
+    def scenario_for(self, values: Sequence) -> ScenarioSpec:
+        """The scenario a value-per-dimension assignment builds."""
+        if len(values) != len(self.dimensions):
+            raise ConfigurationError(
+                f"expected {len(self.dimensions)} values, got {len(values)}"
+            )
+        spec = self.base
+        for dim, value in zip(self.dimensions, values):
+            spec = dim.apply(spec, value)
+        return spec
+
+    def point(self, values: Sequence) -> SamplePoint:
+        values = tuple(
+            tuple(v) if isinstance(v, (list, tuple)) else v for v in values
+        )
+        return SamplePoint(values=values, scenario=self.scenario_for(values))
+
+    def assignment(self, point: SamplePoint) -> Dict[str, object]:
+        """Dimension label -> value, for human-facing reports."""
+        return {
+            dim.label: value
+            for dim, value in zip(self.dimensions, point.values)
+        }
+
+    # -- samplers -------------------------------------------------------- #
+
+    def grid(self) -> List[SamplePoint]:
+        """Every combination, in deterministic row-major order."""
+        return [
+            self.point(values)
+            for values in itertools.product(*(d.values for d in self.dimensions))
+        ]
+
+    def sample_random(self, count: int, seed: int = 0) -> List[SamplePoint]:
+        """Latin-hypercube sample: ``count`` stratified, seeded draws.
+
+        Each dimension's value list is hit near-uniformly (one draw per
+        stratum, strata shuffled independently per dimension). Duplicate
+        assignments are dropped, so the result may be slightly shorter
+        than ``count`` when the space is small.
+        """
+        if count < 1:
+            raise ConfigurationError("sample count must be >= 1")
+        rng = make_rng(seed)
+        columns = []
+        for dim in self.dimensions:
+            k = len(dim.values)
+            strata = [int(i * k // count) for i in range(count)]
+            order = rng.permutation(count)
+            columns.append([dim.values[strata[i]] for i in order])
+        seen = set()
+        points = []
+        for row in zip(*columns):
+            if row in seen:
+                continue
+            seen.add(row)
+            points.append(self.point(row))
+        return points
+
+
+# --------------------------------------------------------------------- #
+# Adaptive bisection                                                    #
+# --------------------------------------------------------------------- #
+
+
+class AdaptiveBisection:
+    """Binary refinement of the feasibility boundary along one dimension.
+
+    The bisected dimension must be scalar (integer values); its min/max
+    bracket a budget range assumed monotonic — more budget never makes a
+    plan *less* feasible, which holds for ``total_sites``, ``capacity``,
+    ``region_sites``, and ``length_limit``. For every combination of the
+    remaining dimensions the search maintains an
+    ``(infeasible_lo, feasible_hi)`` bracket and proposes midpoints until
+    the bracket closes to adjacent integers.
+
+    Drive it with the propose/observe loop::
+
+        search = AdaptiveBisection(space, dim_label="total_sites")
+        while True:
+            batch = search.propose()
+            if not batch:
+                break
+            for point in batch:
+                search.observe(point.values, evaluate(point))
+        boundaries = search.boundaries()
+    """
+
+    def __init__(self, space: ParameterSpace, dim_label: str):
+        self.space = space
+        labels = [d.label for d in space.dimensions]
+        if dim_label not in labels:
+            raise ConfigurationError(
+                f"unknown bisection dimension {dim_label!r}; have {labels}"
+            )
+        self.axis = labels.index(dim_label)
+        dim = space.dimensions[self.axis]
+        if dim.param not in SCALAR_PARAMS:
+            raise ConfigurationError(
+                f"cannot bisect non-scalar dimension {dim.param!r}"
+            )
+        self.lo = min(dim.values)
+        self.hi = max(dim.values)
+        if self.lo == self.hi:
+            raise ConfigurationError(
+                "bisection needs a dimension with a value range"
+            )
+        others = [
+            d.values for i, d in enumerate(space.dimensions) if i != self.axis
+        ]
+        #: combo (values of the other dimensions) -> bracket state.
+        self.brackets: Dict[Tuple, Dict[str, Optional[int]]] = {
+            combo: {"lo": None, "hi": None}
+            for combo in itertools.product(*others)
+        }
+        self._observed: Dict[Tuple, bool] = {}
+
+    def _values_for(self, combo: Tuple, axis_value: int) -> Tuple:
+        values = list(combo)
+        values.insert(self.axis, int(axis_value))
+        return tuple(values)
+
+    def _split(self, values: Tuple) -> Tuple[Tuple, int]:
+        combo = tuple(v for i, v in enumerate(values) if i != self.axis)
+        return combo, int(values[self.axis])
+
+    def observe(self, values: Tuple, feasible: bool) -> None:
+        """Record one evaluated point's feasibility verdict."""
+        values = tuple(
+            tuple(v) if isinstance(v, (list, tuple)) else v for v in values
+        )
+        combo, x = self._split(values)
+        if combo not in self.brackets:
+            raise ConfigurationError(f"unknown combination {combo!r}")
+        self._observed[values] = feasible
+        bracket = self.brackets[combo]
+        if feasible:
+            if bracket["hi"] is None or x < bracket["hi"]:
+                bracket["hi"] = x
+        else:
+            if bracket["lo"] is None or x > bracket["lo"]:
+                bracket["lo"] = x
+
+    def propose(self) -> List[SamplePoint]:
+        """The next batch of points to evaluate; empty when converged."""
+        batch: List[SamplePoint] = []
+        for combo, bracket in sorted(self.brackets.items()):
+            for x in self._next_for(bracket):
+                values = self._values_for(combo, x)
+                if values not in self._observed:
+                    batch.append(self.space.point(values))
+        return batch
+
+    def _next_for(self, bracket) -> List[int]:
+        lo, hi = bracket["lo"], bracket["hi"]
+        if lo is None and hi is None:
+            return [self.lo, self.hi]  # seed both endpoints
+        if hi is None:
+            # Even the top of the range was infeasible so far.
+            return [self.hi] if (lo is None or lo < self.hi) else []
+        if lo is None:
+            # Even the bottom was feasible so far.
+            return [self.lo] if hi > self.lo else []
+        if hi - lo > 1:
+            return [(lo + hi) // 2]
+        return []
+
+    def boundaries(self) -> Dict[Tuple, Optional[int]]:
+        """Per-combination cheapest feasible value (``None`` = infeasible).
+
+        Exact once :meth:`propose` returns empty; a best-so-far upper
+        bound before that.
+        """
+        return {
+            combo: bracket["hi"]
+            for combo, bracket in sorted(self.brackets.items())
+        }
+
+
+# --------------------------------------------------------------------- #
+# Delta recognition                                                     #
+# --------------------------------------------------------------------- #
+
+#: ScenarioSpec fields a DeltaSpec can never change; any difference in
+#: one of these forces a from-scratch plan.
+_FIXED_FIELDS = (
+    "grid",
+    "num_nets",
+    "capacity",
+    "seed",
+    "length_limit",
+    "total_sites",
+    "site_seed",
+)
+
+
+def delta_between(
+    base: ScenarioSpec, target: ScenarioSpec
+) -> Optional[DeltaSpec]:
+    """A delta turning ``base`` into exactly ``target``, if one exists.
+
+    Returns ``None`` when the difference involves a field deltas cannot
+    express (grid size, global budgets, seeds) or an override removal.
+    The result is verified: ``apply_delta(base, delta) == target`` or it
+    is not returned — so evaluating ``target`` by incremental replay of
+    a ``base`` plan is provably the same scenario.
+    """
+    from repro.service.jobs import apply_delta
+
+    if base == target:
+        return None
+    for name in _FIXED_FIELDS:
+        if getattr(base, name) != getattr(target, name):
+            return None
+    ops: List[DeltaOp] = []
+    if base.macros != target.macros:
+        if len(base.macros) != len(target.macros):
+            return None
+        for i, (old, new) in enumerate(zip(base.macros, target.macros)):
+            if (old.width, old.height) != (new.width, new.height):
+                return None
+            if (old.x, old.y) != (new.x, new.y):
+                ops.append(move_macro(i, new.x, new.y))
+    base_added = {name: (src, sinks) for name, src, sinks in base.added_nets}
+    target_added = {name: (src, sinks) for name, src, sinks in target.added_nets}
+    for name in base_added.keys() - target_added.keys():
+        if name not in target.removed_nets:
+            return None  # an added net vanished without a removal
+    for name, (src, sinks) in sorted(target_added.items()):
+        if base_added.get(name) != (src, sinks):
+            ops.append(add_net(name, src, list(sinks)))
+    for name in sorted(set(target.removed_nets) - set(base.removed_nets)):
+        ops.append(remove_net(name))
+    if set(base.removed_nets) - set(target.removed_nets):
+        removed_back = set(base.removed_nets) - set(target.removed_nets)
+        if not removed_back <= target_added.keys():
+            return None  # a removal was undone without re-adding
+    base_limits = dict(base.length_limits)
+    target_limits = dict(target.length_limits)
+    if base_limits.keys() - target_limits.keys():
+        return None  # a per-net limit override cannot be unset by a delta
+    for name, limit in sorted(target_limits.items()):
+        if base_limits.get(name) != limit:
+            ops.append(set_length_limit(name, limit))
+    base_sites = dict(base.site_overrides)
+    target_sites = dict(target.site_overrides)
+    if base_sites.keys() - target_sites.keys():
+        return None
+    changed_tiles = [
+        (x, y, count)
+        for (x, y), count in sorted(target_sites.items())
+        if base_sites.get((x, y)) != count
+    ]
+    if changed_tiles:
+        ops.append(set_sites(changed_tiles))
+    base_caps = {(u, v): c for u, v, c in base.capacity_overrides}
+    target_caps = {(u, v): c for u, v, c in target.capacity_overrides}
+    if base_caps.keys() - target_caps.keys():
+        return None
+    changed_edges = [
+        (u[0], u[1], v[0], v[1], cap)
+        for (u, v), cap in sorted(target_caps.items())
+        if base_caps.get((u, v)) != cap
+    ]
+    if changed_edges:
+        ops.append(set_capacity(changed_edges))
+    if not ops:
+        return None
+    delta = DeltaSpec(tuple(ops))
+    if apply_delta(base, delta) != target:
+        return None
+    return delta

@@ -1,0 +1,167 @@
+"""Content-addressed, resumable JSONL result store for sweeps.
+
+Every evaluated scenario becomes one appended JSON line keyed by
+:func:`scenario_key` — a SHA-256 over the scenario's canonical JSON, the
+planner config, and the evaluation schema version. Identical scenarios
+hash identically, so a killed sweep re-invoked against the same store
+skips every finished scenario without comparing anything but hashes, and
+two sweeps sharing scenarios share results.
+
+The store is append-only and crash-tolerant: records are flushed line by
+line, a truncated final line (the kill arriving mid-write) is ignored on
+load, and a re-evaluated key simply appends a newer record that shadows
+the older one. Records are schema-versioned on top of the
+:mod:`repro.io.serialize` convention so future readers can migrate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.service.jobs import ScenarioSpec
+
+#: Version of the evaluation record schema (bump on metric changes).
+STORE_SCHEMA_VERSION = 1
+
+#: Terminal statuses an evaluation record can carry. ``ok`` includes
+#: infeasible plans (unassigned nets > 0) — the *evaluation* succeeded.
+STATUSES = ("ok", "crashed", "timeout")
+
+
+def scenario_key(scenario: ScenarioSpec, config=None) -> str:
+    """The scenario's content hash (stable across processes and runs)."""
+    payload = {
+        "store_schema": STORE_SCHEMA_VERSION,
+        "scenario": scenario.to_dict(),
+        "config": config.as_dict() if config is not None else None,
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One scenario's evaluation outcome.
+
+    ``metrics`` is the objective dict the frontier consumes (present only
+    for ``status == "ok"``); ``via`` records whether the evaluation ran a
+    scratch ``full_plan`` or an incremental replay of the sweep baseline.
+    """
+
+    key: str
+    scenario: Dict[str, Any]
+    status: str
+    metrics: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+    attempts: int = 1
+    via: str = "full"
+    recorded_at: str = field(
+        default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S")
+    )
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ConfigurationError(
+                f"unknown record status {self.status!r}; expected {STATUSES}"
+            )
+        if self.status == "ok" and self.metrics is None:
+            raise ConfigurationError("an ok record needs metrics")
+
+    @property
+    def finished(self) -> bool:
+        """Whether a resume should skip this scenario (vs retry it)."""
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": STORE_SCHEMA_VERSION,
+            "key": self.key,
+            "scenario": self.scenario,
+            "status": self.status,
+            "metrics": self.metrics,
+            "error": self.error,
+            "seconds": round(self.seconds, 4),
+            "attempts": self.attempts,
+            "via": self.via,
+            "recorded_at": self.recorded_at,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "EvalRecord":
+        if d.get("version") != STORE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported result-store schema {d.get('version')!r}"
+            )
+        return cls(
+            key=d["key"],
+            scenario=d["scenario"],
+            status=d["status"],
+            metrics=d.get("metrics"),
+            error=d.get("error"),
+            seconds=d.get("seconds", 0.0),
+            attempts=d.get("attempts", 1),
+            via=d.get("via", "full"),
+            recorded_at=d.get("recorded_at", ""),
+        )
+
+
+class ResultStore:
+    """Append-only JSONL store, keyed by scenario hash.
+
+    ``path=None`` keeps everything in memory (throwaway sweeps, tests).
+    """
+
+    def __init__(self, path: "str | None" = None):
+        self.path = path
+        self._records: Dict[str, EvalRecord] = {}
+        if path is not None and os.path.exists(path):
+            for record in self._read_lines(path):
+                self._records[record.key] = record
+
+    @staticmethod
+    def _read_lines(path: str) -> Iterator[EvalRecord]:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield EvalRecord.from_dict(json.loads(line))
+                except (ValueError, KeyError, ConfigurationError):
+                    # A truncated or foreign line (e.g. the sweep was
+                    # killed mid-write). Resume must survive it.
+                    continue
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> Optional[EvalRecord]:
+        return self._records.get(key)
+
+    def finished(self, key: str) -> bool:
+        record = self._records.get(key)
+        return record is not None and record.finished
+
+    def records(self) -> Dict[str, EvalRecord]:
+        """All records, keyed by scenario hash (a copy)."""
+        return dict(self._records)
+
+    def append(self, record: EvalRecord) -> None:
+        """Record one evaluation; newer records shadow older ones."""
+        self._records[record.key] = record
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(
+                    json.dumps(record.to_dict(), sort_keys=True) + "\n"
+                )
+                fh.flush()

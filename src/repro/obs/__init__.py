@@ -17,7 +17,7 @@ the tracer API, the metric-name conventions, and the JSONL schema.
 
 from repro.obs.events import EVENT_KINDS, EventLog, NetEvent
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import render_summary
+from repro.obs.report import BUFFERING_COUNTERS, EXPLORE_COUNTERS, render_summary
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -35,6 +35,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "BUFFERING_COUNTERS",
+    "EXPLORE_COUNTERS",
     "render_summary",
     "NULL_TRACER",
     "NullTracer",

@@ -21,6 +21,14 @@ BUFFERING_COUNTERS = (
     "stage3.ledger_rollbacks",
 )
 
+#: Design-space-exploration counters (``repro explore``), sectioned like
+#: the buffering ones.
+EXPLORE_COUNTERS = (
+    "explore.scenarios",
+    "explore.cache_hits",
+    "explore.retries",
+)
+
 
 def _span_tree_lines(tracer: Tracer) -> List[str]:
     children: Dict[int, List[SpanRecord]] = {}
@@ -66,6 +74,15 @@ def render_summary(tracer: Tracer) -> str:
     if buffering:
         sections.append("== buffering ==")
         for name, metric in buffering:
+            sections.append(f"{name:24s} {metric.value}")
+    explore = [
+        (name, tracer.metrics.get(name))
+        for name in EXPLORE_COUNTERS
+        if tracer.metrics.get(name) is not None
+    ]
+    if explore:
+        sections.append("== explore ==")
+        for name, metric in explore:
             sections.append(f"{name:24s} {metric.value}")
     counts = tracer.events.counts_by_kind()
     if counts:

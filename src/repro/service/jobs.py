@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -29,6 +30,30 @@ from repro.utils.rng import make_rng
 JOB_SCHEMA_VERSION = 1
 
 Tile = Tuple[int, int]
+
+
+@lru_cache(maxsize=64)
+def _generated_nets(
+    grid: int, num_nets: int, capacity: int, seed: int
+) -> "Dict[str, Tuple[Tile, Tuple[Tile, ...]]]":
+    """The generated netlist for a scenario's identity fields, memoized.
+
+    Regenerating the kernel netlist costs tens of milliseconds at the
+    500-net scale and every plan/replay/sweep evaluation needs it, so
+    scenarios sharing (grid, num_nets, capacity, seed) — e.g. every
+    point of a budget sweep — generate once per process. Values are
+    stored as immutable tuples; :meth:`ScenarioSpec.nets` hands out
+    fresh sink lists so callers can't corrupt the cache.
+    """
+    from repro.benchmarks.routing_kernel import make_routing_scenario
+
+    generated = make_routing_scenario(
+        grid=grid, num_nets=num_nets, capacity=capacity, seed=seed
+    ).nets
+    return {
+        name: (tuple(source), tuple(tuple(s) for s in sinks))
+        for name, (source, sinks) in generated.items()
+    }
 
 
 # --------------------------------------------------------------------- #
@@ -142,15 +167,13 @@ class ScenarioSpec:
 
     def nets(self) -> "Dict[str, Tuple[Tile, List[Tile]]]":
         """Net name -> (source, sinks), after adds and removals."""
-        from repro.benchmarks.routing_kernel import make_routing_scenario
-
-        generated = make_routing_scenario(
-            grid=self.grid,
-            num_nets=self.num_nets,
-            capacity=self.capacity,
-            seed=self.seed,
-        ).nets
-        out: Dict[str, Tuple[Tile, List[Tile]]] = dict(generated)
+        generated = _generated_nets(
+            self.grid, self.num_nets, self.capacity, self.seed
+        )
+        out: Dict[str, Tuple[Tile, List[Tile]]] = {
+            name: (source, list(sinks))
+            for name, (source, sinks) in generated.items()
+        }
         for name, source, sinks in self.added_nets:
             out[name] = (tuple(source), [tuple(s) for s in sinks])
         for name in self.removed_nets:
@@ -158,6 +181,7 @@ class ScenarioSpec:
         return out
 
     def limits(self, names) -> Dict[str, int]:
+        """Per-net length limits for ``names`` (overrides over the default)."""
         overrides = dict(self.length_limits)
         return {n: overrides.get(n, self.length_limit) for n in names}
 

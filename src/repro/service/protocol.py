@@ -38,6 +38,12 @@ from repro.service.scheduler import PlanningService
 
 PROTOCOL_VERSION = 1
 
+#: Default cap on one request line. asyncio's StreamReader default (64 KiB)
+#: is too small for checkpoint-sized scenarios, but an unbounded reader
+#: would let one client buffer arbitrary memory; 1 MiB covers every
+#: legitimate job the repo generates with two orders of magnitude to spare.
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
 
 def job_to_dict(job: Job) -> Dict[str, Any]:
     out: Dict[str, Any] = {"job_id": job.job_id, "kind": job.kind}
@@ -76,8 +82,17 @@ def job_from_dict(d: Dict[str, Any]) -> Job:
 class ProtocolServer:
     """Serves the JSON-lines protocol over asyncio streams."""
 
-    def __init__(self, service: PlanningService):
+    def __init__(
+        self,
+        service: PlanningService,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ):
+        if max_request_bytes < 2:
+            raise ProtocolError(
+                f"max_request_bytes must be >= 2, got {max_request_bytes}"
+            )
         self.service = service
+        self.max_request_bytes = max_request_bytes
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
 
@@ -88,7 +103,9 @@ class ProtocolServer:
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
         await self.service.start()
-        self._server = await asyncio.start_server(self._handle, host, port)
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=self.max_request_bytes
+        )
 
     async def serve_until_shutdown(self) -> None:
         await self._shutdown.wait()
@@ -106,7 +123,30 @@ class ProtocolServer:
     ) -> None:
         try:
             while not reader.at_eof():
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The client sent a line longer than max_request_bytes.
+                    # Line framing is now unrecoverable (part of the
+                    # oversized request is still in flight), so answer
+                    # with a typed error and drop the connection instead
+                    # of crashing the handler silently.
+                    error = ProtocolError(
+                        "request line exceeds "
+                        f"{self.max_request_bytes} bytes"
+                    )
+                    writer.write(
+                        json.dumps(
+                            {
+                                "ok": False,
+                                "error": type(error).__name__,
+                                "message": str(error),
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 response = await self._dispatch_line(line)

@@ -52,3 +52,52 @@ class TestDesignReport:
         report = design_report(routes, graph10_sites, tech, length_limit=4)
         per_sink = [n.max_delay_ps for n in report.nets]  # 1 sink each
         assert report.avg_delay_ps == pytest.approx(sum(per_sink) / 2, rel=1e-6)
+
+
+class TestReportMatchesPlanner:
+    """Report figures agree with the planner's own outcome bookkeeping."""
+
+    @pytest.fixture(scope="class")
+    def planned(self):
+        from repro.service.engine import full_plan
+        from repro.service.jobs import ScenarioSpec
+
+        state = full_plan(ScenarioSpec(grid=12, num_nets=30, total_sites=300))
+        report = design_report(
+            state.routes,
+            state.graph,
+            state.config.technology,
+            length_limit=state.config.length_limit,
+        )
+        return state, report
+
+    def test_net_rows_cover_every_route(self, planned):
+        state, report = planned
+        assert sorted(n.name for n in report.nets) == sorted(state.routes)
+
+    def test_buffer_totals_match_outcomes(self, planned):
+        state, report = planned
+        assert report.total_buffers == sum(
+            len(o.specs) for o in state.outcomes.values()
+        )
+        by_name = {n.name: n for n in report.nets}
+        for name, outcome in state.outcomes.items():
+            assert by_name[name].num_buffers == len(outcome.specs)
+
+    def test_failed_nets_match_planner(self, planned):
+        state, report = planned
+        assert sorted(report.failed_nets) == sorted(state.failed_nets)
+
+    def test_explore_metrics_agree_with_report(self, planned):
+        from repro.explore import metrics_from_state
+
+        state, report = planned
+        metrics = metrics_from_state(state)
+        assert metrics["buffers"] == report.total_buffers
+        assert metrics["unassigned_nets"] == len(report.failed_nets)
+        assert metrics["wirelength_tiles"] == sum(
+            n.wirelength_tiles for n in report.nets
+        )
+        assert metrics["max_delay_ps"] == pytest.approx(
+            max(n.max_delay_ps for n in report.nets), abs=1e-3
+        )

@@ -1,0 +1,132 @@
+"""Shared trajectory emitter: identity, replacement, speedup baseline."""
+
+import json
+
+from repro.benchmarks.emit import (
+    TRAJECTORY_SCHEMA,
+    append_trajectory_entry,
+    load_trajectory,
+    write_trajectory,
+)
+
+PARAMS = {"grid": 16, "num_nets": 100}
+
+
+class TestLoadWrite:
+    def test_missing_file_is_fresh(self, tmp_path):
+        data = load_trajectory(str(tmp_path / "BENCH_x.json"))
+        assert data == {
+            "schema": TRAJECTORY_SCHEMA,
+            "benchmark": {},
+            "entries": [],
+        }
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        write_trajectory(path, {"schema": 1, "benchmark": {}, "entries": []})
+        assert load_trajectory(path)["entries"] == []
+        with open(path) as fh:
+            assert fh.read().endswith("\n")
+
+
+class TestAppend:
+    def test_first_entry_pins_benchmark_params(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        append_trajectory_entry(path, "a", PARAMS, {"seconds": 1.0})
+        assert load_trajectory(path)["benchmark"] == PARAMS
+
+    def test_values_stored_verbatim(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        entry = append_trajectory_entry(
+            path, "a", PARAMS, {"seconds": 1.5, "nets": 100}, workers=2
+        )
+        assert entry["seconds"] == 1.5
+        assert entry["nets"] == 100
+        assert entry["workers"] == 2
+        assert entry["params"] == PARAMS
+        assert "recorded_at" in entry
+
+    def test_same_label_replaces_in_place(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        append_trajectory_entry(path, "a", PARAMS, {"seconds": 1.0})
+        append_trajectory_entry(path, "b", PARAMS, {"seconds": 2.0})
+        append_trajectory_entry(path, "a", PARAMS, {"seconds": 9.0})
+        data = load_trajectory(path)
+        assert [e["label"] for e in data["entries"]] == ["a", "b"]
+        assert data["entries"][0]["seconds"] == 9.0
+
+    def test_worker_count_is_part_of_identity(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        append_trajectory_entry(path, "a", PARAMS, {"seconds": 4.0}, workers=1)
+        append_trajectory_entry(path, "a", PARAMS, {"seconds": 1.0}, workers=4)
+        entries = load_trajectory(path)["entries"]
+        assert len(entries) == 2
+        assert {e["workers"] for e in entries} == {1, 4}
+
+    def test_extra_fields_merge(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        entry = append_trajectory_entry(
+            path, "a", PARAMS, {"seconds": 1.0}, extra={"note": "smoke"}
+        )
+        assert entry["note"] == "smoke"
+
+
+class TestSpeedup:
+    def test_speedup_vs_workers1_baseline(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        append_trajectory_entry(
+            path, "base", PARAMS, {"seconds": 8.0},
+            workers=1, speedup_from="seconds",
+        )
+        entry = append_trajectory_entry(
+            path, "fast", PARAMS, {"seconds": 2.0},
+            workers=4, speedup_from="seconds",
+        )
+        assert entry["speedup_vs_baseline"] == 4.0
+
+    def test_baseline_has_no_self_speedup(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        append_trajectory_entry(
+            path, "base", PARAMS, {"seconds": 8.0},
+            workers=1, speedup_from="seconds",
+        )
+        again = append_trajectory_entry(
+            path, "base", PARAMS, {"seconds": 7.0},
+            workers=1, speedup_from="seconds",
+        )
+        assert "speedup_vs_baseline" not in again
+
+    def test_different_params_have_no_baseline(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        append_trajectory_entry(
+            path, "base", PARAMS, {"seconds": 8.0},
+            workers=1, speedup_from="seconds",
+        )
+        entry = append_trajectory_entry(
+            path, "fast", {"grid": 32, "num_nets": 500}, {"seconds": 2.0},
+            workers=4, speedup_from="seconds",
+        )
+        assert "speedup_vs_baseline" not in entry
+
+
+class TestRepoTrajectoryFiles:
+    def test_bench_explore_acceptance_entry(self):
+        """The recorded acceptance sweep meets the documented floor."""
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "benchmarks",
+            "BENCH_explore.json",
+        )
+        with open(path) as fh:
+            data = json.load(fh)
+        entries = [
+            e for e in data["entries"] if e["label"] == "budget-sweep-engine"
+        ]
+        assert entries, "acceptance entry missing from BENCH_explore.json"
+        entry = entries[0]
+        assert entry["scenarios"] == 64
+        assert entry["workers"] == 8
+        assert entry["speedup"] >= 4.0
+        assert entry["signatures_match"] is True
+        assert entry["frontier_match"] is True

@@ -1,0 +1,252 @@
+"""Parameter spaces, samplers, and delta recognition."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore import AdaptiveBisection, Dimension, ParameterSpace, delta_between
+from repro.service.jobs import MacroSpec, ScenarioSpec, apply_delta
+
+
+def small_base(**overrides) -> ScenarioSpec:
+    defaults = dict(grid=12, num_nets=30, total_sites=300)
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestDimension:
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dimension("wirelength", (1, 2))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dimension("capacity", ())
+
+    def test_region_needs_tiles(self):
+        with pytest.raises(ConfigurationError):
+            Dimension("region_sites", (0, 1))
+
+    def test_macro_values_must_be_pairs(self):
+        with pytest.raises(ConfigurationError):
+            Dimension("macro_origin", (3,))
+
+    def test_labels(self):
+        assert Dimension("total_sites", (1,)).label == "total_sites"
+        assert Dimension("macro_origin", ((1, 2),), index=3).label == "macro3"
+        dim = Dimension("region_sites", (0,), tiles=((2, 3), (2, 4)))
+        assert dim.label == "region_sites[2,3+2t]"
+
+    def test_scalar_apply(self):
+        base = small_base()
+        assert Dimension("total_sites", (10,)).apply(base, 500).total_sites == 500
+        assert Dimension("capacity", (10,)).apply(base, 12).capacity == 12
+        assert Dimension("length_limit", (4,)).apply(base, 7).length_limit == 7
+        assert Dimension("num_nets", (5,)).apply(base, 40).num_nets == 40
+
+    def test_macro_apply_moves_only_named_macro(self):
+        base = small_base(macros=(MacroSpec(1, 1, 2, 2), MacroSpec(5, 5, 2, 2)))
+        dim = Dimension("macro_origin", ((8, 8),), index=1)
+        out = dim.apply(base, (8, 8))
+        assert out.macros[0] == base.macros[0]
+        assert (out.macros[1].x, out.macros[1].y) == (8, 8)
+
+    def test_macro_index_out_of_range(self):
+        dim = Dimension("macro_origin", ((0, 0),), index=2)
+        with pytest.raises(ConfigurationError):
+            dim.apply(small_base(), (0, 0))
+
+    def test_region_apply_overrides_every_tile(self):
+        tiles = ((3, 3), (3, 4))
+        dim = Dimension("region_sites", (0, 5), tiles=tiles)
+        out = dim.apply(small_base(), 5)
+        assert dict(out.site_overrides) == {(3, 3): 5, (3, 4): 5}
+
+
+class TestParameterSpace:
+    def space(self):
+        return ParameterSpace(
+            small_base(),
+            (
+                Dimension("total_sites", (100, 200, 300)),
+                Dimension("length_limit", (4, 6)),
+            ),
+        )
+
+    def test_size_and_grid_order(self):
+        space = self.space()
+        assert space.size == 6
+        points = space.grid()
+        assert len(points) == 6
+        # Row-major: first dimension varies slowest.
+        assert [p.values for p in points[:2]] == [(100, 4), (100, 6)]
+        assert points[-1].values == (300, 6)
+
+    def test_needs_a_dimension(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpace(small_base(), ())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpace(
+                small_base(),
+                (
+                    Dimension("capacity", (4,)),
+                    Dimension("capacity", (8,)),
+                ),
+            )
+
+    def test_scenario_for_applies_all_dimensions(self):
+        space = self.space()
+        scenario = space.scenario_for((200, 6))
+        assert scenario.total_sites == 200
+        assert scenario.length_limit == 6
+
+    def test_assignment_labels(self):
+        space = self.space()
+        point = space.point((100, 4))
+        assert space.assignment(point) == {
+            "total_sites": 100,
+            "length_limit": 4,
+        }
+
+    def test_random_sampler_deterministic_and_stratified(self):
+        space = self.space()
+        a = space.sample_random(6, seed=7)
+        b = space.sample_random(6, seed=7)
+        assert [p.values for p in a] == [p.values for p in b]
+        assert [p.values for p in a] != [
+            p.values for p in space.sample_random(6, seed=8)
+        ]
+        # Latin hypercube: each dimension's values all appear.
+        firsts = {p.values[0] for p in a}
+        assert firsts == {100, 200, 300}
+
+    def test_random_sampler_dedupes(self):
+        space = self.space()
+        points = space.sample_random(50, seed=0)
+        assert len({p.values for p in points}) == len(points)
+        assert len(points) <= space.size
+
+
+class TestAdaptiveBisection:
+    def test_converges_to_exact_boundary(self):
+        space = ParameterSpace(
+            small_base(), (Dimension("total_sites", (0, 1000)),)
+        )
+        search = AdaptiveBisection(space, "total_sites")
+        threshold = 137  # feasible iff total_sites >= 137
+        evaluations = 0
+        while True:
+            batch = search.propose()
+            if not batch:
+                break
+            for point in batch:
+                evaluations += 1
+                search.observe(
+                    point.values, point.scenario.total_sites >= threshold
+                )
+        assert search.boundaries() == {(): threshold}
+        # Binary search, not a scan.
+        assert evaluations <= 14
+
+    def test_all_infeasible_reports_none(self):
+        space = ParameterSpace(
+            small_base(), (Dimension("total_sites", (0, 64)),)
+        )
+        search = AdaptiveBisection(space, "total_sites")
+        while True:
+            batch = search.propose()
+            if not batch:
+                break
+            for point in batch:
+                search.observe(point.values, False)
+        assert search.boundaries() == {(): None}
+
+    def test_brackets_per_combination(self):
+        space = ParameterSpace(
+            small_base(),
+            (
+                Dimension("total_sites", (0, 100)),
+                Dimension("length_limit", (4, 6)),
+            ),
+        )
+        search = AdaptiveBisection(space, "total_sites")
+        while True:
+            batch = search.propose()
+            if not batch:
+                break
+            for point in batch:
+                limit = point.scenario.length_limit
+                need = 40 if limit == 6 else 80
+                search.observe(
+                    point.values, point.scenario.total_sites >= need
+                )
+        assert search.boundaries() == {(4,): 80, (6,): 40}
+
+    def test_non_scalar_dimension_rejected(self):
+        space = ParameterSpace(
+            small_base(macros=(MacroSpec(1, 1, 2, 2),)),
+            (Dimension("macro_origin", ((0, 0), (4, 4))),),
+        )
+        with pytest.raises(ConfigurationError):
+            AdaptiveBisection(space, "macro0")
+
+
+class TestDeltaBetween:
+    def test_identical_scenarios_have_no_delta(self):
+        base = small_base()
+        assert delta_between(base, base) is None
+
+    def test_fixed_field_change_unrecognized(self):
+        base = small_base()
+        for target in (
+            small_base(grid=16),
+            small_base(num_nets=40),
+            small_base(total_sites=400),
+            small_base(seed=3),
+        ):
+            assert delta_between(base, target) is None
+
+    def test_site_override_delta_roundtrips(self):
+        base = small_base()
+        target = base.__class__.from_dict(base.to_dict())
+        from dataclasses import replace
+
+        target = replace(
+            base, site_overrides=(((4, 4), 3), ((5, 4), 0))
+        )
+        delta = delta_between(base, target)
+        assert delta is not None
+        assert apply_delta(base, delta) == target
+
+    def test_macro_move_delta_roundtrips(self):
+        from dataclasses import replace
+
+        base = small_base(macros=(MacroSpec(1, 1, 3, 3),))
+        target = replace(base, macros=(MacroSpec(6, 5, 3, 3),))
+        delta = delta_between(base, target)
+        assert delta is not None
+        assert apply_delta(base, delta) == target
+
+    def test_macro_resize_unrecognized(self):
+        from dataclasses import replace
+
+        base = small_base(macros=(MacroSpec(1, 1, 3, 3),))
+        target = replace(base, macros=(MacroSpec(1, 1, 4, 4),))
+        assert delta_between(base, target) is None
+
+    def test_override_removal_unrecognized(self):
+        from dataclasses import replace
+
+        base = small_base(site_overrides=(((4, 4), 3),))
+        target = replace(base, site_overrides=())
+        assert delta_between(base, target) is None
+
+    def test_length_limit_override_delta(self):
+        from dataclasses import replace
+
+        base = small_base()
+        target = replace(base, length_limits=(("n0001", 8),))
+        delta = delta_between(base, target)
+        assert delta is not None
+        assert apply_delta(base, delta) == target

@@ -1,0 +1,132 @@
+"""Content-addressed result store: keys, persistence, crash tolerance."""
+
+import json
+
+import pytest
+
+from repro.core.rabid import RabidConfig
+from repro.errors import ConfigurationError
+from repro.explore import EvalRecord, ResultStore, scenario_key
+from repro.service.jobs import ScenarioSpec
+
+
+def spec(**overrides) -> ScenarioSpec:
+    defaults = dict(grid=12, num_nets=30, total_sites=300)
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def ok_record(key="k", **metric_overrides) -> EvalRecord:
+    metrics = {
+        "site_budget": 300,
+        "wire_budget": 100,
+        "unassigned_nets": 0,
+        "wirelength_tiles": 50,
+        "max_delay_ps": 10.0,
+        "buffers": 5,
+        "cost": 1.0,
+        "signature": "s",
+    }
+    metrics.update(metric_overrides)
+    return EvalRecord(
+        key=key, scenario=spec().to_dict(), status="ok", metrics=metrics
+    )
+
+
+class TestScenarioKey:
+    def test_stable_across_equal_scenarios(self):
+        assert scenario_key(spec()) == scenario_key(spec())
+
+    def test_differs_by_scenario(self):
+        assert scenario_key(spec()) != scenario_key(spec(total_sites=400))
+
+    def test_differs_by_config(self):
+        assert scenario_key(spec(), RabidConfig()) != scenario_key(
+            spec(), RabidConfig(length_limit=9)
+        )
+
+    def test_is_hex_sha256(self):
+        key = scenario_key(spec())
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestEvalRecord:
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvalRecord(key="k", scenario={}, status="lost")
+
+    def test_ok_needs_metrics(self):
+        with pytest.raises(ConfigurationError):
+            EvalRecord(key="k", scenario={}, status="ok")
+
+    def test_roundtrip(self):
+        record = ok_record()
+        again = EvalRecord.from_dict(record.to_dict())
+        assert again.key == record.key
+        assert again.metrics == record.metrics
+        assert again.finished
+
+    def test_crashed_is_not_finished(self):
+        record = EvalRecord(key="k", scenario={}, status="crashed", error="x")
+        assert not record.finished
+
+    def test_version_checked(self):
+        bad = ok_record().to_dict()
+        bad["version"] = 99
+        with pytest.raises(ConfigurationError):
+            EvalRecord.from_dict(bad)
+
+
+class TestResultStore:
+    def test_in_memory_roundtrip(self):
+        store = ResultStore()
+        record = ok_record("a")
+        store.append(record)
+        assert "a" in store
+        assert store.get("a").metrics == record.metrics
+        assert store.finished("a")
+        assert len(store) == 1
+
+    def test_persists_and_reloads(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path)
+        store.append(ok_record("a"))
+        store.append(
+            EvalRecord(key="b", scenario={}, status="timeout", error="slow")
+        )
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.finished("a")
+        assert not reloaded.finished("b")
+
+    def test_newer_record_shadows_older(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path)
+        store.append(
+            EvalRecord(key="a", scenario={}, status="crashed", error="x")
+        )
+        store.append(ok_record("a"))
+        assert ResultStore(path).finished("a")
+        # Both lines are still on disk (append-only).
+        with open(path) as fh:
+            assert len(fh.readlines()) == 2
+
+    def test_truncated_final_line_ignored(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path)
+        store.append(ok_record("a"))
+        with open(path, "a") as fh:
+            fh.write(json.dumps(ok_record("b").to_dict())[: 40])  # killed mid-write
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.finished("a")
+
+    def test_foreign_lines_ignored(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        with open(path, "w") as fh:
+            fh.write("not json at all\n\n{\"version\": 1}\n")
+        assert len(ResultStore(path)) == 0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(ResultStore(str(tmp_path / "nope.jsonl"))) == 0

@@ -189,3 +189,59 @@ class TestServerOps:
 
         responses = asyncio.run(scenario())
         assert responses == [{"ok": True, "shutting_down": True}]
+
+
+class TestRequestSizeLimit:
+    def test_oversized_line_gets_typed_error_and_drop(self):
+        async def scenario():
+            service = PlanningService(options=SchedulerOptions(workers=1))
+            server = ProtocolServer(service, max_request_bytes=4096)
+            await server.start("127.0.0.1", 0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    b'{"op": "status", "job_id": "'
+                    + b"x" * 10_000
+                    + b'"}\n'
+                )
+                await writer.drain()
+                line = await reader.readline()
+                after = await reader.readline()  # connection dropped
+                writer.close()
+                await writer.wait_closed()
+
+                # A fresh connection still works after the oversized one.
+                fresh = await request_over_stream(
+                    "127.0.0.1", server.port, [{"op": "stats"}]
+                )
+                return json.loads(line), after, fresh
+            finally:
+                await server.close()
+
+        response, after, fresh = asyncio.run(scenario())
+        assert not response["ok"]
+        assert response["error"] == "ProtocolError"
+        assert "4096" in response["message"]
+        assert after == b""
+        assert fresh[0]["ok"]
+
+    def test_normal_request_fits_under_limit(self):
+        async def scenario():
+            service = PlanningService(options=SchedulerOptions(workers=1))
+            server = ProtocolServer(service, max_request_bytes=4096)
+            await server.start("127.0.0.1", 0)
+            try:
+                return await request_over_stream(
+                    "127.0.0.1", server.port, [{"op": "stats"}]
+                )
+            finally:
+                await server.close()
+
+        assert asyncio.run(scenario())[0]["ok"]
+
+    def test_limit_validated(self):
+        service = PlanningService(options=SchedulerOptions(workers=1))
+        with pytest.raises(ProtocolError):
+            ProtocolServer(service, max_request_bytes=1)
