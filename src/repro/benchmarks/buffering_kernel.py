@@ -159,16 +159,22 @@ def buffering_signature(
 def run_buffering_kernel(
     instance: BufferingScenario,
     workers: int = 1,
+    backend: str = "pool",
     tracer=None,
+    pool=None,
 ) -> BufferingKernelResult:
     """Run Stage-3 buffer assignment over the whole instance, timed."""
     kwargs = {}
-    # ``workers`` arrived with the unified engine; stay runnable on the
-    # pre-solver code so the baseline entry can be recorded from it.
-    if workers != 1 or "workers" in getattr(
-        assign_buffers_stage3, "__code__", None
-    ).co_varnames:
+    # ``workers`` arrived with the unified engine and ``backend`` with
+    # the shared-memory pool; stay runnable on the pre-solver code so
+    # the baseline entry can be recorded from it.
+    varnames = getattr(assign_buffers_stage3, "__code__", None).co_varnames
+    if workers != 1 or "workers" in varnames:
         kwargs["workers"] = workers
+    if "backend" in varnames:
+        kwargs["backend"] = backend
+        kwargs["pool"] = pool
+        kwargs["solver_names"] = lambda name: "dp"
     limits = {name: instance.length_limit for name in instance.routes}
     start = time.perf_counter()
     assignment = assign_buffers_stage3(
@@ -196,6 +202,7 @@ def run_buffering_kernel(
 def run_best_of(
     repetitions: int,
     workers: int = 1,
+    backend: str = "pool",
     tracer=None,
     **scenario_kwargs,
 ) -> Tuple[BufferingScenario, BufferingKernelResult]:
@@ -215,7 +222,9 @@ def run_best_of(
     try:
         for _ in range(max(1, repetitions)):
             instance = make_buffering_scenario(**scenario_kwargs)
-            result = run_buffering_kernel(instance, workers=workers, tracer=tracer)
+            result = run_buffering_kernel(
+                instance, workers=workers, backend=backend, tracer=tracer
+            )
             if best is None or result.seconds_stage3 < best[1].seconds_stage3:
                 best = (instance, result)
             gc.collect()
@@ -237,12 +246,15 @@ def append_entry(
     instance: BufferingScenario,
     workers: int = 1,
     extra: Optional[dict] = None,
+    min_speedup_vs_workers1: Optional[float] = None,
 ) -> dict:
     """Append one measured entry; computes speedup vs the first baseline.
 
     Mirrors the routing trajectory's contract: speedups compare entries
     with identical scenario params against the first ``workers=1`` entry,
     and re-running an existing label replaces that entry in place.
+    ``min_speedup_vs_workers1`` arms the emit-layer speedup gate (see
+    :func:`repro.benchmarks.emit.append_trajectory_entry`).
     """
     return append_trajectory_entry(
         path,
@@ -258,6 +270,7 @@ def append_entry(
         workers=workers,
         speedup_from="seconds_stage3",
         extra=extra,
+        min_speedup_vs_workers1=min_speedup_vs_workers1,
     )
 
 
@@ -272,6 +285,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument(
+        "--backend", choices=("pool", "threads"), default="pool",
+        help="parallel engine for --workers > 1",
+    )
+    parser.add_argument(
         "--fast", action="store_true",
         help="small instance (16x16, 120 nets) for CI smoke runs",
     )
@@ -279,13 +296,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeat", type=int, default=3,
         help="record the fastest of N runs (default 3)",
     )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail if a --workers > 1 entry is below this speedup over "
+        "the workers=1 baseline (armed only when the machine has that "
+        "many cores)",
+    )
     args = parser.parse_args(argv)
     kwargs = dict(seed=args.seed, site_seed=args.seed)
     if args.fast:
         kwargs.update(grid=16, num_nets=120, total_sites=600)
-    instance, result = run_best_of(args.repeat, workers=args.workers, **kwargs)
+    instance, result = run_best_of(
+        args.repeat, workers=args.workers, backend=args.backend, **kwargs
+    )
     entry = append_entry(
-        args.out, args.label, result, instance, workers=args.workers
+        args.out, args.label, result, instance, workers=args.workers,
+        extra={"backend": args.backend},
+        min_speedup_vs_workers1=args.min_speedup,
     )
     print(json.dumps(entry, indent=2))
     return 0

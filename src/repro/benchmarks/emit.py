@@ -18,6 +18,15 @@ Contract (unchanged from the per-kernel originals):
 * When ``speedup_from`` names a seconds field, the entry gains
   ``speedup_vs_baseline`` measured against the first ``workers == 1``
   entry with identical params (never against itself).
+* Worker-styled entries record ``cores`` (``os.cpu_count()`` at measure
+  time) so a reader can judge whether a parallel number was measured on
+  hardware that could possibly show a speedup.
+* ``min_speedup_vs_workers1`` turns the speedup into a *gate*: a
+  parallel entry slower than the floor raises :class:`SpeedupGateError`
+  (and is not recorded), failing the calling benchmark. The gate only
+  arms when the machine has at least ``workers`` cores — a 2-worker run
+  on a 1-core box cannot honestly be expected to beat the sequential
+  arm, so the entry records why the gate was skipped instead.
 """
 
 from __future__ import annotations
@@ -28,6 +37,10 @@ import time
 from typing import Any, Dict, Optional
 
 TRAJECTORY_SCHEMA = 1
+
+
+class SpeedupGateError(AssertionError):
+    """A parallel entry fell below its required speedup over workers=1."""
 
 
 def load_trajectory(path: str) -> Dict[str, Any]:
@@ -52,6 +65,7 @@ def append_trajectory_entry(
     workers: Optional[int] = None,
     speedup_from: Optional[str] = None,
     extra: Optional[dict] = None,
+    min_speedup_vs_workers1: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Record one measurement in ``path``; returns the stored entry.
 
@@ -65,6 +79,15 @@ def append_trajectory_entry(
         speedup_from: name of a seconds field in ``values`` to compare
             against the first same-params ``workers == 1`` entry.
         extra: optional additional fields merged into the entry.
+        min_speedup_vs_workers1: required speedup floor for parallel
+            (``workers > 1``) entries. Raises :class:`SpeedupGateError`
+            without recording when the measured speedup falls below it.
+            Armed only when ``os.cpu_count() >= workers``; on smaller
+            machines the entry records ``speedup_gate: "skipped: ..."``.
+
+    Raises:
+        SpeedupGateError: the entry is parallel, the gate is armed, and
+            ``speedup_vs_baseline`` is below ``min_speedup_vs_workers1``.
     """
     data = load_trajectory(path)
     if not data["entries"]:
@@ -76,6 +99,7 @@ def append_trajectory_entry(
     }
     if workers is not None:
         entry["workers"] = workers
+        entry["cores"] = os.cpu_count() or 1
     entry.update(values)
     if speedup_from is not None:
         baseline = next(
@@ -93,6 +117,24 @@ def append_trajectory_entry(
             entry["speedup_vs_baseline"] = round(
                 baseline[speedup_from] / seconds, 2
             )
+    if min_speedup_vs_workers1 is not None and workers is not None and workers > 1:
+        cores = entry.get("cores") or os.cpu_count() or 1
+        speedup = entry.get("speedup_vs_baseline")
+        if cores < workers:
+            entry["speedup_gate"] = (
+                f"skipped: {cores} cores < {workers} workers"
+            )
+        elif speedup is None:
+            entry["speedup_gate"] = "skipped: no workers=1 baseline"
+        elif speedup < min_speedup_vs_workers1:
+            raise SpeedupGateError(
+                f"{label!r} at workers={workers}: speedup "
+                f"{speedup}x vs workers=1 is below the "
+                f"min_speedup_vs_workers1={min_speedup_vs_workers1}x floor "
+                f"({cores} cores available) — entry not recorded"
+            )
+        else:
+            entry["speedup_gate"] = f"passed: >= {min_speedup_vs_workers1}x"
     if extra:
         entry.update(extra)
 

@@ -39,6 +39,7 @@ from repro.tilegraph.congestion import wire_congestion_stats
 
 from repro.benchmarks.emit import (  # noqa: F401  (re-exported API)
     TRAJECTORY_SCHEMA,
+    SpeedupGateError,
     append_trajectory_entry,
     load_trajectory,
 )
@@ -154,7 +155,9 @@ def run_routing_kernel(
     radius_weight: float = 0.4,
     window_margin: int = 6,
     workers: int = 1,
+    backend: str = "pool",
     tracer=None,
+    pool=None,
 ) -> KernelResult:
     """Route every net, then rip-up/reroute for ``passes`` full passes."""
     graph = scenario.graph
@@ -178,13 +181,17 @@ def run_routing_kernel(
         radius_weight=radius_weight,
         window_margin=window_margin,
     )
-    # ``workers`` arrived with the flat kernel; stay runnable on the
-    # pre-flat code so the baseline entry can be recorded from it.
-    if workers != 1 or "workers" in getattr(RipupOptions, "__dataclass_fields__", {}):
+    # ``workers`` arrived with the flat kernel and ``backend`` with the
+    # shared-memory pool; stay runnable on the pre-flat code so the
+    # baseline entry can be recorded from it.
+    known = getattr(RipupOptions, "__dataclass_fields__", {})
+    if workers != 1 or "workers" in known:
         option_kwargs["workers"] = workers
+    if "backend" in known:
+        option_kwargs["backend"] = backend
     options = RipupOptions(**option_kwargs)
     executed = ripup_and_reroute(
-        graph, routes, scenario.order, options, tracer=tracer
+        graph, routes, scenario.order, options, tracer=tracer, pool=pool
     )
     end = time.perf_counter()
     return KernelResult(
@@ -201,6 +208,7 @@ def run_routing_kernel(
 def run_best_of(
     repetitions: int,
     workers: int = 1,
+    backend: str = "pool",
     tracer=None,
     **scenario_kwargs,
 ) -> Tuple[RoutingScenario, KernelResult]:
@@ -221,7 +229,9 @@ def run_best_of(
     try:
         for _ in range(max(1, repetitions)):
             scenario = make_routing_scenario(**scenario_kwargs)
-            result = run_routing_kernel(scenario, workers=workers, tracer=tracer)
+            result = run_routing_kernel(
+                scenario, workers=workers, backend=backend, tracer=tracer
+            )
             if best is None or result.seconds_total < best[1].seconds_total:
                 best = (scenario, result)
             gc.collect()
@@ -243,6 +253,7 @@ def append_entry(
     scenario: RoutingScenario,
     workers: int = 1,
     extra: Optional[dict] = None,
+    min_speedup_vs_workers1: Optional[float] = None,
 ) -> dict:
     """Append one measured entry; computes speedup vs the first entry.
 
@@ -250,6 +261,8 @@ def append_entry(
     parameters; entries record them so a reader can check. Re-running with
     a label already in the trajectory *replaces* that entry in place, so
     benchmark reruns refresh their numbers instead of growing the file.
+    ``min_speedup_vs_workers1`` arms the emit-layer speedup gate (see
+    :func:`repro.benchmarks.emit.append_trajectory_entry`).
     """
     params = {
         "grid": scenario.grid,
@@ -273,6 +286,7 @@ def append_entry(
         workers=workers,
         speedup_from="seconds_total",
         extra=extra,
+        min_speedup_vs_workers1=min_speedup_vs_workers1,
     )
 
 
@@ -287,6 +301,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument(
+        "--backend", choices=("pool", "threads"), default="pool",
+        help="parallel engine for --workers > 1",
+    )
+    parser.add_argument(
         "--fast", action="store_true",
         help="small instance (16x16, 120 nets) for CI smoke runs",
     )
@@ -294,13 +312,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeat", type=int, default=3,
         help="record the fastest of N runs (default 3)",
     )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail if a --workers > 1 entry is below this speedup over "
+        "the workers=1 baseline (armed only when the machine has that "
+        "many cores)",
+    )
     args = parser.parse_args(argv)
     kwargs = dict(seed=args.seed)
     if args.fast:
         kwargs.update(grid=16, num_nets=120)
-    scenario, result = run_best_of(args.repeat, workers=args.workers, **kwargs)
+    scenario, result = run_best_of(
+        args.repeat, workers=args.workers, backend=args.backend, **kwargs
+    )
     entry = append_entry(
-        args.out, args.label, result, scenario, workers=args.workers
+        args.out, args.label, result, scenario, workers=args.workers,
+        extra={"backend": args.backend},
+        min_speedup_vs_workers1=args.min_speedup,
     )
     print(json.dumps(entry, indent=2))
     return 0

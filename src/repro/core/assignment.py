@@ -211,6 +211,10 @@ def assign_buffers_stage3(
     tracer=None,
     workers: int = 1,
     solver_for: "Callable[[str], BufferingSolver] | None" = None,
+    backend: str = "pool",
+    pool=None,
+    solver_names: "Callable[[str], str] | None" = None,
+    technology=None,
 ) -> AssignmentResult:
     """Assign buffer sites to every net, highest-delay nets first.
 
@@ -225,12 +229,25 @@ def assign_buffers_stage3(
             ``failed`` events and the ``buffer_sites_used`` counter, plus
             ``stage3.ledger_rollbacks`` and (parallel) ``stage3.batches``.
         workers: solve tile-disjoint batches of nets with this many
-            threads; 1 (default) runs strictly sequentially. Both paths
+            workers; 1 (default) runs strictly sequentially. All paths
             produce identical output (tile-set disjointness is exact);
-            like Stage 2, off-thread solves run untraced, so per-net DP
+            off-process/off-thread solves run untraced, so per-net DP
             counters are only exact at ``workers=1``.
         solver_for: optional net-name -> strategy mapping; default is the
             Fig. 9 multi-sink DP for every net.
+        backend: parallel engine for ``workers > 1``: ``"pool"`` (the
+            shared-memory worker-process pool, default) or ``"threads"``
+            (legacy in-process threads). The pool needs solver *names* to
+            instantiate strategies worker-side, so a custom ``solver_for``
+            without ``solver_names`` silently takes the thread path.
+        pool: optional :class:`repro.parallel.WorkerPool` to reuse (shared
+            with Stage 2 / the planner); otherwise one is created and
+            closed here.
+        solver_names: net name -> solver registry name (see
+            :data:`repro.core.solver.SOLVER_NAMES`), required by the pool
+            backend; also used to build the default ``solver_for``.
+        technology: electrical parameters forwarded to
+            :func:`repro.core.solver.make_solver` (``van_ginneken``).
 
     Returns:
         An :class:`AssignmentResult`; the trees and graph are updated in
@@ -244,8 +261,22 @@ def assign_buffers_stage3(
             probability.add_net(routes[name], length_limits[name])
     cost_field = Stage3CostField(graph, probability)
     if solver_for is None:
-        default_solver = MultiSinkDPSolver()
-        solver_for = lambda name: default_solver
+        from repro.core.solver import make_solver
+
+        names_of = solver_names if solver_names is not None else (
+            lambda name: "dp"
+        )
+        solver_names = names_of
+        _solvers: Dict[str, BufferingSolver] = {}
+
+        def solver_for(name: str) -> BufferingSolver:
+            key = names_of(name)
+            solver = _solvers.get(key)
+            if solver is None:
+                solver = _solvers[key] = make_solver(
+                    key, technology=technology
+                )
+            return solver
 
     out = AssignmentResult()
 
@@ -288,6 +319,48 @@ def assign_buffers_stage3(
     if workers <= 1 or len(order) <= 1:
         for name in order:
             process(name, None)
+        return out
+
+    if backend == "pool" and solver_names is not None:
+        from repro.parallel import PoolError, Stage3Session, WorkerPool
+
+        own_pool = None
+        if pool is None:
+            pool = own_pool = WorkerPool(workers, tracer=tracer)
+        session = Stage3Session(
+            pool, graph, probability, technology=technology
+        )
+        try:
+            for batch in _disjoint_prefix_batches(routes, order, graph.ny):
+                if tracer.enabled:
+                    tracer.count("stage3.batches")
+                if len(batch) == 1:
+                    process(batch[0], None)
+                    continue
+                # Solve off-process first — workers subtract their own
+                # net's p(v) weight from the published field, so the
+                # parent's field must still be intact here. Then mirror
+                # the sequential remove-before-solve parent-side and
+                # commit in order.
+                try:
+                    outcomes = session.solve_batch(
+                        batch, routes, length_limits, solver_names
+                    )
+                except PoolError:
+                    if tracer.enabled:
+                        tracer.count("stage3.pool_fallbacks")
+                    for name in batch:
+                        process(name, None)
+                    continue
+                if probability is not None:
+                    for name in batch:
+                        probability.remove_net(routes[name])
+                for name in batch:
+                    process(name, outcomes[name])
+        finally:
+            session.close()
+            if own_pool is not None:
+                own_pool.close()
         return out
 
     with ThreadPoolExecutor(

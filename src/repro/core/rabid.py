@@ -55,11 +55,18 @@ class RabidConfig:
             bufferable re-route for nets still violating the length rule
             (an extension of Stage 4's goal; see repro.core.rescue).
         workers: Stage-2 reroute concurrency; 1 (default) is strictly
-            sequential and byte-identical to the single-threaded planner,
-            >1 reroutes bounding-box-disjoint batches of nets in threads.
+            sequential, >1 reroutes bounding-box-disjoint batches of nets
+            on the configured parallel backend.
         stage3_workers: Stage-3 buffering concurrency; >1 solves
-            tile-disjoint batches of nets in threads (output identical to
-            sequential — tile-set disjointness is exact).
+            tile-disjoint batches of nets on the configured backend
+            (output identical to sequential — tile-set disjointness is
+            exact).
+        parallel_backend: engine behind ``workers``/``stage3_workers``:
+            ``"pool"`` (default) shares one persistent
+            :class:`repro.parallel.WorkerPool` of forked processes across
+            Stage 2 and Stage 3 — output is byte-identical to sequential
+            at every worker count; ``"threads"`` is the legacy in-process
+            ``ThreadPoolExecutor`` path.
         stage3_solver: default buffering strategy for Stage 3, one of
             :data:`repro.core.solver.SOLVER_NAMES` (``"dp"`` is the
             paper's Fig. 9 multi-sink DP).
@@ -79,6 +86,7 @@ class RabidConfig:
     rescue_failing: bool = True
     workers: int = 1
     stage3_workers: int = 1
+    parallel_backend: str = "pool"
     stage3_solver: str = "dp"
     stage3_solvers: Dict[str, str] = field(default_factory=dict)
 
@@ -110,6 +118,11 @@ class RabidConfig:
             raise ConfigurationError("pd_tradeoff must be >= 0")
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.parallel_backend not in ("pool", "threads"):
+            raise ConfigurationError(
+                f"unknown parallel backend {self.parallel_backend!r}; "
+                "expected 'pool' or 'threads'"
+            )
 
     def limit_for(self, net_name: str) -> int:
         return self.length_limits.get(net_name, self.length_limit)
@@ -223,6 +236,36 @@ class RabidPlanner:
         self.stage_metrics: List[StageMetrics] = []
         self.failed_nets: List[str] = []
         self.assignment: Optional[AssignmentResult] = None
+        self._pool = None
+
+    def _shared_pool(self):
+        """One worker pool shared by Stage 2 and Stage 3 (pool backend).
+
+        Sized to the larger of the two worker counts so whichever stage
+        runs first forks enough processes for both; created lazily so a
+        sequential run never pays for it. ``close()`` (or ``run``'s
+        ``finally``) shuts it down.
+        """
+        needed = max(self.config.workers, self.config.stage3_workers)
+        if self.config.parallel_backend != "pool" or needed <= 1:
+            return None
+        if self._pool is None:
+            from repro.parallel import WorkerPool
+
+            self._pool = WorkerPool(needed, tracer=self.tracer)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the shared worker pool, if one was ever created."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # Stages                                                             #
@@ -257,6 +300,7 @@ class RabidPlanner:
                 radius_weight=self.config.pd_tradeoff,
                 window_margin=self.config.window_margin,
                 workers=self.config.workers,
+                backend=self.config.parallel_backend,
             )
             on_pass_end = None
             if self.tracer.enabled:
@@ -275,6 +319,7 @@ class RabidPlanner:
                 options,
                 on_pass_end=on_pass_end,
                 tracer=self.tracer,
+                pool=self._shared_pool() if self.config.workers > 1 else None,
             )
             self._snapshot(2, time.perf_counter() - start)
 
@@ -305,6 +350,14 @@ class RabidPlanner:
                 tracer=self.tracer,
                 workers=self.config.stage3_workers,
                 solver_for=solver_for,
+                backend=self.config.parallel_backend,
+                pool=(
+                    self._shared_pool()
+                    if self.config.stage3_workers > 1
+                    else None
+                ),
+                solver_names=self.config.solver_name_for,
+                technology=self.config.technology,
             )
             self.failed_nets = list(self.assignment.failed_nets)
             self._snapshot(3, time.perf_counter() - start)
@@ -387,11 +440,14 @@ class RabidPlanner:
         """
         if tracer is not None:
             self.tracer = tracer
-        with self.tracer.span("rabid.run", nets=len(self.netlist)):
-            self.stage1()
-            self.stage2()
-            self.stage3()
-            self.stage4()
+        try:
+            with self.tracer.span("rabid.run", nets=len(self.netlist)):
+                self.stage1()
+                self.stage2()
+                self.stage3()
+                self.stage4()
+        finally:
+            self.close()
         return RabidResult(
             routes=self.routes,
             stage_metrics=self.stage_metrics,

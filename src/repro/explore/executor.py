@@ -21,7 +21,6 @@ and re-evaluates nothing that finished (``explore.cache_hits``).
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -186,88 +185,39 @@ class SweepOptions:
 # Worker process                                                        #
 # --------------------------------------------------------------------- #
 
+#: Pool handler spec for sweep evaluation tasks.
+_EVAL_HANDLER = "repro.explore.executor:_evaluate_task"
 
-def _worker_main(conn, base_dict, config_dict, reuse_baseline: bool) -> None:
-    """Pool worker: evaluate scenarios from the pipe until ``None``."""
-    base = ScenarioSpec.from_dict(base_dict) if base_dict else None
-    config = (
-        RabidConfig.from_dict(config_dict) if config_dict else RabidConfig()
+
+def _evaluate_task(payload, ctx):
+    """Pool handler: evaluate one ``(key, scenario_dict)`` task.
+
+    The pool ``context`` is ``(base_dict, config_dict, reuse_baseline)``,
+    parsed once per worker into ``ctx.scratch``. Raises on evaluation
+    failure (the pool turns that into an ``"error"`` result).
+    """
+    setup = ctx.scratch.get("explore")
+    if setup is None:
+        base_dict, config_dict, reuse_baseline = ctx.context
+        setup = ctx.scratch["explore"] = (
+            ScenarioSpec.from_dict(base_dict) if base_dict else None,
+            RabidConfig.from_dict(config_dict)
+            if config_dict
+            else RabidConfig(),
+            reuse_baseline,
+        )
+    base, config, reuse_baseline = setup
+    _key, scenario_dict = payload
+    start = time.perf_counter()
+    scenario = ScenarioSpec.from_dict(scenario_dict)
+    metrics, via = evaluate_scenario(
+        scenario, config, base=base, reuse_baseline=reuse_baseline
     )
-    while True:
-        task = conn.recv()
-        if task is None:
-            return
-        key, scenario_dict = task
-        start = time.perf_counter()
-        try:
-            scenario = ScenarioSpec.from_dict(scenario_dict)
-            metrics, via = evaluate_scenario(
-                scenario, config, base=base, reuse_baseline=reuse_baseline
-            )
-            payload = {
-                "status": "ok",
-                "metrics": metrics,
-                "via": via,
-                "seconds": time.perf_counter() - start,
-            }
-        except BaseException as exc:  # noqa: BLE001 - degrade, never die
-            payload = {
-                "status": "crashed",
-                "error": f"{type(exc).__name__}: {exc}",
-                "seconds": time.perf_counter() - start,
-            }
-        conn.send((key, payload))
-
-
-class _Worker:
-    """One pool worker process plus its parent-side pipe and deadline."""
-
-    def __init__(self, ctx, base_dict, config_dict, reuse_baseline):
-        self._args = (base_dict, config_dict, reuse_baseline)
-        self.conn, child_conn = ctx.Pipe(duplex=True)
-        self.proc = ctx.Process(
-            target=_worker_main,
-            args=(child_conn, *self._args),
-            daemon=True,
-        )
-        self.proc.start()
-        child_conn.close()
-        self.task: Optional[Tuple[str, dict, int]] = None  # (key, scenario, attempt)
-        self.deadline: Optional[float] = None
-
-    def assign(self, task, timeout_s: Optional[float]) -> None:
-        self.task = task
-        self.deadline = (
-            time.monotonic() + timeout_s if timeout_s is not None else None
-        )
-        self.conn.send((task[0], task[1]))
-
-    @property
-    def idle(self) -> bool:
-        return self.task is None
-
-    def expired(self, now: float) -> bool:
-        return self.deadline is not None and now > self.deadline
-
-    def kill(self) -> None:
-        try:
-            self.conn.close()
-        except OSError:
-            pass
-        if self.proc.is_alive():
-            self.proc.terminate()
-        self.proc.join(timeout=5.0)
-
-    def shutdown(self) -> None:
-        try:
-            self.conn.send(None)
-            self.conn.close()
-        except (OSError, ValueError, BrokenPipeError):
-            pass
-        self.proc.join(timeout=5.0)
-        if self.proc.is_alive():
-            self.proc.terminate()
-            self.proc.join(timeout=5.0)
+    return {
+        "metrics": metrics,
+        "via": via,
+        "seconds": time.perf_counter() - start,
+    }
 
 
 # --------------------------------------------------------------------- #
@@ -373,134 +323,89 @@ def _run_inline(
 def _run_pool(
     pending, base, config, store, options, tracer, results
 ) -> None:
-    """Process-pool evaluation with per-scenario timeout and respawn."""
-    from multiprocessing.connection import wait as conn_wait
+    """Process-pool evaluation with per-scenario timeout and respawn.
+
+    Built on :class:`repro.parallel.WorkerPool`: the pool owns crash
+    detection, respawn, retries and deadlines; this function only maps
+    :class:`~repro.parallel.pool.TaskResult` objects onto the sweep's
+    :class:`EvalRecord` contract.
+    """
+    from repro.parallel import WorkerPool
 
     base_dict = base.to_dict() if base is not None else None
     config_dict = config.as_dict()
     if options.reuse_baseline and base is not None and any(
         delta_between(base, scenario) is not None for _, scenario in pending
     ):
-        # Plan the shared baseline in the parent before spawning: under
-        # the (Linux-default) fork start method every worker inherits it
-        # instead of replanning its own copy.
+        # Plan the shared baseline in the parent before the pool forks
+        # (it forks lazily on the first dispatch): under the Linux
+        # ``fork`` start method every worker inherits the planned
+        # baseline instead of replanning its own copy.
         _baseline_for(base, config)
-    ctx = multiprocessing.get_context()
-    workers = [
-        _Worker(ctx, base_dict, config_dict, options.reuse_baseline)
-        for _ in range(min(options.workers, len(pending)))
-    ]
-    queue: List[Tuple[str, dict, int]] = [
-        (key, scenario.to_dict(), 1) for key, scenario in pending
-    ]
-    queue.reverse()  # pop() consumes in submission order
-    in_flight = 0
 
-    def retry_or_finish(worker: _Worker, status: str, error: str) -> None:
-        nonlocal in_flight
-        key, scenario_dict, attempt = worker.task
-        worker.task, worker.deadline = None, None
-        in_flight -= 1
-        elapsed = 0.0
-        if status == "timeout" and options.timeout_s is not None:
-            elapsed = options.timeout_s
-        if attempt <= options.retries:
-            if tracer.enabled:
-                tracer.count("explore.retries")
-            queue.append((key, scenario_dict, attempt + 1))
-            return
-        _finish(
-            EvalRecord(
+    tasks = [
+        (_EVAL_HANDLER, (key, scenario.to_dict()))
+        for key, scenario in pending
+    ]
+
+    def on_result(index: int, result) -> None:
+        key, scenario = pending[index]
+        scenario_dict = scenario.to_dict()
+        if result.ok:
+            record = EvalRecord(
                 key=key,
                 scenario=scenario_dict,
-                status=status,
-                error=error,
-                seconds=elapsed,
-                attempts=attempt,
-            ),
-            store,
-            results,
-            tracer,
-        )
+                status="ok",
+                metrics=result.value["metrics"],
+                seconds=result.value["seconds"],
+                attempts=result.attempts,
+                via=result.value["via"],
+            )
+        elif result.status == "timeout":
+            record = EvalRecord(
+                key=key,
+                scenario=scenario_dict,
+                status="timeout",
+                error=f"scenario exceeded {options.timeout_s}s",
+                seconds=options.timeout_s or 0.0,
+                attempts=result.attempts,
+            )
+        elif result.status == "crashed":
+            record = EvalRecord(
+                key=key,
+                scenario=scenario_dict,
+                status="crashed",
+                error="worker process died",
+                seconds=0.0,
+                attempts=result.attempts,
+            )
+        else:  # the evaluation raised deterministically
+            record = EvalRecord(
+                key=key,
+                scenario=scenario_dict,
+                status="crashed",
+                error=result.error,
+                seconds=result.seconds,
+                attempts=result.attempts,
+            )
+        _finish(record, store, results, tracer)
 
-    try:
-        while queue or in_flight:
-            for i, worker in enumerate(workers):
-                if queue and worker.idle:
-                    worker.assign(queue.pop(), options.timeout_s)
-                    in_flight += 1
-            busy = [w for w in workers if not w.idle]
-            ready = conn_wait([w.conn for w in busy], timeout=0.1)
-            now = time.monotonic()
-            for worker in busy:
-                if worker.conn in ready:
-                    try:
-                        key, payload = worker.conn.recv()
-                    except (EOFError, OSError):
-                        # The worker died mid-scenario.
-                        worker.kill()
-                        retry_or_finish(
-                            worker, "crashed", "worker process died"
-                        )
-                        workers[workers.index(worker)] = _Worker(
-                            ctx, base_dict, config_dict, options.reuse_baseline
-                        )
-                        continue
-                    task_key, scenario_dict, attempt = worker.task
-                    worker.task, worker.deadline = None, None
-                    in_flight -= 1
-                    if payload["status"] == "ok":
-                        _finish(
-                            EvalRecord(
-                                key=task_key,
-                                scenario=scenario_dict,
-                                status="ok",
-                                metrics=payload["metrics"],
-                                seconds=payload["seconds"],
-                                attempts=attempt,
-                                via=payload["via"],
-                            ),
-                            store,
-                            results,
-                            tracer,
-                        )
-                    elif attempt <= options.retries:
-                        if tracer.enabled:
-                            tracer.count("explore.retries")
-                        queue.append((task_key, scenario_dict, attempt + 1))
-                    else:
-                        _finish(
-                            EvalRecord(
-                                key=task_key,
-                                scenario=scenario_dict,
-                                status="crashed",
-                                error=payload.get("error"),
-                                seconds=payload["seconds"],
-                                attempts=attempt,
-                            ),
-                            store,
-                            results,
-                            tracer,
-                        )
-                elif worker.expired(now):
-                    worker.kill()
-                    retry_or_finish(
-                        worker,
-                        "timeout",
-                        f"scenario exceeded {options.timeout_s}s",
-                    )
-                    workers[workers.index(worker)] = _Worker(
-                        ctx, base_dict, config_dict, options.reuse_baseline
-                    )
-                elif not worker.proc.is_alive():
-                    worker.kill()
-                    retry_or_finish(worker, "crashed", "worker process died")
-                    workers[workers.index(worker)] = _Worker(
-                        ctx, base_dict, config_dict, options.reuse_baseline
-                    )
-    finally:
-        for worker in workers:
-            worker.shutdown()
+    def on_retry(index: int) -> None:
+        if tracer.enabled:
+            tracer.count("explore.retries")
+
+    with WorkerPool(
+        min(options.workers, len(pending)),
+        context=(base_dict, config_dict, options.reuse_baseline),
+        tracer=tracer,
+    ) as pool:
+        pool.run_tasks(
+            tasks,
+            timeout_s=options.timeout_s,
+            retries=options.retries,
+            on_result=on_result,
+            on_retry=on_retry,
+        )
 
 
 # --------------------------------------------------------------------- #

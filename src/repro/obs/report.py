@@ -29,6 +29,14 @@ EXPLORE_COUNTERS = (
     "explore.retries",
 )
 
+#: Shared-memory worker-pool counters (:mod:`repro.parallel`).
+POOL_COUNTERS = (
+    "pool.dispatches",
+    "pool.respawns",
+    "pool.attaches",
+    "pool.attach_reuse",
+)
+
 
 def _span_tree_lines(tracer: Tracer) -> List[str]:
     children: Dict[int, List[SpanRecord]] = {}
@@ -83,6 +91,15 @@ def render_summary(tracer: Tracer) -> str:
     if explore:
         sections.append("== explore ==")
         for name, metric in explore:
+            sections.append(f"{name:24s} {metric.value}")
+    pool = [
+        (name, tracer.metrics.get(name))
+        for name in POOL_COUNTERS
+        if tracer.metrics.get(name) is not None
+    ]
+    if pool:
+        sections.append("== pool ==")
+        for name, metric in pool:
             sections.append(f"{name:24s} {metric.value}")
     counts = tracer.events.counts_by_kind()
     if counts:

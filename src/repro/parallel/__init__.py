@@ -1,0 +1,33 @@
+"""Shared-memory worker pool for the flat planning kernels.
+
+Layers:
+
+* :mod:`repro.parallel.shm` — named shared-memory arrays with
+  generation/version stamps (publish parent-side, view worker-side).
+* :mod:`repro.parallel.pool` — a persistent forked worker pool with
+  crash detection, respawn, retries and per-task timeouts.
+* :mod:`repro.parallel.stage2` / :mod:`repro.parallel.stage3` — the
+  Stage-2 reroute and Stage-3 buffering batch sessions built on both.
+"""
+
+from repro.parallel.pool import PoolError, TaskResult, WorkerPool
+from repro.parallel.shm import (
+    AttachmentCache,
+    SharedArrayRegistry,
+    SharedArraySpec,
+    attach_segment,
+)
+from repro.parallel.stage2 import Stage2Session
+from repro.parallel.stage3 import Stage3Session
+
+__all__ = [
+    "AttachmentCache",
+    "PoolError",
+    "SharedArrayRegistry",
+    "SharedArraySpec",
+    "Stage2Session",
+    "Stage3Session",
+    "TaskResult",
+    "WorkerPool",
+    "attach_segment",
+]

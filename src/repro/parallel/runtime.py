@@ -1,0 +1,53 @@
+"""Worker-side caches shared by the stage handlers.
+
+Handlers run many batches in one worker process; the expensive per-batch
+setup — a private :class:`TileGraph` replica (whose flat CSR the maze
+router needs), instantiated buffering solvers — is cached in the worker's
+scratch dict and keyed by the parameters that would invalidate it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.geometry import Rect
+from repro.tilegraph.graph import TileGraph
+
+#: ``((x0, y0, x1, y1), nx, ny)`` — everything needed to rebuild a graph
+#: with the right geometry (die dims matter for ``edge_length_mm``).
+Geometry = Tuple[Tuple[float, float, float, float], int, int]
+
+
+def graph_geometry(graph: TileGraph) -> Geometry:
+    die = graph.die
+    return ((die.x0, die.y0, die.x1, die.y1), graph.nx, graph.ny)
+
+
+def worker_graph(geom: Geometry, ctx) -> TileGraph:
+    """The worker's private graph replica for ``geom`` (cached).
+
+    The replica's usage/capacity/site arrays are meaningless until the
+    handler copies the published shared-memory snapshot into them; only
+    the topology (and die geometry) is reused across batches.
+    """
+    cached = ctx.scratch.get("worker_graph")
+    if cached is not None and cached[0] == geom:
+        return cached[1]
+    (x0, y0, x1, y1), nx, ny = geom
+    graph = TileGraph(Rect(x0, y0, x1, y1), nx, ny)
+    ctx.scratch["worker_graph"] = (geom, graph)
+    return graph
+
+
+def worker_solver(name: str, tech_dict, ctx):
+    """A cached buffering solver instance for ``(name, technology)``."""
+    key = (name, tuple(sorted(tech_dict.items())) if tech_dict else None)
+    solvers = ctx.scratch.setdefault("solvers", {})
+    solver = solvers.get(key)
+    if solver is None:
+        from repro.core.solver import make_solver
+        from repro.technology import Technology
+
+        technology = Technology(**tech_dict) if tech_dict else None
+        solver = solvers[key] = make_solver(name, technology=technology)
+    return solver

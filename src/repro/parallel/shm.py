@@ -1,0 +1,250 @@
+"""Shared-memory array registry: zero-pickle state shipping to workers.
+
+The flat planning state — ``TileGraph.edge_usage``/``edge_capacity``, the
+``SiteLedger``'s ``used``/``capacity`` site vectors, the ``p(v)`` field —
+already lives in contiguous NumPy arrays. The worker pool ships that
+state per batch by *memcpy into a shared segment* instead of pickling:
+the parent publishes each array once into a ``multiprocessing``
+shared-memory block and re-publishes (re-copies, version bump) before
+every batch; workers attach the block once, cache the attachment by
+``(name, generation)``, and rebuild only a NumPy *view* per batch.
+
+Two stamps ride on every published array:
+
+* ``generation`` — bumped when the block itself is reallocated (shape or
+  dtype changed, so the old mapping is useless). A worker seeing a new
+  generation detaches the stale block and attaches the new one.
+* ``version`` — bumped on every publish into an existing block. Workers
+  use it to invalidate derived state (e.g. a cost cache computed from a
+  previous batch's usage) without re-attaching.
+
+Attach/detach lifecycle: the parent owns every segment and unlinks them
+all in :meth:`SharedArrayRegistry.close`; workers only ever open
+existing segments. On Python < 3.13 an attaching process would register
+the segment with the ``resource_tracker``, which unlinks it when the
+tracked process exits — fatal for a pool that respawns crashed workers —
+so :func:`attach_segment` suppresses the registration during the attach
+(equivalent to 3.13's ``track=False``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Process-wide segment-name uniquifier (registries may coexist).
+_SEGMENT_IDS = itertools.count(1)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing shared-memory block without tracker ownership.
+
+    Attaching must never transfer cleanup responsibility: the parent
+    that created the block unlinks it. ``track=False`` (3.13+) says so
+    directly; older interpreters need the explicit unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        # Forked workers share the parent's resource_tracker process, so
+        # sending an UNREGISTER after the fact would erase the *parent's*
+        # claim (its eventual unlink then logs a KeyError in the
+        # tracker). Suppress the registration instead: while this attach
+        # runs, shared_memory registrations are swallowed.
+        from multiprocessing import resource_tracker
+
+        real_register = resource_tracker.register
+
+        def _suppressed(name_, rtype):  # pragma: no cover - trivial
+            if rtype != "shared_memory":
+                real_register(name_, rtype)
+
+        resource_tracker.register = _suppressed
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = real_register
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Everything a worker needs to view one published array.
+
+    Specs are tiny and travel inside batch messages; the array bytes
+    never do.
+    """
+
+    name: str
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    generation: int
+    version: int
+
+    @property
+    def nbytes(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n * np.dtype(self.dtype).itemsize
+
+
+class SharedArrayRegistry:
+    """Parent-side catalogue of named arrays published to the pool.
+
+    ``publish`` copies the array's current contents into the segment —
+    a memcpy measured in microseconds for the grid sizes the planner
+    uses — so workers always read a self-consistent snapshot and the
+    parent's live arrays are never aliased across processes (the graph's
+    observer/ledger machinery keeps working untouched).
+    """
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self._prefix = prefix
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._specs: Dict[str, SharedArraySpec] = {}
+        self._counter = 0
+        self.publishes = 0
+        self.reallocations = 0
+
+    def publish(self, name: str, array: np.ndarray) -> SharedArraySpec:
+        """Copy ``array`` into the named segment; returns the new spec.
+
+        Same shape and dtype reuse the existing block (version bump);
+        anything else reallocates under a fresh generation.
+        """
+        array = np.ascontiguousarray(array)
+        spec = self._specs.get(name)
+        if spec is not None and (
+            spec.shape != array.shape or spec.dtype != str(array.dtype)
+        ):
+            self._release(name)
+            spec = None
+        if spec is None:
+            self._counter += 1
+            generation = self._counter
+            shm = shared_memory.SharedMemory(
+                create=True,
+                size=max(1, array.nbytes),
+                name=f"{self._prefix}_{os.getpid()}_{next(_SEGMENT_IDS)}",
+            )
+            self._segments[name] = shm
+            self.reallocations += 1
+            spec = SharedArraySpec(
+                name=name,
+                shm_name=shm.name,
+                shape=array.shape,
+                dtype=str(array.dtype),
+                generation=generation,
+                version=0,
+            )
+        shm = self._segments[name]
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        spec = SharedArraySpec(
+            name=spec.name,
+            shm_name=spec.shm_name,
+            shape=spec.shape,
+            dtype=spec.dtype,
+            generation=spec.generation,
+            version=spec.version + 1,
+        )
+        self._specs[name] = spec
+        self.publishes += 1
+        return spec
+
+    def spec(self, name: str) -> SharedArraySpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigurationError(f"no published array named {name!r}")
+
+    def specs(self) -> Dict[str, SharedArraySpec]:
+        return dict(self._specs)
+
+    def _release(self, name: str) -> None:
+        shm = self._segments.pop(name, None)
+        self._specs.pop(name, None)
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def close(self) -> None:
+        """Unlink every published segment (workers' attachments survive
+        until they detach; the OS reclaims the memory when the last
+        mapping closes)."""
+        for name in list(self._segments):
+            self._release(name)
+
+    def __enter__(self) -> "SharedArrayRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachmentCache:
+    """Worker-side cache of attached segments, keyed by generation.
+
+    ``view(spec)`` returns a NumPy view of the published bytes. A spec
+    whose ``(shm_name, generation)`` was seen before reuses the existing
+    mapping (counted in ``reuses`` — the pool surfaces the total as the
+    ``pool.attach_reuse`` counter); a new generation detaches the stale
+    block first.
+    """
+
+    def __init__(self) -> None:
+        self._attached: Dict[str, Tuple[int, shared_memory.SharedMemory]] = {}
+        self.attaches = 0
+        self.reuses = 0
+
+    def view(self, spec: SharedArraySpec) -> np.ndarray:
+        entry = self._attached.get(spec.name)
+        if entry is not None and entry[0] == spec.generation:
+            shm = entry[1]
+            self.reuses += 1
+        else:
+            if entry is not None:
+                try:
+                    entry[1].close()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            shm = attach_segment(spec.shm_name)
+            self._attached[spec.name] = (spec.generation, shm)
+            self.attaches += 1
+        return np.ndarray(spec.shape, dtype=spec.dtype, buffer=shm.buf)
+
+    def array(self, spec: SharedArraySpec) -> np.ndarray:
+        """A private copy of the published bytes (safe to mutate)."""
+        return self.view(spec).copy()
+
+    def close(self) -> None:
+        for _, shm in self._attached.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._attached.clear()
+
+    def take_stats(self) -> Dict[str, int]:
+        """Drain the attach counters (reported per batch reply)."""
+        stats = {"attaches": self.attaches, "attach_reuse": self.reuses}
+        self.attaches = 0
+        self.reuses = 0
+        return stats

@@ -1,0 +1,162 @@
+"""Stage-2 reroute batches on the shared-memory worker pool.
+
+The parent rips up a box-disjoint batch, publishes the flat
+``edge_usage``/``edge_capacity`` snapshot, and ships each worker only the
+net endpoints; workers route against the snapshot on a private graph
+replica and send back compact parent maps plus an *escalation flag* (the
+search widened past its first window or fell back to the soft cost).
+
+Byte-identity contract (why the pool path equals the sequential loop):
+
+* Batch boxes are the nets' route boxes expanded by ``window_margin`` —
+  the router's *first* search window. A non-escalated search reads only
+  edges with both endpoints inside that window, so its reads live inside
+  the net's own box.
+* Batch boxes are pairwise disjoint and every batch member is ripped in
+  the snapshot, so the only state differences vs. the sequential loop's
+  view at net *i*'s turn (later members still routed, earlier members
+  already rerouted) live outside box *i* — unless an earlier member was
+  redone serially, which the commit loop tracks as a dirty tile set.
+* A worker result is committed only when its search did not escalate and
+  its box is clean; anything else is rerouted serially against the live
+  graph, which is literally the sequential code path.
+
+Either way each net ends up with exactly the tree the sequential loop
+would have produced, at every worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.parallel.runtime import graph_geometry, worker_graph
+from repro.parallel.shm import SharedArrayRegistry
+from repro.routing.tree import RouteTree
+from repro.tilegraph.graph import Tile, TileGraph
+
+HANDLER = "repro.parallel.stage2:route_nets"
+
+#: ``(child, parent)`` tile pairs — a route tree in wire format.
+ParentPairs = List[Tuple[Tile, Tile]]
+
+
+def tree_parent_pairs(tree: RouteTree) -> ParentPairs:
+    """A tree's compact wire form (rebuild with ``from_parent_map``)."""
+    return [(child, parent) for parent, child in tree.edges()]
+
+
+def rebuild_tree(
+    source: Tile, pairs: ParentPairs, sinks: Sequence[Tile], net_name: str
+) -> RouteTree:
+    """Inverse of :func:`tree_parent_pairs` — deterministic reconstruction."""
+    parent = {child: par for child, par in pairs}
+    return RouteTree.from_parent_map(source, parent, sinks, net_name=net_name)
+
+
+class Stage2Session:
+    """Parent-side state for one rip-up-and-reroute run.
+
+    Owns the shared-array registry; the capacity vector is published once
+    (it never changes during Stage 2) and the usage vector is re-published
+    per batch, right after the batch is ripped up.
+    """
+
+    def __init__(self, pool, graph: TileGraph, options) -> None:
+        self.pool = pool
+        self.graph = graph
+        self.options = options
+        self.registry = SharedArrayRegistry(prefix="s2")
+        self._geom = graph_geometry(graph)
+        self._capacity_spec = None
+
+    def close(self) -> None:
+        self.registry.close()
+
+    def route_batch(
+        self, batch: Sequence[str], routes: Dict[str, RouteTree]
+    ) -> Dict[str, Tuple[ParentPairs, bool]]:
+        """Route a ripped-up batch on the pool.
+
+        Returns ``{net: (parent_pairs, escalated)}``. Raises
+        :class:`repro.parallel.pool.PoolError` when the pool cannot
+        deliver (the caller falls back to serial rerouting).
+        """
+        usage_spec = self.registry.publish("usage", self.graph.edge_usage)
+        if self._capacity_spec is None:
+            self._capacity_spec = self.registry.publish(
+                "capacity", self.graph.edge_capacity
+            )
+        nets = [
+            (name, routes[name].source, routes[name].sink_tiles)
+            for name in batch
+        ]
+        chunks = _chunk(nets, self.pool.workers)
+        payloads = [
+            {
+                "geom": self._geom,
+                "usage": usage_spec,
+                "capacity": self._capacity_spec,
+                "radius_weight": self.options.radius_weight,
+                "window_margin": self.options.window_margin,
+                "nets": chunk,
+            }
+            for chunk in chunks
+        ]
+        out: Dict[str, Tuple[ParentPairs, bool]] = {}
+        for reply in self.pool.map(HANDLER, payloads, retries=2):
+            for name, pairs, escalated in reply:
+                out[name] = (pairs, escalated)
+        return out
+
+
+def _chunk(items: List, k: int) -> List[List]:
+    """Split into at most ``k`` contiguous, near-even chunks."""
+    k = max(1, min(k, len(items)))
+    size, extra = divmod(len(items), k)
+    chunks = []
+    start = 0
+    for i in range(k):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def route_nets(payload, ctx):
+    """Pool handler: route a chunk of ripped-up nets against a snapshot.
+
+    Returns ``[(name, parent_pairs, escalated), ...]``.
+    """
+    from repro.routing.maze import (
+        congestion_cost,
+        route_net_on_tiles,
+        workspace_for,
+    )
+
+    graph = worker_graph(payload["geom"], ctx)
+    graph.edge_capacity[:] = ctx.attachments.view(payload["capacity"])
+    graph.edge_usage[:] = ctx.attachments.view(payload["usage"])
+    graph.cost_cache().mark_all_dirty()
+    workspace = workspace_for(graph)
+    radius_weight = payload["radius_weight"]
+    window_margin = payload["window_margin"]
+    out = []
+    for name, source, sinks in payload["nets"]:
+        tree = route_net_on_tiles(
+            graph,
+            source,
+            sinks,
+            cost_fn=congestion_cost,
+            radius_weight=radius_weight,
+            net_name=name,
+            window_margin=window_margin,
+            workspace=workspace,
+        )
+        out.append(
+            (
+                name,
+                tree_parent_pairs(tree),
+                bool(getattr(tree, "search_escalated", True)),
+            )
+        )
+    return out

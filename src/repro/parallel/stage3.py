@@ -1,0 +1,165 @@
+"""Stage-3 buffering batches on the shared-memory worker pool.
+
+The parent publishes the flat ``B(v)``/``b(v)`` site vectors and the
+``p(v)`` field before each tile-disjoint batch; workers rebuild each
+net's tree from its compact wire form, gather the Eq. (2) cost over the
+net's own tiles straight from the shared views, and run the (pure)
+buffering solver. Proposals travel back as plain spec tuples; all
+committing — ledger transactions, greedy fallback, accounting — stays in
+the parent, serially, in net order.
+
+Byte-identity: a batch's nets have pairwise-disjoint tile sets, so at
+net *i*'s sequential turn the only ``b(v)``/``p(v)`` differences vs. the
+published snapshot are on *other* nets' tiles (earlier commits book only
+their own spec tiles; ``p`` removal touches only the removed net's
+tiles). The worker subtracts net *i*'s own ``p`` contribution with the
+exact FP operations of ``UsageProbability.remove_net``, so the gathered
+costs — and hence the solver proposal — are bit-identical to what the
+sequential loop computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.candidates import INF
+from repro.parallel.runtime import graph_geometry, worker_graph, worker_solver
+from repro.parallel.shm import SharedArrayRegistry
+from repro.parallel.stage2 import _chunk, rebuild_tree, tree_parent_pairs
+from repro.routing.tree import BufferSpec, RouteTree
+from repro.tilegraph.graph import TileGraph
+
+HANDLER = "repro.parallel.stage3:solve_nets"
+
+
+class Stage3Session:
+    """Parent-side state for one buffer-assignment run."""
+
+    def __init__(self, pool, graph: TileGraph, probability, technology=None):
+        self.pool = pool
+        self.graph = graph
+        self.probability = probability
+        self.registry = SharedArrayRegistry(prefix="s3")
+        self._geom = graph_geometry(graph)
+        self._tech = asdict(technology) if technology is not None else None
+
+    def close(self) -> None:
+        self.registry.close()
+
+    def solve_batch(
+        self,
+        batch: Sequence[str],
+        routes: Dict[str, RouteTree],
+        length_limits: Dict[str, int],
+        solver_name_of: Callable[[str], str],
+    ) -> Dict[str, "SolveOutcome"]:
+        """Solve a tile-disjoint batch on the pool; nothing is committed.
+
+        Must be called *before* the batch's ``p(v)`` contributions are
+        removed in the parent — workers subtract their own net's weight
+        from the published snapshot. Raises
+        :class:`repro.parallel.pool.PoolError` when the pool cannot
+        deliver (the caller falls back to sequential solve-and-commit).
+        """
+        from repro.core.solver import SolveOutcome
+
+        sites_spec = self.registry.publish("sites", self.graph.sites_flat)
+        used_spec = self.registry.publish("used", self.graph.used_sites_flat)
+        p_spec = None
+        if self.probability is not None:
+            p_spec = self.registry.publish("p", self.probability.field_flat)
+        nets = [
+            (
+                name,
+                routes[name].source,
+                tree_parent_pairs(routes[name]),
+                routes[name].sink_tiles,
+                length_limits[name],
+                solver_name_of(name),
+            )
+            for name in batch
+        ]
+        payloads = [
+            {
+                "geom": self._geom,
+                "sites": sites_spec,
+                "used": used_spec,
+                "p": p_spec,
+                "tech": self._tech,
+                "nets": chunk,
+            }
+            for chunk in _chunk(nets, self.pool.workers)
+        ]
+        out: Dict[str, SolveOutcome] = {}
+        for reply in self.pool.map(HANDLER, payloads, retries=2):
+            for name, specs, cost, feasible, solver in reply:
+                out[name] = SolveOutcome(
+                    specs=[
+                        BufferSpec(tile, drives_child)
+                        for tile, drives_child in specs
+                    ],
+                    cost=cost,
+                    feasible=feasible,
+                    solver=solver,
+                )
+        return out
+
+
+def solve_nets(payload, ctx):
+    """Pool handler: solve a chunk of nets against the published state.
+
+    Returns ``[(name, specs, cost, feasible, solver), ...]`` with specs
+    as ``(tile, drives_child)`` tuples.
+    """
+    from repro.core.solver import SolveRequest
+
+    graph = worker_graph(payload["geom"], ctx)
+    sites = ctx.attachments.view(payload["sites"])
+    used = ctx.attachments.view(payload["used"])
+    p = ctx.attachments.view(payload["p"]) if payload["p"] is not None else None
+    # Solvers are pure, but the van Ginneken DP reads the graph's
+    # geometry and site state — keep the replica coherent.
+    graph.sites_flat[:] = sites
+    graph.used_sites_flat[:] = used
+    tech = payload["tech"]
+    out = []
+    for name, source, pairs, sinks, limit, solver_name in payload["nets"]:
+        tree = rebuild_tree(source, pairs, sinks, name)
+        idx = tree.tile_indices(graph.ny)
+        s = sites[idx]
+        u = used[idx]
+        if p is not None:
+            # Exactly UsageProbability.remove_net for this net's own
+            # contribution: subtract, clamp at zero — then the Eq. (2)
+            # numerator in Stage3CostField.cost_map's operation order.
+            values = p[idx] - 1.0 / limit
+            np.maximum(values, 0.0, out=values)
+            numerator = u + values + 1.0
+        else:
+            numerator = u + 1.0
+        q = np.full(len(idx), INF)
+        np.divide(numerator, s - u, out=q, where=(s > 0) & (u < s))
+        cost_of = dict(zip(tree.nodes, q.tolist())).__getitem__
+        solver = worker_solver(solver_name, tech, ctx)
+        outcome = solver.solve(
+            SolveRequest(
+                graph=graph,
+                tree=tree,
+                length_limit=limit,
+                cost_of=cost_of,
+                tracer=None,
+            )
+        )
+        out.append(
+            (
+                name,
+                [(spec.tile, spec.drives_child) for spec in outcome.specs],
+                outcome.cost,
+                outcome.feasible,
+                outcome.solver,
+            )
+        )
+    return out

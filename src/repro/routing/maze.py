@@ -318,6 +318,9 @@ def _route_net_flat(
     total_expanded = 0
     total_pops = 0
     total_lookups = 0
+    # True once any search read beyond the first window (wider margins or
+    # the soft rescan). Soft-start callers are conservatively escalated.
+    escalated = start_soft
 
     while pending:
         target = -1
@@ -337,6 +340,7 @@ def _route_net_flat(
             total_lookups += lookups
             if target >= 0:
                 break
+            escalated = True
             if attempt == len(margins) - 1 and not soft:
                 # Full-grid strict search failed: relax to the soft cost
                 # and rescan the margins. The workspace (dist/parent/heap
@@ -383,7 +387,11 @@ def _route_net_flat(
         if cache_backed and total_lookups:
             tracer.count("route.cache_hits", total_lookups)
     sink_tiles = sorted(sink_set)
-    return RouteTree.from_parent_map(source, parent, sink_tiles, net_name=net_name)
+    tree = RouteTree.from_parent_map(source, parent, sink_tiles, net_name=net_name)
+    # Everything this search read lies inside the first window iff it
+    # never escalated — the parallel Stage-2 commit relies on this flag.
+    tree.search_escalated = escalated
+    return tree
 
 
 def _route_net_generic(
@@ -405,6 +413,7 @@ def _route_net_generic(
     all_pins = [source] + list(sinks)
     margins = [window_margin, window_margin * 4, max(graph.nx, graph.ny)]
     total_expanded = 0
+    escalated = cost_fn is soft_congestion_cost
 
     while pending:
         found = None
@@ -420,6 +429,7 @@ def _route_net_generic(
             total_expanded += expanded
             if found is not None:
                 break
+            escalated = True
             if attempt == len(margins) - 1 and used_cost is not soft_congestion_cost:
                 # Full-grid search failed: relax to the soft cost and
                 # rescan the margins.
@@ -455,7 +465,9 @@ def _route_net_generic(
     if tracer is not None and tracer.enabled and total_expanded:
         tracer.count("maze_nodes_expanded", total_expanded)
     sink_tiles = sorted(sink_set)
-    return RouteTree.from_parent_map(source, parent, sink_tiles, net_name=net_name)
+    tree = RouteTree.from_parent_map(source, parent, sink_tiles, net_name=net_name)
+    tree.search_escalated = escalated
+    return tree
 
 
 def route_net_on_tiles(
@@ -497,7 +509,11 @@ def route_net_on_tiles(
             per-thread instance.
 
     Returns:
-        A :class:`RouteTree` connecting the source to every sink.
+        A :class:`RouteTree` connecting the source to every sink. The
+        tree carries a ``search_escalated`` attribute — ``False``
+        guarantees every edge the search read lies inside the first
+        ``window_margin`` window around the pins (the speculation
+        contract of the parallel Stage-2 pool backend).
 
     Raises:
         RoutingError: only if even the soft cost cannot connect (grid

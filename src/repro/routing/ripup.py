@@ -9,13 +9,20 @@ With ``workers > 1`` the pass is executed in *bounding-box-disjoint
 batches*: the net order is cut into maximal prefixes whose expanded route
 boxes are pairwise disjoint, every net of a batch is ripped up, the batch
 is rerouted concurrently against the frozen usage state, and the results
-are committed serially in the original order. Disjoint boxes mean the
-batch members' searches read disjoint edge sets, so each concurrent
-result equals what the sequential loop would have produced — except for
-the rare net whose search escalates past its box (full-grid retry), which
-is detected by a containment check and rerouted serially. Usage
-accounting is exact in every case; ``workers=1`` (the default) runs the
-original loop, byte-identical to the pre-parallel code.
+are committed serially in the original order.
+
+Two parallel backends exist. The default ``"pool"`` backend ships each
+batch to a persistent shared-memory worker-process pool
+(:mod:`repro.parallel`): boxes use the router's *first* window margin and
+workers report an escalation flag, so a speculative result is committed
+exactly when its search provably read only state identical to the
+sequential loop's — anything else is rerouted serially against the live
+graph, recreating the sequential state exactly. The legacy ``"threads"``
+backend routes batches on in-process threads with 4x-margin boxes and a
+containment check; its output is independent of the thread count (and
+matches sequential whenever no search escapes its box, which a window
+that large makes rare). ``workers=1`` (the default) runs the original
+loop unchanged.
 """
 
 from __future__ import annotations
@@ -48,14 +55,19 @@ class RipupOptions:
         radius_weight: PD trade-off used when rerouting (paper: 0.4).
         window_margin: maze-router search window margin in tiles.
         workers: reroute batches of box-disjoint nets with this many
-            threads; 1 routes strictly sequentially (byte-identical
+            workers; 1 routes strictly sequentially (byte-identical
             results, the default).
+        backend: parallel engine for ``workers > 1``: ``"pool"`` (the
+            shared-memory worker-process pool, default) or ``"threads"``
+            (the legacy in-process thread batches). Both are
+            byte-identical to sequential at every worker count.
     """
 
     max_iterations: int = 3
     radius_weight: float = 0.4
     window_margin: int = 6
     workers: int = 1
+    backend: str = "pool"
 
     def __post_init__(self) -> None:
         if self.max_iterations < 0:
@@ -66,6 +78,11 @@ class RipupOptions:
             raise ConfigurationError("window_margin must be >= 0")
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.backend not in ("pool", "threads"):
+            raise ConfigurationError(
+                f"unknown stage2 backend {self.backend!r}; "
+                "expected 'pool' or 'threads'"
+            )
 
 
 def ripup_and_reroute(
@@ -75,6 +92,7 @@ def ripup_and_reroute(
     options: "RipupOptions | None" = None,
     on_pass_end: "Callable[[int], None] | None" = None,
     tracer=None,
+    pool=None,
 ) -> int:
     """Rip up and reroute every net per pass until congestion clears.
 
@@ -88,6 +106,9 @@ def ripup_and_reroute(
             ``stage2.pass`` span and each net emits ``ripped_up`` /
             ``rerouted`` events plus the ``nets_rerouted`` counter;
             parallel passes also count ``stage2.batches``.
+        pool: optional :class:`repro.parallel.WorkerPool` to run the
+            ``"pool"`` backend on (shared with Stage 3 / the planner);
+            when omitted a private pool is created and closed here.
 
     Returns:
         Number of full passes executed.
@@ -96,22 +117,35 @@ def ripup_and_reroute(
     tracer = tracer if tracer is not None else NULL_TRACER
     executor = None
     tls = None
+    session = None
+    own_pool = None
     if options.workers > 1 and len(order) > 1:
-        executor = ThreadPoolExecutor(
-            max_workers=options.workers, thread_name_prefix="stage2"
-        )
-        tls = threading.local()
-        graph.flat()  # build the shared CSR before any worker touches it
+        if options.backend == "pool":
+            from repro.parallel import Stage2Session, WorkerPool
+
+            if pool is None:
+                pool = own_pool = WorkerPool(options.workers, tracer=tracer)
+            session = Stage2Session(pool, graph, options)
+        else:
+            executor = ThreadPoolExecutor(
+                max_workers=options.workers, thread_name_prefix="stage2"
+            )
+            tls = threading.local()
+            graph.flat()  # build the shared CSR before any worker touches it
     passes = 0
     try:
         for iteration in range(options.max_iterations):
             with tracer.span("stage2.pass", **{"pass": iteration}):
-                if executor is None:
-                    _run_pass_sequential(graph, routes, order, options, tracer)
-                else:
+                if session is not None:
+                    _run_pass_pool(
+                        graph, routes, order, options, session, tracer
+                    )
+                elif executor is not None:
                     _run_pass_parallel(
                         graph, routes, order, options, executor, tls, tracer
                     )
+                else:
+                    _run_pass_sequential(graph, routes, order, options, tracer)
                 passes += 1
                 if on_pass_end is not None:
                     on_pass_end(iteration)
@@ -120,6 +154,10 @@ def ripup_and_reroute(
     finally:
         if executor is not None:
             executor.shutdown(wait=True)
+        if session is not None:
+            session.close()
+        if own_pool is not None:
+            own_pool.close()
     return passes
 
 
@@ -284,6 +322,131 @@ def _run_pass_parallel(
                     window_margin=options.window_margin,
                     tracer=tracer,
                 )
+            new_tree.add_usage(graph)
+            routes[name] = new_tree
+            if tracer.enabled:
+                tracer.count("nets_rerouted")
+                tracer.event(
+                    "rerouted", name, stage="2", nodes=len(new_tree.nodes)
+                )
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory pool pass                                               #
+# --------------------------------------------------------------------- #
+
+
+def _box_contains_any(box: Box, tiles) -> bool:
+    if not tiles:
+        return False
+    x0, y0, x1, y1 = box
+    return any(x0 <= t[0] <= x1 and y0 <= t[1] <= y1 for t in tiles)
+
+
+def _reroute_serial(
+    graph: TileGraph,
+    tree: RouteTree,
+    name: str,
+    options: RipupOptions,
+    tracer,
+) -> RouteTree:
+    """Route one already-ripped net against the live graph (traced)."""
+    return route_net_on_tiles(
+        graph,
+        tree.source,
+        tree.sink_tiles,
+        cost_fn=congestion_cost,
+        radius_weight=options.radius_weight,
+        net_name=name,
+        window_margin=options.window_margin,
+        tracer=tracer,
+    )
+
+
+def _run_pass_pool(
+    graph: TileGraph,
+    routes: Dict[str, RouteTree],
+    order: Sequence[str],
+    options: RipupOptions,
+    session,
+    tracer,
+) -> None:
+    """One full pass on the worker pool, in box-disjoint batches.
+
+    Batches use the *first* search-window margin (not the 4x escalation
+    margin of the thread path): workers report whether their search
+    escalated past that window, so the boxes only need to cover
+    non-escalated reads — which keeps batches long. Commit order is the
+    net order; a worker result is taken only when its search stayed in
+    its window AND no earlier serially-redone net dirtied its box, so
+    every committed tree is exactly the sequential loop's tree.
+    """
+    from repro.parallel import PoolError
+    from repro.parallel.stage2 import rebuild_tree
+
+    margin = options.window_margin
+    n = len(order)
+    idx = 0
+    while idx < n:
+        batch: List[str] = [order[idx]]
+        boxes: List[Box] = [_net_box(graph, routes[order[idx]], margin)]
+        j = idx + 1
+        while j < n:
+            box = _net_box(graph, routes[order[j]], margin)
+            if any(_boxes_overlap(box, b) for b in boxes):
+                break
+            batch.append(order[j])
+            boxes.append(box)
+            j += 1
+        idx = j
+        if tracer.enabled:
+            tracer.count("stage2.batches")
+        if len(batch) == 1:
+            _run_pass_sequential(graph, routes, batch, options, tracer)
+            continue
+        old = {name: routes[name] for name in batch}
+        for name in batch:
+            tree = old[name]
+            tree.remove_usage(graph)
+            if tracer.enabled:
+                tracer.event(
+                    "ripped_up", name, stage="2", nodes=len(tree.nodes)
+                )
+        try:
+            results = session.route_batch(batch, routes)
+        except PoolError:
+            # The pool could not deliver the batch even after respawns
+            # and retries; fall back to serial rerouting below.
+            if tracer.enabled:
+                tracer.count("stage2.pool_fallbacks")
+            results = None
+        # Restore the pre-batch usage, then replay the commits in exact
+        # net order, ripping each net again just before its turn: a
+        # serial redo then sees precisely the graph state the sequential
+        # loop would show it (later batch members still routed).
+        for name in batch:
+            old[name].add_usage(graph)
+        dirty: set = set()
+        for name, box in zip(batch, boxes):
+            old[name].remove_usage(graph)
+            if results is not None:
+                pairs, escalated = results[name]
+            else:
+                pairs, escalated = None, True
+            if not escalated and not _box_contains_any(box, dirty):
+                new_tree = rebuild_tree(
+                    old[name].source, pairs, old[name].sink_tiles, name
+                )
+            else:
+                # Escalated past its window (or an earlier serial redo
+                # touched this box): the speculative result may have read
+                # stale edges — redo against the live graph.
+                new_tree = _reroute_serial(
+                    graph, old[name], name, options, tracer
+                )
+                dirty.update(new_tree.nodes)
+                if results is not None and tracer.enabled:
+                    tracer.count("stage2.speculation_misses")
             new_tree.add_usage(graph)
             routes[name] = new_tree
             if tracer.enabled:

@@ -2,8 +2,11 @@
 
 import json
 
+import pytest
+
 from repro.benchmarks.emit import (
     TRAJECTORY_SCHEMA,
+    SpeedupGateError,
     append_trajectory_entry,
     load_trajectory,
     write_trajectory,
@@ -107,6 +110,81 @@ class TestSpeedup:
             workers=4, speedup_from="seconds",
         )
         assert "speedup_vs_baseline" not in entry
+
+
+class TestSpeedupGate:
+    """min_speedup_vs_workers1: parallel entries must beat the baseline —
+    but only on machines that could plausibly show a speedup."""
+
+    def _baseline(self, path):
+        append_trajectory_entry(
+            path, "base", PARAMS, {"seconds": 8.0},
+            workers=1, speedup_from="seconds",
+        )
+
+    def test_cores_recorded_on_worker_entries(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        entry = append_trajectory_entry(
+            path, "a", PARAMS, {"seconds": 1.0}, workers=2
+        )
+        assert entry["cores"] >= 1
+        nonworker = append_trajectory_entry(path, "b", PARAMS, {"seconds": 1.0})
+        assert "cores" not in nonworker
+
+    def test_gate_passes_fast_parallel_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        path = str(tmp_path / "BENCH_x.json")
+        self._baseline(path)
+        entry = append_trajectory_entry(
+            path, "fast", PARAMS, {"seconds": 4.0},
+            workers=2, speedup_from="seconds", min_speedup_vs_workers1=1.0,
+        )
+        assert entry["speedup_vs_baseline"] == 2.0
+        assert entry["speedup_gate"] == "passed: >= 1.0x"
+
+    def test_gate_fails_slower_than_baseline_and_does_not_record(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        path = str(tmp_path / "BENCH_x.json")
+        self._baseline(path)
+        with pytest.raises(SpeedupGateError, match="below the"):
+            append_trajectory_entry(
+                path, "slow", PARAMS, {"seconds": 10.0},
+                workers=2, speedup_from="seconds",
+                min_speedup_vs_workers1=1.0,
+            )
+        labels = [e["label"] for e in load_trajectory(path)["entries"]]
+        assert labels == ["base"]
+
+    def test_gate_skips_on_undersized_machine(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        path = str(tmp_path / "BENCH_x.json")
+        self._baseline(path)
+        entry = append_trajectory_entry(
+            path, "slow", PARAMS, {"seconds": 10.0},
+            workers=2, speedup_from="seconds", min_speedup_vs_workers1=1.0,
+        )
+        assert entry["speedup_gate"] == "skipped: 1 cores < 2 workers"
+        assert entry["cores"] == 1
+
+    def test_gate_skips_without_baseline(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        path = str(tmp_path / "BENCH_x.json")
+        entry = append_trajectory_entry(
+            path, "solo", PARAMS, {"seconds": 10.0},
+            workers=2, speedup_from="seconds", min_speedup_vs_workers1=1.0,
+        )
+        assert entry["speedup_gate"] == "skipped: no workers=1 baseline"
+
+    def test_gate_ignores_sequential_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        path = str(tmp_path / "BENCH_x.json")
+        entry = append_trajectory_entry(
+            path, "base", PARAMS, {"seconds": 8.0},
+            workers=1, speedup_from="seconds", min_speedup_vs_workers1=1.0,
+        )
+        assert "speedup_gate" not in entry
 
 
 class TestRepoTrajectoryFiles:

@@ -1,0 +1,173 @@
+"""Worker-pool protocol: dispatch, retries, and every injected fault."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Tracer
+from repro.parallel import PoolError, WorkerPool
+
+ECHO = "repro.parallel.testing:echo"
+SLEEP = "repro.parallel.testing:sleep_then_echo"
+KILL_ONCE = "repro.parallel.testing:kill_self_once"
+CRASH_ALWAYS = "repro.parallel.testing:crash_always"
+OVERSIZED = "repro.parallel.testing:oversized_reply"
+RAISE = "repro.parallel.testing:raise_error"
+POISON = "repro.parallel.testing:poison_reply"
+
+
+class TestBasics:
+    def test_map_preserves_submission_order(self):
+        with WorkerPool(2) as pool:
+            values = pool.map(ECHO, list(range(20)))
+            assert values == list(range(20))
+
+    def test_results_carry_timing_and_attempts(self):
+        with WorkerPool(1) as pool:
+            [result] = pool.run_tasks([(ECHO, "x")])
+            assert result.ok
+            assert result.value == "x"
+            assert result.attempts == 1
+            assert result.seconds >= 0.0
+
+    def test_context_reaches_handlers(self):
+        with WorkerPool(1, context={"base": 7}) as pool:
+            [value] = pool.map(
+                "repro.parallel.testing:read_context", [None]
+            )
+            assert value == {"base": 7}
+
+    def test_dispatch_counter(self):
+        tracer = Tracer()
+        with WorkerPool(2, tracer=tracer) as pool:
+            pool.map(ECHO, list(range(6)))
+            assert pool.counters["pool.dispatches"] == 6
+            assert tracer.metrics.value("pool.dispatches") == 6
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(0)
+
+    def test_closed_pool_rejects_work(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(ConfigurationError):
+            pool.map(ECHO, [1])
+
+    def test_bad_handler_spec_is_error_status(self):
+        with WorkerPool(1) as pool:
+            [result] = pool.run_tasks([("no-colon-here", 1)], retries=0)
+            assert result.status == "error"
+
+    def test_empty_task_list(self):
+        with WorkerPool(1) as pool:
+            assert pool.run_tasks([]) == []
+
+
+class TestHandlerErrors:
+    def test_handler_exception_reported_not_fatal(self):
+        with WorkerPool(1) as pool:
+            [result] = pool.run_tasks(
+                [(RAISE, {"message": "boom"})], retries=0
+            )
+            assert result.status == "error"
+            assert "ValueError" in result.error
+            assert "boom" in result.error
+            # The worker survived: no respawn, still serving.
+            assert pool.counters["pool.respawns"] == 0
+            assert pool.map(ECHO, ["alive"]) == ["alive"]
+
+    def test_map_raises_pool_error(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(PoolError):
+                pool.map(RAISE, [{}], retries=0)
+
+
+class TestCrashes:
+    def test_sigkill_mid_task_respawns_and_retries(self, tmp_path):
+        tracer = Tracer()
+        with WorkerPool(1, tracer=tracer) as pool:
+            flag = tmp_path / "crashed"
+            [value] = pool.map(
+                KILL_ONCE, [{"flag": str(flag), "value": 42}], retries=1
+            )
+            assert value == 42
+            assert pool.counters["pool.respawns"] == 1
+            assert tracer.metrics.value("pool.respawns") == 1
+
+    def test_repeat_crasher_exhausts_retries(self):
+        with WorkerPool(1) as pool:
+            [result] = pool.run_tasks([(CRASH_ALWAYS, None)], retries=2)
+            assert result.status == "crashed"
+            assert result.attempts == 3
+            assert "died" in result.error
+            assert pool.counters["pool.respawns"] == 3
+
+    def test_crash_does_not_poison_other_tasks(self, tmp_path):
+        with WorkerPool(2) as pool:
+            flag = tmp_path / "crashed"
+            tasks = [(ECHO, i) for i in range(8)]
+            tasks.insert(3, (KILL_ONCE, {"flag": str(flag), "value": "ok"}))
+            results = pool.run_tasks(tasks, retries=1)
+            assert [r.status for r in results] == ["ok"] * 9
+            assert results[3].value == "ok"
+
+    def test_poisoned_reply_is_contained(self):
+        """A reply that explodes at unpickle time counts as a crash."""
+        with WorkerPool(1) as pool:
+            [result] = pool.run_tasks([(POISON, None)], retries=0)
+            assert result.status == "crashed"
+            assert pool.counters["pool.respawns"] == 1
+            assert pool.map(ECHO, ["alive"]) == ["alive"]
+
+    def test_oversized_reply_is_contained(self):
+        with WorkerPool(1, max_reply_bytes=1024) as pool:
+            [result] = pool.run_tasks(
+                [(OVERSIZED, {"nbytes": 1 << 20})], retries=0
+            )
+            assert result.status == "crashed"
+            assert pool.counters["pool.respawns"] == 1
+            # A small reply still fits afterwards.
+            assert pool.map(ECHO, ["small"]) == ["small"]
+
+
+class TestTimeouts:
+    def test_slow_task_times_out_and_respawns(self):
+        with WorkerPool(1) as pool:
+            [result] = pool.run_tasks(
+                [(SLEEP, {"seconds": 30.0})], timeout_s=0.3, retries=0
+            )
+            assert result.status == "timeout"
+            assert "0.3" in result.error
+            assert pool.counters["pool.respawns"] == 1
+
+    def test_fast_task_beats_deadline(self):
+        with WorkerPool(1) as pool:
+            [result] = pool.run_tasks(
+                [(SLEEP, {"seconds": 0.0, "value": "quick"})],
+                timeout_s=30.0,
+                retries=0,
+            )
+            assert result.ok
+            assert result.value == "quick"
+
+
+class TestCallbacks:
+    def test_on_retry_fires_per_extra_attempt(self, tmp_path):
+        seen = []
+        with WorkerPool(1) as pool:
+            flag = tmp_path / "crashed"
+            pool.run_tasks(
+                [(KILL_ONCE, {"flag": str(flag), "value": 1})],
+                retries=1,
+                on_retry=seen.append,
+            )
+            assert seen == [0]
+
+    def test_on_result_streams_every_final_result(self):
+        seen = {}
+        with WorkerPool(2) as pool:
+            pool.run_tasks(
+                [(ECHO, i) for i in range(5)],
+                on_result=lambda i, r: seen.__setitem__(i, r.value),
+            )
+            assert seen == {i: i for i in range(5)}

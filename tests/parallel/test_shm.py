@@ -1,0 +1,166 @@
+"""Shared-array registry: publish/attach lifecycle and stamp semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    AttachmentCache,
+    SharedArrayRegistry,
+    WorkerPool,
+    attach_segment,
+)
+
+READ_SHARED = "repro.parallel.testing:read_shared"
+
+
+class TestRegistry:
+    def test_publish_and_view_roundtrip(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            array = np.arange(12, dtype=np.int64)
+            spec = registry.publish("usage", array)
+            cache = AttachmentCache()
+            try:
+                view = cache.view(spec)
+                assert view.dtype == np.int64
+                assert np.array_equal(view, array)
+            finally:
+                cache.close()
+
+    def test_republish_same_shape_bumps_version_not_generation(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            first = registry.publish("usage", np.zeros(8, dtype=np.int64))
+            second = registry.publish("usage", np.ones(8, dtype=np.int64))
+            assert second.generation == first.generation
+            assert second.version == first.version + 1
+            assert second.shm_name == first.shm_name
+            assert registry.reallocations == 1
+            assert registry.publishes == 2
+
+    def test_shape_change_reallocates_under_new_generation(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            first = registry.publish("usage", np.zeros(8, dtype=np.int64))
+            second = registry.publish("usage", np.zeros(16, dtype=np.int64))
+            assert second.generation != first.generation
+            assert second.shm_name != first.shm_name
+            assert registry.reallocations == 2
+
+    def test_dtype_change_reallocates(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            first = registry.publish("p", np.zeros(8, dtype=np.int64))
+            second = registry.publish("p", np.zeros(8, dtype=np.float64))
+            assert second.generation != first.generation
+
+    def test_publish_copies_bytes(self):
+        """The segment holds a snapshot: mutating the source after
+        publish must not change what a viewer reads."""
+        with SharedArrayRegistry(prefix="t") as registry:
+            array = np.arange(6, dtype=np.int64)
+            spec = registry.publish("usage", array)
+            array[:] = -1
+            cache = AttachmentCache()
+            try:
+                assert cache.view(spec).tolist() == [0, 1, 2, 3, 4, 5]
+            finally:
+                cache.close()
+
+    def test_unknown_name_rejected(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            with pytest.raises(ConfigurationError):
+                registry.spec("nope")
+
+    def test_close_unlinks_segments(self):
+        registry = SharedArrayRegistry(prefix="t")
+        spec = registry.publish("usage", np.zeros(4, dtype=np.int64))
+        registry.close()
+        with pytest.raises(FileNotFoundError):
+            attach_segment(spec.shm_name)
+
+
+class TestAttachmentCache:
+    def test_same_generation_reuses_mapping(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            cache = AttachmentCache()
+            try:
+                first = registry.publish("usage", np.zeros(8, dtype=np.int64))
+                cache.view(first)
+                second = registry.publish("usage", np.ones(8, dtype=np.int64))
+                view = cache.view(second)
+                assert view.tolist() == [1] * 8
+                assert cache.attaches == 1
+                assert cache.reuses == 1
+            finally:
+                cache.close()
+
+    def test_new_generation_reattaches(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            cache = AttachmentCache()
+            try:
+                cache.view(registry.publish("usage", np.zeros(8, dtype=np.int64)))
+                cache.view(registry.publish("usage", np.zeros(16, dtype=np.int64)))
+                assert cache.attaches == 2
+                assert cache.reuses == 0
+            finally:
+                cache.close()
+
+    def test_take_stats_drains(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            cache = AttachmentCache()
+            try:
+                spec = registry.publish("usage", np.zeros(4, dtype=np.int64))
+                cache.view(spec)
+                cache.view(spec)
+                stats = cache.take_stats()
+                assert stats == {"attaches": 1, "attach_reuse": 1}
+                assert cache.take_stats() == {"attaches": 0, "attach_reuse": 0}
+            finally:
+                cache.close()
+
+    def test_array_returns_private_copy(self):
+        with SharedArrayRegistry(prefix="t") as registry:
+            cache = AttachmentCache()
+            try:
+                spec = registry.publish("usage", np.arange(4, dtype=np.int64))
+                copy = cache.array(spec)
+                copy[:] = 99
+                assert cache.view(spec).tolist() == [0, 1, 2, 3]
+            finally:
+                cache.close()
+
+
+class TestCrossProcess:
+    def test_worker_reads_published_bytes(self):
+        """The full path: publish parent-side, view inside a pool worker."""
+        with SharedArrayRegistry(prefix="t") as registry, WorkerPool(1) as pool:
+            array = np.arange(32, dtype=np.int64)
+            spec = registry.publish("usage", array)
+            [raw] = pool.map(READ_SHARED, [{"spec": spec}])
+            assert raw == array.tobytes()
+
+    def test_worker_attach_reuse_is_counted(self):
+        with SharedArrayRegistry(prefix="t") as registry, WorkerPool(1) as pool:
+            spec = registry.publish("usage", np.zeros(8, dtype=np.int64))
+            pool.map(READ_SHARED, [{"spec": spec}])
+            spec = registry.publish("usage", np.ones(8, dtype=np.int64))
+            [raw] = pool.map(READ_SHARED, [{"spec": spec}])
+            assert raw == np.ones(8, dtype=np.int64).tobytes()
+            assert pool.counters["pool.attaches"] == 1
+            assert pool.counters["pool.attach_reuse"] == 1
+
+    def test_respawned_worker_does_not_unlink_live_segment(self, tmp_path):
+        """A dying worker must not take the parent's segments with it
+        (the Python < 3.13 resource-tracker pitfall)."""
+        with SharedArrayRegistry(prefix="t") as registry, WorkerPool(1) as pool:
+            spec = registry.publish("usage", np.arange(8, dtype=np.int64))
+            pool.map(READ_SHARED, [{"spec": spec}])
+            flag = tmp_path / "crashed"
+            [value] = pool.map(
+                "repro.parallel.testing:kill_self_once",
+                [{"flag": str(flag), "value": "ok"}],
+                retries=1,
+            )
+            assert value == "ok"
+            # The segment survived the worker's death: a fresh attach
+            # (from the respawned worker) still sees the bytes.
+            [raw] = pool.map(READ_SHARED, [{"spec": spec}])
+            assert raw == np.arange(8, dtype=np.int64).tobytes()

@@ -1,0 +1,134 @@
+"""Stage-level fault injection: a worker dying mid-batch must not change
+the plan.
+
+Each test monkeypatches the stage handler in the parent *before* the pool
+forks (workers inherit the patched module under the ``fork`` start
+method), kills a worker partway through the first batch, and then checks
+the recovered parallel run against the plain sequential run — the
+determinism contract must survive the crash/respawn/retry cycle.
+"""
+
+import os
+import signal
+
+from repro.benchmarks.buffering_kernel import (
+    make_buffering_scenario,
+    run_buffering_kernel,
+)
+from repro.benchmarks.routing_kernel import (
+    make_routing_scenario,
+    run_routing_kernel,
+)
+from repro.obs import Tracer
+from repro.parallel import stage2, stage3
+
+
+def kill_once_wrapper(real_handler, flag_path):
+    """Wrap a stage handler: SIGKILL this worker on the first call."""
+
+    def wrapper(payload, ctx):
+        if not os.path.exists(flag_path):
+            with open(flag_path, "w", encoding="utf-8") as fh:
+                fh.write("crashed")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real_handler(payload, ctx)
+
+    return wrapper
+
+
+class TestStage2:
+    def test_sigkill_mid_batch_recovers_to_sequential_plan(
+        self, monkeypatch, tmp_path
+    ):
+        # margin 2: on a 16x16 grid the default margin-6 boxes cover the
+        # whole die, so no batch would ever reach the pool.
+        sequential = run_routing_kernel(
+            make_routing_scenario(grid=16, num_nets=120),
+            workers=1,
+            window_margin=2,
+        )
+        monkeypatch.setattr(
+            stage2,
+            "route_nets",
+            kill_once_wrapper(stage2.route_nets, str(tmp_path / "crashed")),
+        )
+        tracer = Tracer()
+        recovered = run_routing_kernel(
+            make_routing_scenario(grid=16, num_nets=120),
+            workers=2,
+            backend="pool",
+            window_margin=2,
+            tracer=tracer,
+        )
+        assert recovered.signature == sequential.signature
+        assert recovered.wirelength_tiles == sequential.wirelength_tiles
+        assert tracer.metrics.value("pool.respawns") >= 1
+
+    def test_unrecoverable_batches_fall_back_to_serial(self, monkeypatch):
+        """Every dispatch failing (PoolError) degrades to the sequential
+        path for the batch — same plan, just slower."""
+        sequential = run_routing_kernel(
+            make_routing_scenario(grid=16, num_nets=120),
+            workers=1,
+            window_margin=2,
+        )
+
+        def always_dies(payload, ctx):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        monkeypatch.setattr(stage2, "route_nets", always_dies)
+        tracer = Tracer()
+        recovered = run_routing_kernel(
+            make_routing_scenario(grid=16, num_nets=120),
+            workers=2,
+            backend="pool",
+            window_margin=2,
+            tracer=tracer,
+        )
+        assert recovered.signature == sequential.signature
+        assert tracer.metrics.value("stage2.pool_fallbacks") >= 1
+
+
+class TestStage3:
+    def test_sigkill_mid_batch_recovers_to_sequential_plan(
+        self, monkeypatch, tmp_path
+    ):
+        sequential = run_buffering_kernel(
+            make_buffering_scenario(grid=16, num_nets=120, total_sites=600),
+            workers=1,
+        )
+        monkeypatch.setattr(
+            stage3,
+            "solve_nets",
+            kill_once_wrapper(stage3.solve_nets, str(tmp_path / "crashed")),
+        )
+        tracer = Tracer()
+        recovered = run_buffering_kernel(
+            make_buffering_scenario(grid=16, num_nets=120, total_sites=600),
+            workers=2,
+            backend="pool",
+            tracer=tracer,
+        )
+        assert recovered.signature == sequential.signature
+        assert recovered.buffers_inserted == sequential.buffers_inserted
+        assert tracer.metrics.value("pool.respawns") >= 1
+
+    def test_unrecoverable_batches_fall_back_to_serial(self, monkeypatch):
+        sequential = run_buffering_kernel(
+            make_buffering_scenario(grid=16, num_nets=120, total_sites=600),
+            workers=1,
+        )
+
+        def always_dies(payload, ctx):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        monkeypatch.setattr(stage3, "solve_nets", always_dies)
+        tracer = Tracer()
+        recovered = run_buffering_kernel(
+            make_buffering_scenario(grid=16, num_nets=120, total_sites=600),
+            workers=2,
+            backend="pool",
+            tracer=tracer,
+        )
+        assert recovered.signature == sequential.signature
+        assert tracer.metrics.value("stage3.pool_fallbacks") >= 1
