@@ -1,16 +1,29 @@
 """Planning-service benchmark feeding ``BENCH_service.json``.
 
-Measures the incremental engine against the acceptance workload: a
-single-macro-move delta on the 32x32 / 500-net kernel scenario
-(16x16 / 120 under ``REPRO_BENCH_FAST=1``). Records the
-incremental-vs-full-replan speedup (exactness included: the two plans'
-buffering signatures must match), plus service throughput (jobs/sec and
-p50/p95 per-job latency over a burst of deltas).
+Two tiers:
+
+* **Incremental kernel** — the acceptance workload: a single-macro-move
+  delta on the 32x32 / 500-net kernel scenario (16x16 / 120 under
+  ``REPRO_BENCH_FAST=1``). Records the incremental-vs-full-replan
+  speedup (exactness included: the two plans' buffering signatures must
+  match), plus sustained service throughput over a warmed
+  fixed-duration window (jobs, wall seconds, jobs/sec, p50/p95/p99).
+* **Fleet kernel** — one seeded load trace driven through the
+  single-process scheduler (the ``workers=1`` arm) and through
+  ``FleetPlanningService`` at 2 and 4 workers. Every arm must finish
+  with byte-identical baseline signatures; the 4-worker arm carries the
+  ``min_speedup_vs_workers1`` gate (armed only on machines with enough
+  cores — the entry records ``cores`` either way).
 """
 
 import os
 
 from conftest import FAST, SEED, record_table
+from repro.benchmarks.service_fleet_kernel import (
+    append_fleet_entry,
+    fleet_params,
+    run_fleet_kernel,
+)
 from repro.benchmarks.service_kernel import (
     append_service_entry,
     run_service_kernel,
@@ -22,12 +35,16 @@ TRAJECTORY = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
 #: The acceptance floor for the incremental engine on the full workload.
 MIN_SPEEDUP = 3.0
 
+#: The acceptance floor for the 4-worker fleet vs the single-process
+#: scheduler (only armed when the machine has >= 4 cores).
+MIN_FLEET_SPEEDUP = 3.0
+
 
 def _kernel_kwargs():
     kwargs = dict(seed=SEED, site_seed=SEED)
     if FAST:
         kwargs.update(grid=16, num_nets=120, total_sites=600,
-                      repetitions=1, jobs=4)
+                      repetitions=1, duration_s=0.5, warmup=1)
     return kwargs
 
 
@@ -36,7 +53,8 @@ def _record(entry):
         "Planning service (BENCH_service.json)",
         render_table(
             ["label", "grid", "nets", "incr s", "full s", "speedup",
-             "match", "jobs/s", "p50 ms", "p95 ms"],
+             "match", "jobs", "wall s", "jobs/s", "p50 ms", "p95 ms",
+             "p99 ms"],
             [[
                 entry["label"],
                 str(entry["params"]["grid"]),
@@ -45,9 +63,12 @@ def _record(entry):
                 f"{entry['seconds_full_replan']:.4f}",
                 f"{entry['incremental_speedup']:.2f}x",
                 str(entry["signature_match"]),
+                str(entry["jobs"]),
+                f"{entry['wall_seconds']:.2f}",
                 f"{entry['jobs_per_sec']:.2f}",
                 f"{entry['latency_p50'] * 1000:.1f}",
                 f"{entry['latency_p95'] * 1000:.1f}",
+                f"{entry['latency_p99'] * 1000:.1f}",
             ]],
         ),
     )
@@ -66,6 +87,72 @@ def test_service_kernel(benchmark):
     entry = append_service_entry(TRAJECTORY, label, result)
     _record(entry)
     assert result.signature_match
+    assert result.jobs > 0
+    assert result.wall_seconds > 0
     assert result.jobs_per_sec > 0
     if not FAST:
         assert result.incremental_speedup >= MIN_SPEEDUP
+
+
+def test_fleet_kernel(benchmark):
+    """Record the fleet arms; enforce cross-arm signature identity."""
+    if FAST:
+        workers = (1, 2)
+        kwargs = dict(tenants=2, jobs=24, rate=40.0)
+    else:
+        workers = (1, 2, 4)
+        kwargs = dict(tenants=4, jobs=120, rate=60.0)
+    kwargs.update(seed=SEED, grid=16, num_nets=120, total_sites=600)
+
+    holder = {}
+
+    def body():
+        holder["arms"], holder["match"] = run_fleet_kernel(
+            workers=workers, **kwargs
+        )
+        return holder["arms"]
+
+    benchmark.pedantic(body, rounds=1, iterations=1)
+    arms, match = holder["arms"], holder["match"]
+    assert match, "fleet arms diverged from the single-process signatures"
+
+    label = "fleet-loadgen-smoke" if FAST else "fleet-loadgen"
+    params = fleet_params(
+        kwargs["tenants"], kwargs["jobs"], kwargs["rate"], kwargs["seed"],
+        kwargs["grid"], kwargs["num_nets"], kwargs["total_sites"],
+    )
+    widest = max(arm.workers for arm in arms)
+    rows = []
+    for arm in arms:
+        entry = append_fleet_entry(
+            TRAJECTORY,
+            label,
+            params,
+            arm,
+            match,
+            min_speedup=(
+                MIN_FLEET_SPEEDUP
+                if (arm.workers == widest and not FAST)
+                else None
+            ),
+        )
+        rows.append([
+            str(entry["workers"]),
+            str(entry["jobs"]),
+            f"{entry['wall_seconds']:.2f}",
+            f"{entry['jobs_per_sec']:.2f}",
+            f"{entry['latency_p50'] * 1000:.1f}",
+            f"{entry['latency_p95'] * 1000:.1f}",
+            f"{entry['latency_p99'] * 1000:.1f}",
+            str(entry.get("speedup_vs_baseline", "-")),
+            entry.get("speedup_gate", "-"),
+        ])
+        assert arm.report.jobs_failed == 0
+    record_table(
+        "Fleet load (BENCH_service.json)",
+        render_table(
+            ["workers", "jobs", "wall s", "jobs/s", "p50 ms", "p95 ms",
+             "p99 ms", "speedup", "gate"],
+            rows,
+        ),
+    )

@@ -8,7 +8,11 @@ Commands:
 * ``table2|table3|table4 <circuit>`` — regenerate one circuit's rows.
 * ``table5 <circuit>`` — RABID-vs-BBP comparison rows.
 * ``list`` — list available benchmarks (``--json`` for machine-readable).
-* ``serve`` — run the incremental planning service (JSON-lines protocol).
+* ``serve`` — run the incremental planning service (JSON-lines
+  protocol); ``--fleet-workers N`` shards baselines over N planner
+  processes.
+* ``loadgen`` — drive a seeded open-loop load trace through an
+  in-process service and print the throughput/latency report.
 * ``submit`` — submit a job to a running service and print the result.
 * ``explore`` — sweep resource budgets over a scenario space and report
   the Pareto frontier (see ``docs/EXPLORE.md``).
@@ -24,7 +28,7 @@ from typing import List, Optional
 from repro.analysis import buffer_usage_map, wire_congestion_map
 from repro.benchmarks import BENCHMARK_SPECS, load_benchmark
 from repro.core import RabidConfig, RabidPlanner
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments import (
     ExperimentConfig,
     format_table1,
@@ -126,6 +130,50 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-request-bytes", type=int, default=None, metavar="N",
         help="reject request lines longer than N bytes (default 1 MiB)",
+    )
+    serve.add_argument(
+        "--fleet-workers", type=int, default=0, metavar="N",
+        help="run the sharded multi-process fleet with N planner "
+        "processes (0 = the single-process scheduler; signatures are "
+        "identical either way)",
+    )
+    serve.add_argument(
+        "--shutdown-deadline", type=float, default=30.0, metavar="S",
+        help="seconds to drain in-flight jobs on SIGTERM/SIGINT before "
+        "checkpointing and exiting",
+    )
+    serve.add_argument(
+        "--aging-threshold", type=float, default=30.0, metavar="S",
+        help="fleet: promote jobs queued longer than S seconds to "
+        "absolute priority",
+    )
+    serve.add_argument(
+        "--preempt-after", type=float, default=0.2, metavar="S",
+        help="fleet: a full plan running longer than S seconds may be "
+        "preempted by a waiting incremental job",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a seeded open-loop load trace through an in-process "
+        "service and print the throughput/latency report",
+    )
+    loadgen.add_argument("--tenants", type=int, default=4)
+    loadgen.add_argument("--jobs", type=int, default=60)
+    loadgen.add_argument(
+        "--rate", type=float, default=20.0,
+        help="open-loop arrival rate in jobs/sec across all tenants",
+    )
+    loadgen.add_argument("--grid", type=int, default=16)
+    loadgen.add_argument("--nets", type=int, default=120)
+    loadgen.add_argument("--total-sites", type=int, default=600)
+    loadgen.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fleet workers (0 = the single-process scheduler)",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of the text summary",
     )
 
     explore = sub.add_parser(
@@ -445,44 +493,153 @@ def _cmd_explore(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from repro.core import RabidConfig as _Config
     from repro.service.protocol import ProtocolServer
-    from repro.service.scheduler import PlanningService, SchedulerOptions
 
-    options = SchedulerOptions(
-        workers=args.service_workers,
-        max_queue=args.max_queue,
-        job_timeout=args.job_timeout,
-        verify_fraction=args.verify_fraction,
-    )
+    if args.fleet_workers:
+        from repro.service.fleet import FleetOptions, FleetPlanningService
+
+        service = FleetPlanningService(
+            config=_Config(),
+            options=FleetOptions(
+                workers=args.fleet_workers,
+                max_queue_per_tenant=args.max_queue,
+                job_timeout=args.job_timeout,
+                aging_threshold=args.aging_threshold,
+                preempt_after=args.preempt_after,
+            ),
+        )
+    else:
+        from repro.service.scheduler import PlanningService, SchedulerOptions
+
+        service = PlanningService(
+            config=_Config(),
+            options=SchedulerOptions(
+                workers=args.service_workers,
+                max_queue=args.max_queue,
+                job_timeout=args.job_timeout,
+                verify_fraction=args.verify_fraction,
+            ),
+        )
 
     async def _serve() -> None:
-        service = PlanningService(config=_Config(), options=options)
-        if args.checkpoint_dir and os.path.isdir(args.checkpoint_dir):
+        if (
+            not args.fleet_workers
+            and args.checkpoint_dir
+            and os.path.isdir(args.checkpoint_dir)
+        ):
             from repro.service.checkpoint import load_service_checkpoints
 
             loaded = load_service_checkpoints(args.checkpoint_dir, service)
             if loaded:
                 print(f"restored baselines: {', '.join(loaded)}", flush=True)
-        server = (
-            ProtocolServer(service, max_request_bytes=args.max_request_bytes)
-            if args.max_request_bytes is not None
-            else ProtocolServer(service)
+        kwargs = dict(
+            checkpoint_dir=args.checkpoint_dir,
+            shutdown_deadline=args.shutdown_deadline,
         )
+        if args.max_request_bytes is not None:
+            kwargs["max_request_bytes"] = args.max_request_bytes
+        server = ProtocolServer(service, **kwargs)
         await server.start(args.host, args.port)
         # The one line clients parse to find the port (tests, CI smoke).
         print(f"serving on {args.host}:{server.port}", flush=True)
-        try:
-            await server.serve_until_shutdown()
-        finally:
-            if args.checkpoint_dir:
-                from repro.service.checkpoint import save_service_checkpoints
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(sig, server.request_shutdown)
+        await server.serve_until_shutdown()
+        report = server.drain_report
+        if report is not None and not report.get("drained", True):
+            print(
+                f"shutdown deadline hit with {report['pending']} "
+                "job(s) pending",
+                flush=True,
+            )
 
-                save_service_checkpoints(args.checkpoint_dir, service)
-
-    asyncio.run(_serve())
+    try:
+        asyncio.run(_serve())
+    except ReproError as exc:
+        # Runtime failure (checkpoint write, worker loss past the retry
+        # budget): one line, nonzero exit, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import json
+
+    from repro.service.loadgen import (
+        LoadgenOptions,
+        make_load_trace,
+        run_load,
+    )
+
+    trace = make_load_trace(
+        LoadgenOptions(
+            tenants=args.tenants,
+            jobs=args.jobs,
+            rate=args.rate,
+            seed=args.seed,
+            grid=args.grid,
+            num_nets=args.nets,
+            total_sites=args.total_sites,
+        )
+    )
+
+    async def _drive():
+        if args.workers:
+            from repro.service.fleet import FleetOptions, FleetPlanningService
+
+            service = FleetPlanningService(
+                options=FleetOptions(
+                    workers=args.workers,
+                    max_queue_per_tenant=max(64, args.jobs + args.tenants),
+                )
+            )
+        else:
+            from repro.service.scheduler import (
+                PlanningService,
+                SchedulerOptions,
+            )
+
+            service = PlanningService(
+                options=SchedulerOptions(
+                    workers=1,
+                    max_queue=max(64, args.jobs + args.tenants),
+                )
+            )
+        await service.start()
+        try:
+            return await run_load(service, trace)
+        finally:
+            await service.stop()
+
+    report = asyncio.run(_drive())
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"{report.jobs_measured} measured jobs over "
+            f"{report.wall_seconds:.2f}s -> {report.jobs_per_sec:.2f} jobs/s "
+            f"({report.jobs_shed} shed, {report.jobs_failed} failed)"
+        )
+        print(
+            f"latency p50 {report.latency_p50 * 1e3:.1f}ms "
+            f"p95 {report.latency_p95 * 1e3:.1f}ms "
+            f"p99 {report.latency_p99 * 1e3:.1f}ms; "
+            f"queue wait p95 {report.queue_wait_p95 * 1e3:.1f}ms"
+        )
+        for tenant, stats in report.per_tenant.items():
+            print(
+                f"  {tenant}: {int(stats['jobs'])} jobs, queue wait p95 "
+                f"{stats['queue_wait_p95'] * 1e3:.1f}ms"
+            )
+    return 0 if report.jobs_failed == 0 else 1
 
 
 def _cmd_submit(args) -> int:
@@ -614,6 +771,8 @@ def _dispatch(args) -> int:
         return _cmd_run(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "table1":

@@ -75,5 +75,25 @@ class CheckpointError(ServiceError):
     """A service checkpoint could not be written or restored."""
 
 
+class ShuttingDownError(ServiceError):
+    """The service is draining for shutdown and rejects new submissions.
+
+    Typed so the protocol layer reports ``SHUTTING_DOWN`` distinctly from
+    backpressure: a shed job invites an immediate resubmit, a shutdown
+    rejection tells the client to find another replica (or wait for the
+    restart).
+    """
+
+
+class PreemptedError(ServiceError):
+    """A planning attempt was cooperatively aborted mid-run.
+
+    Raised by the engine when an ``abort_check`` callback reports that
+    the fleet scheduler wants the worker back (a cheap incremental job
+    is waiting behind a long full plan). The partial plan is discarded;
+    the job is requeued, never lost.
+    """
+
+
 class ProtocolError(ServiceError):
     """A malformed or unsupported JSON-lines service request."""

@@ -37,6 +37,32 @@ POOL_COUNTERS = (
     "pool.attach_reuse",
 )
 
+#: Planning-service scheduler counters (single-process and fleet).
+SERVICE_COUNTERS = (
+    "service.jobs_submitted",
+    "service.jobs_shed",
+    "service.jobs_timeout",
+    "service.jobs_failed",
+    "service.jobs_retried",
+    "service.jobs_verified",
+    "service.verify_mismatches",
+    "fleet.dispatches",
+    "fleet.preemptions",
+    "fleet.rebuilds",
+    "fleet.respawns",
+    "fleet.fallbacks",
+)
+
+#: Per-stage scheduler latency histograms (queue wait and service time,
+#: the latter split by execution mode).
+SERVICE_HISTOGRAMS = (
+    "service.queue_wait_seconds",
+    "service.exec_seconds",
+    "service.exec_seconds.baseline",
+    "service.exec_seconds.incremental",
+    "service.exec_seconds.full",
+)
+
 
 def _span_tree_lines(tracer: Tracer) -> List[str]:
     children: Dict[int, List[SpanRecord]] = {}
@@ -101,6 +127,26 @@ def render_summary(tracer: Tracer) -> str:
         sections.append("== pool ==")
         for name, metric in pool:
             sections.append(f"{name:24s} {metric.value}")
+    service = [
+        (name, tracer.metrics.get(name))
+        for name in SERVICE_COUNTERS
+        if tracer.metrics.get(name) is not None
+    ]
+    service_hist = [
+        (name, tracer.metrics.get(name))
+        for name in SERVICE_HISTOGRAMS
+        if tracer.metrics.get(name) is not None
+    ]
+    if service or service_hist:
+        sections.append("== service ==")
+        for name, metric in service:
+            sections.append(f"{name:32s} {metric.value}")
+        for name, metric in service_hist:
+            peak = metric.maximum if metric.count else 0.0
+            sections.append(
+                f"{name:32s} n={metric.count} "
+                f"mean={metric.mean * 1e3:.2f}ms max={peak * 1e3:.2f}ms"
+            )
     counts = tracer.events.counts_by_kind()
     if counts:
         sections.append("== events ==")

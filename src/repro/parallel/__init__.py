@@ -10,7 +10,7 @@ Layers:
   Stage-2 reroute and Stage-3 buffering batch sessions built on both.
 """
 
-from repro.parallel.pool import PoolError, TaskResult, WorkerPool
+from repro.parallel.pool import PoolError, PoolWorker, TaskResult, WorkerPool
 from repro.parallel.shm import (
     AttachmentCache,
     SharedArrayRegistry,
@@ -23,6 +23,7 @@ from repro.parallel.stage3 import Stage3Session
 __all__ = [
     "AttachmentCache",
     "PoolError",
+    "PoolWorker",
     "SharedArrayRegistry",
     "SharedArraySpec",
     "Stage2Session",

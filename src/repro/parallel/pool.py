@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import signal
 import time
 from dataclasses import dataclass, field
 from importlib import import_module
@@ -93,6 +94,15 @@ def _resolve_handler(spec: str, cache: Dict[str, Callable]) -> Callable:
 
 def _worker_main(conn, context_payload) -> None:
     """Worker loop: run handlers until the parent sends ``None``."""
+    # The parent owns this process's lifecycle through the pipe (a
+    # ``None`` sentinel) and SIGKILL. Group-delivered SIGTERM/SIGINT —
+    # systemd's control-group kill, a terminal Ctrl-C — must not take
+    # workers down mid-drain while the parent is still checkpointing.
+    for _sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(_sig, signal.SIG_IGN)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     ctx = WorkerContext(context_payload)
     handlers: Dict[str, Callable] = {}
     try:
@@ -167,7 +177,10 @@ class _Worker:
         except OSError:
             pass
         if self.proc.is_alive():
-            self.proc.terminate()
+            # SIGKILL, not SIGTERM: workers ignore SIGTERM so that
+            # group-delivered shutdown signals can't race the parent's
+            # drain, which makes terminate() a no-op here.
+            self.proc.kill()
         self.proc.join(timeout=5.0)
 
     def shutdown(self) -> None:
@@ -178,8 +191,14 @@ class _Worker:
             pass
         self.proc.join(timeout=5.0)
         if self.proc.is_alive():  # pragma: no cover - stuck worker
-            self.proc.terminate()
+            self.proc.kill()
             self.proc.join(timeout=5.0)
+
+
+#: Public alias for builders of custom dispatch loops (the service
+#: fleet owns one persistent worker per shard and drives it directly —
+#: same fork/pipe/kill containment, different scheduling policy).
+PoolWorker = _Worker
 
 
 class WorkerPool:

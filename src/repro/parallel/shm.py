@@ -169,6 +169,29 @@ class SharedArrayRegistry:
     def specs(self) -> Dict[str, SharedArraySpec]:
         return dict(self._specs)
 
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def view(self, name: str) -> np.ndarray:
+        """A parent-side NumPy view of the named segment's live bytes.
+
+        Long-lived parents (the fleet scheduler) use this to *read back*
+        state that attached workers wrote into the segment — e.g. the
+        committed usage vectors a shard exports after each plan — without
+        any pickling. The view aliases shared memory: concurrent worker
+        writes are visible immediately, so treat reads as advisory
+        snapshots unless the writer is known quiescent.
+        """
+        spec = self.spec(name)
+        shm = self._segments[name]
+        return np.ndarray(spec.shape, dtype=spec.dtype, buffer=shm.buf)
+
+    def release(self, name: str) -> None:
+        """Unlink one named segment (e.g. a retired fleet baseline)."""
+        if name not in self._specs:
+            raise ConfigurationError(f"no published array named {name!r}")
+        self._release(name)
+
     def _release(self, name: str) -> None:
         shm = self._segments.pop(name, None)
         self._specs.pop(name, None)

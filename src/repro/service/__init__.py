@@ -7,6 +7,9 @@ workflow — perturb the floorplan, re-evaluate, repeat — built from:
 * :mod:`repro.service.engine` — full plans with replayable per-net state.
 * :mod:`repro.service.incremental` — exact dirty-region re-planning.
 * :mod:`repro.service.scheduler` — asyncio workers, timeouts, shed.
+* :mod:`repro.service.tenant` — weighted-fair per-tenant queues.
+* :mod:`repro.service.fleet` — the sharded multi-process fleet.
+* :mod:`repro.service.loadgen` — seeded open-loop load generation.
 * :mod:`repro.service.verify` — sampled incremental-vs-full checks.
 * :mod:`repro.service.checkpoint` — warm restarts via ``repro.io``.
 * :mod:`repro.service.protocol` — the ``repro serve`` JSON-lines API.
@@ -30,28 +33,53 @@ from repro.service.jobs import (
     set_length_limit,
     set_sites,
 )
+from repro.service.fleet import (
+    FleetBaseline,
+    FleetJobRecord,
+    FleetOptions,
+    FleetPlanningService,
+)
+from repro.service.loadgen import (
+    LoadgenOptions,
+    LoadReport,
+    LoadTrace,
+    make_load_trace,
+    run_load,
+)
 from repro.service.scheduler import PlanningService, SchedulerOptions
+from repro.service.tenant import QueuedItem, TenantQueues
 from repro.service.verify import VerificationResult, verify_state
 
 __all__ = [
     "DeltaOp",
     "DeltaSpec",
+    "FleetBaseline",
+    "FleetJobRecord",
+    "FleetOptions",
+    "FleetPlanningService",
     "IncrementalStats",
     "Job",
     "JobRecord",
     "JobStatus",
+    "LoadReport",
+    "LoadTrace",
+    "LoadgenOptions",
     "MacroSpec",
     "NetOutcome",
     "PlanState",
     "PlanningService",
+    "QueuedItem",
     "ScenarioSpec",
     "SchedulerOptions",
+    "TenantQueues",
     "VerificationResult",
     "add_net",
     "apply_delta",
     "full_plan",
     "incremental_replan",
+    "make_load_trace",
     "move_macro",
+    "run_load",
     "remove_net",
     "set_capacity",
     "set_length_limit",

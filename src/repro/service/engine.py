@@ -199,6 +199,7 @@ def run_buffer_walk(
     tracer=None,
     replay: "Callable[[str], Optional[NetOutcome]] | None" = None,
     on_solved: "Callable[[str, NetOutcome], None] | None" = None,
+    abort_check: "Callable[[], bool] | None" = None,
 ) -> Dict[str, NetOutcome]:
     """The sequential Stage-3 walk with an optional replay fast path.
 
@@ -214,6 +215,11 @@ def run_buffer_walk(
 
     The whole walk runs inside one :class:`SiteLedger` transaction, so
     an exception anywhere unwinds every site booking made so far.
+
+    ``abort_check`` is the fleet's cooperative-preemption hook: polled
+    between nets, a True return raises
+    :class:`repro.errors.PreemptedError` (the ledger transaction unwinds
+    every booking, so the graph is untouched).
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     probability = None
@@ -227,6 +233,12 @@ def run_buffer_walk(
     ledger = graph.ledger()
     with ledger.transaction():
         for name in order:
+            if abort_check is not None and abort_check():
+                from repro.errors import PreemptedError
+
+                raise PreemptedError(
+                    f"buffer walk preempted before net {name!r}"
+                )
             tree = routes[name]
             if probability is not None:
                 probability.remove_net(tree)
@@ -268,8 +280,15 @@ def full_plan(
     scenario: ScenarioSpec,
     config: "RabidConfig | None" = None,
     tracer=None,
+    abort_check: "Callable[[], bool] | None" = None,
 ) -> PlanState:
-    """Plan a scenario from scratch; the incremental path's reference."""
+    """Plan a scenario from scratch; the incremental path's reference.
+
+    ``abort_check`` (fleet preemption) is polled between routed nets and
+    between buffered nets; a True return abandons the partial plan by
+    raising :class:`repro.errors.PreemptedError`. The plan is built on a
+    fresh graph, so preemption leaves no shared state to undo.
+    """
     tracer = tracer if tracer is not None else NULL_TRACER
     config = config or RabidConfig()
     start = time.perf_counter()
@@ -279,13 +298,20 @@ def full_plan(
         order = sorted(nets)
         routes: Dict[str, RouteTree] = {}
         for name in order:
+            if abort_check is not None and abort_check():
+                from repro.errors import PreemptedError
+
+                raise PreemptedError(
+                    f"full plan preempted before routing net {name!r}"
+                )
             source, sinks = nets[name]
             tree = route_one(graph, name, source, sinks, config, tracer=tracer)
             tree.add_usage(graph)
             routes[name] = tree
         limits = scenario.limits(order)
         outcomes = run_buffer_walk(
-            graph, routes, limits, order, config, tracer=tracer
+            graph, routes, limits, order, config, tracer=tracer,
+            abort_check=abort_check,
         )
     failed = [n for n in order if not outcomes[n].meets]
     state = PlanState(

@@ -438,6 +438,8 @@ class Job:
     dict); ``kind == "delta"`` carries a baseline id plus a delta, with
     ``mode`` choosing ``"incremental"`` (dirty-region replay, the
     default) or ``"full"`` (scratch re-plan of the evolved scenario).
+    ``tenant`` names the submitting client for the fleet scheduler's
+    weighted fair queueing; the single-process scheduler ignores it.
     """
 
     job_id: str
@@ -447,6 +449,7 @@ class Job:
     delta: Optional[DeltaSpec] = None
     mode: str = "incremental"
     config: Optional[Dict[str, Any]] = None
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -456,8 +459,15 @@ class Job:
         if self.kind == "delta":
             if not self.baseline_id or self.delta is None:
                 raise ProtocolError("delta job needs baseline_id and delta")
+            if not isinstance(self.delta, DeltaSpec):
+                raise ProtocolError(
+                    "job delta must be a DeltaSpec (wrap single ops in "
+                    "DeltaSpec(ops=(op,)))"
+                )
             if self.mode not in ("incremental", "full"):
                 raise ProtocolError(f"unknown delta mode {self.mode!r}")
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ProtocolError("job tenant must be a non-empty string")
 
 
 @dataclass
@@ -470,7 +480,15 @@ class JobRecord:
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     submitted_at: float = 0.0
+    started_at: float = 0.0
     finished_at: float = 0.0
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent queued before the first execution attempt."""
+        if self.started_at <= 0.0 or self.submitted_at <= 0.0:
+            return 0.0
+        return max(0.0, self.started_at - self.submitted_at)
 
     def summary(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {

@@ -10,8 +10,16 @@ an ``op``:
   record summary.
 * ``{"op": "baselines"}`` — list cached baseline ids and signatures.
 * ``{"op": "stats"}`` — scheduler counters and queue depth.
-* ``{"op": "checkpoint", "directory": "..."}`` — persist all baselines.
-* ``{"op": "shutdown"}`` — stop accepting connections and exit serve.
+* ``{"op": "checkpoint", "directory": "...", "only_dirty": false}`` —
+  persist baselines (optionally only those mutated since last save).
+* ``{"op": "shutdown", "deadline": 30}`` — graceful shutdown: further
+  submits are rejected with ``ShuttingDownError``, in-flight jobs drain
+  under the deadline, dirty baselines are checkpointed, then serve
+  exits.
+
+Jobs may carry a ``"tenant"`` name; the fleet scheduler
+(:mod:`repro.service.fleet`) uses it for weighted fair queueing, the
+single-process scheduler ignores it.
 
 Responses are ``{"ok": true, ...}`` or
 ``{"ok": false, "error": "<TypeName>", "message": "..."}``; the error
@@ -57,6 +65,8 @@ def job_to_dict(job: Job) -> Dict[str, Any]:
         out["mode"] = job.mode
     if job.config is not None:
         out["config"] = job.config
+    if job.tenant != "default":
+        out["tenant"] = job.tenant
     return out
 
 
@@ -76,6 +86,7 @@ def job_from_dict(d: Dict[str, Any]) -> Job:
         delta=DeltaSpec.from_dict(delta) if delta else None,
         mode=d.get("mode", "incremental"),
         config=d.get("config"),
+        tenant=d.get("tenant", "default"),
     )
 
 
@@ -86,6 +97,8 @@ class ProtocolServer:
         self,
         service: PlanningService,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        checkpoint_dir: "str | None" = None,
+        shutdown_deadline: "float | None" = 30.0,
     ):
         if max_request_bytes < 2:
             raise ProtocolError(
@@ -93,8 +106,11 @@ class ProtocolServer:
             )
         self.service = service
         self.max_request_bytes = max_request_bytes
+        self.checkpoint_dir = checkpoint_dir
+        self.shutdown_deadline = shutdown_deadline
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
+        self._drain_report: Optional[Dict[str, Any]] = None
 
     @property
     def port(self) -> int:
@@ -107,9 +123,40 @@ class ProtocolServer:
             self._handle, host, port, limit=self.max_request_bytes
         )
 
+    def request_shutdown(self) -> None:
+        """Trigger the graceful shutdown sequence (signal handlers).
+
+        New submissions are rejected with
+        :class:`~repro.errors.ShuttingDownError` from this moment;
+        :meth:`serve_until_shutdown` then drains in-flight jobs under
+        ``shutdown_deadline``, checkpoints dirty baselines to
+        ``checkpoint_dir``, and closes.
+        """
+        begin = getattr(self.service, "begin_shutdown", None)
+        if begin is not None:
+            begin()
+        self._shutdown.set()
+
     async def serve_until_shutdown(self) -> None:
         await self._shutdown.wait()
+        begin = getattr(self.service, "begin_shutdown", None)
+        if begin is not None:
+            begin()
+        drain_until = getattr(self.service, "drain_until", None)
+        if drain_until is not None:
+            self._drain_report = await drain_until(self.shutdown_deadline)
+        if self.checkpoint_dir is not None:
+            checkpoint_to = getattr(self.service, "checkpoint_to", None)
+            if checkpoint_to is not None:
+                await asyncio.to_thread(
+                    checkpoint_to, self.checkpoint_dir, True
+                )
         await self.close()
+
+    @property
+    def drain_report(self) -> Optional[Dict[str, Any]]:
+        """``{"drained": bool, "pending": n}`` from the last shutdown."""
+        return self._drain_report
 
     async def close(self) -> None:
         if self._server is not None:
@@ -206,17 +253,20 @@ class ProtocolServer:
         if op == "stats":
             return {"ok": True, **self.service.stats()}
         if op == "checkpoint":
-            from repro.service.checkpoint import save_service_checkpoints
-
             directory = request.get("directory")
             if not isinstance(directory, str):
                 raise ProtocolError("checkpoint needs a string 'directory'")
             written = await asyncio.to_thread(
-                save_service_checkpoints, directory, self.service
+                self.service.checkpoint_to,
+                directory,
+                bool(request.get("only_dirty", False)),
             )
             return {"ok": True, "written": written}
         if op == "shutdown":
-            self._shutdown.set()
+            deadline = request.get("deadline")
+            if deadline is not None:
+                self.shutdown_deadline = float(deadline)
+            self.request_shutdown()
             return {"ok": True, "shutting_down": True}
         raise ProtocolError(f"unknown op {op!r}")
 

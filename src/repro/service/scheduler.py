@@ -41,6 +41,7 @@ from repro.errors import (
     JobTimeoutError,
     QueueFullError,
     ServiceError,
+    ShuttingDownError,
     UnknownJobError,
 )
 from repro.obs import NULL_TRACER
@@ -150,6 +151,8 @@ class PlanningService:
         self._baseline_locks: Dict[str, threading.Lock] = {}
         self._workers: List[asyncio.Task] = []
         self._verify_rng = random.Random(self.options.verify_seed)
+        self._shutting_down = False
+        self._dirty: "set[str]" = set()
         self._stats = {
             "submitted": 0,
             "shed": 0,
@@ -184,6 +187,37 @@ class PlanningService:
         """Wait until every queued job has finished."""
         await self._queue.join()
 
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutting_down
+
+    def begin_shutdown(self) -> None:
+        """Reject all further submissions; in-flight jobs keep running."""
+        self._shutting_down = True
+
+    async def drain_until(self, deadline_s: "float | None") -> Dict[str, Any]:
+        """Drain with a wall-clock bound.
+
+        Returns ``{"drained": bool, "pending": n}`` — ``pending`` counts
+        queued plus running jobs left when the deadline cut the wait
+        short (they are abandoned by shutdown; their baselines were
+        either committed or rolled back per the usual fate rules).
+        """
+        limit = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        while True:
+            pending = self._queue.qsize() + sum(
+                1
+                for r in self._records.values()
+                if r.status is JobStatus.RUNNING
+            )
+            if not pending:
+                return {"drained": True, "pending": 0}
+            if limit is not None and time.monotonic() > limit:
+                return {"drained": False, "pending": pending}
+            await asyncio.sleep(0.01)
+
     # -- submission / inspection ----------------------------------------- #
 
     def submit(self, job: Job) -> JobRecord:
@@ -193,6 +227,10 @@ class PlanningService:
         backpressure is exactly the condition that invites a retry, so
         shedding must not burn the id.
         """
+        if self._shutting_down:
+            raise ShuttingDownError(
+                "service is shutting down; submission rejected"
+            )
         existing = self._records.get(job.job_id)
         if existing is not None and existing.status is not JobStatus.SHED:
             raise ServiceError(f"duplicate job id {job.job_id!r}")
@@ -254,6 +292,22 @@ class PlanningService:
     def baseline_ids(self) -> List[str]:
         return sorted(self._baselines)
 
+    @property
+    def dirty_baseline_ids(self) -> List[str]:
+        """Baselines mutated since their last checkpoint (or install)."""
+        return sorted(self._dirty)
+
+    def mark_baseline_clean(self, baseline_id: str) -> None:
+        self._dirty.discard(baseline_id)
+
+    def checkpoint_to(self, directory, only_dirty: bool = False) -> List[str]:
+        """Persist baselines to ``directory``; returns written paths."""
+        from repro.service.checkpoint import save_service_checkpoints
+
+        return save_service_checkpoints(
+            directory, self, only_dirty=only_dirty
+        )
+
     def stats(self) -> Dict[str, Any]:
         return {
             **self._stats,
@@ -282,6 +336,11 @@ class PlanningService:
 
     async def _run_with_retries(self, record: JobRecord) -> None:
         record.status = JobStatus.RUNNING
+        record.started_at = time.monotonic()
+        if self.tracer.enabled:
+            self.tracer.observe(
+                "service.queue_wait_seconds", record.queue_wait
+            )
         options = self.options
         for attempt in range(options.retries + 1):
             record.attempts += 1
@@ -330,6 +389,14 @@ class PlanningService:
             self.tracer.observe(
                 "service.job_seconds", record.finished_at - record.submitted_at
             )
+            mode = (
+                "baseline"
+                if record.job.kind == "baseline"
+                else record.job.mode
+            )
+            elapsed = record.finished_at - record.started_at
+            self.tracer.observe("service.exec_seconds", elapsed)
+            self.tracer.observe(f"service.exec_seconds.{mode}", elapsed)
 
     # -- the job body (runs in a worker thread) --------------------------- #
 
@@ -350,6 +417,7 @@ class PlanningService:
                 f"job {job.job_id!r} cancelled; baseline not installed"
             )
         self.install_baseline(job.job_id, state)
+        self._dirty.add(job.job_id)
         return {"baseline_id": job.job_id, **state.summary()}
 
     def _run_delta(self, job: Job, fate: _JobFate) -> Dict[str, Any]:
@@ -373,6 +441,7 @@ class PlanningService:
                 raise JobTimeoutError(f"job {job.job_id!r} cancelled")
             if new_state is not None:
                 self._baselines[job.baseline_id] = new_state
+            self._dirty.add(job.baseline_id)
             return result
 
     def _apply_delta_locked(

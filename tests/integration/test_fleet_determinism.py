@@ -1,0 +1,121 @@
+"""Fleet determinism matrix: every worker count must reproduce the
+single-process scheduler's baseline signatures byte for byte.
+
+This is the acceptance criterion of the sharded fleet: shard workers
+are *replays* of the sequential planner against shared-memory
+baselines, not approximations of it. One seeded load trace — multiple
+tenants, Poisson arrivals, a full/macro-move/net-churn mix — is driven
+through the classic ``PlanningService`` and through fleets of
+increasing width; the final signature map of every arm must be
+identical and complete. The widest arm carries the ``slow`` marker.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    FleetOptions,
+    FleetPlanningService,
+    LoadgenOptions,
+    PlanningService,
+    SchedulerOptions,
+    make_load_trace,
+    run_load,
+)
+
+TRACE_OPTIONS = LoadgenOptions(
+    tenants=3,
+    jobs=18,
+    rate=150.0,
+    seed=11,
+    grid=8,
+    num_nets=30,
+    total_sites=160,
+)
+
+
+def drive(service_factory, trace):
+    async def body():
+        service = service_factory()
+        await service.start()
+        try:
+            return await run_load(service, trace)
+        finally:
+            await service.stop()
+
+    return asyncio.run(body())
+
+
+def classic_signatures(trace):
+    report = drive(
+        lambda: PlanningService(
+            options=SchedulerOptions(workers=1, max_queue=64)
+        ),
+        trace,
+    )
+    assert report.jobs_failed == 0
+    assert len(report.signatures) == len(trace.baselines)
+    return report.signatures
+
+
+def fleet_signatures(trace, workers):
+    report = drive(
+        lambda: FleetPlanningService(
+            options=FleetOptions(workers=workers, job_timeout=60.0)
+        ),
+        trace,
+    )
+    assert report.jobs_failed == 0
+    assert len(report.signatures) == len(trace.baselines)
+    return report.signatures
+
+
+class TestFleetMatchesSingleProcess:
+    def test_two_workers(self):
+        trace = make_load_trace(TRACE_OPTIONS)
+        assert fleet_signatures(trace, 2) == classic_signatures(trace)
+
+    @pytest.mark.slow
+    def test_four_workers(self):
+        trace = make_load_trace(TRACE_OPTIONS)
+        assert fleet_signatures(trace, 4) == classic_signatures(trace)
+
+    @pytest.mark.slow
+    def test_preemption_does_not_change_signatures(self):
+        """An aggressive preemption config must stay signature-neutral.
+
+        ``preempt_after=0`` lets any waiting cheap job abort a running
+        full plan immediately — the maximally disruptive setting. The
+        committed signatures still have to match the classic scheduler:
+        preempted jobs are requeued and replayed, never partially
+        committed.
+        """
+        trace = make_load_trace(
+            LoadgenOptions(
+                tenants=3,
+                jobs=18,
+                rate=150.0,
+                seed=11,
+                # Weight full-mode jobs heavily so preemption targets
+                # actually exist.
+                mix=(0.5, 0.3, 0.2),
+                grid=8,
+                num_nets=30,
+                total_sites=160,
+            )
+        )
+        reference = classic_signatures(trace)
+        report = drive(
+            lambda: FleetPlanningService(
+                options=FleetOptions(
+                    workers=2,
+                    job_timeout=60.0,
+                    preempt_after=0.0,
+                    max_preemptions=2,
+                )
+            ),
+            trace,
+        )
+        assert report.jobs_failed == 0
+        assert report.signatures == reference

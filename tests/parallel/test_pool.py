@@ -82,6 +82,30 @@ class TestHandlerErrors:
                 pool.map(RAISE, [{}], retries=0)
 
 
+class TestSignals:
+    def test_workers_ignore_group_delivered_sigterm(self):
+        """A cgroup-wide SIGTERM/SIGINT must not take workers down.
+
+        systemd's default KillMode delivers the shutdown signal to every
+        process in the unit; the parent is mid-drain at that point and
+        still needs its workers (checkpoints, in-flight jobs). Workers
+        only die on the pipe sentinel or SIGKILL from the parent.
+        """
+        import os
+        import signal as _signal
+        import time as _time
+
+        with WorkerPool(2) as pool:
+            assert pool.map(ECHO, [1, 2]) == [1, 2]  # fork the workers
+            for worker in pool._pool:
+                os.kill(worker.proc.pid, _signal.SIGTERM)
+                os.kill(worker.proc.pid, _signal.SIGINT)
+            _time.sleep(0.2)
+            assert all(w.proc.is_alive() for w in pool._pool)
+            assert pool.map(ECHO, list(range(4))) == list(range(4))
+            assert pool.counters["pool.respawns"] == 0
+
+
 class TestCrashes:
     def test_sigkill_mid_task_respawns_and_retries(self, tmp_path):
         tracer = Tracer()
