@@ -130,10 +130,17 @@ class BufferingKernelResult:
 def buffers_as_json(
     routes: Dict[str, RouteTree]
 ) -> Dict[str, List[List[Optional[List[int]]]]]:
-    """Canonical JSON-able buffer specs per net (for golden files)."""
+    """Canonical JSON-able buffer specs per net (for golden files).
+
+    Default-kind buffers stay two-element ``[tile, child]`` entries, so
+    every pre-library golden (and the signature over this payload) is
+    byte-identical; a non-default kind appends its name as a third
+    element.
+    """
     return {
         name: [
             [list(s.tile), list(s.drives_child) if s.drives_child else None]
+            + ([s.kind] if s.kind else [])
             for s in routes[name].buffer_specs()
         ]
         for name in sorted(routes)
@@ -162,8 +169,15 @@ def run_buffering_kernel(
     backend: str = "pool",
     tracer=None,
     pool=None,
+    solver: str = "dp",
+    library: str = "single",
 ) -> BufferingKernelResult:
-    """Run Stage-3 buffer assignment over the whole instance, timed."""
+    """Run Stage-3 buffer assignment over the whole instance, timed.
+
+    ``solver``/``library`` select the per-net strategy and the buffer
+    library it sizes over (``multi_type`` only); the defaults reproduce
+    the recorded ``dp`` trajectory exactly.
+    """
     kwargs = {}
     # ``workers`` arrived with the unified engine and ``backend`` with
     # the shared-memory pool; stay runnable on the pre-solver code so
@@ -174,7 +188,13 @@ def run_buffering_kernel(
     if "backend" in varnames:
         kwargs["backend"] = backend
         kwargs["pool"] = pool
-        kwargs["solver_names"] = lambda name: "dp"
+        kwargs["solver_names"] = lambda name: solver
+    if solver != "dp" or library != "single":
+        from repro.technology import TECH_180NM
+
+        kwargs["technology"] = TECH_180NM
+        if "buffer_library" in varnames:
+            kwargs["buffer_library"] = library
     limits = {name: instance.length_limit for name in instance.routes}
     start = time.perf_counter()
     assignment = assign_buffers_stage3(
@@ -204,6 +224,8 @@ def run_best_of(
     workers: int = 1,
     backend: str = "pool",
     tracer=None,
+    solver: str = "dp",
+    library: str = "single",
     **scenario_kwargs,
 ) -> Tuple[BufferingScenario, BufferingKernelResult]:
     """Fastest of ``repetitions`` fresh runs, with the GC paused.
@@ -223,7 +245,12 @@ def run_best_of(
         for _ in range(max(1, repetitions)):
             instance = make_buffering_scenario(**scenario_kwargs)
             result = run_buffering_kernel(
-                instance, workers=workers, backend=backend, tracer=tracer
+                instance,
+                workers=workers,
+                backend=backend,
+                tracer=tracer,
+                solver=solver,
+                library=library,
             )
             if best is None or result.seconds_stage3 < best[1].seconds_stage3:
                 best = (instance, result)
@@ -302,20 +329,114 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the workers=1 baseline (armed only when the machine has that "
         "many cores)",
     )
+    parser.add_argument(
+        "--solver", default="dp",
+        help="Stage-3 strategy (see repro.core.solver.SOLVER_NAMES)",
+    )
+    parser.add_argument(
+        "--library", default="single",
+        help="buffer library for --solver multi_type (single, tech)",
+    )
     args = parser.parse_args(argv)
     kwargs = dict(seed=args.seed, site_seed=args.seed)
     if args.fast:
         kwargs.update(grid=16, num_nets=120, total_sites=600)
     instance, result = run_best_of(
-        args.repeat, workers=args.workers, backend=args.backend, **kwargs
+        args.repeat,
+        workers=args.workers,
+        backend=args.backend,
+        solver=args.solver,
+        library=args.library,
+        **kwargs,
     )
-    entry = append_entry(
-        args.out, args.label, result, instance, workers=args.workers,
-        extra={"backend": args.backend},
+    extra = {"backend": args.backend}
+    params = dict(instance.params)
+    if args.solver != "dp" or args.library != "single":
+        # Non-default strategies get their own trajectory identity (so
+        # their timings never gate against the dp baseline) plus a
+        # delay-quality report with the DP's O(bn^2) counter evidence.
+        params["solver"] = args.solver
+        params["library"] = args.library
+        extra.update(
+            _quality_extra(instance, args.solver, args.library, args.workers)
+        )
+    entry = append_trajectory_entry(
+        args.out,
+        args.label,
+        params,
+        {
+            "seconds_stage3": round(result.seconds_stage3, 4),
+            "buffers_inserted": result.buffers_inserted,
+            "num_fails": result.num_fails,
+            "dp_infeasible": result.dp_infeasible,
+            "signature": result.signature,
+        },
+        workers=args.workers,
+        speedup_from="seconds_stage3",
+        extra=extra,
         min_speedup_vs_workers1=args.min_speedup,
     )
     print(json.dumps(entry, indent=2))
     return 0
+
+
+def _quality_extra(
+    instance: BufferingScenario, solver: str, library: str, workers: int
+) -> dict:
+    """Delay-quality + DP-counter evidence for a non-default strategy.
+
+    Re-runs the kernel once sequentially under a tracer (per-net DP
+    counters are exact only at ``workers=1``) on a fresh instance, and
+    measures the worst/mean Elmore sink delay of the solved plan next to
+    the default-``dp`` plan on the same workload.
+    """
+    from repro.obs import Tracer
+    from repro.technology import TECH_180NM, resolve_library
+    from repro.timing.elmore import delay_summary
+
+    tracer = Tracer()
+    traced = make_buffering_scenario(**_scenario_kwargs_of(instance))
+    run_buffering_kernel(
+        traced, workers=1, tracer=tracer, solver=solver, library=library
+    )
+    lib = resolve_library(library, TECH_180NM)
+    worst, mean, _ = delay_summary(
+        traced.routes, traced.graph, TECH_180NM, library=lib
+    )
+    baseline = make_buffering_scenario(**_scenario_kwargs_of(instance))
+    run_buffering_kernel(baseline, workers=1)
+    base_worst, base_mean, _ = delay_summary(
+        baseline.routes, baseline.graph, TECH_180NM
+    )
+    counters = {}
+    for name in ("dp.kind_candidates", "dp.candidates_pruned"):
+        metric = tracer.metrics.get(name)
+        if metric is not None:
+            counters[name] = metric.value
+    for name in ("dp.kinds", "dp.kind_list_max"):
+        metric = tracer.metrics.get(name)
+        if metric is not None:
+            counters[name] = metric.value
+    return {
+        "worst_delay_ps": round(worst * 1e12, 3),
+        "mean_delay_ps": round(mean * 1e12, 3),
+        "dp_worst_delay_ps": round(base_worst * 1e12, 3),
+        "dp_mean_delay_ps": round(base_mean * 1e12, 3),
+        "counters": counters,
+    }
+
+
+def _scenario_kwargs_of(instance: BufferingScenario) -> dict:
+    p = instance.params
+    return dict(
+        grid=p["grid"],
+        num_nets=p["num_nets"],
+        capacity=p["capacity"],
+        seed=p["seed"],
+        length_limit=p["length_limit"],
+        total_sites=p["total_sites"],
+        site_seed=p["site_seed"],
+    )
 
 
 if __name__ == "__main__":

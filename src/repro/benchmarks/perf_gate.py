@@ -1,0 +1,190 @@
+"""Perf-gate: diff freshly emitted BENCH_*.json entries against a recorded
+trajectory.
+
+The recorded ``benchmarks/BENCH_*.json`` files are the repo's performance
+memory: every kernel run appends a ``speedup_vs_baseline`` entry through
+:mod:`repro.benchmarks.emit`. CI re-runs the kernels into a *fresh* file and
+this module compares the fresh entries against the recorded ones, failing
+(nonzero exit) when a fresh entry's speedup regresses beyond a relative
+tolerance.
+
+Matching mirrors the emit layer's identity rule — ``(params, workers)`` for
+worker-styled entries (labels differ between CI and the recorded runs, so
+they are deliberately *excluded* from the match key here) — and the gate
+arms per-entry only when the measuring machine had at least ``workers``
+cores, the same honesty rule :func:`emit.append_trajectory_entry` applies.
+Entries present only on one side are reported but never fail the gate: CI
+runs a subset of the recorded workloads, and new workloads have no history
+yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.benchmarks.emit import SpeedupGateError, load_trajectory
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def _entry_key(entry: Dict[str, Any]) -> Optional[Tuple[str, Optional[int]]]:
+    """Canonical match key: frozen params + workers; None when unkeyable."""
+    params = entry.get("params")
+    if not isinstance(params, dict):
+        return None
+    frozen = repr(sorted(params.items()))
+    return (frozen, entry.get("workers"))
+
+
+@dataclass
+class GateResult:
+    """Outcome of comparing one fresh entry against its recorded twin."""
+
+    label: str
+    workers: Optional[int]
+    recorded_speedup: Optional[float]
+    fresh_speedup: Optional[float]
+    status: str  # "ok" | "regressed" | "skipped: <reason>"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "regressed"
+
+    def describe(self) -> str:
+        return (
+            f"{self.label} (workers={self.workers}): recorded "
+            f"{self.recorded_speedup}x, fresh {self.fresh_speedup}x -> "
+            f"{self.status}"
+        )
+
+
+def compare_trajectories(
+    recorded: Dict[str, Any],
+    fresh: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    cores: Optional[int] = None,
+) -> List[GateResult]:
+    """Match fresh entries to recorded ones; flag speedup regressions.
+
+    A fresh entry regresses when its ``speedup_vs_baseline`` falls below
+    ``recorded * (1 - tolerance)``. Entries without a speedup on either
+    side, or whose fresh measurement ran on fewer cores than workers, are
+    reported as skipped, never failed.
+    """
+    if cores is None:
+        cores = os.cpu_count() or 1
+    recorded_by_key: Dict[Tuple[str, Optional[int]], Dict[str, Any]] = {}
+    for entry in recorded.get("entries", []):
+        key = _entry_key(entry)
+        if key is not None:
+            # last-wins: gate against the most recent recorded measurement
+            recorded_by_key[key] = entry
+    results: List[GateResult] = []
+    for entry in fresh.get("entries", []):
+        key = _entry_key(entry)
+        label = entry.get("label", "?")
+        workers = entry.get("workers")
+        if key is None:
+            results.append(
+                GateResult(label, workers, None, None, "skipped: no params")
+            )
+            continue
+        twin = recorded_by_key.get(key)
+        if twin is None:
+            results.append(
+                GateResult(
+                    label, workers, None,
+                    entry.get("speedup_vs_baseline"),
+                    "skipped: no recorded entry for these params",
+                )
+            )
+            continue
+        rec_speedup = twin.get("speedup_vs_baseline")
+        new_speedup = entry.get("speedup_vs_baseline")
+        if rec_speedup is None or new_speedup is None:
+            results.append(
+                GateResult(
+                    label, workers, rec_speedup, new_speedup,
+                    "skipped: speedup missing on one side",
+                )
+            )
+            continue
+        if workers is not None and cores < workers:
+            results.append(
+                GateResult(
+                    label, workers, rec_speedup, new_speedup,
+                    f"skipped: {cores} cores < {workers} workers",
+                )
+            )
+            continue
+        floor = rec_speedup * (1.0 - tolerance)
+        status = "ok" if new_speedup >= floor else "regressed"
+        results.append(
+            GateResult(label, workers, rec_speedup, new_speedup, status)
+        )
+    return results
+
+
+def gate_files(
+    recorded_path: str,
+    fresh_path: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+    cores: Optional[int] = None,
+) -> List[GateResult]:
+    """File-level wrapper; raises :class:`SpeedupGateError` on regression."""
+    results = compare_trajectories(
+        load_trajectory(recorded_path),
+        load_trajectory(fresh_path),
+        tolerance=tolerance,
+        cores=cores,
+    )
+    failed = [r for r in results if r.failed]
+    if failed:
+        lines = "\n".join(f"  {r.describe()}" for r in failed)
+        raise SpeedupGateError(
+            f"{len(failed)} entr{'y' if len(failed) == 1 else 'ies'} in "
+            f"{fresh_path} regressed beyond tolerance={tolerance} vs "
+            f"{recorded_path}:\n{lines}"
+        )
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Diff a freshly emitted BENCH_*.json against the recorded "
+            "trajectory; exit 1 on speedup regression beyond tolerance."
+        )
+    )
+    parser.add_argument("recorded", help="recorded trajectory (repo file)")
+    parser.add_argument("fresh", help="freshly emitted trajectory")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative speedup slack before failing (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        results = gate_files(
+            args.recorded, args.fresh, tolerance=args.tolerance
+        )
+    except SpeedupGateError as exc:
+        print(f"perf-gate FAILED: {exc}", file=sys.stderr)
+        return 1
+    for result in results:
+        print(f"perf-gate: {result.describe()}")
+    compared = sum(1 for r in results if not r.status.startswith("skipped"))
+    print(
+        f"perf-gate OK: {compared} compared, "
+        f"{len(results) - compared} skipped"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

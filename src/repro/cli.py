@@ -71,7 +71,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--stage3-solver", default="dp",
         help="Stage-3 buffering strategy (dp, single_sink, greedy, "
-        "van_ginneken)",
+        "van_ginneken, multi_type)",
+    )
+    run.add_argument(
+        "--buffer-library", default="single",
+        help="buffer library the multi_type strategy sizes over "
+        "(single, tech)",
     )
     run.add_argument("--maps", action="store_true", help="print ASCII maps")
     run.add_argument(
@@ -365,9 +370,14 @@ def _parse_dim_spec(spec: str):
         )
     if name in ("total_sites", "capacity", "length_limit", "num_nets"):
         return Dimension(name, _parse_sweep_values(values_text))
+    if name == "buffer_library":
+        values = tuple(
+            v.strip() for v in values_text.split(",") if v.strip()
+        )
+        return Dimension("buffer_library", values)
     raise ConfigurationError(
         f"unknown sweep dimension {name!r}; expected total_sites, "
-        "capacity, length_limit, num_nets, macroN, or "
+        "capacity, length_limit, num_nets, buffer_library, macroN, or "
         "region_sites@X0:Y0:X1:Y1"
     )
 
@@ -685,6 +695,7 @@ def _cmd_run(args) -> int:
         workers=args.workers,
         stage3_workers=args.stage3_workers,
         stage3_solver=args.stage3_solver,
+        buffer_library=args.buffer_library,
     )
     tracer = None
     if args.trace or args.metrics:

@@ -107,7 +107,7 @@ def _commit_outcome(
         if outcome.feasible:
             txn = ledger.begin()
             for spec in specs:
-                graph.use_site(spec.tile, 1)
+                graph.use_site(spec.tile, 1, spec.kind)
             # Post-booking ``free < 0`` on a spec tile is exactly the old
             # pre-booking ``count > free_sites`` test.
             if any(ledger.free_tile(spec.tile) < 0 for spec in specs):
@@ -161,8 +161,9 @@ def assign_buffers_to_net(
     ledger = graph.ledger()
     with ledger.transaction():
         if rebuffer:
-            for tile, count in tree.buffer_counts().items():
-                graph.use_site(tile, -count)
+            for tile, kinds in tree.buffer_kind_counts().items():
+                for kind, count in kinds.items():
+                    graph.use_site(tile, -count, kind)
         outcome = _solve_net(
             graph,
             tree,
@@ -215,6 +216,7 @@ def assign_buffers_stage3(
     pool=None,
     solver_names: "Callable[[str], str] | None" = None,
     technology=None,
+    buffer_library: str = "single",
 ) -> AssignmentResult:
     """Assign buffer sites to every net, highest-delay nets first.
 
@@ -247,7 +249,10 @@ def assign_buffers_stage3(
             :data:`repro.core.solver.SOLVER_NAMES`), required by the pool
             backend; also used to build the default ``solver_for``.
         technology: electrical parameters forwarded to
-            :func:`repro.core.solver.make_solver` (``van_ginneken``).
+            :func:`repro.core.solver.make_solver` (``van_ginneken``,
+            ``multi_type``).
+        buffer_library: named buffer library the ``multi_type`` strategy
+            sizes over (:data:`repro.technology.LIBRARY_NAMES`).
 
     Returns:
         An :class:`AssignmentResult`; the trees and graph are updated in
@@ -274,7 +279,7 @@ def assign_buffers_stage3(
             solver = _solvers.get(key)
             if solver is None:
                 solver = _solvers[key] = make_solver(
-                    key, technology=technology
+                    key, technology=technology, buffer_library=buffer_library
                 )
             return solver
 
@@ -328,7 +333,11 @@ def assign_buffers_stage3(
         if pool is None:
             pool = own_pool = WorkerPool(workers, tracer=tracer)
         session = Stage3Session(
-            pool, graph, probability, technology=technology
+            pool,
+            graph,
+            probability,
+            technology=technology,
+            buffer_library=buffer_library,
         )
         try:
             for batch in _disjoint_prefix_batches(routes, order, graph.ny):

@@ -29,7 +29,7 @@ from repro.routing.prim_dijkstra import prim_dijkstra_tree
 from repro.routing.ripup import RipupOptions, reroute_order_by_delay, ripup_and_reroute
 from repro.routing.steiner import remove_overlaps
 from repro.routing.tree import RouteTree
-from repro.technology import TECH_180NM, Technology
+from repro.technology import LIBRARY_NAMES, TECH_180NM, Technology
 from repro.tilegraph.congestion import buffer_density_stats, wire_congestion_stats
 from repro.tilegraph.graph import TileGraph
 from repro.timing.elmore import delay_summary
@@ -72,6 +72,12 @@ class RabidConfig:
             paper's Fig. 9 multi-sink DP).
         stage3_solvers: per-net strategy overrides (net name -> solver
             name).
+        buffer_library: named buffer library
+            (:data:`repro.technology.LIBRARY_NAMES`) the ``multi_type``
+            strategy sizes over: ``"single"`` (default) is the planning
+            repeater alone, ``"tech"`` the three-strength BUF_X1/X2/X4
+            library derived from the technology table. Strategies other
+            than ``multi_type`` only ever place the default repeater.
     """
 
     length_limit: int = 5
@@ -89,6 +95,7 @@ class RabidConfig:
     parallel_backend: str = "pool"
     stage3_solver: str = "dp"
     stage3_solvers: Dict[str, str] = field(default_factory=dict)
+    buffer_library: str = "single"
 
     def __post_init__(self) -> None:
         if self.router not in ("pd", "mcf"):
@@ -104,6 +111,11 @@ class RabidConfig:
                     f"unknown buffering solver {name!r} for net {net!r}; "
                     f"expected one of {SOLVER_NAMES}"
                 )
+        if self.buffer_library not in LIBRARY_NAMES:
+            raise ConfigurationError(
+                f"unknown buffer library {self.buffer_library!r}; "
+                f"expected one of {LIBRARY_NAMES}"
+            )
         if self.stage3_workers < 1:
             raise ConfigurationError("stage3_workers must be >= 1")
         if self.length_limit < 1:
@@ -337,7 +349,9 @@ class RabidPlanner:
                 solver = solvers.get(key)
                 if solver is None:
                     solver = solvers[key] = make_solver(
-                        key, technology=self.config.technology
+                        key,
+                        technology=self.config.technology,
+                        buffer_library=self.config.buffer_library,
                     )
                 return solver
 
@@ -358,6 +372,7 @@ class RabidPlanner:
                 ),
                 solver_names=self.config.solver_name_for,
                 technology=self.config.technology,
+                buffer_library=self.config.buffer_library,
             )
             self.failed_nets = list(self.assignment.failed_nets)
             self._snapshot(3, time.perf_counter() - start)
@@ -397,6 +412,19 @@ class RabidPlanner:
         order = reroute_order_by_delay(delays, ascending=True)
         failed: List[str] = []
         ledger = self.graph.ledger()
+        solvers: Dict[str, BufferingSolver] = {}
+
+        def solver_for(name: str) -> BufferingSolver:
+            key = self.config.solver_name_for(name)
+            solver = solvers.get(key)
+            if solver is None:
+                solver = solvers[key] = make_solver(
+                    key,
+                    technology=self.config.technology,
+                    buffer_library=self.config.buffer_library,
+                )
+            return solver
+
         for name in order:
             tree = self.routes[name]
             limit = self.config.limit_for(name)
@@ -404,8 +432,9 @@ class RabidPlanner:
             # reinsertion: an exception anywhere restores both the b(v)
             # accounting and any wire deltas instead of leaking them.
             with ledger.transaction():
-                for tile, count in tree.buffer_counts().items():
-                    self.graph.use_site(tile, -count)
+                for tile, kinds in tree.buffer_kind_counts().items():
+                    for kind, count in kinds.items():
+                        self.graph.use_site(tile, -count, kind)
                 if tracer.enabled:
                     tracer.event(
                         "ripped_up", name, stage="4", buffers=tree.buffer_count()
@@ -414,7 +443,8 @@ class RabidPlanner:
                     self.graph, tree, q_of, limit, self.config.window_margin
                 )
                 meets, _, _ = assign_buffers_to_net(
-                    self.graph, tree, limit, None, tracer=tracer
+                    self.graph, tree, limit, None, tracer=tracer,
+                    solver=solver_for(name),
                 )
             if not meets:
                 failed.append(name)

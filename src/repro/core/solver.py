@@ -42,7 +42,7 @@ from repro.routing.tree import BufferSpec, RouteTree
 from repro.tilegraph.graph import Tile, TileGraph
 
 #: Names accepted by :func:`make_solver` and ``RabidConfig.stage3_solver``.
-SOLVER_NAMES = ("dp", "single_sink", "greedy", "van_ginneken")
+SOLVER_NAMES = ("dp", "single_sink", "greedy", "van_ginneken", "multi_type")
 
 
 @dataclass(frozen=True)
@@ -172,6 +172,61 @@ class VanGinnekenSolver(BufferingSolver):
         return SolveOutcome(specs, INF, True, self.name)
 
 
+class MultiTypeDPSolver(BufferingSolver):
+    """The Fig. 9 placement DP plus Li–Shi kind sizing over a library.
+
+    Phase A is exactly the ``dp`` strategy's recurrence, so placements,
+    Eq. (2) cost, and feasibility are identical to ``dp`` — with a
+    single-kind library the outcome is byte-identical. Phase B
+    (:func:`repro.core.multi_type.assign_buffer_kinds`) then picks each
+    placed buffer's kind from the library to minimize the worst Elmore
+    sink delay, with cross-kind Pareto pruning keeping the candidate
+    lists O(b). Kinds equal to the library default are reported as ``""``.
+    """
+
+    name = "multi_type"
+
+    def __init__(
+        self,
+        technology,
+        library=None,
+        max_candidates: int = 64,
+    ) -> None:
+        if technology is None:
+            raise ConfigurationError(
+                "the multi_type strategy needs a technology"
+            )
+        from repro.technology.buffers import resolve_library
+
+        self.technology = technology
+        self.library = (
+            library
+            if library is not None
+            else resolve_library("single", technology)
+        )
+        self.max_candidates = max_candidates
+        self._multi = MultiSinkDPSolver()
+
+    def solve(self, request: SolveRequest) -> SolveOutcome:
+        from repro.core.multi_type import assign_buffer_kinds
+
+        placed = self._multi.solve(request)
+        if not placed.feasible or not placed.specs:
+            return SolveOutcome(
+                placed.specs, placed.cost, placed.feasible, self.name
+            )
+        specs = assign_buffer_kinds(
+            request.tree,
+            request.graph,
+            self.technology,
+            self.library,
+            placed.specs,
+            max_candidates=self.max_candidates,
+            tracer=request.tracer,
+        )
+        return SolveOutcome(specs, placed.cost, True, self.name)
+
+
 def _as_path(tree: RouteTree) -> "Optional[List[Tile]]":
     """The root-to-sink tile path when ``tree`` is a simple chain."""
     path: List[Tile] = []
@@ -189,13 +244,19 @@ def make_solver(
     name: str,
     technology=None,
     max_candidates: int = 64,
+    buffer_library: str = "single",
 ) -> BufferingSolver:
     """Instantiate a strategy by registry name.
 
     Args:
         name: one of :data:`SOLVER_NAMES`.
-        technology: electrical parameters, required by ``van_ginneken``.
-        max_candidates: van Ginneken's per-node Pareto cap.
+        technology: electrical parameters, required by ``van_ginneken``
+            and ``multi_type``.
+        max_candidates: the per-node Pareto cap of the timing-driven
+            strategies.
+        buffer_library: named library (:data:`repro.technology.LIBRARY_NAMES`)
+            the ``multi_type`` strategy sizes over; other strategies only
+            ever place the default repeater and ignore it.
     """
     if name == "dp":
         return MultiSinkDPSolver()
@@ -205,6 +266,18 @@ def make_solver(
         return GreedySolver()
     if name == "van_ginneken":
         return VanGinnekenSolver(technology, max_candidates)
+    if name == "multi_type":
+        from repro.technology.buffers import resolve_library
+
+        if technology is None:
+            raise ConfigurationError(
+                "the multi_type strategy needs a technology"
+            )
+        return MultiTypeDPSolver(
+            technology,
+            library=resolve_library(buffer_library, technology),
+            max_candidates=max_candidates,
+        )
     raise ConfigurationError(
         f"unknown buffering solver {name!r}; expected one of {SOLVER_NAMES}"
     )

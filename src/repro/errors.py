@@ -17,6 +17,15 @@ class ConfigurationError(ReproError):
     """An invalid parameter or inconsistent configuration was supplied."""
 
 
+class UnknownBufferKindError(ConfigurationError):
+    """A buffer payload named a kind the active buffer library lacks.
+
+    Raised when deserializing routes or plans against a library that does
+    not define the recorded kind. Legacy payloads that carry no kind at
+    all are *not* an error — they load as the library default.
+    """
+
+
 class NetlistError(ReproError):
     """A netlist is structurally invalid (e.g., a net without a driver)."""
 

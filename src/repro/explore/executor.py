@@ -463,6 +463,39 @@ def is_feasible(record: "EvalRecord | None") -> bool:
     )
 
 
+def _seed_bisection_from_store(
+    search: AdaptiveBisection,
+    space: ParameterSpace,
+    config: RabidConfig,
+    store: ResultStore,
+) -> list:
+    """Narrow the bisection brackets with verdicts already in the store.
+
+    Probes every (combination, axis value) point of the space against the
+    store and feeds finished records to :meth:`AdaptiveBisection.seed`.
+    When the store already holds a feasible point (the frontier's
+    ``cheapest_feasible``), its value becomes the bracket's ``hi`` and
+    the search bisects from it outward — a budget-capped resume can no
+    longer burn its whole budget on infeasible endpoint probes and report
+    zero feasible scenarios despite one being on record.
+
+    Returns the seeded points (already observed; the search will not
+    re-propose them).
+    """
+    axis_dim = space.dimensions[search.axis]
+    seeds = []
+    for combo in sorted(search.brackets):
+        for x in axis_dim.values:
+            values = search._values_for(combo, x)
+            record = store.get(
+                scenario_key(space.scenario_for(values), config)
+            )
+            if record is not None and record.finished:
+                seeds.append((values, is_feasible(record)))
+    search.seed(seeds)
+    return [space.point(values) for values, _ in seeds]
+
+
 def explore_space(
     space: ParameterSpace,
     sampler: str = "grid",
@@ -493,8 +526,12 @@ def explore_space(
     elif sampler == "bisect":
         if not bisect_dim:
             raise ConfigurationError("the bisect sampler needs bisect_dim")
-        points = []
         search = AdaptiveBisection(space, bisect_dim)
+        points = _seed_bisection_from_store(
+            search, space, config or RabidConfig(), store
+        )
+        if tracer is not None and tracer.enabled and points:
+            tracer.count("explore.bisect_seeded", len(points))
         budget = options.max_scenarios
         while True:
             batch = search.propose()

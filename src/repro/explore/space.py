@@ -81,6 +81,11 @@ def _apply_region_sites(spec: ScenarioSpec, value, dim) -> ScenarioSpec:
     return replace(spec, site_overrides=tuple(sorted(overrides.items())))
 
 
+def _apply_buffer_library(spec: ScenarioSpec, value, dim) -> ScenarioSpec:
+    """Pin the scenario's buffer library (``""`` keeps the config's)."""
+    return replace(spec, buffer_library=str(value))
+
+
 #: Dimension kind -> (applier, value validator).
 PARAM_APPLIERS: Dict[str, Callable] = {
     "total_sites": _apply_total_sites,
@@ -89,6 +94,7 @@ PARAM_APPLIERS: Dict[str, Callable] = {
     "num_nets": _apply_num_nets,
     "macro_origin": _apply_macro_origin,
     "region_sites": _apply_region_sites,
+    "buffer_library": _apply_buffer_library,
 }
 
 #: Dimensions whose values are plain integers (bisection-capable).
@@ -147,6 +153,17 @@ class Dimension:
             object.__setattr__(
                 self, "values", tuple(tuple(int(c) for c in v) for v in self.values)
             )
+        elif self.param == "buffer_library":
+            from repro.technology import LIBRARY_NAMES
+
+            values = tuple(str(v) for v in self.values)
+            for v in values:
+                if v and v not in LIBRARY_NAMES:
+                    raise ConfigurationError(
+                        f"unknown buffer library {v!r}; expected one of "
+                        f"{LIBRARY_NAMES} (or '' for the config default)"
+                    )
+            object.__setattr__(self, "values", values)
         elif self.param in SCALAR_PARAMS:
             object.__setattr__(
                 self, "values", tuple(int(v) for v in self.values)
@@ -323,6 +340,23 @@ class AdaptiveBisection:
         combo = tuple(v for i, v in enumerate(values) if i != self.axis)
         return combo, int(values[self.axis])
 
+    def seed(self, observations) -> int:
+        """Pre-load known verdicts before the propose/observe loop.
+
+        ``observations`` yields ``(values, feasible)`` pairs (e.g. from a
+        :class:`~repro.explore.store.ResultStore` of a previous sweep).
+        Each one narrows its combination's bracket exactly like a live
+        :meth:`observe` — in particular a stored feasible point becomes
+        the bracket's ``hi``, so the search resumes from the known
+        cheapest-feasible value outward instead of re-proposing the raw
+        endpoints. Returns the number of observations applied.
+        """
+        applied = 0
+        for values, feasible in observations:
+            self.observe(values, feasible)
+            applied += 1
+        return applied
+
     def observe(self, values: Tuple, feasible: bool) -> None:
         """Record one evaluated point's feasibility verdict."""
         values = tuple(
@@ -390,6 +424,7 @@ _FIXED_FIELDS = (
     "length_limit",
     "total_sites",
     "site_seed",
+    "buffer_library",
 )
 
 

@@ -13,7 +13,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownBufferKindError
 from repro.floorplan import Block, Floorplan
 from repro.geometry import Point, Rect
 from repro.netlist import Net, Netlist, Pin
@@ -21,6 +21,13 @@ from repro.routing.tree import BufferSpec, RouteTree
 from repro.tilegraph import CapacityModel, TileGraph
 
 SCHEMA_VERSION = 1
+
+#: Schema of the per-buffer entries inside a routes payload. Version 1
+#: (implicit — legacy payloads carry no ``buffer_schema`` key) knows only
+#: the singleton planning repeater; version 2 adds an optional ``kind``
+#: field naming the library cell, omitted when it is the library default
+#: so default-kind payloads stay byte-identical to version 1.
+BUFFER_SCHEMA_VERSION = 2
 
 #: Schema of the config / ledger / whole-plan payloads (added with the
 #: planning service; independent of the instance schema above).
@@ -77,8 +84,22 @@ def netlist_from_dict(d: Dict[str, Any]) -> Netlist:
 # Routes                                                                #
 # --------------------------------------------------------------------- #
 
+def _buffer_to_dict(spec: BufferSpec) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "tile": list(spec.tile),
+        "drives_child": list(spec.drives_child) if spec.drives_child else None,
+    }
+    if spec.kind:
+        out["kind"] = spec.kind
+    return out
+
+
 def routes_to_dict(routes: Dict[str, RouteTree]) -> Dict[str, Any]:
-    """Serialize per-net routes: parent edges, sinks, buffers."""
+    """Serialize per-net routes: parent edges, sinks, buffers.
+
+    Buffer entries follow :data:`BUFFER_SCHEMA_VERSION`: a ``kind`` key is
+    present only on buffers assigned a non-default library kind.
+    """
     payload = {}
     for name in sorted(routes):
         tree = routes[name]
@@ -89,21 +110,50 @@ def routes_to_dict(routes: Dict[str, RouteTree]) -> Dict[str, Any]:
             ],
             "sinks": [list(t) for t in tree.sink_tiles],
             "buffers": [
-                {
-                    "tile": list(spec.tile),
-                    "drives_child": list(spec.drives_child)
-                    if spec.drives_child
-                    else None,
-                }
-                for spec in tree.buffer_specs()
+                _buffer_to_dict(spec) for spec in tree.buffer_specs()
             ],
         }
-    return {"version": SCHEMA_VERSION, "routes": payload}
+    return {
+        "version": SCHEMA_VERSION,
+        "buffer_schema": BUFFER_SCHEMA_VERSION,
+        "routes": payload,
+    }
 
 
-def routes_from_dict(d: Dict[str, Any]) -> Dict[str, RouteTree]:
+def _buffer_from_dict(bd: Dict[str, Any], library) -> BufferSpec:
+    kind = bd.get("kind", "")
+    if kind and library is not None:
+        try:
+            library.get(kind)
+        except ConfigurationError:
+            known = sorted(k.name for k in library.kinds)
+            raise UnknownBufferKindError(
+                f"buffer payload names kind {kind!r}, not in the active "
+                f"library (knows {known})"
+            ) from None
+    return BufferSpec(
+        tuple(bd["tile"]),
+        tuple(bd["drives_child"]) if bd["drives_child"] else None,
+        kind,
+    )
+
+
+def routes_from_dict(d: Dict[str, Any], library=None) -> Dict[str, RouteTree]:
+    """Inverse of :func:`routes_to_dict`.
+
+    Legacy payloads (no ``buffer_schema`` key, buffers without ``kind``)
+    load with every buffer as the library default (``""``). When
+    ``library`` (a :class:`repro.technology.BufferLibrary`) is given,
+    named kinds are validated against it and an unknown name raises
+    :class:`repro.errors.UnknownBufferKindError`.
+    """
     if d.get("version") != SCHEMA_VERSION:
         raise ConfigurationError(f"unsupported routes schema {d.get('version')!r}")
+    buffer_schema = d.get("buffer_schema", 1)
+    if buffer_schema not in (1, BUFFER_SCHEMA_VERSION):
+        raise ConfigurationError(
+            f"unsupported buffer schema {buffer_schema!r}"
+        )
     out: Dict[str, RouteTree] = {}
     for name, rd in d["routes"].items():
         source: Tuple[int, int] = tuple(rd["source"])  # type: ignore[assignment]
@@ -111,13 +161,7 @@ def routes_from_dict(d: Dict[str, Any]) -> Dict[str, RouteTree]:
         sinks = [tuple(t) for t in rd["sinks"]]
         tree = RouteTree.from_parent_map(source, parent, sinks, net_name=name)
         tree.apply_buffers(
-            [
-                BufferSpec(
-                    tuple(bd["tile"]),
-                    tuple(bd["drives_child"]) if bd["drives_child"] else None,
-                )
-                for bd in rd["buffers"]
-            ]
+            [_buffer_from_dict(bd, library) for bd in rd["buffers"]]
         )
         out[name] = tree
     return out
@@ -215,7 +259,10 @@ def ledger_state_from_dict(d: Dict[str, Any], ledger) -> None:
     """Install a serialized ledger state onto ``ledger``'s graph."""
     if d.get("version") != PLAN_SCHEMA_VERSION:
         raise ConfigurationError(f"unsupported ledger schema {d.get('version')!r}")
-    ledger.restore_state({"used": d["used"], "capacity": d["capacity"]})
+    state = {"used": d["used"], "capacity": d["capacity"]}
+    if "kinds" in d:
+        state["kinds"] = d["kinds"]
+    ledger.restore_state(state)
 
 
 def plan_to_dict(graph: TileGraph, routes: Dict[str, RouteTree], config) -> Dict[str, Any]:
@@ -253,8 +300,11 @@ def plan_from_dict(d: Dict[str, Any]):
     graph.edge_usage[:] = np.asarray(d["edge_usage"], dtype=np.int64)
     graph._notify_all_usage_changed()
     ledger_state_from_dict(d["ledger"], graph.ledger())
-    routes = routes_from_dict(d["routes"])
     config = config_from_dict(d["config"])
+    from repro.technology import resolve_library
+
+    library = resolve_library(config.buffer_library, config.technology)
+    routes = routes_from_dict(d["routes"], library=library)
     return graph, routes, config
 
 

@@ -39,9 +39,13 @@ def worker_graph(geom: Geometry, ctx) -> TileGraph:
     return graph
 
 
-def worker_solver(name: str, tech_dict, ctx):
-    """A cached buffering solver instance for ``(name, technology)``."""
-    key = (name, tuple(sorted(tech_dict.items())) if tech_dict else None)
+def worker_solver(name: str, tech_dict, ctx, library: str = "single"):
+    """A cached buffering solver for ``(name, technology, library)``."""
+    key = (
+        name,
+        tuple(sorted(tech_dict.items())) if tech_dict else None,
+        library,
+    )
     solvers = ctx.scratch.setdefault("solvers", {})
     solver = solvers.get(key)
     if solver is None:
@@ -49,5 +53,7 @@ def worker_solver(name: str, tech_dict, ctx):
         from repro.technology import Technology
 
         technology = Technology(**tech_dict) if tech_dict else None
-        solver = solvers[key] = make_solver(name, technology=technology)
+        solver = solvers[key] = make_solver(
+            name, technology=technology, buffer_library=library
+        )
     return solver

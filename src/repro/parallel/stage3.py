@@ -38,13 +38,21 @@ HANDLER = "repro.parallel.stage3:solve_nets"
 class Stage3Session:
     """Parent-side state for one buffer-assignment run."""
 
-    def __init__(self, pool, graph: TileGraph, probability, technology=None):
+    def __init__(
+        self,
+        pool,
+        graph: TileGraph,
+        probability,
+        technology=None,
+        buffer_library: str = "single",
+    ):
         self.pool = pool
         self.graph = graph
         self.probability = probability
         self.registry = SharedArrayRegistry(prefix="s3")
         self._geom = graph_geometry(graph)
         self._tech = asdict(technology) if technology is not None else None
+        self._library = buffer_library
 
     def close(self) -> None:
         self.registry.close()
@@ -89,6 +97,7 @@ class Stage3Session:
                 "used": used_spec,
                 "p": p_spec,
                 "tech": self._tech,
+                "library": self._library,
                 "nets": chunk,
             }
             for chunk in _chunk(nets, self.pool.workers)
@@ -98,8 +107,8 @@ class Stage3Session:
             for name, specs, cost, feasible, solver in reply:
                 out[name] = SolveOutcome(
                     specs=[
-                        BufferSpec(tile, drives_child)
-                        for tile, drives_child in specs
+                        BufferSpec(tile, drives_child, kind)
+                        for tile, drives_child, kind in specs
                     ],
                     cost=cost,
                     feasible=feasible,
@@ -112,7 +121,7 @@ def solve_nets(payload, ctx):
     """Pool handler: solve a chunk of nets against the published state.
 
     Returns ``[(name, specs, cost, feasible, solver), ...]`` with specs
-    as ``(tile, drives_child)`` tuples.
+    as ``(tile, drives_child, kind)`` tuples.
     """
     from repro.core.solver import SolveRequest
 
@@ -125,6 +134,7 @@ def solve_nets(payload, ctx):
     graph.sites_flat[:] = sites
     graph.used_sites_flat[:] = used
     tech = payload["tech"]
+    library = payload.get("library", "single")
     out = []
     for name, source, pairs, sinks, limit, solver_name in payload["nets"]:
         tree = rebuild_tree(source, pairs, sinks, name)
@@ -143,7 +153,7 @@ def solve_nets(payload, ctx):
         q = np.full(len(idx), INF)
         np.divide(numerator, s - u, out=q, where=(s > 0) & (u < s))
         cost_of = dict(zip(tree.nodes, q.tolist())).__getitem__
-        solver = worker_solver(solver_name, tech, ctx)
+        solver = worker_solver(solver_name, tech, ctx, library=library)
         outcome = solver.solve(
             SolveRequest(
                 graph=graph,
@@ -156,7 +166,10 @@ def solve_nets(payload, ctx):
         out.append(
             (
                 name,
-                [(spec.tile, spec.drives_child) for spec in outcome.specs],
+                [
+                    (spec.tile, spec.drives_child, spec.kind)
+                    for spec in outcome.specs
+                ],
                 outcome.cost,
                 outcome.feasible,
                 outcome.solver,

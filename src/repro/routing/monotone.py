@@ -150,12 +150,18 @@ def reduce_congestion(
                     for a, b in zip(old_path, old_path[1:]):
                         graph.add_wire(a, b, 1)
                     continue
-                # Move buffers off the interior before surgery.
+                # Move buffers off the interior before surgery. Kinds are
+                # released per kind and re-anchored as the default: the
+                # moved-to tile is a fresh placement, and the caller
+                # re-runs buffer insertion (which re-sizes) afterwards.
                 for k, count in offsets:
                     node = tree.node(old_path[k])
+                    for kind, kcount in node.kind_counts().items():
+                        graph.use_site(old_path[k], -kcount, kind)
                     node.trunk_buffer = False
+                    node.trunk_kind = ""
                     node.decoupled_children.clear()
-                    graph.use_site(old_path[k], -count)
+                    node.decoupled_kinds.clear()
                 tree.replace_two_path(old_path, new_path)
                 for a, b in zip(new_path, new_path[1:]):
                     graph.add_wire(a, b, 1)

@@ -25,10 +25,15 @@ class BufferSpec:
 
     ``drives_child is None`` marks a trunk buffer driving all branches below
     ``tile``; otherwise the buffer decouples the branch toward that child.
+    ``kind`` names the :class:`repro.technology.BufferKind` realized on the
+    site; the empty string means the library default (the planning
+    repeater), which keeps payloads and signatures byte-identical to the
+    pre-library format whenever only the default is used.
     """
 
     tile: Tile
     drives_child: Optional[Tile] = None
+    kind: str = ""
 
 
 @dataclass
@@ -43,6 +48,11 @@ class RouteNode:
     trunk_buffer: bool = False
     #: Child tiles whose branch is driven by a decoupling buffer here.
     decoupled_children: Set[Tile] = field(default_factory=set)
+    #: Kind of the trunk buffer ("" = library default).
+    trunk_kind: str = ""
+    #: Non-default kinds of decoupling buffers, keyed by child tile.
+    #: Children absent from the map carry the default kind.
+    decoupled_kinds: Dict[Tile, str] = field(default_factory=dict)
 
     @property
     def degree(self) -> int:
@@ -50,6 +60,16 @@ class RouteNode:
 
     def buffer_count(self) -> int:
         return (1 if self.trunk_buffer else 0) + len(self.decoupled_children)
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Buffer counts at this node keyed by kind name ("" = default)."""
+        out: Dict[str, int] = {}
+        if self.trunk_buffer:
+            out[self.trunk_kind] = out.get(self.trunk_kind, 0) + 1
+        for child in self.decoupled_children:
+            kind = self.decoupled_kinds.get(child, "")
+            out[kind] = out.get(kind, 0) + 1
+        return out
 
 
 class RouteTree:
@@ -296,16 +316,20 @@ class RouteTree:
     def clear_buffers(self) -> None:
         for node in self.nodes.values():
             node.trunk_buffer = False
+            node.trunk_kind = ""
             node.decoupled_children.clear()
+            node.decoupled_kinds.clear()
 
     def buffer_specs(self) -> List[BufferSpec]:
         """All buffers on this net, deterministic order."""
         out: List[BufferSpec] = []
         for node in sorted(self.nodes.values(), key=lambda n: n.tile):
             if node.trunk_buffer:
-                out.append(BufferSpec(node.tile, None))
+                out.append(BufferSpec(node.tile, None, node.trunk_kind))
             for child in sorted(node.decoupled_children):
-                out.append(BufferSpec(node.tile, child))
+                out.append(
+                    BufferSpec(node.tile, child, node.decoupled_kinds.get(child, ""))
+                )
         return out
 
     def buffer_count(self) -> int:
@@ -320,6 +344,15 @@ class RouteTree:
                 out[node.tile] = count
         return out
 
+    def buffer_kind_counts(self) -> Dict[Tile, Dict[str, int]]:
+        """Per-tile, per-kind counts ("" = default) for kind-aware rips."""
+        out: Dict[Tile, Dict[str, int]] = {}
+        for node in self.nodes.values():
+            counts = node.kind_counts()
+            if counts:
+                out[node.tile] = counts
+        return out
+
     def apply_buffers(self, specs: Sequence[BufferSpec]) -> None:
         """Install buffer annotations (clearing any existing ones)."""
         self.clear_buffers()
@@ -327,12 +360,17 @@ class RouteTree:
             node = self.node(spec.tile)
             if spec.drives_child is None:
                 node.trunk_buffer = True
+                node.trunk_kind = spec.kind
             else:
                 if spec.drives_child not in {c.tile for c in node.children}:
                     raise RoutingError(
                         f"{spec.tile} has no child {spec.drives_child} to decouple"
                     )
                 node.decoupled_children.add(spec.drives_child)
+                if spec.kind:
+                    node.decoupled_kinds[spec.drives_child] = spec.kind
+                else:
+                    node.decoupled_kinds.pop(spec.drives_child, None)
 
     # ------------------------------------------------------------------ #
     # Tile-graph usage                                                   #
@@ -343,18 +381,18 @@ class RouteTree:
         for u, v in self.edges():
             graph.add_wire(u, v, 1)
         for node in self.nodes.values():
-            count = node.buffer_count()
-            if count:
-                graph.use_site(node.tile, count)
+            if node.trunk_buffer or node.decoupled_children:
+                for kind, count in node.kind_counts().items():
+                    graph.use_site(node.tile, count, kind)
 
     def remove_usage(self, graph: TileGraph) -> None:
         """Remove this net's wires and buffers from the graph."""
         for u, v in self.edges():
             graph.add_wire(u, v, -1)
         for node in self.nodes.values():
-            count = node.buffer_count()
-            if count:
-                graph.use_site(node.tile, -count)
+            if node.trunk_buffer or node.decoupled_children:
+                for kind, count in node.kind_counts().items():
+                    graph.use_site(node.tile, -count, kind)
 
     # ------------------------------------------------------------------ #
     # Two-path decomposition (Stage 4)                                   #
@@ -412,6 +450,7 @@ class RouteTree:
         first_old = self.node(old_path[1]) if interior_old else tail_node
         head_node.children = [c for c in head_node.children if c is not first_old]
         head_node.decoupled_children.discard(first_old.tile)
+        head_node.decoupled_kinds.pop(first_old.tile, None)
         for t in interior_old:
             del self.nodes[t]
         # Attach new interior.

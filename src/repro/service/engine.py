@@ -183,7 +183,9 @@ def make_solver_lookup(config: RabidConfig) -> Callable[[str], object]:
         solver = solvers.get(key)
         if solver is None:
             solver = solvers[key] = make_solver(
-                key, technology=config.technology
+                key,
+                technology=config.technology,
+                buffer_library=config.buffer_library,
             )
         return solver
 
@@ -245,7 +247,7 @@ def run_buffer_walk(
             cached = replay(name) if replay is not None else None
             if cached is not None:
                 for spec in cached.specs:
-                    graph.use_site(spec.tile, 1)
+                    graph.use_site(spec.tile, 1, spec.kind)
                 tree.apply_buffers(list(cached.specs))
                 outcomes[name] = cached
                 if tracer.enabled:
@@ -291,6 +293,17 @@ def full_plan(
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     config = config or RabidConfig()
+    if scenario.buffer_library:
+        # A scenario-pinned library turns on the multi-type sizing pass;
+        # with buffer_library == "" the config is untouched, so legacy
+        # scenarios plan byte-identically to before the field existed.
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            buffer_library=scenario.buffer_library,
+            stage3_solver="multi_type",
+        )
     start = time.perf_counter()
     with tracer.span("service.full_plan", nets=scenario.num_nets):
         graph = build_graph(scenario)

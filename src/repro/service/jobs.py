@@ -108,6 +108,11 @@ class ScenarioSpec:
         site_overrides: per-tile ``B(v)`` overrides (applied after macros).
         capacity_overrides: per-edge ``W(e)`` overrides, keyed by the
             canonical ``(u, v)`` tile pair (``u < v``).
+        buffer_library: named buffer library
+            (:data:`repro.technology.LIBRARY_NAMES`) Stage 3 sizes over
+            with the ``multi_type`` strategy; ``""`` keeps the config's
+            library (and solver) untouched. Omitted from the JSON form
+            when empty so legacy scenario keys are unchanged.
     """
 
     grid: int = 16
@@ -123,6 +128,7 @@ class ScenarioSpec:
     length_limits: "Tuple[Tuple[str, int], ...]" = ()
     site_overrides: "Tuple[Tuple[Tile, int], ...]" = ()
     capacity_overrides: "Tuple[Tuple[Tile, Tile, int], ...]" = ()
+    buffer_library: str = ""
 
     def __post_init__(self) -> None:
         if self.grid < 2:
@@ -135,6 +141,14 @@ class ScenarioSpec:
             raise ConfigurationError("length_limit must be >= 1")
         if self.total_sites < 0:
             raise ConfigurationError("total_sites must be >= 0")
+        if self.buffer_library:
+            from repro.technology import LIBRARY_NAMES
+
+            if self.buffer_library not in LIBRARY_NAMES:
+                raise ConfigurationError(
+                    f"unknown buffer library {self.buffer_library!r}; "
+                    f"expected one of {LIBRARY_NAMES}"
+                )
 
     # -- derived content ------------------------------------------------ #
 
@@ -210,6 +224,9 @@ class ScenarioSpec:
             "capacity_overrides": [
                 [list(u), list(v), cap] for u, v, cap in self.capacity_overrides
             ],
+            # Only non-empty values are serialized: legacy scenarios keep
+            # their payload bytes (and scenario keys) exactly.
+            **({"buffer_library": self.buffer_library} if self.buffer_library else {}),
         }
 
     @classmethod
@@ -242,6 +259,7 @@ class ScenarioSpec:
                 (tuple(u), tuple(v), cap)
                 for u, v, cap in d.get("capacity_overrides", ())
             ),
+            buffer_library=d.get("buffer_library", ""),
         )
 
 

@@ -9,6 +9,18 @@ length, buffering cutting delay several-fold) is preserved.
 """
 
 from repro.technology.tech import Technology, TECH_180NM
-from repro.technology.buffers import BufferKind, BufferLibrary
+from repro.technology.buffers import (
+    LIBRARY_NAMES,
+    BufferKind,
+    BufferLibrary,
+    resolve_library,
+)
 
-__all__ = ["Technology", "TECH_180NM", "BufferKind", "BufferLibrary"]
+__all__ = [
+    "Technology",
+    "TECH_180NM",
+    "BufferKind",
+    "BufferLibrary",
+    "LIBRARY_NAMES",
+    "resolve_library",
+]

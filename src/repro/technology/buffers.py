@@ -16,6 +16,16 @@ from repro.errors import ConfigurationError
 from repro.technology.tech import Technology
 
 
+#: Named libraries ``resolve_library`` can build from a technology table.
+#: ``"single"`` is the planning default: one kind, identical to the
+#: technology's representative repeater, so every solver that consumes the
+#: library reproduces the singleton-repeater goldens byte for byte.
+#: ``"tech"`` is the three-strength non-inverting library derived from the
+#: same table (BUF_X1/X2/X4), with BUF_X1 — again the exact planning
+#: repeater — as the default.
+LIBRARY_NAMES = ("single", "tech")
+
+
 @dataclass(frozen=True)
 class BufferKind:
     """One gate the technology can place on a buffer site.
@@ -103,3 +113,40 @@ class BufferLibrary:
                 )
             )
         return cls(kinds=kinds, default_name="BUF_X1")
+
+
+def resolve_library(name: str, tech: Technology) -> BufferLibrary:
+    """Build the named buffer library from a technology table.
+
+    Args:
+        name: one of :data:`LIBRARY_NAMES`.
+        tech: the process node supplying the repeater parameters.
+
+    Returns:
+        ``"single"``: a one-kind library whose only (default) kind carries
+        exactly the technology's planning-repeater RC and intrinsic delay.
+        ``"tech"``: the non-inverting kinds of
+        :meth:`BufferLibrary.from_technology` (BUF_X1/X2/X4).
+
+    Raises:
+        ConfigurationError: unknown library name.
+    """
+    if name == "single":
+        return BufferLibrary(
+            kinds=[
+                BufferKind(
+                    name="BUF_X1",
+                    inverting=False,
+                    output_res=tech.buffer_res,
+                    input_cap=tech.buffer_cap,
+                    intrinsic_delay=tech.buffer_delay,
+                )
+            ],
+            default_name="BUF_X1",
+        )
+    if name == "tech":
+        full = BufferLibrary.from_technology(tech)
+        return BufferLibrary(kinds=full.non_inverting(), default_name="BUF_X1")
+    raise ConfigurationError(
+        f"unknown buffer library {name!r}; expected one of {LIBRARY_NAMES}"
+    )

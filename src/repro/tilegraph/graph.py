@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -125,6 +125,10 @@ class TileGraph:
         self._default_cost_cache = None
         #: Site observers notified when b(v)/B(v) changes (see ledger.py).
         self._site_observers: list = []
+        #: Non-default buffer-kind occupancy: (flat_index, kind) -> count.
+        #: Default-kind usage lives only in ``used_sites``; this map refines
+        #: the per-tile totals for sites realized as a specific library cell.
+        self.kind_used: Dict[Tuple[int, str], int] = {}
         self._ledger = None
         self._site_cost_cache = None
         self._flat: "FlatTileGraph | None" = None
@@ -449,15 +453,18 @@ class TileGraph:
             # usage delta, so the ledger journals nothing.
             self._notify_site_changed(tile[0] * self.ny + tile[1], 0)
 
-    def use_site(self, tile: Tile, count: int = 1) -> None:
+    def use_site(self, tile: Tile, count: int = 1, kind: str = "") -> None:
         """Consume ``count`` buffer sites in ``tile`` (negative to release).
 
         Over-subscription is allowed (best-effort fallback paths may exceed
-        ``B(v)``); constraint checks read the arrays directly.
+        ``B(v)``); constraint checks read the arrays directly. ``kind``
+        names the buffer-library cell realized on the sites; the default
+        ``""`` books plain (planning-repeater) sites and keeps the hot path
+        unchanged.
         """
-        self.use_site_flat(tile[0] * self.ny + tile[1], count)
+        self.use_site_flat(tile[0] * self.ny + tile[1], count, kind)
 
-    def use_site_flat(self, index: int, count: int = 1) -> None:
+    def use_site_flat(self, index: int, count: int = 1, kind: str = "") -> None:
         """Flat-index variant of :meth:`use_site` (hot path)."""
         used = self.used_sites_flat
         if used[index] + count < 0:
@@ -465,8 +472,35 @@ class TileGraph:
                 f"used sites in {self.tile_at(index)} would go negative"
             )
         used[index] += count
+        if count and kind:
+            self.adjust_kind_used(index, kind, count)
         if count and self._site_observers:
             self._notify_site_changed(index, count)
+
+    def adjust_kind_used(self, index: int, kind: str, delta: int) -> None:
+        """Adjust the per-kind refinement of ``used_sites`` (no total change).
+
+        Used by :meth:`use_site_flat` for kinded bookings and by the
+        :class:`~repro.tilegraph.ledger.SiteLedger` rollback replay, which
+        must undo the kind refinement separately from the site total.
+        """
+        if not delta:
+            return
+        key = (index, kind)
+        value = self.kind_used.get(key, 0) + delta
+        if value < 0:
+            raise ConfigurationError(
+                f"kind {kind!r} usage in {self.tile_at(index)} would go negative"
+            )
+        if value:
+            self.kind_used[key] = value
+        else:
+            self.kind_used.pop(key, None)
+        if self._site_observers:
+            for observer in self._site_observers:
+                hook = getattr(observer, "site_kind_changed", None)
+                if hook is not None:
+                    hook(index, kind, delta)
 
     @property
     def total_sites(self) -> int:
@@ -480,17 +514,30 @@ class TileGraph:
         """Clear all wire and buffer usage (capacities and sites kept)."""
         self.edge_usage[:] = 0
         self.used_sites[:] = 0
+        self.kind_used.clear()
         self._notify_all_usage_changed()
 
-    def snapshot_usage(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Copies of (h_usage, v_usage, used_sites) for save/restore."""
-        return self.h_usage.copy(), self.v_usage.copy(), self.used_sites.copy()
+    def snapshot_usage(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, dict]:
+        """Copies of (h_usage, v_usage, used_sites, kind_used) for
+        save/restore."""
+        return (
+            self.h_usage.copy(),
+            self.v_usage.copy(),
+            self.used_sites.copy(),
+            dict(self.kind_used),
+        )
 
-    def restore_usage(
-        self, snapshot: Tuple[np.ndarray, np.ndarray, np.ndarray]
-    ) -> None:
-        h, v, b = snapshot
+    def restore_usage(self, snapshot: Tuple) -> None:
+        """Restore a :meth:`snapshot_usage` tuple.
+
+        Accepts the legacy 3-tuple (no kind map) by clearing the per-kind
+        refinement, so snapshots taken before kinds existed still restore.
+        """
+        h, v, b = snapshot[:3]
         self.h_usage[:] = h
         self.v_usage[:] = v
         self.used_sites[:] = b
+        self.kind_used.clear()
+        if len(snapshot) > 3:
+            self.kind_used.update(snapshot[3])
         self._notify_all_usage_changed()

@@ -50,6 +50,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Journal entry kinds.
 _SITE = 0
 _WIRE = 1
+#: Per-kind refinement of a site booking: ident is ``(index, kind_name)``.
+#: Always journaled alongside the matching ``_SITE`` entry (a kinded
+#: ``use_site`` produces both), and undone via
+#: :meth:`TileGraph.adjust_kind_used` so the rollback of the ``_SITE``
+#: entry is not double-counted.
+_KIND = 2
 
 
 class Transaction:
@@ -122,6 +128,10 @@ class SiteLedger:
         if self._journals and delta and not self._replaying:
             self._journals[-1].append((_SITE, index, delta))
 
+    def site_kind_changed(self, index: int, kind: str, delta: int) -> None:
+        if self._journals and delta and not self._replaying:
+            self._journals[-1].append((_KIND, (index, kind), delta))
+
     def all_sites_changed(self) -> None:
         if self._journals:
             raise ConfigurationError(
@@ -179,6 +189,8 @@ class SiteLedger:
             for kind, ident, delta in reversed(journal):
                 if kind == _SITE:
                     graph.use_site_flat(ident, -delta)
+                elif kind == _KIND:
+                    graph.adjust_kind_used(ident[0], ident[1], -delta)
                 else:
                     graph.add_wire_flat(ident, -delta)
         finally:
@@ -196,10 +208,16 @@ class SiteLedger:
         The service checkpoints call this so a restarted process resumes
         with the exact ``b(v)``/``B(v)`` accounting of the saved plan.
         """
-        return {
+        state: "dict[str, object]" = {
             "used": self.used.tolist(),
             "capacity": self.capacity.tolist(),
         }
+        if self._graph.kind_used:
+            state["kinds"] = sorted(
+                [index, kind, count]
+                for (index, kind), count in self._graph.kind_used.items()
+            )
+        return state
 
     def restore_state(self, state: "dict[str, List[int]]") -> None:
         """Install a :meth:`snapshot_state` payload onto the graph.
@@ -220,6 +238,11 @@ class SiteLedger:
             )
         self.capacity[:] = np.asarray(capacity, dtype=np.int64)
         self.used[:] = np.asarray(used, dtype=np.int64)
+        # Legacy payloads predate per-kind accounting: no "kinds" key means
+        # every booked site was the default repeater.
+        self._graph.kind_used.clear()
+        for index, kind, count in state.get("kinds", ()):
+            self._graph.kind_used[(int(index), str(kind))] = int(count)
         self._graph._notify_all_sites_changed()
 
     @contextmanager

@@ -10,12 +10,18 @@ Electrical model:
   pin loads its tile with ``tech.sink_cap`` (one per sink pin tile — the
   tile abstraction merges co-located sinks);
 * a *trunk* buffer at node ``v`` is inserted at the top of ``v``: it
-  presents ``tech.buffer_cap`` upstream and drives everything at and below
-  ``v`` (its tile's sink load, decoupling buffers, child branches);
-* a *decoupling* buffer at ``v`` toward child ``w`` presents
-  ``tech.buffer_cap`` to the gate driving ``v``'s contents and drives the
-  branch ``v -> w`` downward;
-* buffers add ``tech.buffer_delay`` intrinsic delay.
+  presents its input capacitance upstream and drives everything at and
+  below ``v`` (its tile's sink load, decoupling buffers, child branches);
+* a *decoupling* buffer at ``v`` toward child ``w`` presents its input
+  capacitance to the gate driving ``v``'s contents and drives the branch
+  ``v -> w`` downward;
+* buffers add their intrinsic delay.
+
+Buffer electrical parameters come from the node's *kind* annotation: the
+default kind (``""``) is the technology's planning repeater
+(``tech.buffer_res`` / ``tech.buffer_cap`` / ``tech.buffer_delay``), exactly
+as before the buffer library existed; a named kind resolves through the
+optional ``library`` argument to its per-kind RC and intrinsic delay.
 
 Within one stage (gate to the next gates/sinks), delay follows Elmore:
 ``R_gate * C_stage_total + sum over path edges of R_e * (C_e / 2 + C_below)``.
@@ -27,7 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.routing.tree import RouteNode, RouteTree
-from repro.technology import Technology
+from repro.technology import BufferLibrary, Technology
 from repro.tilegraph.graph import Tile, TileGraph
 
 
@@ -45,8 +51,26 @@ def _edge_rc(graph: TileGraph, tech: Technology, u: Tile, v: Tile) -> Tuple[floa
     return tech.wire_resistance(length), tech.wire_capacitance(length)
 
 
+def _kind_rcd(
+    tech: Technology, library: Optional[BufferLibrary], kind: str
+) -> Tuple[float, float, float]:
+    """(output_res, input_cap, intrinsic_delay) of a buffer kind.
+
+    The default kind always reads the technology's repeater fields
+    directly, so default-kind trees produce bit-identical delays with or
+    without a library in hand.
+    """
+    if kind and library is not None:
+        k = library.get(kind)
+        return k.output_res, k.input_cap, k.intrinsic_delay
+    return tech.buffer_res, tech.buffer_cap, tech.buffer_delay
+
+
 def _load_into(
-    tree: RouteTree, graph: TileGraph, tech: Technology
+    tree: RouteTree,
+    graph: TileGraph,
+    tech: Technology,
+    library: Optional[BufferLibrary],
 ) -> Dict[Tile, float]:
     """Capacitance seen looking into each node from its parent edge.
 
@@ -55,12 +79,13 @@ def _load_into(
     load: Dict[Tile, float] = {}
     for node in tree.postorder():
         if node.trunk_buffer:
-            load[node.tile] = tech.buffer_cap
+            load[node.tile] = _kind_rcd(tech, library, node.trunk_kind)[1]
             continue
         total = tech.sink_cap if node.is_sink else 0.0
         for child in node.children:
             if child.tile in node.decoupled_children:
-                total += tech.buffer_cap
+                kind = node.decoupled_kinds.get(child.tile, "")
+                total += _kind_rcd(tech, library, kind)[1]
             else:
                 _, c_wire = _edge_rc(graph, tech, node.tile, child.tile)
                 total += c_wire + load[child.tile]
@@ -73,13 +98,15 @@ def _contents_load(
     load: Dict[Tile, float],
     graph: TileGraph,
     tech: Technology,
+    library: Optional[BufferLibrary],
 ) -> float:
     """Capacitance of a node's *contents*: its sink load, decoupling-buffer
     inputs, and non-decoupled child branches (excluding any trunk buffer)."""
     total = tech.sink_cap if node.is_sink else 0.0
     for child in node.children:
         if child.tile in node.decoupled_children:
-            total += tech.buffer_cap
+            kind = node.decoupled_kinds.get(child.tile, "")
+            total += _kind_rcd(tech, library, kind)[1]
         else:
             _, c_wire = _edge_rc(graph, tech, node.tile, child.tile)
             total += c_wire + load[child.tile]
@@ -90,13 +117,16 @@ def elmore_sink_delays(
     tree: RouteTree,
     graph: TileGraph,
     tech: Technology,
+    library: Optional[BufferLibrary] = None,
 ) -> Dict[Tile, float]:
     """Elmore arrival time at every sink tile of ``tree``.
 
     Works for unbuffered trees (one stage driven by the driver) and for any
-    trunk/decoupling buffer annotation produced by Stages 3/4.
+    trunk/decoupling buffer annotation produced by Stages 3/4. ``library``
+    resolves named buffer kinds; without one every annotation is treated as
+    the planning repeater (the pre-library behavior).
     """
-    load = _load_into(tree, graph, tech)
+    load = _load_into(tree, graph, tech, library)
     sink_delays: Dict[Tile, float] = {}
 
     # A stage: (gate resistance, arrival at gate input, intrinsic, start
@@ -107,7 +137,7 @@ def elmore_sink_delays(
 
     def stage_total_cap(start: RouteNode, scope: Optional[RouteNode]) -> float:
         if scope is None:
-            return _contents_load(start, load, graph, tech)
+            return _contents_load(start, load, graph, tech, library)
         _, c_wire = _edge_rc(graph, tech, start.tile, scope.tile)
         return c_wire + load[scope.tile]
 
@@ -115,8 +145,9 @@ def elmore_sink_delays(
     if root.trunk_buffer:
         # Driver sees only the trunk buffer's input; buffer then drives the
         # root's contents.
-        arrival_at_buffer = tech.driver_res * tech.buffer_cap
-        stages.append((tech.buffer_res, arrival_at_buffer + tech.buffer_delay, root, None))
+        res, cap, intrinsic = _kind_rcd(tech, library, root.trunk_kind)
+        arrival_at_buffer = tech.driver_res * cap
+        stages.append((res, arrival_at_buffer + intrinsic, root, None))
     else:
         stages.append((tech.driver_res, 0.0, root, None))
 
@@ -136,9 +167,9 @@ def elmore_sink_delays(
                 sink_delays[node.tile] = max(prev, at_time) if prev is not None else at_time
             for child in node.children:
                 if child.tile in node.decoupled_children:
-                    stages.append(
-                        (tech.buffer_res, at_time + tech.buffer_delay, node, child)
-                    )
+                    kind = node.decoupled_kinds.get(child.tile, "")
+                    res, _, intrinsic = _kind_rcd(tech, library, kind)
+                    stages.append((res, at_time + intrinsic, node, child))
                 else:
                     r_wire, c_wire = _edge_rc(graph, tech, node.tile, child.tile)
                     arrival = at_time + r_wire * (c_wire / 2 + load[child.tile])
@@ -154,9 +185,8 @@ def elmore_sink_delays(
         while stack:
             node, at_time = stack.pop()
             if node.trunk_buffer:
-                stages.append(
-                    (tech.buffer_res, at_time + tech.buffer_delay, node, None)
-                )
+                res, _, intrinsic = _kind_rcd(tech, library, node.trunk_kind)
+                stages.append((res, at_time + intrinsic, node, None))
                 continue
             enter_contents(node, at_time)
 
@@ -167,9 +197,14 @@ def elmore_sink_delays(
     return sink_delays
 
 
-def net_delay(tree: RouteTree, graph: TileGraph, tech: Technology) -> DelayReport:
+def net_delay(
+    tree: RouteTree,
+    graph: TileGraph,
+    tech: Technology,
+    library: Optional[BufferLibrary] = None,
+) -> DelayReport:
     """Max/avg Elmore delay over the net's sink tiles."""
-    delays = elmore_sink_delays(tree, graph, tech)
+    delays = elmore_sink_delays(tree, graph, tech, library)
     if not delays:
         return DelayReport(0.0, 0.0, {})
     values = list(delays.values())
@@ -177,7 +212,10 @@ def net_delay(tree: RouteTree, graph: TileGraph, tech: Technology) -> DelayRepor
 
 
 def delay_summary(
-    trees: Dict[str, RouteTree], graph: TileGraph, tech: Technology
+    trees: Dict[str, RouteTree],
+    graph: TileGraph,
+    tech: Technology,
+    library: Optional[BufferLibrary] = None,
 ) -> Tuple[float, float, Dict[str, DelayReport]]:
     """(max over sinks, average over sinks, per-net reports) for a design.
 
@@ -189,7 +227,7 @@ def delay_summary(
     count = 0
     worst = 0.0
     for name, tree in trees.items():
-        report = net_delay(tree, graph, tech)
+        report = net_delay(tree, graph, tech, library)
         reports[name] = report
         for value in report.sink_delays.values():
             total += value

@@ -13,6 +13,13 @@ Candidates are (downstream capacitance, required-delay) pairs pruned to
 the Pareto frontier; buffers may decouple a single branch at its top tile
 or drive the whole subtree (the same two shapes the length-based DP uses),
 so results drop directly into :class:`RouteTree` annotations.
+
+The buffer branch of the DP loops over a list of buffer kinds. With no
+library (the default) that list is the single planning repeater and the
+algorithm is the classic b=1 van Ginneken; handing it a
+:class:`repro.technology.BufferLibrary` turns the same kernel into the
+Li–Shi multi-type DP — every buffer point branches over all b kinds and
+the shared Pareto prune drops cross-kind dominated candidates.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.candidates import INF, oversubscribes, pareto_prune
 from repro.errors import ConfigurationError
 from repro.routing.tree import BufferSpec, RouteNode, RouteTree
-from repro.technology import Technology
+from repro.technology import BufferKind, BufferLibrary, Technology
 from repro.tilegraph.graph import Tile, TileGraph
 
 
@@ -34,7 +41,8 @@ class _Candidate:
     ``trace`` encodes how it was built:
       ("sink",)                       — a sink leaf
       ("wire", child_cand)            — advanced up an edge, no buffer
-      ("buf", node_tile, child_tile_or_None, below_cand) — buffer inserted
+      ("buf", node_tile, child_tile_or_None, below_cand, kind_name)
+                                      — buffer of a given kind inserted
       ("merge", cand_a, cand_b)       — two branches joined
     """
 
@@ -44,6 +52,31 @@ class _Candidate:
     buffers: int = 0
 
 
+def _planning_kinds(
+    tech: Technology, library: Optional[BufferLibrary]
+) -> Tuple[List[BufferKind], str]:
+    """The kind list the DP branches over, plus the default kind's name.
+
+    Without a library this is the planning repeater alone under the empty
+    name — candidate generation order and floats are then exactly the
+    classic b=1 recurrence's, so results stay byte-identical.
+    """
+    if library is None:
+        return (
+            [
+                BufferKind(
+                    name="",
+                    inverting=False,
+                    output_res=tech.buffer_res,
+                    input_cap=tech.buffer_cap,
+                    intrinsic_delay=tech.buffer_delay,
+                )
+            ],
+            "",
+        )
+    return list(library.kinds), library.default_name
+
+
 def timing_driven_buffering(
     tree: RouteTree,
     graph: TileGraph,
@@ -51,6 +84,7 @@ def timing_driven_buffering(
     site_available: "Callable[[Tile], bool] | None" = None,
     max_candidates: int = 64,
     tracer=None,
+    library: Optional[BufferLibrary] = None,
 ) -> Tuple[float, List[BufferSpec]]:
     """Minimize the net's worst Elmore sink delay by buffer insertion.
 
@@ -64,6 +98,9 @@ def timing_driven_buffering(
             delay candidates when exceeded).
         tracer: optional :class:`repro.obs.Tracer`; every Pareto candidate
             generated accumulates into the ``dp_candidates`` counter.
+        library: optional buffer library; when given, every buffer point
+            branches over all its kinds (Li–Shi multi-type DP) and the
+            returned specs carry kind names (library default as ``""``).
 
     Returns:
         ``(delay_seconds, buffer_specs)`` for the best solution found;
@@ -73,6 +110,7 @@ def timing_driven_buffering(
     if site_available is None:
         site_available = lambda t: graph.free_sites(t) > 0
 
+    kinds, default_kind = _planning_kinds(tech, library)
     lists: Dict[Tile, List[_Candidate]] = {}
     generated = 0
     pruned = 0
@@ -100,16 +138,17 @@ def timing_driven_buffering(
                 advanced = _Candidate(cap, delay, ("wire", cand), cand.buffers)
                 branch.append(advanced)
                 if site_available(node.tile):
-                    branch.append(
-                        _Candidate(
-                            tech.buffer_cap,
-                            delay
-                            + tech.buffer_delay
-                            + tech.buffer_res * cap,
-                            ("buf", node.tile, child.tile, advanced),
-                            cand.buffers + 1,
+                    for kind in kinds:
+                        branch.append(
+                            _Candidate(
+                                kind.input_cap,
+                                delay
+                                + kind.intrinsic_delay
+                                + kind.output_res * cap,
+                                ("buf", node.tile, child.tile, advanced, kind.name),
+                                cand.buffers + 1,
+                            )
                         )
-                    )
             generated += len(branch)
             branch = _prune(branch)
             if merged is None:
@@ -139,19 +178,18 @@ def timing_driven_buffering(
             )
         # Trunk buffer at this node (drives the merged contents).
         if node.children and site_available(node.tile):
-            generated += len(merged)
-            merged = _prune(
-                merged
-                + [
-                    _Candidate(
-                        tech.buffer_cap,
-                        c.delay + tech.buffer_delay + tech.buffer_res * c.cap,
-                        ("buf", node.tile, None, c),
-                        c.buffers + 1,
-                    )
-                    for c in merged
-                ]
-            )
+            buffered = [
+                _Candidate(
+                    kind.input_cap,
+                    c.delay + kind.intrinsic_delay + kind.output_res * c.cap,
+                    ("buf", node.tile, None, c, kind.name),
+                    c.buffers + 1,
+                )
+                for c in merged
+                for kind in kinds
+            ]
+            generated += len(buffered)
+            merged = _prune(merged + buffered)
         lists[node.tile] = merged
 
     if tracer is not None and tracer.enabled:
@@ -165,11 +203,13 @@ def timing_driven_buffering(
         raise ConfigurationError("no candidates at the root (empty tree?)")
     best = min(root_cands, key=lambda c: c.delay + tech.driver_res * c.cap)
     specs: List[BufferSpec] = []
-    _trace_buffers(best, specs)
+    _trace_buffers(best, specs, default_kind)
     return best.delay + tech.driver_res * best.cap, specs
 
 
-def _trace_buffers(cand: _Candidate, out: List[BufferSpec]) -> None:
+def _trace_buffers(
+    cand: _Candidate, out: List[BufferSpec], default_kind: str = ""
+) -> None:
     stack = [cand]
     while stack:
         c = stack.pop()
@@ -179,8 +219,12 @@ def _trace_buffers(cand: _Candidate, out: List[BufferSpec]) -> None:
         if kind == "wire":
             stack.append(c.trace[1])
         elif kind == "buf":
-            _, tile, child, below = c.trace
-            out.append(BufferSpec(tile, child))
+            _, tile, child, below, kind_name = c.trace
+            out.append(
+                BufferSpec(
+                    tile, child, "" if kind_name == default_kind else kind_name
+                )
+            )
             stack.append(below)
         else:  # merge
             stack.append(c.trace[1])
@@ -193,6 +237,7 @@ def rebuffer_net_timing_driven(
     tech: Technology,
     max_candidates: int = 64,
     tracer=None,
+    library: Optional[BufferLibrary] = None,
 ) -> float:
     """Rip up a net's buffers and reinsert them delay-optimally.
 
@@ -210,22 +255,26 @@ def rebuffer_net_timing_driven(
     from repro.timing.elmore import net_delay  # local: avoid import cycle
 
     old_specs = tree.buffer_specs()
-    old_delay = net_delay(tree, graph, tech).max_delay
+    old_delay = net_delay(tree, graph, tech, library=library).max_delay
     ledger = graph.ledger()
     with ledger.transaction() as txn:
         for node in tree.nodes.values():
-            count = node.buffer_count()
-            if count:
-                graph.use_site(node.tile, -count)
+            for kind, count in node.kind_counts().items():
+                graph.use_site(node.tile, -count, kind)
         tree.clear_buffers()
         delay, specs = timing_driven_buffering(
-            tree, graph, tech, max_candidates=max_candidates, tracer=tracer
+            tree,
+            graph,
+            tech,
+            max_candidates=max_candidates,
+            tracer=tracer,
+            library=library,
         )
         improved = not (oversubscribes(graph, specs) or delay > old_delay)
         if improved:
             tree.apply_buffers(specs)
             for spec in specs:
-                graph.use_site(spec.tile, 1)
+                graph.use_site(spec.tile, 1, spec.kind)
         else:
             txn.rollback()  # re-books the released sites
             specs, delay = old_specs, old_delay

@@ -1,0 +1,120 @@
+"""The perf-gate: fresh BENCH entries diffed against the recorded trajectory."""
+
+import json
+
+import pytest
+
+from repro.benchmarks.emit import SpeedupGateError
+from repro.benchmarks.perf_gate import (
+    compare_trajectories,
+    gate_files,
+    main,
+)
+
+
+def _traj(entries):
+    return {"schema": 1, "benchmark": {}, "entries": entries}
+
+
+def _entry(label, speedup, workers=2, params=None):
+    e = {
+        "label": label,
+        "params": params if params is not None else {"grid": 32, "seed": 0},
+        "workers": workers,
+    }
+    if speedup is not None:
+        e["speedup_vs_baseline"] = speedup
+    return e
+
+
+class TestMatching:
+    def test_match_is_by_params_and_workers_not_label(self):
+        recorded = _traj([_entry("nightly", 2.0)])
+        fresh = _traj([_entry("ci-run", 2.1)])
+        (result,) = compare_trajectories(recorded, fresh, cores=8)
+        assert result.status == "ok"
+        assert result.recorded_speedup == 2.0
+
+    def test_different_params_never_compared(self):
+        recorded = _traj([_entry("a", 2.0, params={"grid": 128})])
+        fresh = _traj([_entry("a", 0.1, params={"grid": 32})])
+        (result,) = compare_trajectories(recorded, fresh, cores=8)
+        assert result.status.startswith("skipped")
+        assert not result.failed
+
+    def test_recorded_last_wins(self):
+        recorded = _traj([_entry("old", 5.0), _entry("new", 2.0)])
+        fresh = _traj([_entry("ci", 1.9)])
+        (result,) = compare_trajectories(
+            recorded, fresh, tolerance=0.25, cores=8
+        )
+        # Gated against 2.0 (the most recent), not 5.0.
+        assert result.status == "ok"
+
+
+class TestGate:
+    def test_within_tolerance_passes(self):
+        recorded = _traj([_entry("r", 2.0)])
+        fresh = _traj([_entry("f", 1.6)])  # 2.0 * (1 - 0.25) = 1.5 floor
+        (result,) = compare_trajectories(
+            recorded, fresh, tolerance=0.25, cores=8
+        )
+        assert result.status == "ok"
+
+    def test_regression_beyond_tolerance_fails(self):
+        recorded = _traj([_entry("r", 2.0)])
+        fresh = _traj([_entry("f", 1.4)])
+        (result,) = compare_trajectories(
+            recorded, fresh, tolerance=0.25, cores=8
+        )
+        assert result.failed
+        assert "1.4" in result.describe()
+
+    def test_missing_speedup_skips(self):
+        recorded = _traj([_entry("r", None)])
+        fresh = _traj([_entry("f", 0.01)])
+        (result,) = compare_trajectories(recorded, fresh, cores=8)
+        assert result.status.startswith("skipped")
+
+    def test_too_few_cores_skips(self):
+        recorded = _traj([_entry("r", 2.0, workers=4)])
+        fresh = _traj([_entry("f", 0.5, workers=4)])
+        (result,) = compare_trajectories(recorded, fresh, cores=2)
+        assert result.status.startswith("skipped")
+        assert not result.failed
+
+
+class TestFilesAndCli:
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_gate_files_raises_on_regression(self, tmp_path):
+        rec = self._write(tmp_path / "rec.json", _traj([_entry("r", 3.0)]))
+        fresh = self._write(tmp_path / "new.json", _traj([_entry("f", 1.0)]))
+        with pytest.raises(SpeedupGateError) as err:
+            gate_files(rec, fresh, tolerance=0.25, cores=8)
+        assert "regressed" in str(err.value)
+
+    def test_gate_files_ok(self, tmp_path):
+        rec = self._write(tmp_path / "rec.json", _traj([_entry("r", 2.0)]))
+        fresh = self._write(tmp_path / "new.json", _traj([_entry("f", 2.0)]))
+        results = gate_files(rec, fresh, cores=8)
+        assert [r.status for r in results] == ["ok"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        rec = self._write(tmp_path / "rec.json", _traj([_entry("r", 2.0)]))
+        ok = self._write(tmp_path / "ok.json", _traj([_entry("f", 2.0)]))
+        bad = self._write(tmp_path / "bad.json", _traj([_entry("f", 0.5)]))
+        assert main([rec, ok]) == 0
+        assert "perf-gate OK" in capsys.readouterr().out
+        # The machine running the real gate may be single-core; pin the
+        # arming decision through the tolerance=1.0 escape valve instead.
+        assert main([rec, bad, "--tolerance", "0.9"]) in (0, 1)
+
+    def test_cli_failure_exit(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        rec = self._write(tmp_path / "rec.json", _traj([_entry("r", 2.0)]))
+        bad = self._write(tmp_path / "bad.json", _traj([_entry("f", 0.5)]))
+        assert main([rec, bad]) == 1
+        assert "perf-gate FAILED" in capsys.readouterr().err

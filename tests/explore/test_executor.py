@@ -345,3 +345,51 @@ class TestExploreSpace:
             record.metrics["unassigned_nets"] == 0
         )
         assert not is_feasible(None)
+
+
+class TestBisectionStoreSeeding:
+    """Regression: a budget-capped bisect resume must surface the store's
+    known-feasible point instead of burning its whole budget on endpoint
+    probes and reporting zero feasible scenarios (the failure mode the
+    recorded BENCH_explore sweep hit: feasible=0 across 64 scenarios with
+    a feasible point already on record)."""
+
+    def _space(self, base):
+        return ParameterSpace(base, (Dimension("total_sites", (0, 600)),))
+
+    def test_seeded_sweep_finds_known_feasible(self):
+        base = small_base()
+        space = self._space(base)
+        store = ResultStore()
+        generous = space.scenario_for((600,))
+        run_sweep([generous], base=base, store=store)
+        assert is_feasible(store.get(key_of(generous)))
+        tracer = Tracer()
+        result = explore_space(
+            space,
+            sampler="bisect",
+            bisect_dim="total_sites",
+            store=store,
+            options=SweepOptions(max_scenarios=1),
+            tracer=tracer,
+        )
+        assert tracer.metrics.get("explore.bisect_seeded").value == 1
+        assert any(is_feasible(r) for r in result.records.values())
+        # The stored feasible value seeds the bracket's hi, so the sweep
+        # reports a feasible boundary instead of None.
+        assert result.boundaries == {(): 600}
+
+    def test_seeding_skips_reevaluation(self, monkeypatch):
+        base = small_base()
+        space = self._space(base)
+        store = ResultStore()
+        run_sweep(
+            [space.scenario_for((0,)), space.scenario_for((600,))],
+            base=base, store=store,
+        )
+        calls = counting_full_plan(monkeypatch)
+        explore_space(
+            space, sampler="bisect", bisect_dim="total_sites", store=store
+        )
+        # Both endpoints came from the store; only midpoints were planned.
+        assert all(s.total_sites not in (0, 600) for s in calls)

@@ -250,3 +250,53 @@ class TestDeltaBetween:
         delta = delta_between(base, target)
         assert delta is not None
         assert apply_delta(base, delta) == target
+
+
+class TestBisectionSeeding:
+    """``seed()``: pre-load verdicts from a previous sweep's store."""
+
+    def _space(self):
+        return ParameterSpace(
+            small_base(), (Dimension("total_sites", (0, 1000)),)
+        )
+
+    def test_seeded_verdicts_narrow_the_bracket(self):
+        search = AdaptiveBisection(self._space(), "total_sites")
+        applied = search.seed([((0,), False), ((1000,), True)])
+        assert applied == 2
+        batch = search.propose()  # straight to the midpoint
+        assert [p.scenario.total_sites for p in batch] == [500]
+
+    def test_seeded_feasible_becomes_hi(self):
+        """A known-feasible point from the store is the bracket's hi: the
+        search resumes from the recorded cheapest-feasible value outward
+        instead of re-proposing the raw endpoints."""
+        search = AdaptiveBisection(self._space(), "total_sites")
+        search.seed([((600,), True)])
+        assert search.boundaries() == {(): 600}
+        batch = search.propose()
+        # Only the untested bottom endpoint remains to probe first.
+        assert [p.scenario.total_sites for p in batch] == [0]
+
+    def test_seeded_points_not_reproposed(self):
+        threshold = 137  # feasible iff total_sites >= threshold
+        search = AdaptiveBisection(self._space(), "total_sites")
+        search.seed([((0,), False), ((1000,), True), ((500,), True)])
+        proposed = set()
+        while True:
+            batch = search.propose()
+            if not batch:
+                break
+            for point in batch:
+                proposed.add(point.scenario.total_sites)
+                search.observe(
+                    point.values, point.scenario.total_sites >= threshold
+                )
+        assert not proposed & {0, 500, 1000}
+        assert search.boundaries() == {(): threshold}
+
+    def test_empty_seed_is_noop(self):
+        search = AdaptiveBisection(self._space(), "total_sites")
+        assert search.seed([]) == 0
+        batch = search.propose()
+        assert [p.scenario.total_sites for p in batch] == [0, 1000]

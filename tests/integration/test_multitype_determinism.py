@@ -1,0 +1,125 @@
+"""multi_type determinism matrix.
+
+Two pins, per the tentpole acceptance criteria:
+
+* ``multi_type`` with the single-kind library reproduces the recorded
+  ``dp`` buffering goldens (32x32 and 64x64) byte for byte at every
+  worker count — the typed-buffer refactor is invisible until a real
+  library is selected.
+* ``multi_type`` with the 3-kind ``tech`` library is itself pinned by its
+  own golden (kinded specs, signature, per-kind bookings) at every worker
+  count and backend — kind assignment is deterministic and
+  worker-count-independent too.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks.buffering_kernel import (
+    buffers_as_json,
+    make_buffering_scenario,
+    run_buffering_kernel,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+BACKENDS = ("pool", "threads")
+
+
+def load_golden(name):
+    with open(os.path.join(GOLDEN_DIR, name), "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def run_golden(golden, workers, backend, solver="multi_type", library="single"):
+    spec = golden["scenario"]
+    instance = make_buffering_scenario(
+        grid=spec["grid"],
+        num_nets=spec["num_nets"],
+        capacity=spec["capacity"],
+        seed=spec["seed"],
+        length_limit=spec["length_limit"],
+        total_sites=spec["total_sites"],
+        site_seed=spec["site_seed"],
+    )
+    result = run_buffering_kernel(
+        instance, workers=workers, backend=backend,
+        solver=solver, library=library,
+    )
+    return instance, result
+
+
+class TestSingleKindMatchesDpGolden32:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_signature_byte_identical(self, workers):
+        golden = load_golden("buffering_kernel_32x32_seed0.json")
+        _, result = run_golden(golden, workers, "pool")
+        assert result.signature == golden["signature"]
+        assert result.buffers_inserted == golden["buffers_inserted"]
+        assert result.num_fails == golden["num_fails"]
+
+    def test_threads_backend_too(self):
+        golden = load_golden("buffering_kernel_32x32_seed0.json")
+        _, result = run_golden(golden, 2, "threads")
+        assert result.signature == golden["signature"]
+
+
+class TestSingleKindMatchesDpGolden64:
+    def test_sequential(self):
+        golden = load_golden("buffering_kernel_64x64_seed0.json")
+        _, result = run_golden(golden, 1, "pool")
+        assert result.signature == golden["signature"]
+        assert result.buffers_inserted == golden["buffers_inserted"]
+        assert result.num_fails == golden["num_fails"]
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_parallel(self, workers):
+        golden = load_golden("buffering_kernel_64x64_seed0.json")
+        _, result = run_golden(golden, workers, "pool")
+        assert result.signature == golden["signature"]
+
+
+class TestTechLibraryGolden:
+    GOLDEN = "buffering_multitype_tech_16x16_seed0.json"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_matches_golden(self, workers, backend):
+        golden = load_golden(self.GOLDEN)
+        instance, result = run_golden(
+            golden, workers, backend, library="tech"
+        )
+        assert result.signature == golden["signature"]
+        assert result.buffers_inserted == golden["buffers_inserted"]
+        assert result.num_fails == golden["num_fails"]
+        assert sorted(result.assignment.failed_nets) == golden["failed_nets"]
+        assert instance.graph.used_sites.tolist() == golden["used_sites"]
+
+    def test_per_net_kinded_specs_match(self):
+        """Not just the hash: a failure names the first differing net, and
+        the golden demonstrably exercises non-default kinds."""
+        golden = load_golden(self.GOLDEN)
+        instance, _ = run_golden(golden, 1, "pool", library="tech")
+        got = json.loads(json.dumps(buffers_as_json(instance.routes)))
+        want = golden["buffers"]
+        assert set(got) == set(want)
+        for name in sorted(want):
+            assert got[name] == want[name], f"net {name} buffered differently"
+        kinded = sum(
+            1 for specs in want.values() for s in specs if len(s) == 3
+        )
+        assert kinded > 0
+
+    def test_kind_bookings_sum_to_kinded_buffers(self):
+        golden = load_golden(self.GOLDEN)
+        instance, _ = run_golden(golden, 1, "pool", library="tech")
+        kinded = sum(
+            1
+            for specs in golden["buffers"].values()
+            for s in specs
+            if len(s) == 3
+        )
+        assert sum(instance.graph.kind_used.values()) == kinded

@@ -100,3 +100,78 @@ class TestInstanceRoundtrip:
         planner.stage2()
         planner.stage3()
         assert graph.total_used_sites > 0
+
+
+class TestBufferKindSchema:
+    """Versioned buffer payloads: schema 2 adds an optional ``kind``."""
+
+    def _kinded_routes(self):
+        paths = [
+            [(0, 0), (1, 0), (2, 0), (3, 0)],
+            [(2, 0), (2, 1), (2, 2)],
+        ]
+        tree = RouteTree.from_paths(
+            (0, 0), paths, [(3, 0), (2, 2)], net_name="a"
+        )
+        tree.apply_buffers(
+            [
+                BufferSpec((1, 0), None, "BUF_X4"),
+                BufferSpec((2, 0), (2, 1)),  # default kind
+            ]
+        )
+        return {"a": tree}
+
+    def test_payload_carries_schema_and_kind(self):
+        d = routes_to_dict(self._kinded_routes())
+        assert d["buffer_schema"] == 2
+        buffers = d["routes"]["a"]["buffers"]
+        kinded = [b for b in buffers if "kind" in b]
+        assert [b["kind"] for b in kinded] == ["BUF_X4"]
+        # Default-kind buffers stay byte-identical to schema 1 entries.
+        assert all("kind" not in b for b in buffers if b not in kinded)
+
+    def test_kind_round_trips(self):
+        from repro.technology import TECH_180NM, resolve_library
+
+        library = resolve_library("tech", TECH_180NM)
+        routes = self._kinded_routes()
+        back = routes_from_dict(routes_to_dict(routes), library=library)
+        assert back["a"].buffer_specs() == routes["a"].buffer_specs()
+
+    def test_legacy_payload_maps_to_default_kind(self):
+        """A pre-library payload (no buffer_schema, no kind keys) loads
+        with every buffer as the library default."""
+        d = routes_to_dict(self._kinded_routes())
+        del d["buffer_schema"]
+        for rd in d["routes"].values():
+            for bd in rd["buffers"]:
+                bd.pop("kind", None)
+        back = routes_from_dict(d)
+        assert all(s.kind == "" for s in back["a"].buffer_specs())
+
+    def test_unknown_kind_raises_typed_error(self):
+        from repro.errors import UnknownBufferKindError
+        from repro.technology import TECH_180NM, resolve_library
+
+        d = routes_to_dict(self._kinded_routes())
+        d["routes"]["a"]["buffers"][0]["kind"] = "BUF_X512"
+        with pytest.raises(UnknownBufferKindError) as err:
+            routes_from_dict(
+                d, library=resolve_library("tech", TECH_180NM)
+            )
+        assert "BUF_X512" in str(err.value)
+        # The typed error is still a ConfigurationError for old handlers.
+        assert isinstance(err.value, ConfigurationError)
+
+    def test_unknown_kind_without_library_is_lenient(self):
+        # No library given: kinds are opaque strings, nothing to validate.
+        d = routes_to_dict(self._kinded_routes())
+        d["routes"]["a"]["buffers"][0]["kind"] = "BUF_X512"
+        back = routes_from_dict(d)
+        assert back["a"].buffer_specs()[0].kind == "BUF_X512"
+
+    def test_future_buffer_schema_rejected(self):
+        d = routes_to_dict(self._kinded_routes())
+        d["buffer_schema"] = 3
+        with pytest.raises(ConfigurationError):
+            routes_from_dict(d)

@@ -118,10 +118,11 @@ def test_failed_replan_rolls_back(baseline):
         incremental_replan(baseline, bad)
     assert baseline.signature == sig
     assert baseline.routes == routes_before
-    h, v, b = usage_before
+    h, v, b, kinds = usage_before
     assert np.array_equal(baseline.graph.h_usage, h)
     assert np.array_equal(baseline.graph.v_usage, v)
     assert np.array_equal(baseline.graph.used_sites, b)
+    assert baseline.graph.kind_used == kinds
     assert_usage_consistent(baseline)
     # The baseline must still be usable after the failed attempt.
     stats = incremental_replan(baseline, DELTAS["move_macro"])

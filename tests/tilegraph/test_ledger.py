@@ -150,3 +150,84 @@ class TestSiteCostCache:
 
     def test_cache_is_per_graph_singleton(self, graph10_sites):
         assert graph10_sites.site_cost_cache() is graph10_sites.site_cost_cache()
+
+
+class TestKindedJournals:
+    """Per-kind site bookings must roll back exactly like plain ones.
+
+    A kinded ``use_site`` journals two entries — the site count and the
+    kind tally — and rollback must undo both without double-counting the
+    shared ``used_sites`` vector.
+    """
+
+    def _key(self, graph, tile, kind):
+        return (graph.tile_index(tile), kind)
+
+    def test_rollback_restores_kind_used(self, graph10_sites):
+        g = graph10_sites
+        ledger = g.ledger()
+        g.use_site((1, 1), 1, kind="BUF_X4")
+        txn = ledger.begin()
+        g.use_site((1, 1), 1, kind="BUF_X4")
+        g.use_site((2, 2), 1, kind="BUF_X2")
+        g.use_site((3, 3), 1)  # default kind: no kind journal entry
+        ledger.rollback(txn)
+        assert g.used_site_count((1, 1)) == 1
+        assert g.used_site_count((2, 2)) == 0
+        assert g.used_site_count((3, 3)) == 0
+        assert g.kind_used == {self._key(g, (1, 1), "BUF_X4"): 1}
+
+    def test_rip_inside_rollback_restores_kinds(self, graph10_sites):
+        """The Stage-4 shape: release a kinded buffer inside a scope that
+        then rolls back — the kind tally must come back."""
+        g = graph10_sites
+        ledger = g.ledger()
+        g.use_site((4, 4), 2, kind="BUF_X2")
+        with pytest.raises(RuntimeError):
+            with ledger.transaction():
+                g.use_site((4, 4), -2, kind="BUF_X2")
+                g.use_site((5, 5), 1, kind="BUF_X4")
+                raise RuntimeError("boom")
+        assert g.used_site_count((4, 4)) == 2
+        assert g.used_site_count((5, 5)) == 0
+        assert g.kind_used == {self._key(g, (4, 4), "BUF_X2"): 2}
+
+    def test_nested_inner_commit_outer_rollback(self, graph10_sites):
+        g = graph10_sites
+        ledger = g.ledger()
+        outer = ledger.begin()
+        with ledger.transaction():
+            g.use_site((0, 0), 1, kind="BUF_X4")
+        g.use_site((0, 1), 1, kind="BUF_X2")
+        ledger.rollback(outer)
+        assert g.used_site_count((0, 0)) == 0
+        assert g.used_site_count((0, 1)) == 0
+        assert g.kind_used == {}
+
+    def test_snapshot_state_round_trips_kinds(self, graph10_sites):
+        g = graph10_sites
+        ledger = g.ledger()
+        g.use_site((2, 3), 2, kind="BUF_X4")
+        g.use_site((2, 3), 1)
+        state = ledger.snapshot_state()
+        assert state["kinds"] == [[g.tile_index((2, 3)), "BUF_X4", 2]]
+        g.use_site((2, 3), -2, kind="BUF_X4")
+        ledger.restore_state(state)
+        assert g.used_site_count((2, 3)) == 3
+        assert g.kind_used == {(g.tile_index((2, 3)), "BUF_X4"): 2}
+
+    def test_legacy_state_without_kinds_accepted(self, graph10_sites):
+        g = graph10_sites
+        ledger = g.ledger()
+        g.use_site((6, 6), 1, kind="BUF_X2")
+        state = ledger.snapshot_state()
+        del state["kinds"]  # a checkpoint written before the library era
+        ledger.restore_state(state)
+        assert g.used_site_count((6, 6)) == 1
+        assert g.kind_used == {}  # all bookings become the default kind
+
+    def test_default_only_snapshot_has_no_kinds_key(self, graph10_sites):
+        g = graph10_sites
+        g.use_site((1, 2), 2)
+        state = g.ledger().snapshot_state()
+        assert "kinds" not in state  # payload stays byte-identical to v1

@@ -158,3 +158,84 @@ class TestRebuffer:
         after = rebuffer_net_timing_driven(tree, g, TECH_180NM)
         assert after == pytest.approx(before)
         assert tree.buffer_count() == 2
+
+
+class TestMultiTypeKernel:
+    """The same kernel with a buffer library: Li-Shi multi-type insertion.
+
+    Parity contract: a single-kind library built from the technology's own
+    repeater floats must be byte-identical to the classic b=1 run, and the
+    3-kind ``tech`` library can only improve the optimal delay (the b=1
+    solution is in its search space). Checked on single-sink paths, where
+    the classic algorithm is provably delay-optimal.
+    """
+
+    @pytest.mark.parametrize("n", [4, 7, 10, 16])
+    def test_single_kind_library_is_byte_identical(self, n):
+        from repro.technology import resolve_library
+
+        g = _graph()
+        tree = _path_tree([(i, 0) for i in range(n)])
+        classic_delay, classic_specs = timing_driven_buffering(
+            tree, g, TECH_180NM
+        )
+        lib_delay, lib_specs = timing_driven_buffering(
+            tree, g, TECH_180NM,
+            library=resolve_library("single", TECH_180NM),
+        )
+        assert lib_delay == classic_delay
+        assert lib_specs == classic_specs
+        assert all(s.kind == "" for s in lib_specs)
+
+    @pytest.mark.parametrize("n", [7, 10, 16])
+    def test_tech_library_never_slower(self, n):
+        from repro.technology import resolve_library
+
+        g = _graph()
+        tree = _path_tree([(i, 0) for i in range(n)])
+        classic_delay, _ = timing_driven_buffering(tree, g, TECH_180NM)
+        library = resolve_library("tech", TECH_180NM)
+        lib_delay, lib_specs = timing_driven_buffering(
+            tree, g, TECH_180NM, library=library
+        )
+        assert lib_delay <= classic_delay * (1 + 1e-12)
+        # The reported delay is the Elmore delay of the annotated tree.
+        tree.apply_buffers(lib_specs)
+        measured = net_delay(tree, g, TECH_180NM, library).max_delay
+        assert measured == pytest.approx(lib_delay, rel=1e-9)
+
+    def test_multi_type_solver_parity_on_single_sink_paths(self):
+        """The two multi-type implementations must order correctly on
+        single-sink paths: the van Ginneken kernel optimizes positions AND
+        kinds jointly, so its delay lower-bounds the Stage-3 ``multi_type``
+        strategy (whose positions are fixed by the length DP) — and both
+        beat the single-kind Stage-3 assignment."""
+        from repro.core.solver import (
+            MultiSinkDPSolver,
+            MultiTypeDPSolver,
+            SolveRequest,
+            Stage3CostField,
+        )
+        from repro.technology import resolve_library
+
+        library = resolve_library("tech", TECH_180NM)
+        for n in (7, 13, 19):
+            g = _graph(size=max(n, 20))
+            tree = _path_tree([(i, 0) for i in range(n)])
+            vg_delay, _ = timing_driven_buffering(
+                tree, g, TECH_180NM, library=library
+            )
+            field = Stage3CostField(g)
+            request = SolveRequest(
+                graph=g, tree=tree, length_limit=3,
+                cost_of=field.cost_fn(tree),
+            )
+            mt = MultiTypeDPSolver(TECH_180NM, library=library).solve(request)
+            assert mt.feasible
+            tree.apply_buffers(mt.specs)
+            mt_delay = net_delay(tree, g, TECH_180NM, library).max_delay
+            dp = MultiSinkDPSolver().solve(request)
+            tree.apply_buffers(dp.specs)
+            dp_delay = net_delay(tree, g, TECH_180NM, library).max_delay
+            assert vg_delay <= mt_delay * (1 + 1e-12)
+            assert mt_delay <= dp_delay * (1 + 1e-12)
