@@ -30,6 +30,19 @@ from repro.benchmarks.emit import SpeedupGateError, load_trajectory
 
 DEFAULT_TOLERANCE = 0.25
 
+#: Lower-is-better metric gates per trajectory file (matched on the
+#: recorded file's basename). Each gate is ``metric -> (rel_tolerance,
+#: abs_slack)``: a fresh value fails when it exceeds
+#: ``recorded * (1 + rel_tolerance) + abs_slack``. The absolute slack
+#: keeps near-zero recorded values (a 0.0 optimality gap, a sub-second
+#: timing) from turning measurement noise into a hard failure.
+METRIC_GATES: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "BENCH_bounds.json": {
+        "gap": (0.25, 0.05),
+        "seconds_bound": (0.5, 1.0),
+    },
+}
+
 
 def _entry_key(entry: Dict[str, Any]) -> Optional[Tuple[str, Optional[int]]]:
     """Canonical match key: frozen params + workers; None when unkeyable."""
@@ -60,6 +73,88 @@ class GateResult:
             f"{self.recorded_speedup}x, fresh {self.fresh_speedup}x -> "
             f"{self.status}"
         )
+
+
+@dataclass
+class MetricGateResult:
+    """Outcome of gating one lower-is-better metric on one fresh entry."""
+
+    label: str
+    metric: str
+    recorded_value: Optional[float]
+    fresh_value: Optional[float]
+    status: str  # "ok" | "regressed" | "skipped: <reason>"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "regressed"
+
+    def describe(self) -> str:
+        return (
+            f"{self.label} [{self.metric}]: recorded "
+            f"{self.recorded_value}, fresh {self.fresh_value} -> "
+            f"{self.status}"
+        )
+
+
+def compare_metrics(
+    recorded: Dict[str, Any],
+    fresh: Dict[str, Any],
+    gates: Dict[str, Tuple[float, float]],
+) -> List[MetricGateResult]:
+    """Gate lower-is-better metrics entry by entry.
+
+    Fresh entries match recorded ones on the same ``(params, workers)``
+    identity as :func:`compare_trajectories`. For each gated metric a
+    fresh value regresses when it exceeds
+    ``recorded * (1 + rel_tolerance) + abs_slack``; missing or
+    non-numeric values on either side are reported as skipped (a
+    ``None`` gap from a certified-infeasible run never fails the gate).
+    """
+    recorded_by_key: Dict[Tuple[str, Optional[int]], Dict[str, Any]] = {}
+    for entry in recorded.get("entries", []):
+        key = _entry_key(entry)
+        if key is not None:
+            recorded_by_key[key] = entry
+    results: List[MetricGateResult] = []
+    for entry in fresh.get("entries", []):
+        key = _entry_key(entry)
+        label = entry.get("label", "?")
+        if key is None:
+            continue
+        twin = recorded_by_key.get(key)
+        if twin is None:
+            results.append(
+                MetricGateResult(
+                    label, "*", None, None,
+                    "skipped: no recorded entry for these params",
+                )
+            )
+            continue
+        for metric, (rel_tolerance, abs_slack) in sorted(gates.items()):
+            rec_value = twin.get(metric)
+            new_value = entry.get(metric)
+            if not isinstance(rec_value, (int, float)) or not isinstance(
+                new_value, (int, float)
+            ):
+                results.append(
+                    MetricGateResult(
+                        label, metric, rec_value, new_value,
+                        "skipped: value missing on one side",
+                    )
+                )
+                continue
+            ceiling = rec_value * (1.0 + rel_tolerance) + abs_slack
+            status = "ok" if new_value <= ceiling else "regressed"
+            results.append(
+                MetricGateResult(label, metric, rec_value, new_value, status)
+            )
+    return results
+
+
+def metric_gates_for(recorded_path: str) -> Dict[str, Tuple[float, float]]:
+    """The registered metric gates for a trajectory file (may be empty)."""
+    return METRIC_GATES.get(os.path.basename(recorded_path), {})
 
 
 def compare_trajectories(
@@ -134,14 +229,25 @@ def gate_files(
     fresh_path: str,
     tolerance: float = DEFAULT_TOLERANCE,
     cores: Optional[int] = None,
-) -> List[GateResult]:
-    """File-level wrapper; raises :class:`SpeedupGateError` on regression."""
-    results = compare_trajectories(
-        load_trajectory(recorded_path),
-        load_trajectory(fresh_path),
-        tolerance=tolerance,
-        cores=cores,
+    metrics: Optional[Dict[str, Tuple[float, float]]] = None,
+) -> List[Any]:
+    """File-level wrapper; raises :class:`SpeedupGateError` on regression.
+
+    Beyond the speedup comparison, any metric gates registered for the
+    recorded file's basename in :data:`METRIC_GATES` (or passed
+    explicitly via ``metrics``) run on the same entry matching; a
+    metric regression fails the gate exactly like a speedup one. The
+    returned list mixes :class:`GateResult` and
+    :class:`MetricGateResult` rows.
+    """
+    recorded = load_trajectory(recorded_path)
+    fresh = load_trajectory(fresh_path)
+    results: List[Any] = list(
+        compare_trajectories(recorded, fresh, tolerance=tolerance, cores=cores)
     )
+    gates = metrics if metrics is not None else metric_gates_for(recorded_path)
+    if gates:
+        results.extend(compare_metrics(recorded, fresh, gates))
     failed = [r for r in results if r.failed]
     if failed:
         lines = "\n".join(f"  {r.describe()}" for r in failed)

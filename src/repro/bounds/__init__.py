@@ -1,0 +1,56 @@
+"""Certified lower bounds for buffered global routing.
+
+RABID is fast but heuristic; this package answers "how far from
+optimal?" with an epsilon-approximate buffered multicommodity-flow
+oracle (:mod:`repro.bounds.oracle`): Garg-Konemann length updates over
+buffered candidate routes priced by a resource-constrained Dijkstra
+(:mod:`repro.bounds.pricing`), a serializable dual certificate anyone
+can re-verify (:mod:`repro.bounds.certificate`), seeded randomized
+rounding into a competing integral plan (:mod:`repro.bounds.rounding`),
+and per-scenario ``optimality_gap`` metrics for the explore subsystem
+(:mod:`repro.bounds.gap`).
+
+Entry points: ``repro bound`` on the CLI, ``RabidConfig(bound="gk")``
+for sweeps, :func:`bound_scenario` / :func:`compute_bound` in code. See
+``docs/ALGORITHMS.md`` for the math.
+"""
+
+from repro.bounds.certificate import (
+    BOUND_CERT_SCHEMA_VERSION,
+    BoundCertificate,
+    load_certificate,
+    save_certificate,
+    verify_certificate,
+)
+from repro.bounds.gap import gap_metrics, plan_surrogate_cost
+from repro.bounds.oracle import (
+    BOUND_MODES,
+    BoundOptions,
+    BoundResult,
+    Candidate,
+    bound_scenario,
+    compute_bound,
+)
+from repro.bounds.pricing import NetPricing, PathPricer, PricedPath
+from repro.bounds.rounding import RoundedPlan, round_candidates
+
+__all__ = [
+    "BOUND_CERT_SCHEMA_VERSION",
+    "BOUND_MODES",
+    "BoundCertificate",
+    "BoundOptions",
+    "BoundResult",
+    "Candidate",
+    "NetPricing",
+    "PathPricer",
+    "PricedPath",
+    "RoundedPlan",
+    "bound_scenario",
+    "compute_bound",
+    "gap_metrics",
+    "load_certificate",
+    "plan_surrogate_cost",
+    "round_candidates",
+    "save_certificate",
+    "verify_certificate",
+]

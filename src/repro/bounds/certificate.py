@@ -1,0 +1,203 @@
+"""Serializable dual certificates for the lower-bound oracle.
+
+A :class:`BoundCertificate` is the self-contained proof object behind a
+:class:`~repro.bounds.oracle.BoundResult`: the final dual lengths
+(sparse, finite entries only), the chosen ``theta``, the per-net dual
+values ``u_i``, and the claimed bound. Anyone holding the certificate
+and the workload can re-check the claim without trusting the oracle:
+
+* *dual feasibility*: each stored ``u_i`` must not exceed the true
+  max-over-sinks cheapest buffered path price under the certificate's
+  lengths (re-priced independently by :class:`~repro.bounds.pricing.PathPricer`);
+* *arithmetic*: ``lower_bound <= sum_i u_i - theta * D`` with ``D``
+  recomputed from the lengths and the graph's capacities.
+
+Certificates serialize to versioned JSON (:data:`BOUND_CERT_SCHEMA_VERSION`)
+following the same conventions as :mod:`repro.io.serialize`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bounds.pricing import INF, PathPricer
+from repro.errors import ConfigurationError
+
+Tile = Tuple[int, int]
+
+BOUND_CERT_SCHEMA_VERSION = 1
+
+#: Numeric slack for the verifier's comparisons (re-pricing reproduces
+#: the oracle's floats, so only representation noise needs absorbing).
+VERIFY_TOLERANCE = 1e-6
+
+
+@dataclass
+class BoundCertificate:
+    """A dual-feasible length assignment plus the bound it certifies."""
+
+    mode: str
+    epsilon: float
+    iterations: int
+    theta: float
+    lower_bound: Optional[float]
+    unconstrained_bound: Optional[float]
+    lambda_lb: float
+    certified_infeasible: bool
+    infeasible_reason: str
+    wire_cost: float
+    buffer_cost: float
+    dual_load: float
+    edge_lengths: Dict[int, float] = field(repr=False)
+    site_lengths: Dict[int, float] = field(repr=False)
+    net_duals: Dict[str, float] = field(repr=False)
+    structural_nets: List[str] = field(default_factory=list)
+
+    # -- JSON ---------------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": BOUND_CERT_SCHEMA_VERSION,
+            "mode": self.mode,
+            "epsilon": self.epsilon,
+            "iterations": self.iterations,
+            "theta": self.theta,
+            "lower_bound": self.lower_bound,
+            "unconstrained_bound": self.unconstrained_bound,
+            "lambda_lb": self.lambda_lb,
+            "certified_infeasible": self.certified_infeasible,
+            "infeasible_reason": self.infeasible_reason,
+            "wire_cost": self.wire_cost,
+            "buffer_cost": self.buffer_cost,
+            "dual_load": self.dual_load,
+            "edge_lengths": {
+                str(eid): value for eid, value in self.edge_lengths.items()
+            },
+            "site_lengths": {
+                str(idx): value for idx, value in self.site_lengths.items()
+            },
+            "net_duals": dict(self.net_duals),
+            "structural_nets": list(self.structural_nets),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "BoundCertificate":
+        version = d.get("version")
+        if version != BOUND_CERT_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported bound certificate version {version!r} "
+                f"(expected {BOUND_CERT_SCHEMA_VERSION})"
+            )
+        return cls(
+            mode=d["mode"],
+            epsilon=d["epsilon"],
+            iterations=d["iterations"],
+            theta=d["theta"],
+            lower_bound=d["lower_bound"],
+            unconstrained_bound=d["unconstrained_bound"],
+            lambda_lb=d["lambda_lb"],
+            certified_infeasible=d["certified_infeasible"],
+            infeasible_reason=d["infeasible_reason"],
+            wire_cost=d["wire_cost"],
+            buffer_cost=d["buffer_cost"],
+            dual_load=d["dual_load"],
+            edge_lengths={
+                int(eid): value for eid, value in d["edge_lengths"].items()
+            },
+            site_lengths={
+                int(idx): value for idx, value in d["site_lengths"].items()
+            },
+            net_duals=dict(d["net_duals"]),
+            structural_nets=list(d.get("structural_nets", [])),
+        )
+
+
+def save_certificate(certificate: BoundCertificate, path: str) -> None:
+    """Write the certificate as canonical JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(certificate.to_dict(), fh, sort_keys=True, indent=2)
+        fh.write("\n")
+
+
+def load_certificate(path: str) -> BoundCertificate:
+    with open(path, "r", encoding="utf-8") as fh:
+        return BoundCertificate.from_dict(json.load(fh))
+
+
+def verify_certificate(
+    certificate: BoundCertificate,
+    graph,
+    nets: Dict[str, Tuple[Tile, Sequence[Tile]]],
+    limits: Dict[str, int],
+    window_margin: int = 10,
+    tolerance: float = VERIFY_TOLERANCE,
+) -> Dict[str, Any]:
+    """Independently re-check a certificate against its workload.
+
+    Returns a report dict with ``ok`` (bool), the recomputed dual load,
+    the worst per-net dual violation, and the re-derived bound. The
+    check is one pricing sweep — the same cost as a single oracle
+    iteration — and never trusts the certificate's own arithmetic.
+    """
+    pricer = PathPricer(graph, window_margin)
+    num_edges = len(graph.edge_capacity)
+    num_tiles = len(graph.sites_flat)
+    edge_lengths = [INF] * num_edges
+    for eid, value in certificate.edge_lengths.items():
+        if not 0 <= eid < num_edges:
+            return {"ok": False, "error": f"edge id {eid} out of range"}
+        edge_lengths[eid] = value
+    site_lengths = [INF] * num_tiles
+    for idx, value in certificate.site_lengths.items():
+        if not 0 <= idx < num_tiles:
+            return {"ok": False, "error": f"tile {idx} out of range"}
+        site_lengths[idx] = value
+    if any(v < 0 for v in certificate.edge_lengths.values()) or any(
+        v < 0 for v in certificate.site_lengths.values()
+    ):
+        return {"ok": False, "error": "negative dual length"}
+
+    dual_load = sum(
+        cap * edge_lengths[eid]
+        for eid, cap in enumerate(graph.edge_capacity.tolist())
+        if edge_lengths[eid] < INF
+    ) + sum(
+        cap * site_lengths[idx]
+        for idx, cap in enumerate(graph.sites_flat.tolist())
+        if site_lengths[idx] < INF
+    )
+
+    worst_violation = 0.0
+    total_duals = 0.0
+    checked = 0
+    for name, claimed in sorted(certificate.net_duals.items()):
+        if name not in nets:
+            return {"ok": False, "error": f"unknown net {name!r}"}
+        source, sinks = nets[name]
+        priced = pricer.price(
+            source, list(sinks), limits[name],
+            edge_lengths, site_lengths,
+            certificate.wire_cost, certificate.buffer_cost,
+            scale=certificate.theta,
+        )
+        true_value = priced.dual_value()
+        # Dual feasibility: the claimed u_i may not exceed the true
+        # cheapest-path bound (claiming less only weakens the bound).
+        worst_violation = max(worst_violation, claimed - true_value)
+        total_duals += claimed
+        checked += 1
+
+    derived_bound = total_duals - certificate.theta * dual_load
+    ok = worst_violation <= tolerance
+    if certificate.lower_bound is not None:
+        ok = ok and certificate.lower_bound <= derived_bound + tolerance
+    return {
+        "ok": ok,
+        "nets_checked": checked,
+        "worst_dual_violation": worst_violation,
+        "dual_load": dual_load,
+        "derived_bound": derived_bound,
+        "claimed_bound": certificate.lower_bound,
+    }

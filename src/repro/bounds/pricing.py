@@ -1,0 +1,244 @@
+"""Column-generation pricing: cheapest *buffered* source-sink paths.
+
+The lower-bound oracle (:mod:`repro.bounds.oracle`) prices candidate
+buffered routes against the current Garg-Konemann dual lengths. The
+pricing problem is a resource-constrained shortest path on the tile
+graph: a path from the net's source to a sink, broken by repeaters so
+that no gate (driver or buffer) drives more than ``L`` tiles of wire —
+the per-path projection of the repo's length rule
+(:func:`repro.core.length_rule.net_meets_length_rule` bounds each
+gate's *total* driven length, so every source-sink path inside a
+feasible tree is itself a feasible buffered path; pricing over paths
+therefore under-approximates trees, exactly what a lower bound needs).
+
+The search runs Dijkstra over layered states ``(tile, d)`` where ``d``
+is the tile distance since the last gate:
+
+* a wire step to a neighbor costs ``wire_cost + scale * l(e)`` and
+  advances ``d`` by one (blocked when ``d + 1 > L``);
+* inserting a buffer at the current tile costs
+  ``buffer_cost + scale * s(v)`` and resets ``d`` to zero — allowed
+  only on tiles with ``B(v) > 0`` sites;
+* zero-capacity edges and zero-site tiles are never used.
+
+One Dijkstra per net prices every sink at once. The search is windowed
+like :mod:`repro.routing.maze` (bounding box of the pins plus a margin,
+escalating to the whole grid before declaring a sink unreachable), so
+an infinite price is a *structural* certificate: no buffered path obeys
+the spacing rule given the site placement at any congestion level.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.tilegraph.graph import TileGraph
+
+Tile = Tuple[int, int]
+
+INF = float("inf")
+
+
+@dataclass(frozen=True)
+class PricedPath:
+    """One sink's cheapest buffered path under the current lengths."""
+
+    sink: Tile
+    cost: float
+    #: flat edge ids along the path (source -> sink order not guaranteed).
+    edges: Tuple[int, ...]
+    #: flat tile indices where the path inserts a buffer.
+    buffers: Tuple[int, ...]
+
+
+@dataclass
+class NetPricing:
+    """All sinks of one net, priced by a single layered Dijkstra."""
+
+    source: Tile
+    costs: Dict[Tile, float]
+    paths: Dict[Tile, PricedPath]
+
+    @property
+    def reachable(self) -> bool:
+        return all(c < INF for c in self.costs.values())
+
+    def dual_value(self) -> float:
+        """``u_i``: the max-over-sinks path bound (INF when unreachable).
+
+        Any feasible buffered tree contains, per sink, a feasible
+        buffered path of no greater cost, so the *maximum* over sinks of
+        the per-sink minima lower-bounds every feasible tree's cost.
+        """
+        return max(self.costs.values()) if self.costs else 0.0
+
+
+class PathPricer:
+    """Reusable layered-Dijkstra kernel over one graph.
+
+    Scratch arrays are allocated per call (sizes depend on the window
+    and the net's length limit); the flat adjacency is built once.
+    """
+
+    def __init__(self, graph: TileGraph, window_margin: int = 10) -> None:
+        if window_margin < 0:
+            raise ConfigurationError("window_margin must be >= 0")
+        self.graph = graph
+        self.flat = graph.flat()
+        self.window_margin = window_margin
+        self._sites = graph.sites_flat
+
+    # ------------------------------------------------------------------ #
+
+    def price(
+        self,
+        source: Tile,
+        sinks: Sequence[Tile],
+        length_limit: int,
+        edge_lengths: Sequence[float],
+        site_lengths: Sequence[float],
+        wire_cost: float = 1.0,
+        buffer_cost: float = 1.0,
+        scale: float = 1.0,
+        collect_paths: bool = False,
+    ) -> NetPricing:
+        """Price every sink of one net under the given dual lengths.
+
+        ``scale`` multiplies the dual terms only (the theta of the
+        oracle's line search); base ``wire_cost``/``buffer_cost`` are
+        charged per edge / per buffer regardless.
+        """
+        if length_limit < 1:
+            raise ConfigurationError("length_limit must be >= 1")
+        flat = self.flat
+        margins: List[int] = []
+        whole = max(flat.nx, flat.ny)
+        for margin in (self.window_margin, self.window_margin * 4, whole):
+            if margin not in margins:
+                margins.append(margin)
+        result: Optional[NetPricing] = None
+        for margin in margins:
+            result = self._search(
+                source, sinks, length_limit, edge_lengths, site_lengths,
+                wire_cost, buffer_cost, scale, margin, collect_paths,
+            )
+            if result.reachable:
+                return result
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _search(
+        self,
+        source: Tile,
+        sinks: Sequence[Tile],
+        length_limit: int,
+        edge_lengths: Sequence[float],
+        site_lengths: Sequence[float],
+        wire_cost: float,
+        buffer_cost: float,
+        scale: float,
+        margin: int,
+        collect_paths: bool,
+    ) -> NetPricing:
+        flat = self.flat
+        ny = flat.ny
+        sites = self._sites
+        layers = length_limit + 1
+        num_states = flat.num_tiles * layers
+
+        xs = [source[0], *(s[0] for s in sinks)]
+        ys = [source[1], *(s[1] for s in sinks)]
+        x_lo = max(0, min(xs) - margin)
+        x_hi = min(flat.nx - 1, max(xs) + margin)
+        y_lo = max(0, min(ys) - margin)
+        y_hi = min(flat.ny - 1, max(ys) + margin)
+        tile_x = flat.tile_x
+        tile_y = flat.tile_y
+
+        dist = [INF] * num_states
+        parent = [-1] * num_states if collect_paths else None
+        via = [-1] * num_states if collect_paths else None
+
+        src_idx = source[0] * ny + source[1]
+        start = src_idx * layers  # (source, d=0)
+        dist[start] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, start)]
+        adj = flat.adj
+        targets = {s[0] * ny + s[1] for s in sinks}
+        remaining = {t: layers for t in targets}  # states left per target
+
+        while heap:
+            d_cur, state = heapq.heappop(heap)
+            if d_cur > dist[state]:
+                continue
+            tile = state // layers
+            depth = state - tile * layers
+            if tile in remaining:
+                remaining[tile] -= 1
+                if remaining[tile] <= 0:
+                    del remaining[tile]
+                    if not remaining:
+                        break
+            # Buffer insertion: reset the spacing counter on a site tile.
+            if depth > 0 and sites[tile] > 0:
+                s_len = site_lengths[tile]
+                if s_len < INF:
+                    nd = d_cur + buffer_cost + scale * s_len
+                    nstate = tile * layers
+                    if nd < dist[nstate]:
+                        dist[nstate] = nd
+                        if collect_paths:
+                            parent[nstate] = state
+                            via[nstate] = -2  # buffer marker
+                        heapq.heappush(heap, (nd, nstate))
+            # Wire step: advance one tile, spend one unit of drive length.
+            if depth + 1 >= layers:
+                continue
+            for nbr, eid in adj[tile]:
+                if not (x_lo <= tile_x[nbr] <= x_hi and y_lo <= tile_y[nbr] <= y_hi):
+                    continue
+                e_len = edge_lengths[eid]
+                if e_len >= INF:
+                    continue
+                nd = d_cur + wire_cost + scale * e_len
+                nstate = nbr * layers + depth + 1
+                if nd < dist[nstate]:
+                    dist[nstate] = nd
+                    if collect_paths:
+                        parent[nstate] = state
+                        via[nstate] = eid
+                    heapq.heappush(heap, (nd, nstate))
+
+        costs: Dict[Tile, float] = {}
+        paths: Dict[Tile, PricedPath] = {}
+        for sink in sinks:
+            t_idx = sink[0] * ny + sink[1]
+            base = t_idx * layers
+            best_state = min(
+                range(base, base + layers), key=lambda s: dist[s]
+            )
+            best = dist[best_state]
+            costs[sink] = best
+            if collect_paths and best < INF:
+                edges: List[int] = []
+                buffers: List[int] = []
+                state = best_state
+                while state != start and parent is not None:
+                    step = via[state]
+                    if step == -2:
+                        buffers.append(state // layers)
+                    else:
+                        edges.append(step)
+                    state = parent[state]
+                paths[sink] = PricedPath(
+                    sink=sink,
+                    cost=best,
+                    edges=tuple(reversed(edges)),
+                    buffers=tuple(reversed(buffers)),
+                )
+        return NetPricing(source=source, costs=costs, paths=paths)

@@ -15,7 +15,11 @@ Commands:
   in-process service and print the throughput/latency report.
 * ``submit`` — submit a job to a running service and print the result.
 * ``explore`` — sweep resource budgets over a scenario space and report
-  the Pareto frontier (see ``docs/EXPLORE.md``).
+  the Pareto frontier (see ``docs/EXPLORE.md``); ``--bound gk`` adds a
+  certified ``optimality_gap`` per scenario.
+* ``bound`` — run the buffered-MCF lower-bound oracle on one scenario
+  and print the certified bound (``--compare`` for the gap vs the RABID
+  plan, ``--cert``/``--verify`` for the dual certificate).
 """
 
 from __future__ import annotations
@@ -45,6 +49,28 @@ from repro.experiments import (
 from repro.experiments.formatting import render_table
 
 
+def _capabilities() -> dict:
+    """The pluggable engine registries, for ``--version``/``list --json``."""
+    from repro.bounds.oracle import BOUND_MODES
+    from repro.core.solver import SOLVER_NAMES
+    from repro.technology import LIBRARY_NAMES
+
+    return {
+        "routers": ["pd", "mcf"],
+        "stage3_solvers": list(SOLVER_NAMES),
+        "bound_modes": list(BOUND_MODES),
+        "buffer_libraries": list(LIBRARY_NAMES),
+    }
+
+
+def _version_string(version: str) -> str:
+    caps = _capabilities()
+    details = "; ".join(
+        f"{key}: {', '.join(values)}" for key, values in caps.items()
+    )
+    return f"%(prog)s {version} ({details})"
+
+
 def _build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -53,7 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
         description="RABID buffer/wire resource allocation (DAC 2001 reproduction)",
     )
     parser.add_argument(
-        "--version", action="version", version=f"%(prog)s {__version__}"
+        "--version", action="version", version=_version_string(__version__)
     )
     parser.add_argument("--seed", type=int, default=0, help="benchmark seed")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -262,6 +288,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the explore.* observability counters",
     )
+    explore.add_argument(
+        "--bound", default="", metavar="MODE",
+        help="run the certified lower-bound oracle per scenario and "
+        "report optimality_gap / certified_infeasible (modes: gk)",
+    )
+    explore.add_argument(
+        "--bound-epsilon", type=float, default=0.25,
+        help="Garg-Konemann epsilon for the bound oracle",
+    )
+
+    bound = sub.add_parser(
+        "bound",
+        help="certified buffered-MCF lower bound for one scenario",
+    )
+    bound.add_argument("--grid", type=int, default=16,
+                       help="scenario grid size (tiles per side)")
+    bound.add_argument("--nets", type=int, default=120)
+    bound.add_argument("--capacity", type=int, default=8)
+    bound.add_argument("--length-limit", type=int, default=5)
+    bound.add_argument("--total-sites", type=int, default=600)
+    bound.add_argument("--site-seed", type=int, default=0)
+    bound.add_argument(
+        "--mode", default="gk", help="oracle mode (see repro --version)"
+    )
+    bound.add_argument(
+        "--epsilon", type=float, default=0.25,
+        help="Garg-Konemann length-update epsilon",
+    )
+    bound.add_argument(
+        "--iterations", type=int, default=4,
+        help="length-update rounds",
+    )
+    bound.add_argument(
+        "--compare", action="store_true",
+        help="also plan the scenario with RABID and report the "
+        "optimality gap against the certified bound",
+    )
+    bound.add_argument(
+        "--round", action="store_true", dest="round_plan",
+        help="round the fractional solution into an integral plan "
+        "(seeded, deterministic) and report its cost/overflow",
+    )
+    bound.add_argument(
+        "--cert", metavar="PATH",
+        help="write the dual certificate JSON to PATH",
+    )
+    bound.add_argument(
+        "--verify", action="store_true",
+        help="independently re-verify the certificate (exit 1 on "
+        "failure)",
+    )
+    bound.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of the text summary",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a job (JSON file or stdin) to a service"
@@ -428,12 +509,18 @@ def _cmd_explore(args) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
+    config = None
+    if args.bound:
+        config = RabidConfig(
+            bound=args.bound, bound_epsilon=args.bound_epsilon
+        )
     result = explore_space(
         space,
         sampler=args.sampler,
         samples=args.samples,
         seed=args.sample_seed,
         bisect_dim=args.bisect_dim,
+        config=config,
         store=ResultStore(args.store),
         options=options,
         tracer=tracer,
@@ -499,6 +586,113 @@ def _cmd_explore(args) -> int:
         r.status == "ok" for r in result.records.values()
     )
     return 0 if evaluated_ok else 1
+
+
+def _cmd_bound(args) -> int:
+    """Run the lower-bound oracle on one generated scenario."""
+    import json
+
+    from repro.bounds import (
+        BoundOptions,
+        bound_scenario,
+        round_candidates,
+        save_certificate,
+        verify_certificate,
+    )
+    from repro.service.engine import build_graph
+    from repro.service.jobs import ScenarioSpec
+
+    scenario = ScenarioSpec(
+        grid=args.grid,
+        num_nets=args.nets,
+        capacity=args.capacity,
+        seed=args.seed,
+        length_limit=args.length_limit,
+        total_sites=args.total_sites,
+        site_seed=args.site_seed,
+    )
+    options = BoundOptions(
+        mode=args.mode, epsilon=args.epsilon, iterations=args.iterations,
+        seed=args.seed,
+    )
+    result = bound_scenario(scenario, options)
+    payload = result.summary()
+    if args.compare:
+        from repro.bounds.gap import plan_surrogate_cost
+        from repro.explore.executor import metrics_from_state
+        from repro.service.engine import full_plan
+
+        metrics = metrics_from_state(full_plan(scenario))
+        plan = plan_surrogate_cost(metrics)
+        payload["plan_cost"] = plan
+        payload["plan_unassigned_nets"] = metrics["unassigned_nets"]
+        if result.lower_bound is not None:
+            payload["optimality_gap"] = round(
+                (plan - result.lower_bound) / max(result.lower_bound, 1.0),
+                6,
+            )
+    if args.round_plan:
+        rounded = round_candidates(
+            build_graph(scenario), result.candidates, seed=args.seed
+        )
+        payload["rounded"] = rounded.summary()
+    certificate = result.certificate()
+    if args.cert:
+        save_certificate(certificate, args.cert)
+        payload["certificate"] = args.cert
+    verify_ok = True
+    if args.verify:
+        nets = scenario.nets()
+        limits = scenario.limits(sorted(nets))
+        report = verify_certificate(
+            certificate, build_graph(scenario), nets, limits,
+            window_margin=options.window_margin,
+        )
+        verify_ok = bool(report["ok"])
+        payload["verify"] = {
+            "ok": verify_ok,
+            "nets_checked": report.get("nets_checked"),
+            "worst_dual_violation": report.get("worst_dual_violation"),
+            "derived_bound": report.get("derived_bound"),
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"bound[{payload['mode']}] eps={payload['epsilon']} "
+            f"iters={payload['iterations']}: "
+            f"lower_bound={payload['lower_bound']} "
+            f"(theta={payload['theta']}, lambda={payload['lambda_lb']})"
+        )
+        if payload["certified_infeasible"]:
+            print(
+                "certified infeasible: "
+                f"{payload['infeasible_reason']} "
+                f"(structural nets: {len(payload['structural_nets'])})"
+            )
+        if "plan_cost" in payload:
+            gap = payload.get("optimality_gap")
+            print(
+                f"plan cost {payload['plan_cost']}"
+                + (f", optimality gap {gap}" if gap is not None else "")
+            )
+        if "rounded" in payload:
+            r = payload["rounded"]
+            print(
+                f"rounded arm: cost {r['total_cost']}, "
+                f"wire overflow {r['wire_overflow']}, "
+                f"site overflow {r['site_overflow']}"
+            )
+        if "verify" in payload:
+            v = payload["verify"]
+            print(
+                f"certificate verify: {'ok' if v['ok'] else 'FAILED'} "
+                f"({v['nets_checked']} nets, worst dual violation "
+                f"{v['worst_dual_violation']})"
+            )
+        if args.cert:
+            print(f"certificate -> {args.cert}")
+    return 0 if verify_ok else 1
 
 
 def _cmd_serve(args) -> int:
@@ -757,10 +951,23 @@ def _dispatch(args) -> int:
         raise ConfigurationError(f"seed must be >= 0, got {args.seed}")
     experiment = ExperimentConfig(seed=args.seed)
     if args.command == "list":
+        caps = _capabilities()
         if args.json:
             import json
 
+            # The leading meta row carries the engine registries
+            # (routers, stage3 solvers, bound modes); benchmark rows
+            # follow, all sharing the name/kind/nets/sinks shape.
             rows = [
+                {
+                    "name": "_capabilities",
+                    "kind": "meta",
+                    "nets": 0,
+                    "sinks": 0,
+                    **caps,
+                }
+            ]
+            rows.extend(
                 {
                     "name": name,
                     "kind": "random" if spec.is_random else "CBL",
@@ -768,15 +975,19 @@ def _dispatch(args) -> int:
                     "sinks": spec.sinks,
                 }
                 for name, spec in sorted(BENCHMARK_SPECS.items())
-            ]
+            )
             print(json.dumps(rows, indent=2))
             return 0
         for name, spec in sorted(BENCHMARK_SPECS.items()):
             kind = "random" if spec.is_random else "CBL"
             print(f"{name:8s} {kind:6s} {spec.nets:5d} nets {spec.sinks:5d} sinks")
+        for key, values in caps.items():
+            print(f"{key}: {', '.join(values)}")
         return 0
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "bound":
+        return _cmd_bound(args)
     if args.command == "run":
         _check_worker_flags(args)
         return _cmd_run(args)

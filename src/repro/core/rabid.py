@@ -78,6 +78,13 @@ class RabidConfig:
             repeater alone, ``"tech"`` the three-strength BUF_X1/X2/X4
             library derived from the technology table. Strategies other
             than ``multi_type`` only ever place the default repeater.
+        bound: lower-bound oracle mode, one of
+            :data:`repro.bounds.BOUND_MODES`, or ``""`` (default) to
+            skip the oracle. When set, explore sweeps run the certified
+            buffered-MCF bound per scenario and report ``lower_bound``,
+            ``optimality_gap``, and ``certified_infeasible`` metrics.
+        bound_epsilon: Garg-Konemann epsilon for the oracle's length
+            updates (smaller = tighter bound, more work).
     """
 
     length_limit: int = 5
@@ -96,10 +103,22 @@ class RabidConfig:
     stage3_solver: str = "dp"
     stage3_solvers: Dict[str, str] = field(default_factory=dict)
     buffer_library: str = "single"
+    bound: str = ""
+    bound_epsilon: float = 0.25
 
     def __post_init__(self) -> None:
         if self.router not in ("pd", "mcf"):
             raise ConfigurationError(f"unknown router {self.router!r}")
+        if self.bound:
+            from repro.bounds.oracle import BOUND_MODES
+
+            if self.bound not in BOUND_MODES:
+                raise ConfigurationError(
+                    f"unknown bound mode {self.bound!r}; expected one of "
+                    f"{BOUND_MODES} or ''"
+                )
+        if not 0 < self.bound_epsilon <= 1:
+            raise ConfigurationError("bound_epsilon must be in (0, 1]")
         if self.stage3_solver not in SOLVER_NAMES:
             raise ConfigurationError(
                 f"unknown buffering solver {self.stage3_solver!r}; "

@@ -117,8 +117,30 @@ def evaluate_scenario(
 
     ``via`` is ``"incremental"`` when the scenario was a recognized delta
     of ``base`` and the replay succeeded, else ``"full"``.
+
+    When ``config.bound`` is set, the certified lower-bound oracle runs
+    after the plan and merges its per-scenario metrics
+    (``lower_bound``, ``optimality_gap``, ``certified_infeasible``; see
+    :func:`repro.bounds.gap.gap_metrics`) into the result. The oracle is
+    deterministic and single-threaded, so the added metrics keep the
+    sweep's byte-identity across worker counts.
     """
     config = config or RabidConfig()
+    metrics, via = _plan_metrics(scenario, config, base, reuse_baseline)
+    if config.bound:
+        from repro.bounds.gap import gap_metrics
+
+        metrics.update(gap_metrics(scenario, config, metrics))
+    return metrics, via
+
+
+def _plan_metrics(
+    scenario: ScenarioSpec,
+    config: RabidConfig,
+    base: "ScenarioSpec | None",
+    reuse_baseline: bool,
+) -> Tuple[Dict[str, Any], str]:
+    """The plan-side evaluation (incremental replay or scratch plan)."""
     if reuse_baseline and base is not None and base != scenario:
         delta = delta_between(base, scenario)
         if delta is not None:

@@ -116,6 +116,14 @@ def frontier_report(
         entry["buffers"] = record.metrics.get("buffers")
         entry["cost"] = record.metrics.get("cost")
         entry["feasible"] = record.metrics["unassigned_nets"] == 0
+        if "optimality_gap" in record.metrics:
+            # Bound-oracle sweeps report how far each point is from the
+            # certified optimum, not just whether it planned.
+            entry["lower_bound"] = record.metrics.get("lower_bound")
+            entry["optimality_gap"] = record.metrics.get("optimality_gap")
+            entry["certified_infeasible"] = record.metrics.get(
+                "certified_infeasible", False
+            )
         if assignments and record.key in assignments:
             entry["assignment"] = dict(
                 sorted(assignments[record.key].items())
@@ -129,6 +137,9 @@ def frontier_report(
         "feasible": len(feasible),
         "frontier_size": len(entries),
         "frontier": entries,
+        "no_feasible": (
+            None if feasible else _no_feasible_record(records, assignments)
+        ),
         "cheapest_feasible": (
             {
                 "key": cheapest.key,
@@ -145,6 +156,62 @@ def frontier_report(
             if cheapest is not None
             else None
         ),
+    }
+
+
+def _gap_sort_value(record: EvalRecord) -> float:
+    gap = record.metrics.get("optimality_gap")
+    return gap if isinstance(gap, (int, float)) else float("inf")
+
+
+def _no_feasible_record(
+    records: List[EvalRecord],
+    assignments: "Dict[str, Dict[str, Any]] | None" = None,
+) -> Dict[str, Any]:
+    """Explicit verdict for an all-infeasible sweep.
+
+    Instead of a silently empty ``cheapest_feasible``, the report says
+    so outright and points at the *nearest* evaluated scenario to the
+    feasibility boundary: fewest unassigned nets, then (when the bound
+    oracle ran) smallest optimality gap. ``certified_infeasible`` counts
+    scenarios the dual certificate *proved* unroutable — those are not
+    "the heuristic gave up", they are impossible at any effort.
+    """
+    ok = [r for r in records if r.status == "ok"]
+    certified = sum(
+        1 for r in ok if r.metrics.get("certified_infeasible")
+    )
+    nearest = min(
+        ok,
+        key=lambda r: (
+            r.metrics["unassigned_nets"], _gap_sort_value(r), r.key
+        ),
+        default=None,
+    )
+    nearest_entry: "Dict[str, Any] | None" = None
+    if nearest is not None:
+        nearest_entry = {
+            "key": nearest.key,
+            "unassigned_nets": nearest.metrics["unassigned_nets"],
+            "site_budget": nearest.metrics["site_budget"],
+            "wire_budget": nearest.metrics["wire_budget"],
+        }
+        if "optimality_gap" in nearest.metrics:
+            nearest_entry["optimality_gap"] = nearest.metrics[
+                "optimality_gap"
+            ]
+            nearest_entry["certified_infeasible"] = nearest.metrics.get(
+                "certified_infeasible", False
+            )
+        if assignments and nearest.key in assignments:
+            nearest_entry["assignment"] = dict(
+                sorted(assignments[nearest.key].items())
+            )
+    return {
+        "message": "no feasible scenario",
+        "evaluated_ok": len(ok),
+        "certified_infeasible": certified,
+        "nearest": nearest_entry,
     }
 
 
@@ -272,6 +339,26 @@ def render_frontier_table(
                 f"{k}={v}" for k, v in cheapest["assignment"].items()
             ) + ")"
         summary += "\n" + budget
+    no_feasible = report.get("no_feasible")
+    if no_feasible:
+        line = (
+            f"no feasible scenario "
+            f"({no_feasible['certified_infeasible']} certified infeasible)"
+        )
+        nearest = no_feasible.get("nearest")
+        if nearest:
+            line += (
+                f"; nearest: unassigned={nearest['unassigned_nets']} "
+                f"sites={nearest['site_budget']} "
+                f"wire={nearest['wire_budget']}"
+            )
+            if nearest.get("optimality_gap") is not None:
+                line += f" gap={nearest['optimality_gap']}"
+            if "assignment" in nearest:
+                line += " (" + " ".join(
+                    f"{k}={v}" for k, v in nearest["assignment"].items()
+                ) + ")"
+        summary += "\n" + line
     return "\n".join(lines) + "\n\n" + summary
 
 

@@ -26,7 +26,7 @@ and to compare against the Prim-Dijkstra + rip-up default.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -35,6 +35,7 @@ from repro.obs import NULL_TRACER
 from repro.routing.maze import route_net_on_tiles
 from repro.routing.tree import RouteTree
 from repro.tilegraph.graph import Tile, TileGraph
+from repro.utils.rng import make_rng
 
 
 @dataclass
@@ -45,17 +46,53 @@ class McfOptions:
         iterations: fractional rounds; more rounds, better duals.
         epsilon: length-update aggressiveness (0 < epsilon <= 1).
         window_margin: Dijkstra search-window margin in tiles.
+        seed: rounding tie-break seed; candidates tied on the
+            (max-congestion, total-congestion) objective are broken by
+            one seeded draw, so rounding is explicitly deterministic.
     """
 
     iterations: int = 6
     epsilon: float = 0.5
     window_margin: int = 10
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
             raise ConfigurationError("MCF needs at least one iteration")
         if not 0 < self.epsilon <= 1:
             raise ConfigurationError("epsilon must be in (0, 1]")
+
+
+@dataclass
+class McfResult:
+    """The fractional router's full output.
+
+    Beyond the rounded trees, the result surfaces the dual state the
+    length updates converged to — the raw material for lower-bound
+    oracles (:mod:`repro.bounds`) and congestion diagnostics:
+
+    ``edge_lengths``
+        final exponential length per flat edge id (``inf`` on
+        zero-capacity edges).
+    ``congestion_duals``
+        normalized dual weight ``l(e) * W(e) / sum`` per flat edge id —
+        a probability vector over edges; mass concentrates on the cuts
+        the fractional flow fought over.
+    """
+
+    routes: Dict[str, RouteTree]
+    edge_lengths: List[float] = field(repr=False)
+    congestion_duals: List[float] = field(repr=False)
+
+    def top_congested_edges(self, count: int = 10) -> List[Tuple[int, float]]:
+        """The ``count`` highest-dual flat edge ids, heaviest first."""
+        order = sorted(
+            range(len(self.congestion_duals)),
+            key=lambda eid: (-self.congestion_duals[eid], eid),
+        )
+        return [
+            (eid, self.congestion_duals[eid]) for eid in order[:count]
+        ]
 
 
 class McfRouter:
@@ -92,6 +129,11 @@ class McfRouter:
 
         Returns the selected tree per net; ``graph`` usage reflects them.
         """
+        return self.route_all_result(netlist).routes
+
+    def route_all_result(self, netlist: Netlist) -> McfResult:
+        """Like :meth:`route_all` but returns the full :class:`McfResult`
+        (rounded trees plus final edge lengths and congestion duals)."""
         candidates: Dict[str, List[RouteTree]] = {n.name: [] for n in netlist}
         pins: Dict[str, Tuple[Tile, List[Tile]]] = {}
         for net in netlist:
@@ -127,22 +169,51 @@ class McfRouter:
                         if self.tracer.enabled:
                             self.tracer.count("mcf_candidate_trees")
         with self.tracer.span("mcf.rounding"):
-            return self._round(netlist, candidates)
+            routes = self._round(netlist, candidates)
+        return McfResult(
+            routes=routes,
+            edge_lengths=list(self._lengths),
+            congestion_duals=self.congestion_duals(),
+        )
+
+    def congestion_duals(self) -> List[float]:
+        """Normalized dual weight ``l(e) * W(e)`` per flat edge id.
+
+        Sums to 1 over positive-capacity edges (all zeros before any
+        capacity exists); heavy entries mark the cuts the length updates
+        penalized hardest.
+        """
+        raw = [
+            length * cap if cap > 0 else 0.0
+            for length, cap in zip(
+                self._lengths, self.graph.edge_capacity.tolist()
+            )
+        ]
+        total = sum(raw)
+        if total <= 0:
+            return raw
+        return [value / total for value in raw]
 
     def _round(
         self,
         netlist: Netlist,
         candidates: Dict[str, List[RouteTree]],
     ) -> Dict[str, RouteTree]:
-        """Greedy rounding: most-constrained nets pick first."""
+        """Greedy rounding: most-constrained nets pick first.
+
+        Ordering and selection are fully deterministic: nets tie-break
+        on name, and candidates tied on the congestion objective are
+        resolved by a single draw from the options seed.
+        """
         order = sorted(
             (n.name for n in netlist),
-            key=lambda name: -len(candidates[name][0].nodes),
+            key=lambda name: (-len(candidates[name][0].nodes), name),
         )
+        rng = make_rng(self.options.seed)
         chosen: Dict[str, RouteTree] = {}
         for name in order:
-            best_tree = None
             best_cost: Tuple[float, float] = (float("inf"), float("inf"))
+            tied: List[RouteTree] = []
             for tree in candidates[name]:
                 worst = 0.0
                 total = 0.0
@@ -155,8 +226,15 @@ class McfRouter:
                 cost = (worst, total)
                 if cost < best_cost:
                     best_cost = cost
-                    best_tree = tree
-            assert best_tree is not None
+                    tied = [tree]
+                elif cost == best_cost:
+                    tied.append(tree)
+            assert tied
+            best_tree = (
+                tied[0]
+                if len(tied) == 1
+                else tied[int(rng.integers(0, len(tied)))]
+            )
             best_tree.add_usage(self.graph)
             chosen[name] = best_tree
         return chosen

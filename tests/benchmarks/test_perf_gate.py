@@ -6,9 +6,11 @@ import pytest
 
 from repro.benchmarks.emit import SpeedupGateError
 from repro.benchmarks.perf_gate import (
+    compare_metrics,
     compare_trajectories,
     gate_files,
     main,
+    metric_gates_for,
 )
 
 
@@ -82,6 +84,88 @@ class TestGate:
         (result,) = compare_trajectories(recorded, fresh, cores=2)
         assert result.status.startswith("skipped")
         assert not result.failed
+
+
+def _bound_entry(label, gap, seconds, params=None):
+    return {
+        "label": label,
+        "params": params if params is not None else {"grid": 32, "epsilon": 0.5},
+        "gap": gap,
+        "seconds_bound": seconds,
+    }
+
+
+BOUND_GATES = {"gap": (0.25, 0.05), "seconds_bound": (0.5, 1.0)}
+
+
+class TestMetricGates:
+    def test_registered_for_bounds_trajectory(self):
+        gates = metric_gates_for("benchmarks/BENCH_bounds.json")
+        assert "gap" in gates and "seconds_bound" in gates
+        assert metric_gates_for("benchmarks/BENCH_planner.json") == {}
+
+    def test_within_ceiling_passes(self):
+        recorded = _traj([_bound_entry("r", 0.6, 10.0)])
+        fresh = _traj([_bound_entry("f", 0.64, 12.0)])
+        results = compare_metrics(recorded, fresh, BOUND_GATES)
+        assert [r.status for r in results] == ["ok", "ok"]
+
+    def test_gap_regression_fails(self):
+        recorded = _traj([_bound_entry("r", 0.6, 10.0)])
+        fresh = _traj([_bound_entry("f", 0.9, 10.0)])
+        results = compare_metrics(recorded, fresh, BOUND_GATES)
+        gap = next(r for r in results if r.metric == "gap")
+        assert gap.failed
+        assert "0.9" in gap.describe()
+
+    def test_time_regression_fails(self):
+        recorded = _traj([_bound_entry("r", 0.6, 10.0)])
+        fresh = _traj([_bound_entry("f", 0.6, 40.0)])
+        results = compare_metrics(recorded, fresh, BOUND_GATES)
+        assert next(r for r in results if r.metric == "seconds_bound").failed
+
+    def test_abs_slack_protects_near_zero_values(self):
+        # A 0.0 recorded gap must tolerate tiny fresh noise.
+        recorded = _traj([_bound_entry("r", 0.0, 0.1)])
+        fresh = _traj([_bound_entry("f", 0.04, 0.9)])
+        results = compare_metrics(recorded, fresh, BOUND_GATES)
+        assert [r.status for r in results] == ["ok", "ok"]
+
+    def test_none_gap_skips(self):
+        # Certified-infeasible runs record gap=None: skipped, not failed.
+        recorded = _traj([_bound_entry("r", 0.6, 10.0)])
+        fresh = _traj([_bound_entry("f", None, 10.0)])
+        results = compare_metrics(recorded, fresh, BOUND_GATES)
+        gap = next(r for r in results if r.metric == "gap")
+        assert gap.status.startswith("skipped")
+        assert not gap.failed
+
+    def test_different_params_not_compared(self):
+        recorded = _traj([_bound_entry("r", 0.6, 10.0, params={"epsilon": 0.5})])
+        fresh = _traj([_bound_entry("f", 9.9, 99.0, params={"epsilon": 0.25})])
+        results = compare_metrics(recorded, fresh, BOUND_GATES)
+        assert all(r.status.startswith("skipped") for r in results)
+
+    def test_gate_files_arms_metric_gates_by_basename(self, tmp_path):
+        rec_dir = tmp_path / "benchmarks"
+        rec_dir.mkdir()
+        rec = rec_dir / "BENCH_bounds.json"
+        rec.write_text(json.dumps(_traj([_bound_entry("r", 0.6, 10.0)])))
+        bad = tmp_path / "fresh.json"
+        bad.write_text(json.dumps(_traj([_bound_entry("f", 2.0, 10.0)])))
+        with pytest.raises(SpeedupGateError) as err:
+            gate_files(str(rec), str(bad), cores=8)
+        assert "gap" in str(err.value)
+
+    def test_gate_files_metrics_ok(self, tmp_path):
+        rec_dir = tmp_path / "benchmarks"
+        rec_dir.mkdir()
+        rec = rec_dir / "BENCH_bounds.json"
+        rec.write_text(json.dumps(_traj([_bound_entry("r", 0.6, 10.0)])))
+        good = tmp_path / "fresh.json"
+        good.write_text(json.dumps(_traj([_bound_entry("f", 0.6, 10.0)])))
+        results = gate_files(str(rec), str(good), cores=8)
+        assert not any(r.failed for r in results)
 
 
 class TestFilesAndCli:

@@ -1,0 +1,91 @@
+"""Certificate serialization and independent re-verification."""
+
+import dataclasses
+
+import pytest
+
+from repro.bounds import (
+    BoundOptions,
+    bound_scenario,
+    load_certificate,
+    save_certificate,
+    verify_certificate,
+)
+from repro.errors import ConfigurationError
+from repro.service.engine import build_graph
+from repro.service.jobs import ScenarioSpec
+
+
+SCENARIO = ScenarioSpec(
+    grid=8, num_nets=12, total_sites=120, seed=0, site_seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def cert():
+    return bound_scenario(SCENARIO, BoundOptions(iterations=2)).certificate()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    nets = SCENARIO.nets()
+    return build_graph(SCENARIO), nets, SCENARIO.limits(sorted(nets))
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, cert, tmp_path):
+        path = str(tmp_path / "cert.json")
+        save_certificate(cert, path)
+        loaded = load_certificate(path)
+        assert loaded == cert
+
+    def test_unknown_version_rejected(self, cert, tmp_path):
+        d = cert.to_dict()
+        d["version"] = 999
+        with pytest.raises(ConfigurationError):
+            type(cert).from_dict(d)
+
+    def test_dict_round_trip_preserves_int_keys(self, cert):
+        loaded = type(cert).from_dict(cert.to_dict())
+        assert loaded.edge_lengths == cert.edge_lengths
+        assert all(isinstance(k, int) for k in loaded.edge_lengths)
+
+
+class TestVerification:
+    def test_genuine_certificate_verifies(self, cert, workload):
+        graph, nets, limits = workload
+        verdict = verify_certificate(cert, graph, nets, limits)
+        assert verdict["ok"]
+        assert verdict["worst_dual_violation"] <= 1e-6
+
+    def test_inflated_bound_fails(self, cert, workload):
+        graph, nets, limits = workload
+        forged = dataclasses.replace(
+            cert, lower_bound=(cert.lower_bound or 0.0) * 10 + 100.0
+        )
+        verdict = verify_certificate(forged, graph, nets, limits)
+        assert not verdict["ok"]
+
+    def test_inflated_net_dual_fails(self, cert, workload):
+        graph, nets, limits = workload
+        duals = dict(cert.net_duals)
+        name = sorted(duals)[0]
+        duals[name] += 50.0
+        forged = dataclasses.replace(cert, net_duals=duals)
+        verdict = verify_certificate(forged, graph, nets, limits)
+        assert not verdict["ok"]
+        assert verdict["worst_dual_violation"] > 1e-6
+
+    def test_negative_length_fails(self, cert, workload):
+        graph, nets, limits = workload
+        lengths = dict(cert.edge_lengths)
+        lengths[next(iter(lengths))] = -1.0
+        forged = dataclasses.replace(cert, edge_lengths=lengths)
+        assert not verify_certificate(forged, graph, nets, limits)["ok"]
+
+    def test_out_of_range_index_fails(self, cert, workload):
+        graph, nets, limits = workload
+        lengths = dict(cert.edge_lengths)
+        lengths[10**9] = 1.0
+        forged = dataclasses.replace(cert, edge_lengths=lengths)
+        assert not verify_certificate(forged, graph, nets, limits)["ok"]

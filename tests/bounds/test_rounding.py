@@ -1,0 +1,76 @@
+"""Seeded randomized rounding of the oracle's fractional columns."""
+
+from repro.bounds import (
+    BoundOptions,
+    Candidate,
+    bound_scenario,
+    round_candidates,
+)
+from repro.geometry import Rect
+from repro.service.engine import build_graph
+from repro.service.jobs import ScenarioSpec
+from repro.tilegraph import CapacityModel, TileGraph
+
+
+SCENARIO = ScenarioSpec(
+    grid=8, num_nets=12, total_sites=120, seed=0, site_seed=0
+)
+
+
+def _graph(capacity=2):
+    return TileGraph(
+        Rect(0, 0, 4.0, 2.0), 4, 2, CapacityModel.uniform(capacity)
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        bound = bound_scenario(SCENARIO, BoundOptions(iterations=3))
+        graph = build_graph(SCENARIO)
+        plans = [
+            round_candidates(graph, bound.candidates, seed=7)
+            for _ in range(2)
+        ]
+        assert plans[0].choices == plans[1].choices
+        assert plans[0].summary() == plans[1].summary()
+
+    def test_choice_always_a_column(self):
+        bound = bound_scenario(SCENARIO, BoundOptions(iterations=3))
+        graph = build_graph(SCENARIO)
+        plan = round_candidates(graph, bound.candidates, seed=3)
+        for name, chosen in plan.choices.items():
+            assert chosen in [c for c, _ in bound.candidates[name]]
+
+    def test_graph_usage_untouched(self):
+        bound = bound_scenario(SCENARIO, BoundOptions(iterations=2))
+        graph = build_graph(SCENARIO)
+        before = (graph.h_usage.copy(), graph.v_usage.copy())
+        round_candidates(graph, bound.candidates, seed=0)
+        assert (graph.h_usage == before[0]).all()
+        assert (graph.v_usage == before[1]).all()
+
+
+class TestAccounting:
+    def test_single_column_shortcut(self):
+        graph = _graph(capacity=4)
+        column = Candidate(edges=(0, 1), buffers=(), cost=2.0)
+        plan = round_candidates(graph, {"n0": [(column, 5)]}, seed=0)
+        assert plan.choices["n0"] == column
+        assert plan.total_cost == 2.0
+        assert plan.wire_overflow == 0
+
+    def test_overflow_counted(self):
+        # Three nets forced onto the same unit-capacity edge: usage 3
+        # against capacity 1 is 2 units of overflow.
+        graph = _graph(capacity=1)
+        column = Candidate(edges=(0,), buffers=(), cost=1.0)
+        candidates = {f"n{i}": [(column, 1)] for i in range(3)}
+        plan = round_candidates(graph, candidates, seed=0)
+        assert plan.wire_overflow == 2
+        assert plan.max_wire_congestion == 3.0
+
+    def test_unrouted_nets_reported(self):
+        graph = _graph()
+        plan = round_candidates(graph, {"dead": []}, seed=0)
+        assert plan.unrouted == ["dead"]
+        assert plan.choices == {}

@@ -48,6 +48,29 @@ class TestRabidConfigValidation:
         assert config.stage2_iterations == 0
         assert config.stage4_iterations == 0
 
+    def test_bound_disabled_by_default(self):
+        assert RabidConfig().bound == ""
+
+    def test_known_bound_mode_accepted(self):
+        config = RabidConfig(bound="gk", bound_epsilon=0.5)
+        assert config.bound == "gk"
+        assert config.bound_epsilon == 0.5
+
+    def test_unknown_bound_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RabidConfig(bound="simplex")
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.1, 1.5])
+    def test_bad_bound_epsilon_rejected(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            RabidConfig(bound="gk", bound_epsilon=epsilon)
+
+    def test_bound_round_trips_through_dict(self):
+        config = RabidConfig(bound="gk", bound_epsilon=0.125)
+        clone = RabidConfig.from_dict(config.as_dict())
+        assert clone.bound == "gk"
+        assert clone.bound_epsilon == 0.125
+
     def test_limit_for_prefers_override(self):
         config = RabidConfig(length_limit=5, length_limits={"n0": 2})
         assert config.limit_for("n0") == 2

@@ -1,0 +1,142 @@
+"""Bound-oracle integration with sweeps: gaps, byte-identity, no-feasible."""
+
+from dataclasses import replace
+
+from repro.core.rabid import RabidConfig
+from repro.explore import (
+    frontier_report,
+    render_frontier_table,
+    report_bytes,
+    run_sweep,
+)
+from repro.explore.executor import SweepOptions
+from repro.explore.store import EvalRecord
+from repro.service.jobs import ScenarioSpec
+
+
+def _scenarios(count=16, grid=8, num_nets=10, total_sites=120):
+    """A smoke sweep: site-budget deltas of one base scenario."""
+    base = ScenarioSpec(
+        grid=grid, num_nets=num_nets, total_sites=total_sites,
+        seed=0, site_seed=0,
+    )
+    return base, [
+        replace(base, total_sites=total_sites + 10 * i)
+        for i in range(count)
+    ]
+
+
+def _bound_config():
+    return RabidConfig(bound="gk", bound_epsilon=0.5)
+
+
+class TestGapMetrics:
+    def test_every_scenario_gets_gap_or_certificate(self):
+        base, scenarios = _scenarios()
+        records = run_sweep(
+            scenarios, base=base, config=_bound_config(),
+            options=SweepOptions(workers=1),
+        )
+        assert len(records) == 16
+        for record in records.values():
+            assert record.status == "ok"
+            metrics = record.metrics
+            assert "optimality_gap" in metrics
+            assert "certified_infeasible" in metrics
+            if not metrics["certified_infeasible"]:
+                assert isinstance(metrics["lower_bound"], float)
+                assert isinstance(metrics["optimality_gap"], float)
+
+    def test_report_bytes_identical_across_worker_counts(self):
+        base, scenarios = _scenarios()
+        reports = []
+        for workers in (1, 2):
+            records = run_sweep(
+                scenarios, base=base, config=_bound_config(),
+                options=SweepOptions(workers=workers),
+            )
+            reports.append(report_bytes(frontier_report(records)))
+        assert reports[0] == reports[1]
+
+    def test_gap_absent_without_bound_config(self):
+        base, scenarios = _scenarios(count=2)
+        records = run_sweep(
+            scenarios, base=base, config=RabidConfig(),
+            options=SweepOptions(workers=1),
+        )
+        for record in records.values():
+            assert "optimality_gap" not in record.metrics
+
+    def test_frontier_entries_carry_gap(self):
+        base, scenarios = _scenarios(count=4)
+        records = run_sweep(
+            scenarios, base=base, config=_bound_config(),
+            options=SweepOptions(workers=1),
+        )
+        report = frontier_report(records)
+        assert report["frontier"]
+        for entry in report["frontier"]:
+            assert "optimality_gap" in entry
+            assert "lower_bound" in entry
+            assert "certified_infeasible" in entry
+
+
+def _infeasible(key, unassigned, gap=None, certified=False):
+    metrics = {
+        "unassigned_nets": unassigned,
+        "site_budget": 10,
+        "wire_budget": 50,
+        "wirelength_tiles": 20,
+        "max_delay_ps": 10.0,
+        "buffers": 3,
+        "cost": 1.0,
+        "signature": "s",
+        "certified_infeasible": certified,
+    }
+    if gap is not None:
+        metrics["optimality_gap"] = gap
+    return EvalRecord(key=key, scenario={}, status="ok", metrics=metrics)
+
+
+class TestNoFeasibleRecord:
+    def test_all_infeasible_sweep_says_so(self):
+        records = [
+            _infeasible("far", 9, gap=2.0),
+            _infeasible("near", 2, gap=0.4),
+            _infeasible("proved", 5, certified=True),
+        ]
+        report = frontier_report(records)
+        assert report["cheapest_feasible"] is None
+        verdict = report["no_feasible"]
+        assert verdict["message"] == "no feasible scenario"
+        assert verdict["evaluated_ok"] == 3
+        assert verdict["certified_infeasible"] == 1
+        assert verdict["nearest"]["key"] == "near"
+        assert verdict["nearest"]["unassigned_nets"] == 2
+        assert verdict["nearest"]["optimality_gap"] == 0.4
+
+    def test_nearest_prefers_smaller_gap_on_tied_unassigned(self):
+        records = [
+            _infeasible("wide", 2, gap=3.0),
+            _infeasible("tight", 2, gap=0.1),
+        ]
+        report = frontier_report(records)
+        assert report["no_feasible"]["nearest"]["key"] == "tight"
+
+    def test_feasible_sweep_has_no_verdict(self):
+        records = [_infeasible("ok", 0)]
+        report = frontier_report(records)
+        assert report["no_feasible"] is None
+
+    def test_rendered_table_mentions_no_feasible(self):
+        records = [_infeasible("x", 3, certified=True)]
+        text = render_frontier_table(frontier_report(records))
+        assert "no feasible scenario" in text
+        assert "nearest" in text
+
+    def test_no_ok_records_still_reports(self):
+        crashed = EvalRecord(key="boom", scenario={}, status="crashed", error="x")
+        report = frontier_report([crashed])
+        verdict = report["no_feasible"]
+        assert verdict["evaluated_ok"] == 0
+        assert verdict["nearest"] is None

@@ -109,6 +109,134 @@ class TestRouting:
         assert results[0] == results[1]
 
 
+class TestResultObject:
+    def test_route_all_result_surfaces_duals(self):
+        graph = _graph(capacity=2)
+        netlist = _netlist([((0.5, 0.5), (7.5, 0.5))])
+        router = McfRouter(graph, McfOptions(iterations=1, epsilon=0.5))
+        result = router.route_all_result(netlist)
+        assert set(result.routes) == {"n0"}
+        assert len(result.edge_lengths) == len(graph.edge_capacity)
+        # Used edges were bumped once: 0.5 * (1 + 0.5/2) = 0.625;
+        # untouched edges still carry the initial 1/W = 0.5.
+        used = {
+            graph.edge_id(u, v) for u, v in result.routes["n0"].edges()
+        }
+        for eid in used:
+            assert result.edge_lengths[eid] == pytest.approx(0.625)
+        unused = next(
+            eid for eid in range(len(graph.edge_capacity))
+            if eid not in used
+        )
+        assert result.edge_lengths[unused] == pytest.approx(0.5)
+
+    def test_congestion_duals_are_a_distribution(self):
+        graph = _graph(capacity=2)
+        netlist = _netlist([((0.5, 0.5), (7.5, 6.5))])
+        result = McfRouter(graph).route_all_result(netlist)
+        assert sum(result.congestion_duals) == pytest.approx(1.0)
+        assert all(d >= 0 for d in result.congestion_duals)
+        top = result.top_congested_edges(5)
+        assert len(top) == 5
+        assert top == sorted(top, key=lambda t: (-t[1], t[0]))
+
+    def test_route_all_matches_result_routes(self):
+        netlist = _netlist([((0.5, 0.5), (7.5, 6.5)), ((0.5, 6.5), (7.5, 0.5))])
+        routes = McfRouter(_graph(capacity=3)).route_all(netlist)
+        result = McfRouter(_graph(capacity=3)).route_all_result(netlist)
+        assert {n: sorted(t.edges()) for n, t in routes.items()} == {
+            n: sorted(t.edges()) for n, t in result.routes.items()
+        }
+
+
+class TestRounding:
+    def _tree(self, tiles, name="t"):
+        from repro.routing.tree import RouteTree
+
+        return RouteTree.from_paths(
+            tiles[0], [tiles], [tiles[-1]], net_name=name
+        )
+
+    def test_most_constrained_net_picks_first(self):
+        # "long" has the only candidate using the contested middle edge;
+        # "short" could take it too but also has a detour. Rounding must
+        # let the bigger tree commit first, pushing "short" to the
+        # detour — picking in the other order overflows the middle edge.
+        graph = TileGraph(
+            Rect(0, 0, 4.0, 2.0), 4, 2, CapacityModel.uniform(1)
+        )
+        router = McfRouter(graph)
+        straight = [(0, 0), (1, 0), (2, 0), (3, 0)]
+        middle = [(1, 0), (2, 0)]
+        detour = [(1, 0), (1, 1), (2, 1), (2, 0)]
+        candidates = {
+            "long": [self._tree(straight, "long")],
+            "short": [
+                self._tree(middle, "short"),
+                self._tree(detour, "short"),
+            ],
+        }
+        netlist = Netlist(
+            nets=[
+                Net(
+                    name="long",
+                    source=Pin("long.s", Point(0.5, 0.5)),
+                    sinks=[Pin("long.t", Point(3.5, 0.5))],
+                ),
+                Net(
+                    name="short",
+                    source=Pin("short.s", Point(1.5, 0.5)),
+                    sinks=[Pin("short.t", Point(2.5, 0.5))],
+                ),
+            ]
+        )
+        chosen = router._round(netlist, candidates)
+        assert sorted(chosen["short"].edges()) == sorted(
+            self._tree(detour).edges()
+        )
+        stats = wire_congestion_stats(graph)
+        assert stats.overflow == 0
+
+    def test_tie_break_is_seeded_and_stable(self):
+        # Two symmetric candidates with identical congestion cost: the
+        # pick must be reproducible for a fixed seed.
+        def run(seed):
+            graph = TileGraph(
+                Rect(0, 0, 3.0, 2.0), 3, 2, CapacityModel.uniform(4)
+            )
+            router = McfRouter(graph, McfOptions(seed=seed))
+            low = [(0, 0), (1, 0), (2, 0), (2, 1)]
+            high = [(0, 0), (0, 1), (1, 1), (2, 1)]
+            candidates = {"n": [self._tree(low, "n"), self._tree(high, "n")]}
+            netlist = Netlist(
+                nets=[
+                    Net(
+                        name="n",
+                        source=Pin("n.s", Point(0.5, 0.5)),
+                        sinks=[Pin("n.t", Point(2.5, 1.5))],
+                    )
+                ]
+            )
+            return sorted(router._round(netlist, candidates)["n"].edges())
+
+        assert run(0) == run(0)
+        assert run(123) == run(123)
+
+    def test_known_fractional_optimum_rounds_cleanly(self):
+        # Hand-checkable instance: two (0,0)->(1,1) nets on a 2x2 grid
+        # of unit capacity. The fractional optimum splits each net over
+        # the two disjoint L-paths (congestion 1); rounding must realize
+        # it exactly by giving each net its own path — zero overflow.
+        graph = TileGraph(
+            Rect(0, 0, 2.0, 2.0), 2, 2, CapacityModel.uniform(1)
+        )
+        netlist = _netlist([((0.5, 0.5), (1.5, 1.5)), ((0.5, 0.5), (1.5, 1.5))])
+        routes = McfRouter(graph, McfOptions(iterations=6)).route_all(netlist)
+        stats = wire_congestion_stats(graph)
+        assert stats.overflow == 0
+        assert sorted(routes["n0"].edges()) != sorted(routes["n1"].edges())
+
+
 class TestPlannerIntegration:
     def test_rabid_with_mcf_router(self):
         from repro.core import RabidConfig, RabidPlanner
