@@ -41,6 +41,20 @@ METRIC_GATES: Dict[str, Dict[str, Tuple[float, float]]] = {
         "gap": (0.25, 0.05),
         "seconds_bound": (0.5, 1.0),
     },
+    "BENCH_streaming.json": {
+        "event_p95": (0.5, 0.5),
+    },
+}
+
+#: Higher-is-better metric gates, same shape as :data:`METRIC_GATES`
+#: but with a *floor*: a fresh value fails when it drops below
+#: ``recorded * (1 - rel_tolerance) - abs_slack``. Used for the streaming
+#: tier's steady-state incremental speedup, where smaller is the
+#: regression.
+MIN_METRIC_GATES: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "BENCH_streaming.json": {
+        "steady_speedup": (0.25, 0.1),
+    },
 }
 
 
@@ -101,13 +115,16 @@ def compare_metrics(
     recorded: Dict[str, Any],
     fresh: Dict[str, Any],
     gates: Dict[str, Tuple[float, float]],
+    minimum: bool = False,
 ) -> List[MetricGateResult]:
-    """Gate lower-is-better metrics entry by entry.
+    """Gate per-entry metrics, lower-is-better by default.
 
     Fresh entries match recorded ones on the same ``(params, workers)``
     identity as :func:`compare_trajectories`. For each gated metric a
     fresh value regresses when it exceeds
-    ``recorded * (1 + rel_tolerance) + abs_slack``; missing or
+    ``recorded * (1 + rel_tolerance) + abs_slack`` — or, with
+    ``minimum=True`` (higher-is-better metrics), when it drops below
+    ``recorded * (1 - rel_tolerance) - abs_slack``. Missing or
     non-numeric values on either side are reported as skipped (a
     ``None`` gap from a certified-infeasible run never fails the gate).
     """
@@ -144,8 +161,12 @@ def compare_metrics(
                     )
                 )
                 continue
-            ceiling = rec_value * (1.0 + rel_tolerance) + abs_slack
-            status = "ok" if new_value <= ceiling else "regressed"
+            if minimum:
+                floor = rec_value * (1.0 - rel_tolerance) - abs_slack
+                status = "ok" if new_value >= floor else "regressed"
+            else:
+                ceiling = rec_value * (1.0 + rel_tolerance) + abs_slack
+                status = "ok" if new_value <= ceiling else "regressed"
             results.append(
                 MetricGateResult(label, metric, rec_value, new_value, status)
             )
@@ -155,6 +176,11 @@ def compare_metrics(
 def metric_gates_for(recorded_path: str) -> Dict[str, Tuple[float, float]]:
     """The registered metric gates for a trajectory file (may be empty)."""
     return METRIC_GATES.get(os.path.basename(recorded_path), {})
+
+
+def min_metric_gates_for(recorded_path: str) -> Dict[str, Tuple[float, float]]:
+    """The registered higher-is-better gates for a file (may be empty)."""
+    return MIN_METRIC_GATES.get(os.path.basename(recorded_path), {})
 
 
 def compare_trajectories(
@@ -248,6 +274,11 @@ def gate_files(
     gates = metrics if metrics is not None else metric_gates_for(recorded_path)
     if gates:
         results.extend(compare_metrics(recorded, fresh, gates))
+    min_gates = min_metric_gates_for(recorded_path)
+    if min_gates:
+        results.extend(
+            compare_metrics(recorded, fresh, min_gates, minimum=True)
+        )
     failed = [r for r in results if r.failed]
     if failed:
         lines = "\n".join(f"  {r.describe()}" for r in failed)

@@ -77,6 +77,15 @@ class BoundOptions:
         buffer_cost: cost per inserted repeater.
         seed: randomized-rounding seed.
         theta_grid: dual line-search grid; must contain 0.0.
+        refine_iters: golden-section evaluations refining theta inside
+            the bracket around the best grid point (``LB(theta)`` is
+            concave, so the bracket contains the true peak). 0 keeps
+            the plain grid search. The refined bound can only improve
+            on the grid bound: the grid winner stays the incumbent
+            until a refined theta beats it.
+        triage: run the millisecond routability triage first and skip
+            pricing entirely when it *certifies* infeasibility
+            (counter ``triage.skips``).
     """
 
     mode: str = "gk"
@@ -87,6 +96,8 @@ class BoundOptions:
     buffer_cost: float = 1.0
     seed: int = 0
     theta_grid: Tuple[float, ...] = DEFAULT_THETA_GRID
+    refine_iters: int = 4
+    triage: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in BOUND_MODES:
@@ -104,6 +115,8 @@ class BoundOptions:
             raise ConfigurationError("theta_grid must contain 0.0")
         if any(t < 0 for t in self.theta_grid):
             raise ConfigurationError("theta values must be >= 0")
+        if self.refine_iters < 0:
+            raise ConfigurationError("refine_iters must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -132,7 +145,7 @@ class BoundResult:
     unconstrained_bound: Optional[float]
     lambda_lb: float
     certified_infeasible: bool
-    infeasible_reason: str  # "" | "structural" | "capacity"
+    infeasible_reason: str  # "" | "structural" | "capacity" | "triage-*"
     wire_cost: float
     buffer_cost: float
     dual_load: float
@@ -315,6 +328,65 @@ def compute_bound(
                 best_lb = lb
                 best_theta = theta
                 best_duals = duals
+
+        def _price_theta(theta: float) -> "Tuple[float, Dict[str, float]]":
+            nonlocal pricing_calls
+            total = 0.0
+            duals: Dict[str, float] = {}
+            for name in names:
+                if name in structural:
+                    continue
+                source, sinks = nets[name]
+                priced = pricer.price(
+                    source, list(sinks), limits[name],
+                    edge_lengths, site_lengths,
+                    options.wire_cost, options.buffer_cost,
+                    scale=theta,
+                )
+                pricing_calls += 1
+                value = priced.dual_value()
+                if value >= INF:
+                    structural.add(name)
+                    continue
+                duals[name] = value
+                total += value
+            return total - theta * dual_load, duals
+
+        # Golden-section refinement inside the bracket around the best
+        # grid theta. LB(theta) is concave, so the peak lies between the
+        # grid neighbours of the winner; the grid winner stays incumbent
+        # unless a refined theta strictly beats it (refined LB >= grid
+        # LB by construction, and the theta = 0 floor above is kept).
+        if options.refine_iters >= 2 and best_duals:
+            thetas = sorted(set(options.theta_grid))
+            pos = thetas.index(best_theta)
+            lo = thetas[pos - 1] if pos > 0 else best_theta
+            hi = thetas[pos + 1] if pos + 1 < len(thetas) else best_theta
+            if hi > lo:
+                invphi = 0.6180339887498949
+                a, b = lo, hi
+                c = b - invphi * (b - a)
+                d = a + invphi * (b - a)
+                fc, dc = _price_theta(c)
+                fd, dd = _price_theta(d)
+                for probe, value, duals in ((c, fc, dc), (d, fd, dd)):
+                    if duals and value > best_lb:
+                        best_lb, best_theta, best_duals = value, probe, duals
+                for _ in range(options.refine_iters - 2):
+                    if fc >= fd:
+                        b, d, fd, dd = d, c, fc, dc
+                        c = b - invphi * (b - a)
+                        fc, dc = _price_theta(c)
+                        probe, value, duals = c, fc, dc
+                    else:
+                        a, c, fc, dc = c, d, fd, dd
+                        d = a + invphi * (b - a)
+                        fd, dd = _price_theta(d)
+                        probe, value, duals = d, fd, dd
+                    if duals and value > best_lb:
+                        best_lb, best_theta, best_duals = value, probe, duals
+                if tracer.enabled:
+                    tracer.count("bound.refine_evals", options.refine_iters)
         # Concurrent-flow congestion bound: lengths only, no base costs.
         for name in names:
             if name in structural:
@@ -384,9 +456,45 @@ def bound_scenario(
     Builds the scenario's graph (capacities + site scatter) exactly as
     :func:`repro.service.engine.full_plan` would, then bounds the same
     nets under the same per-net length limits.
+
+    With ``options.triage`` the millisecond routability triage runs
+    first; a *certified* verdict (site or cut bound — proofs, not
+    estimates) skips the pricing escalation entirely and returns an
+    infeasibility-only result (``infeasible_reason = "triage-sites"`` /
+    ``"triage-cut"``, counter ``triage.skips``).
     """
     from repro.service.engine import build_graph  # avoid import cycle
 
+    options = options or BoundOptions()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if options.triage:
+        from repro.workloads.triage import triage_scenario
+
+        verdict = triage_scenario(scenario, tracer=tracer)
+        if verdict.certified_infeasible:
+            if tracer.enabled:
+                tracer.count("triage.skips")
+            return BoundResult(
+                mode=options.mode,
+                epsilon=options.epsilon,
+                iterations=0,
+                theta=0.0,
+                lower_bound=None,
+                unconstrained_bound=None,
+                lambda_lb=0.0,
+                certified_infeasible=True,
+                infeasible_reason=f"triage-{verdict.infeasible_reason}",
+                wire_cost=options.wire_cost,
+                buffer_cost=options.buffer_cost,
+                dual_load=0.0,
+                net_duals={},
+                structural_nets=[],
+                edge_lengths=[],
+                site_lengths=[],
+                candidates={},
+                pricing_calls=0,
+                seconds=verdict.seconds,
+            )
     graph = build_graph(scenario)
     nets = scenario.nets()
     limits = scenario.limits(sorted(nets))

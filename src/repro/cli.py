@@ -297,6 +297,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--bound-epsilon", type=float, default=0.25,
         help="Garg-Konemann epsilon for the bound oracle",
     )
+    explore.add_argument(
+        "--triage", default="off",
+        choices=("off", "certified", "estimate"),
+        help="routability triage gate: prune scenarios the millisecond "
+        "estimator certifies (certified) or estimates (estimate) "
+        "infeasible before planning them",
+    )
 
     bound = sub.add_parser(
         "bound",
@@ -319,6 +326,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bound.add_argument(
         "--iterations", type=int, default=4,
         help="length-update rounds",
+    )
+    bound.add_argument(
+        "--refine-iters", type=int, default=4,
+        help="golden-section pricing evaluations refining theta around "
+        "the best grid point (0 disables refinement)",
+    )
+    bound.add_argument(
+        "--triage", action="store_true",
+        help="run the millisecond routability triage first; certified "
+        "infeasible scenarios skip the pricing escalation entirely",
     )
     bound.add_argument(
         "--compare", action="store_true",
@@ -356,6 +373,58 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--no-wait", action="store_true",
         help="return after enqueueing instead of waiting for the result",
+    )
+
+    workload = sub.add_parser(
+        "workload",
+        help="named workload tiers: list, describe, or stream an ECO trace",
+    )
+    workload.add_argument(
+        "action", choices=("list", "describe", "run"),
+        help="list the registry, print one tier card (with its triage "
+        "verdict), or replay a streaming ECO trace against the tier",
+    )
+    workload.add_argument(
+        "--name", metavar="TIER",
+        help="workload tier name (required for describe/run)",
+    )
+    workload.add_argument(
+        "--source", choices=("smoke", "ladder", "table1"), default=None,
+        help="restrict `list` to one registry source",
+    )
+    workload.add_argument(
+        "--trace-events", type=int, default=100,
+        help="streaming trace length (run)",
+    )
+    workload.add_argument(
+        "--trace-seed", type=int, default=0,
+        help="ECO event-stream seed (run)",
+    )
+    workload.add_argument(
+        "--checkpoint-every", type=int, default=25,
+        help="full re-plan divergence checkpoint period; 0 disables",
+    )
+    workload.add_argument(
+        "--workers", type=int, default=1,
+        help="1 = in-process scheduler, >1 = process fleet "
+        "(signature maps are identical either way)",
+    )
+    workload.add_argument(
+        "--job-timeout", type=float, default=600.0,
+        help="per-job wall-clock budget handed to the service",
+    )
+    workload.add_argument(
+        "--triage", action="store_true",
+        help="triage the tier before replaying; a certified-infeasible "
+        "verdict aborts the run (exit 1)",
+    )
+    workload.add_argument(
+        "--json", action="store_true",
+        help="print the full TraceReport JSON instead of the summary",
+    )
+    workload.add_argument(
+        "--out", metavar="PATH",
+        help="also write the full TraceReport JSON to PATH",
     )
     return parser
 
@@ -503,6 +572,7 @@ def _cmd_explore(args) -> int:
         retries=args.retries,
         reuse_baseline=not args.no_reuse,
         max_scenarios=args.max_scenarios,
+        triage=args.triage,
     )
     tracer = None
     if args.metrics:
@@ -580,7 +650,7 @@ def _cmd_explore(args) -> int:
     if tracer is not None:
         print("\ncounters:")
         for name in ("explore.scenarios", "explore.cache_hits",
-                     "explore.retries"):
+                     "explore.retries", "explore.triage_pruned"):
             print(f"  {name}: {tracer.metrics.value(name)}")
     evaluated_ok = any(
         r.status == "ok" for r in result.records.values()
@@ -613,7 +683,7 @@ def _cmd_bound(args) -> int:
     )
     options = BoundOptions(
         mode=args.mode, epsilon=args.epsilon, iterations=args.iterations,
-        seed=args.seed,
+        seed=args.seed, refine_iters=args.refine_iters, triage=args.triage,
     )
     result = bound_scenario(scenario, options)
     payload = result.summary()
@@ -693,6 +763,104 @@ def _cmd_bound(args) -> int:
         if args.cert:
             print(f"certificate -> {args.cert}")
     return 0 if verify_ok else 1
+
+
+def _cmd_workload(args) -> int:
+    """List workload tiers, describe one, or stream an ECO trace."""
+    import json
+
+    from repro.workloads import (
+        TraceOptions,
+        get_workload,
+        list_workloads,
+        run_workload_trace,
+        triage_scenario,
+    )
+
+    if args.action == "list":
+        tiers = list_workloads(args.source)
+        if args.json:
+            print(json.dumps([t.describe() for t in tiers], indent=2))
+            return 0
+        for t in tiers:
+            print(
+                f"{t.name:16s} {t.source:6s} {t.grid:4d}x{t.grid:<4d} "
+                f"{t.num_nets:6d} nets {t.total_sites:7d} sites  "
+                f"{t.description}"
+            )
+        return 0
+    if not args.name:
+        raise ConfigurationError(f"workload {args.action} needs --name")
+    spec = get_workload(args.name)
+    if args.action == "describe":
+        card = spec.describe()
+        verdict = triage_scenario(spec.scenario())
+        card["triage"] = verdict.as_dict()
+        if args.json:
+            print(json.dumps(card, indent=2, sort_keys=True))
+            return 0
+        for key, value in card.items():
+            if key == "triage":
+                continue
+            print(f"{key}: {value}")
+        print(
+            f"triage: {verdict.verdict} "
+            f"(site_pressure={verdict.site_pressure:.3f}, "
+            f"cut_slack={verdict.cut_slack}, "
+            f"{verdict.seconds * 1000:.1f} ms)"
+        )
+        return 0
+    # action == "run": stream a generated ECO trace through the service.
+    if args.triage:
+        verdict = triage_scenario(spec.scenario())
+        if verdict.certified_infeasible:
+            print(
+                f"triage: {args.name} certified infeasible "
+                f"({verdict.infeasible_reason}); not replaying"
+            )
+            return 1
+    options = TraceOptions(
+        events=args.trace_events,
+        seed=args.trace_seed,
+        checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+    )
+    report = run_workload_trace(args.name, options)
+    payload = report.as_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        pct = report.latency_percentiles()
+        speedup = payload["steady_speedup"]
+        print(
+            f"workload {report.workload}: {report.events} events, "
+            f"{report.workers} worker(s), seed {report.seed}"
+        )
+        print(
+            f"  baseline: {report.nets} nets, "
+            f"{report.baseline.get('buffers')} buffers, "
+            f"{report.baseline.get('seconds_full', 0.0):.2f}s full plan"
+        )
+        print(
+            f"  steady incremental speedup: "
+            f"{speedup if speedup is not None else 'n/a'}x; latency "
+            f"p50={pct['event_p50']:.3f}s p95={pct['event_p95']:.3f}s "
+            f"p99={pct['event_p99']:.3f}s"
+        )
+        print(
+            f"  checkpoints: {len(report.checkpoints)}, "
+            f"divergences: {report.divergences}, "
+            f"signature digest {report.signature_digest()[:16]}…"
+        )
+        print(f"  events by kind: {payload['events_by_kind']}")
+        if args.out:
+            print(f"  report -> {args.out}")
+    return 0 if report.divergences == 0 else 1
 
 
 def _cmd_serve(args) -> int:
@@ -991,6 +1159,9 @@ def _dispatch(args) -> int:
     if args.command == "run":
         _check_worker_flags(args)
         return _cmd_run(args)
+    if args.command == "workload":
+        _check_worker_flags(args)
+        return _cmd_workload(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "loadgen":

@@ -183,6 +183,13 @@ class SweepOptions:
             re-evaluated).
         max_scenarios: stop the sweep after this many evaluations —
             remaining scenarios stay pending in the store for a resume.
+        triage: routability triage gate mode (``"off"``, ``"certified"``,
+            ``"estimate"`` — see :mod:`repro.workloads.triage`). A
+            scenario the gate prunes is recorded as a ``pruned`` record
+            (milliseconds) instead of being planned (seconds+), and a
+            pruned record observes as *infeasible* in the bisect sampler.
+            ``certified`` prunes only on proofs; ``estimate`` also prunes
+            on the calibrated site-pressure heuristic.
     """
 
     workers: int = 1
@@ -191,8 +198,11 @@ class SweepOptions:
     reuse_baseline: bool = True
     retry_failed: bool = True
     max_scenarios: Optional[int] = None
+    triage: str = "off"
 
     def __post_init__(self) -> None:
+        from repro.workloads.triage import TRIAGE_MODES
+
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -201,6 +211,11 @@ class SweepOptions:
             raise ConfigurationError("retries must be >= 0")
         if self.max_scenarios is not None and self.max_scenarios < 0:
             raise ConfigurationError("max_scenarios must be >= 0")
+        if self.triage not in TRIAGE_MODES:
+            raise ConfigurationError(
+                f"unknown triage mode {self.triage!r}; expected one of "
+                f"{TRIAGE_MODES}"
+            )
 
 
 # --------------------------------------------------------------------- #
@@ -281,6 +296,12 @@ def run_sweep(
             if tracer.enabled:
                 tracer.count("explore.cache_hits")
             continue
+        if options.triage != "off":
+            pruned = _triage_prune(key, scenario, options.triage, tracer)
+            if pruned is not None:
+                store.append(pruned)
+                results[key] = pruned
+                continue
         pending.append((key, scenario))
     if options.max_scenarios is not None:
         pending = pending[: options.max_scenarios]
@@ -292,6 +313,37 @@ def run_sweep(
     else:
         _run_pool(pending, base, config, store, options, tracer, results)
     return results
+
+
+def _triage_prune(
+    key: str, scenario: ScenarioSpec, mode: str, tracer
+) -> Optional[EvalRecord]:
+    """Run the triage gate on one scenario; a record means *prune it*.
+
+    The verdict is deterministic (pure NumPy over the scenario's demand
+    boxes), so the gate keeps the sweep's byte-identity across worker
+    counts — it runs in the parent before any dispatch.
+    """
+    from repro.workloads.triage import triage_scenario
+
+    verdict = triage_scenario(scenario, tracer=tracer)
+    if not verdict.should_prune(mode):
+        return None
+    if tracer.enabled:
+        tracer.count("explore.triage_pruned")
+    return EvalRecord(
+        key=key,
+        scenario=scenario.to_dict(),
+        status="pruned",
+        error=(
+            f"triage[{mode}] {verdict.verdict}: "
+            f"site_pressure={verdict.site_pressure:.3f}, "
+            f"cut_slack={verdict.cut_slack}, "
+            f"reason={verdict.infeasible_reason or 'estimate'}"
+        ),
+        seconds=verdict.seconds,
+        via="triage",
+    )
 
 
 def _finish(record: EvalRecord, store: ResultStore, results, tracer) -> None:

@@ -91,7 +91,9 @@ def frontier_report(
         records = list(records.values())
     else:
         records = list(records)
-    by_status: Dict[str, int] = {"ok": 0, "crashed": 0, "timeout": 0}
+    by_status: Dict[str, int] = {
+        "ok": 0, "crashed": 0, "timeout": 0, "pruned": 0,
+    }
     for record in records:
         by_status[record.status] = by_status.get(record.status, 0) + 1
     frontier = pareto_frontier(records)
@@ -324,7 +326,8 @@ def render_frontier_table(
         f"{report['evaluated']} evaluated "
         f"({report['by_status'].get('ok', 0)} ok, "
         f"{report['by_status'].get('crashed', 0)} crashed, "
-        f"{report['by_status'].get('timeout', 0)} timeout), "
+        f"{report['by_status'].get('timeout', 0)} timeout, "
+        f"{report['by_status'].get('pruned', 0)} pruned), "
         f"{report['feasible']} feasible, "
         f"frontier {report['frontier_size']}"
     )

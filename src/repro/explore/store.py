@@ -31,7 +31,10 @@ STORE_SCHEMA_VERSION = 1
 
 #: Terminal statuses an evaluation record can carry. ``ok`` includes
 #: infeasible plans (unassigned nets > 0) — the *evaluation* succeeded.
-STATUSES = ("ok", "crashed", "timeout")
+#: ``pruned`` means the routability triage gate skipped the evaluation
+#: (the scenario is certified or estimated infeasible; see
+#: :mod:`repro.workloads.triage`).
+STATUSES = ("ok", "crashed", "timeout", "pruned")
 
 
 def scenario_key(scenario: ScenarioSpec, config=None) -> str:
@@ -76,8 +79,12 @@ class EvalRecord:
 
     @property
     def finished(self) -> bool:
-        """Whether a resume should skip this scenario (vs retry it)."""
-        return self.status == "ok"
+        """Whether a resume should skip this scenario (vs retry it).
+
+        ``pruned`` is terminal: the triage verdict is deterministic, so a
+        resume under the same gate would only reproduce it.
+        """
+        return self.status in ("ok", "pruned")
 
     def to_dict(self) -> Dict[str, Any]:
         return {

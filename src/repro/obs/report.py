@@ -27,6 +27,17 @@ EXPLORE_COUNTERS = (
     "explore.scenarios",
     "explore.cache_hits",
     "explore.retries",
+    "explore.triage_pruned",
+)
+
+#: Workload-subsystem counters: streaming ECO traces and the routability
+#: triage gate (:mod:`repro.workloads`).
+WORKLOAD_COUNTERS = (
+    "workload.trace_events",
+    "workload.checkpoints",
+    "workload.divergences",
+    "triage.runs",
+    "triage.skips",
 )
 
 #: Shared-memory worker-pool counters (:mod:`repro.parallel`).
@@ -117,6 +128,15 @@ def render_summary(tracer: Tracer) -> str:
     if explore:
         sections.append("== explore ==")
         for name, metric in explore:
+            sections.append(f"{name:24s} {metric.value}")
+    workload = [
+        (name, tracer.metrics.get(name))
+        for name in WORKLOAD_COUNTERS
+        if tracer.metrics.get(name) is not None
+    ]
+    if workload:
+        sections.append("== workload ==")
+        for name, metric in workload:
             sections.append(f"{name:24s} {metric.value}")
     pool = [
         (name, tracer.metrics.get(name))

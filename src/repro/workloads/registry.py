@@ -1,0 +1,223 @@
+"""The workload registry: scale-ladder tiers and Table-I stand-ins.
+
+Every recorded number before this subsystem came from one synthetic
+32x32 / 500-net scenario. The registry names a *scale ladder* of
+synthetic tiers (``ladder-32`` .. ``ladder-256``) plus square-grid
+stand-ins for the ten Table-I paper circuits, all resolvable to a
+:class:`~repro.service.jobs.ScenarioSpec` so the planner, the service,
+the explore engine, and the streaming trace driver consume them
+uniformly.
+
+Table-I stand-ins keep the circuit's published net count, length limit,
+buffer-site budget, and calibrated wire capacity, but run on a square
+``max(nx, ny)`` grid (ScenarioSpec grids are square) with the synthetic
+net generator — they reproduce the circuit's *resource shape*, not its
+exact netlist. ``WorkloadSpec.describe()`` says so explicitly.
+
+Every tier carries one movable macro (the service kernel's sizing
+recipe) so ``move_macro`` ECO events are valid on any tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.benchmarks.spec import BENCHMARK_SPECS
+from repro.errors import ConfigurationError
+from repro.service.jobs import MacroSpec, ScenarioSpec
+
+#: Registry sources, in listing order.
+WORKLOAD_SOURCES = ("smoke", "ladder", "table1")
+
+
+def _default_macro(grid: int) -> MacroSpec:
+    """One movable macro per tier.
+
+    Sized at ~3/32 of the die side: big enough that moving it dirties a
+    real region, small enough that the site desert under it doesn't
+    structurally fail every chip-crossing net (a macro wider than the
+    length limit is an unbufferable span for nets forced through it).
+    """
+    side = max(2, grid * 3 // 32)
+    origin = max(0, grid * 10 // 32)
+    return MacroSpec(origin, origin, side, side)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, fully pinned planning workload.
+
+    Attributes:
+        name: registry key (``repro workload run --name <name>``).
+        description: one-line human summary.
+        source: ``"smoke"`` | ``"ladder"`` | ``"table1"``.
+        grid: square die side in tiles.
+        num_nets: synthetic netlist size.
+        capacity: uniform wire capacity ``W(e)``.
+        length_limit: default per-net ``L``.
+        total_sites: scattered buffer-site budget.
+        seed: net-generation seed.
+        site_seed: site-scatter seed.
+        paper_grid: the paper's printed ``(nx, ny)`` tiling for Table-I
+            stand-ins; ``None`` for synthetic tiers.
+    """
+
+    name: str
+    description: str
+    source: str
+    grid: int
+    num_nets: int
+    capacity: int = 8
+    length_limit: int = 5
+    total_sites: int = 600
+    seed: int = 0
+    site_seed: int = 0
+    paper_grid: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.source not in WORKLOAD_SOURCES:
+            raise ConfigurationError(
+                f"unknown workload source {self.source!r}; expected one "
+                f"of {WORKLOAD_SOURCES}"
+            )
+
+    def scenario(self) -> ScenarioSpec:
+        """The tier as a planning scenario (one movable macro included)."""
+        return ScenarioSpec(
+            grid=self.grid,
+            num_nets=self.num_nets,
+            capacity=self.capacity,
+            seed=self.seed,
+            length_limit=self.length_limit,
+            total_sites=self.total_sites,
+            site_seed=self.site_seed,
+            macros=(_default_macro(self.grid),),
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able tier card (the ``workload describe`` payload)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "description": self.description,
+            "source": self.source,
+            "grid": self.grid,
+            "num_nets": self.num_nets,
+            "capacity": self.capacity,
+            "length_limit": self.length_limit,
+            "total_sites": self.total_sites,
+            "seed": self.seed,
+            "site_seed": self.site_seed,
+            "tiles": self.grid * self.grid,
+        }
+        if self.paper_grid is not None:
+            out["paper_grid"] = list(self.paper_grid)
+            out["stand_in"] = (
+                "square-grid synthetic stand-in: paper resource shape "
+                "(nets, L, sites, capacity), generated netlist"
+            )
+        return out
+
+
+def _table1_workload(circuit: str) -> WorkloadSpec:
+    spec = BENCHMARK_SPECS[circuit]
+    kind = "random" if spec.is_random else "MCNC"
+    return WorkloadSpec(
+        name=f"table1-{circuit}",
+        description=(
+            f"Table-I {kind} circuit {circuit}: {spec.nets} nets, "
+            f"L={spec.length_limit}, {spec.buffer_sites} sites "
+            f"(square stand-in for the paper's "
+            f"{spec.grid[0]}x{spec.grid[1]} grid)"
+        ),
+        source="table1",
+        grid=max(spec.grid),
+        num_nets=spec.nets,
+        capacity=spec.default_wire_capacity,
+        length_limit=spec.length_limit,
+        total_sites=spec.buffer_sites,
+        paper_grid=spec.grid,
+    )
+
+
+def _build_registry() -> Dict[str, WorkloadSpec]:
+    tiers: List[WorkloadSpec] = [
+        WorkloadSpec(
+            name="smoke-16",
+            description="CI smoke tier: 16x16 grid, 120 nets, rich sites",
+            source="smoke",
+            grid=16,
+            num_nets=120,
+            total_sites=1200,
+        ),
+        WorkloadSpec(
+            name="ladder-32",
+            description=(
+                "baseline ladder rung: the recorded 32x32 / 500-net "
+                "service workload"
+            ),
+            source="ladder",
+            grid=32,
+            num_nets=500,
+            total_sites=2500,
+        ),
+        WorkloadSpec(
+            name="ladder-64",
+            description="64x64 grid, 2k nets: first scale-up rung",
+            source="ladder",
+            grid=64,
+            num_nets=2000,
+            total_sites=20000,
+        ),
+        WorkloadSpec(
+            name="ladder-128",
+            description="128x128 grid, 10k nets: fleet-scale rung",
+            source="ladder",
+            grid=128,
+            num_nets=10000,
+            total_sites=80000,
+        ),
+        WorkloadSpec(
+            name="ladder-256",
+            description=(
+                "256x256 grid, 100k nets: stress rung (minutes per full "
+                "plan; triage before launching)"
+            ),
+            source="ladder",
+            grid=256,
+            num_nets=100000,
+            total_sites=800000,
+        ),
+    ]
+    tiers.extend(_table1_workload(name) for name in sorted(BENCHMARK_SPECS))
+    return {tier.name: tier for tier in tiers}
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = _build_registry()
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look a tier up by name; raises with the available names."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(sorted(WORKLOADS))}"
+        ) from None
+
+
+def list_workloads(source: Optional[str] = None) -> List[WorkloadSpec]:
+    """All tiers (optionally one source), ladder-first listing order."""
+    if source is not None and source not in WORKLOAD_SOURCES:
+        raise ConfigurationError(
+            f"unknown workload source {source!r}; expected one of "
+            f"{WORKLOAD_SOURCES}"
+        )
+    tiers = [
+        w
+        for w in WORKLOADS.values()
+        if source is None or w.source == source
+    ]
+    order = {s: i for i, s in enumerate(WORKLOAD_SOURCES)}
+    return sorted(tiers, key=lambda w: (order[w.source], w.grid, w.name))

@@ -11,6 +11,7 @@ from repro.benchmarks.perf_gate import (
     gate_files,
     main,
     metric_gates_for,
+    min_metric_gates_for,
 )
 
 
@@ -202,3 +203,53 @@ class TestFilesAndCli:
         bad = self._write(tmp_path / "bad.json", _traj([_entry("f", 0.5)]))
         assert main([rec, bad]) == 1
         assert "perf-gate FAILED" in capsys.readouterr().err
+
+
+class TestMinMetricGates:
+    """Higher-is-better gates (the streaming tier's steady speedup)."""
+
+    GATES = {"steady_speedup": (0.25, 0.1)}
+
+    def _pair(self, recorded, fresh):
+        rec = _traj([_entry("rec", None, workers=1)])
+        new = _traj([_entry("ci", None, workers=1)])
+        rec["entries"][0]["steady_speedup"] = recorded
+        new["entries"][0]["steady_speedup"] = fresh
+        return rec, new
+
+    def test_registered_for_streaming_trajectory(self):
+        gates = min_metric_gates_for("benchmarks/BENCH_streaming.json")
+        assert "steady_speedup" in gates
+        ceilings = metric_gates_for("benchmarks/BENCH_streaming.json")
+        assert "event_p95" in ceilings
+
+    def test_above_floor_passes(self):
+        rec, new = self._pair(3.0, 2.4)
+        (result,) = compare_metrics(rec, new, self.GATES, minimum=True)
+        assert result.status == "ok"
+
+    def test_drop_below_floor_fails(self):
+        rec, new = self._pair(3.0, 2.0)  # floor = 3*0.75 - 0.1 = 2.15
+        (result,) = compare_metrics(rec, new, self.GATES, minimum=True)
+        assert result.failed
+
+    def test_higher_fresh_value_never_fails(self):
+        rec, new = self._pair(2.0, 9.0)
+        (result,) = compare_metrics(rec, new, self.GATES, minimum=True)
+        assert result.status == "ok"
+
+    def test_missing_value_skips(self):
+        rec, new = self._pair(3.0, None)
+        del new["entries"][0]["steady_speedup"]
+        (result,) = compare_metrics(rec, new, self.GATES, minimum=True)
+        assert result.status.startswith("skipped")
+
+    def test_gate_files_arms_min_gates_by_basename(self, tmp_path):
+        rec, new = self._pair(3.0, 1.0)
+        recorded = tmp_path / "BENCH_streaming.json"
+        fresh = tmp_path / "fresh.json"
+        recorded.write_text(json.dumps(rec))
+        fresh.write_text(json.dumps(new))
+        with pytest.raises(SpeedupGateError) as exc:
+            gate_files(str(recorded), str(fresh))
+        assert "steady_speedup" in str(exc.value)

@@ -154,3 +154,71 @@ class TestInfeasibility:
         assert not result.certified_infeasible
         assert result.lambda_lb < 1.0
         assert result.infeasible_reason == ""
+
+
+class TestGoldenSectionRefinement:
+    def test_refined_lb_never_below_grid_lb(self):
+        """Satellite contract: golden-section refinement only improves."""
+        grid_only = bound_scenario(
+            SCENARIO, BoundOptions(iterations=2, refine_iters=0)
+        )
+        refined = bound_scenario(
+            SCENARIO, BoundOptions(iterations=2, refine_iters=4)
+        )
+        assert refined.lower_bound >= grid_only.lower_bound
+        # theta=0 stays on the grid, so the unconstrained floor holds.
+        assert refined.lower_bound >= refined.unconstrained_bound
+
+    def test_refinement_deterministic(self):
+        options = BoundOptions(iterations=2, refine_iters=6)
+        a = bound_scenario(SCENARIO, options).summary()
+        b = bound_scenario(SCENARIO, options).summary()
+        a.pop("seconds"), b.pop("seconds")
+        assert a == b
+
+    def test_refinement_prices_extra_thetas(self):
+        grid_only = bound_scenario(
+            SCENARIO, BoundOptions(iterations=2, refine_iters=0)
+        )
+        refined = bound_scenario(
+            SCENARIO, BoundOptions(iterations=2, refine_iters=4)
+        )
+        assert refined.pricing_calls > grid_only.pricing_calls
+
+    def test_negative_refine_iters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BoundOptions(refine_iters=-1)
+
+
+class TestTriageShortCircuit:
+    STARVED = ScenarioSpec(
+        grid=12, num_nets=60, capacity=6, total_sites=5, length_limit=2
+    )
+
+    def test_certified_scenario_skips_pricing(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        result = bound_scenario(
+            self.STARVED, BoundOptions(triage=True), tracer=tracer
+        )
+        assert result.certified_infeasible
+        assert result.infeasible_reason == "triage-sites"
+        assert result.pricing_calls == 0
+        assert result.lower_bound is None
+        assert tracer.metrics.counter("triage.skips").value == 1
+
+    def test_feasible_scenario_falls_through(self):
+        gated = bound_scenario(
+            SCENARIO, BoundOptions(triage=True, refine_iters=0)
+        )
+        plain = bound_scenario(SCENARIO, BoundOptions(refine_iters=0))
+        assert not gated.certified_infeasible
+        assert gated.lower_bound == plain.lower_bound
+
+    def test_short_circuit_result_serializes(self):
+        result = bound_scenario(self.STARVED, BoundOptions(triage=True))
+        summary = result.summary()
+        assert summary["certified_infeasible"]
+        cert = result.certificate()
+        assert cert.infeasible_reason == "triage-sites"

@@ -1,0 +1,83 @@
+"""The `repro workload` command: list, describe, run, triage flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_tiers(self, capsys):
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ladder-64", "ladder-256", "table1-apte", "smoke-16"):
+            assert name in out
+
+    def test_source_filter_json(self, capsys):
+        assert main(["workload", "list", "--source", "ladder", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all(r["source"] == "ladder" for r in rows)
+        assert {r["name"] for r in rows} == {
+            "ladder-32", "ladder-64", "ladder-128", "ladder-256"
+        }
+
+
+class TestDescribe:
+    def test_card_includes_triage_verdict(self, capsys):
+        assert main(["workload", "describe", "--name", "smoke-16",
+                     "--json"]) == 0
+        card = json.loads(capsys.readouterr().out)
+        assert card["grid"] == 16
+        assert card["triage"]["verdict"] == "routable"
+
+    def test_name_required(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["workload", "describe"])
+        assert exc.value.code == 2
+
+    def test_unknown_tier_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["workload", "describe", "--name", "ladder-1024"])
+        assert exc.value.code == 2
+
+
+class TestRun:
+    def test_short_trace_json_report(self, capsys, tmp_path):
+        out = str(tmp_path / "report.json")
+        assert main([
+            "workload", "run", "--name", "smoke-16",
+            "--trace-events", "6", "--checkpoint-every", "3",
+            "--json", "--out", out,
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 6
+        assert payload["divergences"] == 0
+        assert len(payload["checkpoints"]) == 2
+        saved = json.loads(open(out).read())
+        assert saved["signature_digest"] == payload["signature_digest"]
+
+    def test_text_summary(self, capsys):
+        assert main([
+            "workload", "run", "--name", "smoke-16",
+            "--trace-events", "4", "--checkpoint-every", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "workload smoke-16" in out
+        assert "divergences: 0" in out
+
+    def test_triage_aborts_certified_infeasible_tier(
+        self, capsys, monkeypatch
+    ):
+        from repro.workloads import registry
+
+        starved = registry.WorkloadSpec(
+            name="starved", description="", source="smoke", grid=12,
+            num_nets=60, capacity=6, length_limit=2, total_sites=5,
+        )
+        monkeypatch.setitem(registry.WORKLOADS, "starved", starved)
+        assert main([
+            "workload", "run", "--name", "starved", "--triage",
+            "--trace-events", "4",
+        ]) == 1
+        assert "certified infeasible" in capsys.readouterr().out

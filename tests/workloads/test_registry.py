@@ -1,0 +1,95 @@
+"""The workload registry: tiers, Table-I stand-ins, lookup errors."""
+
+import pytest
+
+from repro.benchmarks.spec import BENCHMARK_SPECS
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    WORKLOAD_SOURCES,
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+)
+
+
+class TestRegistryContents:
+    def test_ladder_tiers_present(self):
+        for name, grid, nets in (
+            ("ladder-64", 64, 2000),
+            ("ladder-128", 128, 10000),
+            ("ladder-256", 256, 100000),
+        ):
+            tier = get_workload(name)
+            assert tier.grid == grid
+            assert tier.num_nets == nets
+            assert tier.source == "ladder"
+
+    def test_all_table1_circuits_registered(self):
+        for circuit, spec in BENCHMARK_SPECS.items():
+            tier = get_workload(f"table1-{circuit}")
+            assert tier.source == "table1"
+            assert tier.num_nets == spec.nets
+            assert tier.length_limit == spec.length_limit
+            assert tier.total_sites == spec.buffer_sites
+            assert tier.grid == max(spec.grid)
+            assert tier.paper_grid == spec.grid
+
+    def test_smoke_tier(self):
+        tier = get_workload("smoke-16")
+        assert tier.grid == 16
+        assert tier.source == "smoke"
+
+
+class TestScenarioResolution:
+    def test_scenario_carries_one_macro(self):
+        scenario = get_workload("ladder-64").scenario()
+        assert scenario.grid == 64
+        assert len(scenario.macros) == 1
+        macro = scenario.macros[0]
+        assert macro.x + macro.width <= 64
+        assert macro.y + macro.height <= 64
+
+    def test_scenario_nets_match_tier(self):
+        tier = get_workload("smoke-16")
+        assert len(tier.scenario().nets()) == tier.num_nets
+
+
+class TestDescribe:
+    def test_table1_card_declares_stand_in(self):
+        card = get_workload("table1-apte").describe()
+        assert card["paper_grid"] == list(BENCHMARK_SPECS["apte"].grid)
+        assert "stand_in" in card
+
+    def test_synthetic_card_has_no_paper_grid(self):
+        card = get_workload("ladder-64").describe()
+        assert "paper_grid" not in card
+        assert card["tiles"] == 64 * 64
+
+
+class TestLookup:
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_workload("ladder-1024")
+        assert "ladder-64" in str(exc.value)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list_workloads("mcnc")
+
+    def test_bad_spec_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="x", description="", source="custom", grid=8, num_nets=4
+            )
+
+    def test_listing_order_is_source_then_grid(self):
+        tiers = list_workloads()
+        assert len(tiers) == len(WORKLOADS)
+        order = {s: i for i, s in enumerate(WORKLOAD_SOURCES)}
+        keys = [(order[t.source], t.grid, t.name) for t in tiers]
+        assert keys == sorted(keys)
+
+    def test_source_filter(self):
+        assert all(t.source == "ladder" for t in list_workloads("ladder"))
+        assert len(list_workloads("table1")) == len(BENCHMARK_SPECS)
